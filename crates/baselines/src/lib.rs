@@ -1,0 +1,128 @@
+//! Baseline Spark tuners compared against in §6 (Figures 4, 5).
+//!
+//! Each baseline re-implements the *search strategy* of the corresponding
+//! system, run under the same online evaluation budget as `otune`:
+//!
+//! * [`RandomSearch`] — uniform sampling (Bergstra & Bengio).
+//! * [`Rfhoc`] — RFHOC: per-task random forests + a genetic algorithm
+//!   exploring the model (Bei et al.).
+//! * [`Dac`] — DAC: datasize-aware hierarchical regression-tree models +
+//!   GA (Yu et al.).
+//! * [`CherryPick`] — GP-BO with Expected Improvement and a runtime
+//!   constraint, searching the full space without dimensionality
+//!   reduction (Alipourfard et al.).
+//! * [`Tuneful`] — GP-BO that shrinks to the most important parameters
+//!   after an exploration phase (Fekry et al.).
+//! * [`Locat`] — datasize-aware GP-BO for Spark SQL with correlation-based
+//!   important-configuration selection (Xin et al.).
+//!
+//! All baselines implement [`Tuner`], the loop-agnostic suggest interface
+//! the benchmark harness drives.
+
+mod cherrypick;
+mod dac;
+mod ga;
+mod locat;
+mod random;
+mod rfhoc;
+mod tuneful;
+
+pub use cherrypick::CherryPick;
+pub use dac::Dac;
+pub use ga::{GaParams, GeneticAlgorithm};
+pub use locat::Locat;
+pub use random::RandomSearch;
+pub use rfhoc::Rfhoc;
+pub use tuneful::Tuneful;
+
+use otune_bo::Observation;
+use otune_space::Configuration;
+
+/// A configuration-suggestion strategy under an online budget.
+pub trait Tuner {
+    /// Suggest the configuration for the next execution given the full
+    /// runhistory and the current workload context (data size features).
+    fn suggest(&mut self, history: &[Observation], context: &[f64]) -> Configuration;
+
+    /// Display name used in experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Spearman rank correlation between two equal-length slices (LOCAT's
+/// important-configuration selection statistic).
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let ra = ranks(a);
+    let rb = ranks(b);
+    let mean = (n - 1) as f64 / 2.0;
+    let mut num = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for i in 0..n {
+        let da = ra[i] - mean;
+        let db = rb[i] - mean;
+        num += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        0.0
+    } else {
+        num / (va * vb).sqrt()
+    }
+}
+
+fn ranks(v: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_by(|&i, &j| v[i].partial_cmp(&v[j]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut r = vec![0.0; v.len()];
+    // Average ranks for ties.
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && v[idx[j + 1]] == v[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0;
+        for k in i..=j {
+            r[idx[k]] = avg;
+        }
+        i = j + 1;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spearman_perfect_monotone() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 40.0, 80.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties_and_constants() {
+        let a = [1.0, 1.0, 2.0, 2.0];
+        let b = [1.0, 1.0, 2.0, 2.0];
+        assert!(spearman(&a, &b) > 0.9);
+        let flat = [5.0; 4];
+        assert_eq!(spearman(&a, &flat), 0.0);
+        assert_eq!(spearman(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn spearman_uncorrelated_near_zero() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let b = [3.0, 1.0, 4.0, 1.5, 5.0, 0.2, 6.0, 2.0];
+        assert!(spearman(&a, &b).abs() < 0.8);
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 4: speedup of the best-found configuration relative to random
+//! search on 6 HiBench tasks, runtime objective (β = 1), 30 iterations.
+//!
+//! Paper reference: ours reaches 3.08×–8.96× average speedups; the
+//! second-best baseline per task reaches only 2.54×–6.80×; ML-based
+//! RFHOC/DAC trail the BO methods; CherryPick suffers from the full
+//! 30-parameter space.
+
+use otune_bench::{hibench_setup, mean, n_seeds, run_method, write_csv, Table, METHODS};
+use otune_sparksim::HibenchTask;
+
+fn main() {
+    let seeds = n_seeds();
+    let budget = 30;
+    let mut table = Table::new(
+        "Figure 4 — Speedup vs random search (runtime objective, 30 iters)",
+        &["task", "RFHOC", "DAC", "CherryPick", "Tuneful", "LOCAT", "Ours"],
+    );
+
+    let mut ours_speedups = Vec::new();
+    let mut runner_up_speedups = Vec::new();
+
+    for task in HibenchTask::FIGURE_SIX {
+        let setup = hibench_setup(task, 1.0, budget);
+        // Per-method mean best runtime across seeds.
+        let mut best_rt: Vec<(String, f64)> = Vec::new();
+        for m in METHODS {
+            let runs: Vec<f64> = (0..seeds)
+                .map(|s| {
+                    let trace = run_method(m, &setup, s + 1);
+                    trace.runtimes[trace.best_index()]
+                })
+                .collect();
+            best_rt.push((m.to_string(), mean(&runs)));
+        }
+        let random_rt = best_rt
+            .iter()
+            .find(|(m, _)| m == "Random")
+            .expect("roster contains Random")
+            .1;
+        let speedup =
+            |m: &str| random_rt / best_rt.iter().find(|(n, _)| n == m).unwrap().1.max(1e-9);
+
+        let row: Vec<f64> = ["RFHOC", "DAC", "CherryPick", "Tuneful", "LOCAT", "Ours"]
+            .iter()
+            .map(|m| speedup(m))
+            .collect();
+        ours_speedups.push(*row.last().unwrap());
+        let runner_up = row[..row.len() - 1].iter().cloned().fold(0.0, f64::max);
+        runner_up_speedups.push(runner_up);
+
+        table.row(
+            std::iter::once(task.name().to_string())
+                .chain(row.iter().map(|v| format!("{v:.2}x")))
+                .collect(),
+        );
+    }
+
+    table.print();
+    let path = write_csv("fig4_speedup.csv", &table);
+    println!(
+        "\nmeasured: ours {:.2}x-{:.2}x, runner-up {:.2}x-{:.2}x (avg over {} seeds)",
+        ours_speedups.iter().cloned().fold(f64::INFINITY, f64::min),
+        ours_speedups.iter().cloned().fold(0.0, f64::max),
+        runner_up_speedups.iter().cloned().fold(f64::INFINITY, f64::min),
+        runner_up_speedups.iter().cloned().fold(0.0, f64::max),
+        seeds
+    );
+    println!("paper:    ours 3.08x-8.96x, second-best 2.54x-6.80x (10 seeds, real cluster)");
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,67 @@
+//! Figure 5: execution-cost reduction relative to random search on 6
+//! HiBench tasks, cost objective (β = 0.5), 30 iterations.
+//!
+//! Paper reference: ours achieves a 71.22–88.97% cost reduction relative
+//! to random search, and on average 38.43% / 45.20% lower cost than the
+//! competitive baselines Tuneful / LOCAT.
+
+use otune_bench::{hibench_setup, mean, n_seeds, run_method, write_csv, Table, METHODS};
+use otune_sparksim::HibenchTask;
+
+fn main() {
+    let seeds = n_seeds();
+    let budget = 30;
+    let mut table = Table::new(
+        "Figure 5 — Cost reduction vs random search (cost objective, 30 iters)",
+        &["task", "RFHOC", "DAC", "CherryPick", "Tuneful", "LOCAT", "Ours"],
+    );
+
+    let mut ours_red = Vec::new();
+    let mut vs_tuneful = Vec::new();
+    let mut vs_locat = Vec::new();
+
+    for task in HibenchTask::FIGURE_SIX {
+        let setup = hibench_setup(task, 0.5, budget);
+        // Execution cost = T·R (the β = 0.5 objective squared).
+        let mut best_cost: Vec<(String, f64)> = Vec::new();
+        for m in METHODS {
+            let runs: Vec<f64> = (0..seeds)
+                .map(|s| {
+                    let trace = run_method(m, &setup, s + 101);
+                    let i = trace.best_index();
+                    trace.runtimes[i] * trace.resources[i]
+                })
+                .collect();
+            best_cost.push((m.to_string(), mean(&runs)));
+        }
+        let cost_of = |m: &str| best_cost.iter().find(|(n, _)| n == m).unwrap().1;
+        let random = cost_of("Random");
+        let reduction = |m: &str| (random - cost_of(m)) / random * 100.0;
+
+        let row: Vec<f64> = ["RFHOC", "DAC", "CherryPick", "Tuneful", "LOCAT", "Ours"]
+            .iter()
+            .map(|m| reduction(m))
+            .collect();
+        ours_red.push(*row.last().unwrap());
+        vs_tuneful.push((cost_of("Tuneful") - cost_of("Ours")) / cost_of("Tuneful") * 100.0);
+        vs_locat.push((cost_of("LOCAT") - cost_of("Ours")) / cost_of("LOCAT") * 100.0);
+
+        table.row(
+            std::iter::once(task.name().to_string())
+                .chain(row.iter().map(|v| format!("{v:.1}%")))
+                .collect(),
+        );
+    }
+
+    table.print();
+    let path = write_csv("fig5_cost.csv", &table);
+    println!(
+        "\nmeasured: ours reduces cost by {:.1}%-{:.1}% vs random; vs Tuneful {:.1}%, vs LOCAT {:.1}% on average",
+        ours_red.iter().cloned().fold(f64::INFINITY, f64::min),
+        ours_red.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        mean(&vs_tuneful),
+        mean(&vs_locat),
+    );
+    println!("paper:    ours 71.22%-88.97% vs random; 38.43% vs Tuneful, 45.20% vs LOCAT");
+    println!("csv: {}", path.display());
+}

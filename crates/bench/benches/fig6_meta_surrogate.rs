@@ -1,0 +1,90 @@
+//! Figure 6: tuning KMeans and TeraSort with and without the
+//! meta-learning ensemble surrogate (Eq. 12).
+//!
+//! Paper reference: with the ensemble, the average cost in the first 10
+//! iterations is clearly lower, and the ensemble needs at least 3× fewer
+//! iterations to match vanilla BO's cost after 30 iterations.
+
+use otune_bench::{experiments::task_record_for, hibench_setup, n_seeds, run_otune, write_csv, Table};
+use otune_core::TunerOptions;
+use otune_sparksim::HibenchTask;
+
+fn main() {
+    let seeds = n_seeds();
+    let budget = 30;
+    // Source histories: other HiBench tasks (no target leakage).
+    let source_pool = [
+        HibenchTask::Sort,
+        HibenchTask::WordCount,
+        HibenchTask::PageRank,
+        HibenchTask::LR,
+        HibenchTask::SVD,
+        HibenchTask::Bayes,
+    ];
+    let sources: Vec<otune_meta::TaskRecord> = source_pool
+        .iter()
+        .enumerate()
+        .map(|(i, t)| task_record_for(*t, 30, 60 + i as u64))
+        .collect();
+
+    let mut table = Table::new(
+        "Figure 6 — avg best-cost curve with/without the ensemble surrogate",
+        &["task", "iter", "vanilla BO", "meta ensemble"],
+    );
+
+    for target in [HibenchTask::KMeans, HibenchTask::TeraSort] {
+        let setup = hibench_setup(target, 0.5, budget);
+        let bases: Vec<otune_meta::TaskRecord> = sources
+            .iter()
+            .filter(|r| r.task_id != target.name())
+            .cloned()
+            .collect();
+
+        let mut curves: Vec<Vec<f64>> = Vec::new();
+        for meta in [false, true] {
+            let mut avg = vec![0.0; budget];
+            for s in 0..seeds {
+                let opts = TunerOptions {
+                    enable_meta: meta,
+                    base_tasks: if meta { bases.clone() } else { vec![] },
+                    ..TunerOptions::default()
+                };
+                let trace = run_otune(&setup, opts, 300 + s);
+                let mut running = f64::INFINITY;
+                for (k, &obj) in trace.objectives.iter().enumerate() {
+                    running = running.min(obj * obj);
+                    avg[k] += running / seeds as f64;
+                }
+            }
+            curves.push(avg);
+        }
+        for (k, (a, b)) in curves[0].iter().zip(&curves[1]).enumerate() {
+            table.row(vec![
+                target.name().into(),
+                format!("{}", k + 1),
+                format!("{a:.0}"),
+                format!("{b:.0}"),
+            ]);
+        }
+
+        // Iterations for the ensemble to reach vanilla's final cost.
+        let vanilla_final = *curves[0].last().unwrap();
+        let meta_reach = curves[1]
+            .iter()
+            .position(|&c| c <= vanilla_final)
+            .map(|i| i + 1)
+            .unwrap_or(budget);
+        println!(
+            "{}: ensemble reaches vanilla-BO-30 cost ({vanilla_final:.0}) in {meta_reach} iters \
+             ({}x fewer); early-10 avg: vanilla {:.0} vs ensemble {:.0}",
+            target.name(),
+            budget / meta_reach.max(1),
+            curves[0][..10].iter().sum::<f64>() / 10.0,
+            curves[1][..10].iter().sum::<f64>() / 10.0,
+        );
+    }
+
+    println!("paper:    ensemble needs >=3x fewer iterations to match vanilla BO at 30 iters");
+    let p = write_csv("fig6_meta_curve.csv", &table);
+    println!("csv: {}", p.display());
+}

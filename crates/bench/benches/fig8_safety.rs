@@ -1,0 +1,79 @@
+//! Figure 8 + §6.5 "Safe Exploration and Exploitation": the fraction of
+//! configurations that satisfy the runtime constraint with and without
+//! the safety component, plus the (runtime, cost) scatter per evaluated
+//! configuration on WordCount and Bayes.
+//!
+//! Paper reference: 93.00% safe configurations with the safety component
+//! vs 69.67% for vanilla BO; infeasible ratio drops 56% → 10% on
+//! WordCount and 20% → 6% on Bayes; best objective can be slightly worse
+//! with safety on (conservative restriction, observed on NWeight).
+
+use otune_bench::{hibench_setup, mean, n_seeds, run_otune, write_csv, Table};
+use otune_core::TunerOptions;
+use otune_sparksim::HibenchTask;
+
+fn main() {
+    let seeds = n_seeds();
+    let budget = 30;
+    let mut table = Table::new(
+        "Figure 8 — Infeasible-configuration ratio (runtime constraint = 2x default)",
+        &["task", "no-safety", "with-safety"],
+    );
+    let mut scatter = Table::new(
+        "Figure 8 scatter — (task, variant, runtime, cost, feasible)",
+        &["task", "variant", "runtime_s", "cost", "feasible"],
+    );
+
+    let mut safe_ratios = Vec::new();
+    let mut unsafe_ratios = Vec::new();
+    for task in HibenchTask::FIGURE_SIX {
+        let setup = hibench_setup(task, 0.5, budget);
+        let mut ratios = Vec::new();
+        for enable_safety in [false, true] {
+            let opts = TunerOptions {
+                enable_meta: false,
+                enable_safety,
+                ..TunerOptions::default()
+            };
+            let mut infeasible = Vec::new();
+            for s in 0..seeds {
+                let trace = run_otune(&setup, opts.clone(), 900 + s);
+                infeasible.push(trace.infeasible_ratio());
+                if matches!(task, HibenchTask::WordCount | HibenchTask::Bayes) && s == 0 {
+                    for i in 0..trace.runtimes.len() {
+                        scatter.row(vec![
+                            task.name().into(),
+                            if enable_safety { "safe" } else { "vanilla" }.into(),
+                            format!("{:.1}", trace.runtimes[i]),
+                            format!("{:.0}", trace.runtimes[i] * trace.resources[i]),
+                            format!("{}", trace.feasible[i]),
+                        ]);
+                    }
+                }
+            }
+            let ratio = mean(&infeasible);
+            ratios.push(ratio);
+            if enable_safety {
+                safe_ratios.push(1.0 - ratio);
+            } else {
+                unsafe_ratios.push(1.0 - ratio);
+            }
+        }
+        table.row(vec![
+            task.name().into(),
+            format!("{:.0}%", ratios[0] * 100.0),
+            format!("{:.0}%", ratios[1] * 100.0),
+        ]);
+    }
+
+    table.print();
+    println!(
+        "\nmeasured: avg safe-config percentage {:.2}% with safety vs {:.2}% without",
+        mean(&safe_ratios) * 100.0,
+        mean(&unsafe_ratios) * 100.0
+    );
+    println!("paper:    93.00% with safety vs 69.67% for vanilla BO");
+    let p1 = write_csv("fig8_safety.csv", &table);
+    let p2 = write_csv("fig8_scatter.csv", &scatter);
+    println!("csv: {} , {}", p1.display(), p2.display());
+}

@@ -1,0 +1,89 @@
+//! Table 4: execution cost of the top-3 configurations transferred by the
+//! warm-starting module from a similar source task.
+//!
+//! Paper reference rows (Default / Manual / Top1 / Top2 / Top3):
+//!   TeraSort ← Sort:      844.70 / 91.30 / 54.51 / 40.66 / 43.77
+//!   TeraSort ← WordCount: 835.00 / 131.60 / 97.48 / 113.30 / 104.71
+//!   LR ← PageRank:       1431.21 / 245.90 / 183.35 / 333.39 / 214.73
+//!   KMeans ← SVD:         400.92 / 232.33 / 136.20 / 166.41 / 171.57
+//!
+//! The headline properties to reproduce: (1) all transferred configs beat
+//! default by a wide margin and usually beat manual; (2) the source's best
+//! config is *not always* the target's best among the three — transferring
+//! multiple good configs matters.
+
+use otune_bench::{experiments::task_record_for, hibench_setup, write_csv, Table};
+use otune_meta::warmstart::transfer_top_k;
+use otune_space::{Configuration, ParamValue, SparkParam};
+use otune_sparksim::HibenchTask;
+
+/// A plausibly hand-tuned ("manual") HiBench configuration: a big-data
+/// engineer's sensible defaults — more executors, kryo, higher parallelism.
+fn manual_config(space: &otune_space::ConfigSpace) -> Configuration {
+    let mut c = space.default_configuration();
+    c.set(SparkParam::ExecutorInstances.index(), ParamValue::Int(16));
+    c.set(SparkParam::ExecutorCores.index(), ParamValue::Int(4));
+    c.set(SparkParam::ExecutorMemory.index(), ParamValue::Int(8));
+    c.set(SparkParam::DefaultParallelism.index(), ParamValue::Int(256));
+    c.set(SparkParam::Serializer.index(), ParamValue::Categorical(1));
+    c
+}
+
+fn main() {
+    let pairs = [
+        (HibenchTask::TeraSort, HibenchTask::Sort),
+        (HibenchTask::TeraSort, HibenchTask::WordCount),
+        (HibenchTask::LR, HibenchTask::PageRank),
+        (HibenchTask::KMeans, HibenchTask::SVD),
+    ];
+
+    let mut table = Table::new(
+        "Table 4 — Execution cost of warm-started configurations",
+        &["target", "source", "default", "manual", "top1", "top2", "top3"],
+    );
+
+    let mut wins_vs_manual = 0usize;
+    let mut best_not_top1 = 0usize;
+    for (i, (target, source)) in pairs.iter().enumerate() {
+        let record = task_record_for(*source, 30, 40 + i as u64);
+        let transferred = transfer_top_k(&record, 3);
+
+        let setup = hibench_setup(*target, 0.5, 1);
+        let job = setup.job.clone().with_noise(0.0);
+        let eval_cost = |c: &Configuration| {
+            let r = job.run(c, 0);
+            r.runtime_s * r.resource
+        };
+        let default_cost = eval_cost(&setup.space.default_configuration());
+        let manual_cost = eval_cost(&manual_config(&setup.space));
+        let tops: Vec<f64> = transferred.iter().map(eval_cost).collect();
+
+        let best_top = tops.iter().cloned().fold(f64::INFINITY, f64::min);
+        if best_top < manual_cost {
+            wins_vs_manual += 1;
+        }
+        if !tops.is_empty() && tops[0] > best_top {
+            best_not_top1 += 1;
+        }
+
+        table.row(vec![
+            target.name().into(),
+            source.name().into(),
+            format!("{default_cost:.0}"),
+            format!("{manual_cost:.0}"),
+            tops.first().map_or("-".into(), |v| format!("{v:.0}")),
+            tops.get(1).map_or("-".into(), |v| format!("{v:.0}")),
+            tops.get(2).map_or("-".into(), |v| format!("{v:.0}")),
+        ]);
+    }
+
+    table.print();
+    println!(
+        "\nmeasured: best transferred config beats manual on {wins_vs_manual}/4 pairs; \
+         source-best is not the target-best on {best_not_top1}/4 pairs"
+    );
+    println!("paper:    warm-start cuts cost 66.03-95.19% vs default and 25.44-55.93% vs manual;");
+    println!("          on TeraSort<-Sort the 3rd-best source config beats the source's best.");
+    let p = write_csv("table4_warmstart.csv", &table);
+    println!("csv: {}", p.display());
+}

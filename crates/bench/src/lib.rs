@@ -1,0 +1,47 @@
+//! Experiment harness reproducing the paper's evaluation (§6).
+//!
+//! Each `benches/*.rs` target regenerates one table or figure; this
+//! library provides the shared machinery: a tuning-loop driver that runs
+//! any strategy (ours or a baseline) against the simulator, result
+//! aggregation, and plain-text table rendering with paper-reported
+//! reference values alongside the measured ones.
+//!
+//! Scale knobs (environment variables):
+//!
+//! * `OTUNE_SEEDS` — repetitions per (method, task) cell (default 3;
+//!   the paper uses 10).
+//! * `OTUNE_FIG2_TASKS` — production tasks for Figure 2/Table 3
+//!   (default 400; the paper tunes 25 000).
+
+pub mod driver;
+pub mod experiments;
+pub mod report;
+
+pub use driver::{run_baseline, run_otune, RunTrace, TuningSetup};
+pub use experiments::{hibench_setup, ours_options, run_method, METHODS};
+pub use report::{geo_mean, mean, write_csv, Table};
+
+/// Repetitions per experiment cell (`OTUNE_SEEDS`, default 3).
+pub fn n_seeds() -> u64 {
+    std::env::var("OTUNE_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+}
+
+/// Production-task count for Figure 2 (`OTUNE_FIG2_TASKS`, default 400).
+pub fn n_fig2_tasks() -> usize {
+    std::env::var("OTUNE_FIG2_TASKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400)
+}
+
+/// Where CSV outputs are written.
+pub fn results_dir() -> std::path::PathBuf {
+    let dir = std::path::PathBuf::from(
+        std::env::var("OTUNE_RESULTS_DIR").unwrap_or_else(|_| "bench_results".into()),
+    );
+    std::fs::create_dir_all(&dir).expect("results dir is creatable");
+    dir
+}

@@ -1,0 +1,143 @@
+//! Plain-text tables and CSV output for the experiment targets.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Geometric mean (0 for empty input; requires positive entries).
+pub fn geo_mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    (v.iter().map(|x| x.max(1e-300).ln()).sum::<f64>() / v.len() as f64).exp()
+}
+
+/// A simple aligned text table with a title, printed to stdout by the
+/// bench targets and mirrored to CSV.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    /// Render as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n=== {} ===", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Write as CSV to `path`.
+    pub fn to_csv(&self, path: &Path) {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        std::fs::write(path, out).expect("CSV output is writable");
+    }
+}
+
+/// Write a named CSV into the results directory and return its path.
+pub fn write_csv(name: &str, table: &Table) -> std::path::PathBuf {
+    let path = crate::results_dir().join(name);
+    table.to_csv(&path);
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert!((geo_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geo_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1.00".into()]);
+        t.row(vec!["long-name".into(), "2.50".into()]);
+        let s = t.render();
+        assert!(s.contains("=== demo ==="));
+        assert!(s.contains("long-name"));
+        let lines: Vec<&str> = s.lines().filter(|l| !l.is_empty()).collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["hello, world".into(), "2".into()]);
+        let dir = std::env::temp_dir().join("otune_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        t.to_csv(&path);
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"hello, world\""));
+    }
+}

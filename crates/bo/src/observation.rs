@@ -1,0 +1,93 @@
+//! Observed configuration evaluations.
+
+use otune_space::Configuration;
+use serde::{Deserialize, Serialize};
+
+/// One evaluated configuration: the unit of runhistory the surrogates are
+/// trained on.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Observation {
+    /// The evaluated configuration.
+    pub config: Configuration,
+    /// Objective value `f(x)` (lower is better).
+    pub objective: f64,
+    /// Observed runtime `T(x)` in seconds (the safety metric).
+    pub runtime: f64,
+    /// Analytic resource amount `R(x)`.
+    pub resource: f64,
+    /// Workload context at evaluation time (data size and/or calendar
+    /// features), appended to the encoded configuration for the surrogate.
+    pub context: Vec<f64>,
+}
+
+impl Observation {
+    /// Whether this observation satisfies `runtime ≤ t_max` and
+    /// `resource ≤ r_max` (`None` disables a bound).
+    pub fn is_feasible(&self, t_max: Option<f64>, r_max: Option<f64>) -> bool {
+        t_max.is_none_or(|t| self.runtime <= t) && r_max.is_none_or(|r| self.resource <= r)
+    }
+}
+
+/// The best (lowest-objective) feasible observation, falling back to the
+/// best overall when nothing is feasible.
+pub fn best_observation(
+    obs: &[Observation],
+    t_max: Option<f64>,
+    r_max: Option<f64>,
+) -> Option<&Observation> {
+    let feasible = obs
+        .iter()
+        .filter(|o| o.is_feasible(t_max, r_max))
+        .min_by(|a, b| a.objective.partial_cmp(&b.objective).unwrap_or(std::cmp::Ordering::Equal));
+    feasible.or_else(|| {
+        obs.iter().min_by(|a, b| {
+            a.objective
+                .partial_cmp(&b.objective)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otune_space::ParamValue;
+
+    fn obs(objective: f64, runtime: f64, resource: f64) -> Observation {
+        Observation {
+            config: Configuration::new(vec![ParamValue::Int(1)]),
+            objective,
+            runtime,
+            resource,
+            context: vec![],
+        }
+    }
+
+    #[test]
+    fn feasibility_bounds() {
+        let o = obs(1.0, 100.0, 50.0);
+        assert!(o.is_feasible(None, None));
+        assert!(o.is_feasible(Some(100.0), Some(50.0)));
+        assert!(!o.is_feasible(Some(99.0), None));
+        assert!(!o.is_feasible(None, Some(49.0)));
+    }
+
+    #[test]
+    fn best_prefers_feasible() {
+        let all = vec![obs(1.0, 500.0, 10.0), obs(5.0, 50.0, 10.0), obs(3.0, 60.0, 10.0)];
+        let best = best_observation(&all, Some(100.0), None).unwrap();
+        assert_eq!(best.objective, 3.0, "lowest objective among feasible");
+    }
+
+    #[test]
+    fn best_falls_back_when_nothing_feasible() {
+        let all = vec![obs(2.0, 500.0, 10.0), obs(4.0, 600.0, 10.0)];
+        let best = best_observation(&all, Some(100.0), None).unwrap();
+        assert_eq!(best.objective, 2.0);
+    }
+
+    #[test]
+    fn empty_history() {
+        assert!(best_observation(&[], None, None).is_none());
+    }
+}

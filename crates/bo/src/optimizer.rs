@@ -1,0 +1,368 @@
+//! Constrained acquisition maximization over the safe sub-space
+//! (Algorithm 2, lines 6–8).
+
+use crate::acquisition::{eic, expected_improvement, prob_below};
+use crate::safe::SafeRegion;
+use crate::surrogate::Predictor;
+use otune_gp::GaussianProcess;
+use otune_space::{Configuration, Subspace};
+use rand::rngs::StdRng;
+use std::collections::HashSet;
+
+/// Candidate-generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateParams {
+    /// Uniform random candidates drawn from the sub-space.
+    pub n_random: usize,
+    /// Local perturbations of the incumbent (exploitation candidates).
+    pub n_local: usize,
+    /// Perturbation scale for the local candidates (encoded units).
+    pub local_scale: f64,
+}
+
+impl Default for CandidateParams {
+    fn default() -> Self {
+        CandidateParams { n_random: 700, n_local: 160, local_scale: 0.08 }
+    }
+}
+
+/// The EIC objective: an objective surrogate, the incumbent value, and
+/// probabilistic constraints `(surrogate, threshold)`.
+pub struct EicObjective<'a> {
+    /// Surrogate over `encode(config) ++ context` predicting the objective
+    /// (a plain GP or the meta-learning ensemble).
+    pub objective_gp: &'a dyn Predictor,
+    /// Best (feasible) objective observed so far.
+    pub y_best: f64,
+    /// Constraint surrogates with their upper bounds; each contributes a
+    /// `Pr[c(x) ≤ τ]` factor to EIC (Eq. 6).
+    pub constraints: Vec<(&'a GaussianProcess, f64)>,
+}
+
+impl EicObjective<'_> {
+    /// Evaluate EIC at an encoded point (configuration + context).
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        let (mean, var) = self.objective_gp.predict(x);
+        let ei = expected_improvement(mean, var, self.y_best);
+        let probs: Vec<f64> = self
+            .constraints
+            .iter()
+            .map(|(gp, thr)| {
+                let (m, v) = gp.predict(x);
+                prob_below(m, v, *thr)
+            })
+            .collect();
+        eic(ei, &probs)
+    }
+}
+
+/// Outcome of one acquisition maximization.
+#[derive(Debug, Clone)]
+pub struct AcquisitionChoice {
+    /// The chosen configuration.
+    pub config: Configuration,
+    /// EIC value at the choice (0 when chosen by least-violation fallback).
+    pub eic: f64,
+    /// Whether the choice came from inside the safe region.
+    pub from_safe_region: bool,
+}
+
+/// Maximize EIC over the safe region within the sub-space.
+///
+/// Candidates are sub-space samples plus local perturbations of the
+/// incumbent; `analytic_feasible` drops candidates violating white-box
+/// constraints (e.g. `R(x) ≤ R_max`); `safe_regions` is the intersection of
+/// GP safe regions (§4.2). When the candidate set contains no safe point,
+/// the *least-violating* candidate is returned — the conservative
+/// exploration fallback of SafeOpt-style methods.
+#[allow(clippy::too_many_arguments)]
+pub fn maximize_eic(
+    sub: &Subspace,
+    context: &[f64],
+    objective: &EicObjective<'_>,
+    safe_regions: &[SafeRegion<'_>],
+    analytic_feasible: Option<&dyn Fn(&Configuration) -> bool>,
+    incumbent: Option<&Configuration>,
+    params: CandidateParams,
+    rng: &mut StdRng,
+) -> AcquisitionChoice {
+    let mut candidates: Vec<Configuration> = sub.sample_n(params.n_random, rng);
+    if let Some(inc) = incumbent {
+        for i in 0..params.n_local {
+            let scale = params.local_scale * [1.0, 0.4, 0.15][i % 3];
+            candidates.push(sub.neighbor(inc, scale, rng));
+        }
+    }
+
+    // Dedup and apply analytic constraints.
+    let mut seen = HashSet::new();
+    candidates.retain(|c| {
+        seen.insert(c.dedup_key()) && analytic_feasible.is_none_or(|f| f(c))
+    });
+    if candidates.is_empty() {
+        // Analytic constraints rejected everything — fall back to the
+        // incumbent or the sub-space base.
+        let config = incumbent.cloned().unwrap_or_else(|| sub.base().clone());
+        return AcquisitionChoice { config, eic: 0.0, from_safe_region: false };
+    }
+
+    let space = sub.space();
+    let encoded: Vec<Vec<f64>> = candidates
+        .iter()
+        .map(|c| {
+            let mut v = space.encode(c);
+            v.extend_from_slice(context);
+            v
+        })
+        .collect();
+
+    let mut best_safe: Option<(usize, f64)> = None;
+    let mut least_violation: Option<(usize, f64)> = None;
+    for (i, x) in encoded.iter().enumerate() {
+        let violation: f64 = safe_regions.iter().map(|r| r.violation(x)).sum();
+        if violation <= 0.0 {
+            let v = objective.eval(x);
+            if best_safe.is_none_or(|(_, b)| v > b) {
+                best_safe = Some((i, v));
+            }
+        } else if least_violation.is_none_or(|(_, b)| violation < b) {
+            least_violation = Some((i, violation));
+        }
+    }
+
+    if let Some((i, v)) = best_safe {
+        AcquisitionChoice {
+            config: candidates[i].clone(),
+            eic: v,
+            from_safe_region: true,
+        }
+    } else {
+        let (i, _) = least_violation.expect("candidates is non-empty");
+        AcquisitionChoice {
+            config: candidates[i].clone(),
+            eic: 0.0,
+            from_safe_region: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otune_gp::{FeatureKind, GpConfig};
+    use otune_space::{ConfigSpace, Parameter, Subspace};
+    use rand::SeedableRng;
+
+    fn space() -> ConfigSpace {
+        ConfigSpace::new(vec![
+            Parameter::float("a", 0.0, 1.0, 0.5),
+            Parameter::float("b", 0.0, 1.0, 0.5),
+        ])
+    }
+
+    /// GP over y = (a − 0.2)² (optimum at a = 0.2), flat in b.
+    fn objective_gp() -> GaussianProcess {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..12 {
+            for j in 0..3 {
+                let a = i as f64 / 11.0;
+                let b = j as f64 / 2.0;
+                x.push(vec![a, b]);
+                y.push((a - 0.2) * (a - 0.2));
+            }
+        }
+        GaussianProcess::fit(
+            vec![FeatureKind::Numeric, FeatureKind::Numeric],
+            x,
+            &y,
+            GpConfig::default(),
+        )
+        .unwrap()
+    }
+
+    /// Runtime GP: T = 100 + 500·a (safe only for small a).
+    fn runtime_gp() -> GaussianProcess {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..12 {
+            let a = i as f64 / 11.0;
+            x.push(vec![a, 0.5]);
+            y.push(100.0 + 500.0 * a);
+        }
+        GaussianProcess::fit(
+            vec![FeatureKind::Numeric, FeatureKind::Numeric],
+            x,
+            &y,
+            GpConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_low_objective_region() {
+        let s = space();
+        let sub = Subspace::full(&s, s.default_configuration()).unwrap();
+        let gp = objective_gp();
+        let obj = EicObjective { objective_gp: &gp, y_best: 0.5, constraints: vec![] };
+        let mut rng = StdRng::seed_from_u64(2);
+        let choice = maximize_eic(&sub, &[], &obj, &[], None, None, CandidateParams::default(), &mut rng);
+        let a = choice.config[0].as_float().unwrap();
+        assert!((a - 0.2).abs() < 0.25, "chose a = {a}");
+        assert!(choice.from_safe_region);
+        assert!(choice.eic > 0.0);
+    }
+
+    #[test]
+    fn safe_region_excludes_fast_but_unsafe_zone() {
+        let s = space();
+        let sub = Subspace::full(&s, s.default_configuration()).unwrap();
+        // Objective optimum at a = 0.9 — but runtime there is unsafe.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..12 {
+            let a = i as f64 / 11.0;
+            x.push(vec![a, 0.5]);
+            y.push((a - 0.9) * (a - 0.9));
+        }
+        let ogp = GaussianProcess::fit(
+            vec![FeatureKind::Numeric, FeatureKind::Numeric],
+            x,
+            &y,
+            GpConfig::default(),
+        )
+        .unwrap();
+        let rgp = runtime_gp();
+        let region = SafeRegion::new(&rgp, 300.0, 1.0); // safe ⇔ a ≲ 0.4
+        let obj = EicObjective { objective_gp: &ogp, y_best: 1.0, constraints: vec![] };
+        let mut rng = StdRng::seed_from_u64(3);
+        let choice = maximize_eic(
+            &sub,
+            &[],
+            &obj,
+            &[region],
+            None,
+            None,
+            CandidateParams::default(),
+            &mut rng,
+        );
+        let a = choice.config[0].as_float().unwrap();
+        assert!(a < 0.55, "stayed in the safe zone, a = {a}");
+        assert!(choice.from_safe_region);
+    }
+
+    #[test]
+    fn empty_safe_region_returns_least_violating() {
+        let s = space();
+        let sub = Subspace::full(&s, s.default_configuration()).unwrap();
+        let ogp = objective_gp();
+        let rgp = runtime_gp();
+        // Threshold below every achievable upper bound → empty safe region.
+        let region = SafeRegion::new(&rgp, 50.0, 1.0);
+        let obj = EicObjective { objective_gp: &ogp, y_best: 1.0, constraints: vec![] };
+        let mut rng = StdRng::seed_from_u64(4);
+        let choice = maximize_eic(
+            &sub,
+            &[],
+            &obj,
+            &[region],
+            None,
+            None,
+            CandidateParams::default(),
+            &mut rng,
+        );
+        assert!(!choice.from_safe_region);
+        // Least violation = smallest runtime = smallest a.
+        let a = choice.config[0].as_float().unwrap();
+        assert!(a < 0.2, "least-unsafe candidate has small a, got {a}");
+    }
+
+    #[test]
+    fn analytic_constraint_filters_candidates() {
+        let s = space();
+        let sub = Subspace::full(&s, s.default_configuration()).unwrap();
+        let gp = objective_gp();
+        let obj = EicObjective { objective_gp: &gp, y_best: 0.5, constraints: vec![] };
+        let only_large_b = |c: &Configuration| c[1].as_float().unwrap() > 0.8;
+        let mut rng = StdRng::seed_from_u64(5);
+        let choice = maximize_eic(
+            &sub,
+            &[],
+            &obj,
+            &[],
+            Some(&only_large_b),
+            None,
+            CandidateParams::default(),
+            &mut rng,
+        );
+        assert!(choice.config[1].as_float().unwrap() > 0.8);
+    }
+
+    #[test]
+    fn probabilistic_constraint_downweights_risky_zone() {
+        let s = space();
+        let sub = Subspace::full(&s, s.default_configuration()).unwrap();
+        // Flat objective (pure-exploration EI), runtime constraint prefers small a.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            x.push(vec![i as f64 / 9.0, 0.5]);
+            y.push(1.0 + 1e-3 * i as f64);
+        }
+        let ogp = GaussianProcess::fit(
+            vec![FeatureKind::Numeric, FeatureKind::Numeric],
+            x,
+            &y,
+            GpConfig::default(),
+        )
+        .unwrap();
+        let rgp = runtime_gp();
+        let obj = EicObjective {
+            objective_gp: &ogp,
+            y_best: 1.0,
+            constraints: vec![(&rgp, 300.0)],
+        };
+        let mut rng = StdRng::seed_from_u64(6);
+        let choice = maximize_eic(
+            &sub,
+            &[],
+            &obj,
+            &[],
+            None,
+            None,
+            CandidateParams::default(),
+            &mut rng,
+        );
+        let a = choice.config[0].as_float().unwrap();
+        assert!(a < 0.6, "EIC avoids the low-feasibility zone, a = {a}");
+    }
+
+    #[test]
+    fn local_candidates_exploit_incumbent() {
+        let s = space();
+        let sub = Subspace::full(&s, s.default_configuration()).unwrap();
+        let gp = objective_gp();
+        let obj = EicObjective { objective_gp: &gp, y_best: 0.01, constraints: vec![] };
+        let incumbent = s
+            .configuration(vec![
+                otune_space::ParamValue::Float(0.2),
+                otune_space::ParamValue::Float(0.5),
+            ])
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let choice = maximize_eic(
+            &sub,
+            &[],
+            &obj,
+            &[],
+            None,
+            Some(&incumbent),
+            CandidateParams { n_random: 20, n_local: 60, local_scale: 0.05 },
+            &mut rng,
+        );
+        // With a tight incumbent and a tight y_best, the winner should sit
+        // near the optimum basin.
+        let a = choice.config[0].as_float().unwrap();
+        assert!((a - 0.2).abs() < 0.3, "a = {a}");
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for acquisition functions and the adaptive
+//! sub-space schedule.
+
+use otune_bo::{expected_improvement, prob_below, AdaptiveSubspace, SubspaceParams};
+use proptest::prelude::*;
+
+proptest! {
+    /// EI is non-negative and weakly increasing in the incumbent value
+    /// (a worse incumbent is easier to improve on).
+    #[test]
+    fn ei_nonneg_and_monotone_in_best(
+        mean in -50.0f64..50.0,
+        var in 0.0f64..100.0,
+        best in -50.0f64..50.0,
+        bump in 0.0f64..20.0,
+    ) {
+        let a = expected_improvement(mean, var, best);
+        let b = expected_improvement(mean, var, best + bump);
+        prop_assert!(a >= 0.0);
+        prop_assert!(b + 1e-12 >= a, "EI must grow with a worse incumbent: {a} vs {b}");
+    }
+
+    /// EI is weakly decreasing in the predicted mean.
+    #[test]
+    fn ei_decreases_with_mean(
+        mean in -50.0f64..50.0,
+        var in 0.01f64..100.0,
+        best in -50.0f64..50.0,
+        bump in 0.0f64..20.0,
+    ) {
+        let a = expected_improvement(mean, var, best);
+        let b = expected_improvement(mean + bump, var, best);
+        prop_assert!(b <= a + 1e-12);
+    }
+
+    /// Probability of feasibility is a valid CDF in the threshold.
+    #[test]
+    fn pof_is_a_cdf(
+        mean in -50.0f64..50.0,
+        var in 0.0f64..100.0,
+        t1 in -100.0f64..100.0,
+        dt in 0.0f64..50.0,
+    ) {
+        let p1 = prob_below(mean, var, t1);
+        let p2 = prob_below(mean, var, t1 + dt);
+        prop_assert!((0.0..=1.0).contains(&p1));
+        prop_assert!(p2 + 1e-12 >= p1, "monotone in threshold");
+    }
+
+    /// The sub-space size K stays within [K_min, K_max] for any
+    /// success/failure sequence, and only changes in ±step moves.
+    #[test]
+    fn subspace_k_always_in_bounds(events in proptest::collection::vec(any::<bool>(), 0..200)) {
+        let params = SubspaceParams {
+            k_init: 10,
+            k_min: 4,
+            k_max: 30,
+            tau_success: 3,
+            tau_failure: 5,
+            step: 2,
+        };
+        let mut m = AdaptiveSubspace::new(params, (0..30).collect());
+        let mut prev = m.k();
+        for e in events {
+            let k = m.record(e);
+            prop_assert!((4..=30).contains(&k), "K out of bounds: {k}");
+            prop_assert!(k.abs_diff(prev) <= 2, "K jumped: {prev} -> {k}");
+            prev = k;
+        }
+    }
+
+    /// An all-failure stream pins K at K_min; an all-success stream pins
+    /// it at K_max.
+    #[test]
+    fn subspace_extremes(n in 50usize..200) {
+        let params = SubspaceParams::paper_defaults(30);
+        let mut shrink = AdaptiveSubspace::new(params, (0..30).collect());
+        let mut grow = AdaptiveSubspace::new(params, (0..30).collect());
+        for _ in 0..n {
+            shrink.record(false);
+            grow.record(true);
+        }
+        prop_assert_eq!(shrink.k(), params.k_min);
+        prop_assert_eq!(grow.k(), params.k_max);
+    }
+}

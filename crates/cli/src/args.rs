@@ -1,0 +1,227 @@
+//! Minimal argument parsing for the `otune` binary.
+
+use std::collections::HashMap;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List available workloads.
+    Workloads,
+    /// Run one tuning session.
+    Tune {
+        /// Workload name.
+        task: String,
+        /// Objective exponent β.
+        beta: f64,
+        /// Iteration budget.
+        budget: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Disable the GP safe region.
+        no_safety: bool,
+        /// Disable adaptive sub-space generation.
+        no_subspace: bool,
+        /// Disable approximate gradient descent.
+        no_agd: bool,
+        /// Optional JSON output path for the runhistory.
+        out: Option<String>,
+    },
+    /// Compare strategies on one task.
+    Compare {
+        /// Workload name.
+        task: String,
+        /// Iteration budget.
+        budget: usize,
+        /// Seeds (repetitions) per method.
+        seeds: u64,
+    },
+    /// fANOVA parameter importance for one workload.
+    Importance {
+        /// Workload name.
+        task: String,
+        /// Random evaluations for the analysis.
+        samples: usize,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Argument-parsing failures, with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+otune — online Spark tuning against the built-in simulator
+
+USAGE:
+  otune workloads
+  otune tune --task <name> [--beta B] [--budget N] [--seed S]
+             [--no-safety] [--no-subspace] [--no-agd] [--out FILE]
+  otune compare --task <name> [--budget N] [--seeds K]
+  otune importance --task <name> [--samples N]
+  otune help
+";
+
+/// Parse a full argv (excluding the program name).
+pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
+    let Some(cmd) = argv.first() else {
+        return Ok(Command::Help);
+    };
+    let (flags, switches) = split_flags(&argv[1..])?;
+    let get = |k: &str| flags.get(k).cloned();
+    let req_task = || {
+        get("task").ok_or_else(|| ParseError("missing required --task <name>".into()))
+    };
+    let num = |k: &str, default: f64| -> Result<f64, ParseError> {
+        match get(k) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ParseError(format!("--{k} expects a number, got {v:?}"))),
+        }
+    };
+    match cmd.as_str() {
+        "workloads" => Ok(Command::Workloads),
+        "tune" => {
+            let beta = num("beta", 0.5)?;
+            if !(0.0..=1.0).contains(&beta) {
+                return Err(ParseError(format!("--beta must lie in [0, 1], got {beta}")));
+            }
+            Ok(Command::Tune {
+                task: req_task()?,
+                beta,
+                budget: num("budget", 20.0)? as usize,
+                seed: num("seed", 0.0)? as u64,
+                no_safety: switches.contains(&"no-safety".to_string()),
+                no_subspace: switches.contains(&"no-subspace".to_string()),
+                no_agd: switches.contains(&"no-agd".to_string()),
+                out: get("out"),
+            })
+        }
+        "compare" => Ok(Command::Compare {
+            task: req_task()?,
+            budget: num("budget", 30.0)? as usize,
+            seeds: num("seeds", 2.0)? as u64,
+        }),
+        "importance" => Ok(Command::Importance {
+            task: req_task()?,
+            samples: num("samples", 150.0)? as usize,
+        }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(ParseError(format!("unknown subcommand {other:?}; try `otune help`"))),
+    }
+}
+
+/// Split `--key value` pairs and boolean `--switch` flags.
+fn split_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>), ParseError> {
+    const SWITCHES: [&str; 3] = ["no-safety", "no-subspace", "no-agd"];
+    let mut flags = HashMap::new();
+    let mut switches = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let Some(key) = arg.strip_prefix("--") else {
+            return Err(ParseError(format!("unexpected positional argument {arg:?}")));
+        };
+        if SWITCHES.contains(&key) {
+            switches.push(key.to_string());
+            i += 1;
+        } else {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| ParseError(format!("--{key} expects a value")))?;
+            flags.insert(key.to_string(), value.clone());
+            i += 2;
+        }
+    }
+    Ok((flags, switches))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_tune_with_defaults() {
+        let cmd = parse_args(&argv("tune --task terasort")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Tune {
+                task: "terasort".into(),
+                beta: 0.5,
+                budget: 20,
+                seed: 0,
+                no_safety: false,
+                no_subspace: false,
+                no_agd: false,
+                out: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_tune_with_everything() {
+        let cmd = parse_args(&argv(
+            "tune --task kmeans --beta 1 --budget 30 --seed 7 --no-agd --out h.json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Tune { task, beta, budget, seed, no_agd, no_safety, out, .. } => {
+                assert_eq!(task, "kmeans");
+                assert_eq!(beta, 1.0);
+                assert_eq!(budget, 30);
+                assert_eq!(seed, 7);
+                assert!(no_agd);
+                assert!(!no_safety);
+                assert_eq!(out.as_deref(), Some("h.json"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_beta_and_missing_task() {
+        assert!(parse_args(&argv("tune --task x --beta 1.5")).is_err());
+        assert!(parse_args(&argv("tune")).is_err());
+        assert!(parse_args(&argv("compare")).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_subcommand_and_positionals() {
+        assert!(parse_args(&argv("frobnicate")).is_err());
+        assert!(parse_args(&argv("tune --task x stray")).is_err());
+        assert!(parse_args(&argv("tune --task")).is_err());
+    }
+
+    #[test]
+    fn help_variants() {
+        assert_eq!(parse_args(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse_args(&argv("--help")).unwrap(), Command::Help);
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn compare_and_importance() {
+        assert_eq!(
+            parse_args(&argv("compare --task sort --budget 10 --seeds 3")).unwrap(),
+            Command::Compare { task: "sort".into(), budget: 10, seeds: 3 }
+        );
+        assert_eq!(
+            parse_args(&argv("importance --task bayes")).unwrap(),
+            Command::Importance { task: "bayes".into(), samples: 150 }
+        );
+    }
+}

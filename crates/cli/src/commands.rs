@@ -1,0 +1,328 @@
+//! Command implementations for the `otune` binary.
+
+use crate::args::Command;
+use otune_baselines::{CherryPick, Dac, Locat, RandomSearch, Rfhoc, Tuneful, Tuner};
+use otune_bo::Observation;
+use otune_core::{Objective, OnlineTuner, TunerOptions};
+use otune_forest::Fanova;
+use otune_space::{spark_param_names, spark_space, ClusterScale, SparkParam};
+use otune_sparksim::{hibench_task, ClusterSpec, HibenchTask, SimJob};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::Write;
+
+/// Execute a parsed command, writing human output to `out`.
+/// Returns a process exit code.
+pub fn run(cmd: Command, out: &mut dyn Write) -> std::io::Result<i32> {
+    match cmd {
+        Command::Help => {
+            writeln!(out, "{}", crate::args::USAGE)?;
+            Ok(0)
+        }
+        Command::Workloads => {
+            writeln!(out, "available workloads:")?;
+            for t in HibenchTask::all() {
+                let w = hibench_task(t);
+                writeln!(
+                    out,
+                    "  {:<10} {:>6.0} GB, {} stage(s), {} iteration(s){}",
+                    t.name(),
+                    w.input_gb,
+                    w.stages.len(),
+                    w.iterations,
+                    if w.uses_sql { ", SQL" } else { "" }
+                )?;
+            }
+            Ok(0)
+        }
+        Command::Tune { task, beta, budget, seed, no_safety, no_subspace, no_agd, out: path } => {
+            let Some(task) = find_task(&task) else {
+                writeln!(out, "unknown task {task:?}; run `otune workloads`")?;
+                return Ok(2);
+            };
+            tune(task, beta, budget, seed, no_safety, no_subspace, no_agd, path, out)?;
+            Ok(0)
+        }
+        Command::Compare { task, budget, seeds } => {
+            let Some(task) = find_task(&task) else {
+                writeln!(out, "unknown task {task:?}; run `otune workloads`")?;
+                return Ok(2);
+            };
+            compare(task, budget, seeds, out)?;
+            Ok(0)
+        }
+        Command::Importance { task, samples } => {
+            let Some(task) = find_task(&task) else {
+                writeln!(out, "unknown task {task:?}; run `otune workloads`")?;
+                return Ok(2);
+            };
+            importance(task, samples, out)?;
+            Ok(0)
+        }
+    }
+}
+
+fn find_task(name: &str) -> Option<HibenchTask> {
+    HibenchTask::all().into_iter().find(|t| t.name() == name)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn tune(
+    task: HibenchTask,
+    beta: f64,
+    budget: usize,
+    seed: u64,
+    no_safety: bool,
+    no_subspace: bool,
+    no_agd: bool,
+    path: Option<String>,
+    out: &mut dyn Write,
+) -> std::io::Result<()> {
+    let space = spark_space(ClusterScale::hibench());
+    let job = SimJob::new(ClusterSpec::hibench(), hibench_task(task)).with_seed(seed);
+    let default_cfg = space.default_configuration();
+    let baseline = job.run(&default_cfg, 0);
+    writeln!(
+        out,
+        "tuning {} (β = {beta}, budget {budget}, T_max = 2x default = {:.0}s)",
+        task.name(),
+        2.0 * baseline.runtime_s
+    )?;
+
+    let mut tuner = OnlineTuner::new(
+        space,
+        TunerOptions {
+            beta,
+            t_max: Some(2.0 * baseline.runtime_s),
+            budget,
+            enable_safety: !no_safety,
+            enable_subspace: !no_subspace,
+            n_agd: if no_agd { 0 } else { 5 },
+            enable_meta: false,
+            seed,
+            ..TunerOptions::default()
+        },
+    );
+    tuner.seed_observation(default_cfg, baseline.runtime_s, baseline.resource, &[]);
+
+    for t in 1..=budget as u64 {
+        let cfg = tuner.suggest(&[]).expect("alternating protocol");
+        let r = job.run(&cfg, t);
+        writeln!(
+            out,
+            "  iter {t:>2}: runtime {:>9.1}s  resource {:>7.1}  objective {:>10.1}",
+            r.runtime_s,
+            r.resource,
+            Objective::new(beta).eval(r.runtime_s, r.resource)
+        )?;
+        tuner.observe(cfg, r.runtime_s, r.resource, &[]).expect("pending");
+    }
+
+    let best = tuner.best().expect("observed at least the baseline");
+    writeln!(
+        out,
+        "\nbest: objective {:.1} (runtime {:.1}s, resource {:.1})",
+        best.objective, best.runtime, best.resource
+    )?;
+    writeln!(
+        out,
+        "best executors: {} x {}c x {}g, parallelism {}",
+        best.config[SparkParam::ExecutorInstances.index()],
+        best.config[SparkParam::ExecutorCores.index()],
+        best.config[SparkParam::ExecutorMemory.index()],
+        best.config[SparkParam::DefaultParallelism.index()],
+    )?;
+    if let Some(path) = path {
+        let json = serde_json::to_string_pretty(tuner.history())
+            .expect("runhistory serializes");
+        std::fs::write(&path, json)?;
+        writeln!(out, "runhistory written to {path}")?;
+    }
+    Ok(())
+}
+
+fn compare(task: HibenchTask, budget: usize, seeds: u64, out: &mut dyn Write) -> std::io::Result<()> {
+    let space = spark_space(ClusterScale::hibench());
+    let job = SimJob::new(ClusterSpec::hibench(), hibench_task(task));
+    let t_max = 2.0 * job.clone().with_noise(0.0).run(&space.default_configuration(), 0).runtime_s;
+    writeln!(out, "comparing methods on {} (cost objective, {budget} iters, {seeds} seed(s))", task.name())?;
+
+    let objective = Objective::cost();
+    let run_baseline = |tuner: &mut dyn Tuner, seed: u64| -> f64 {
+        let mut history: Vec<Observation> = Vec::new();
+        let mut best = f64::INFINITY;
+        for t in 0..budget as u64 {
+            let cfg = tuner.suggest(&history, &[]);
+            let r = job.run(&cfg, seed * 131 + t);
+            if r.runtime_s <= t_max {
+                best = best.min(r.runtime_s * r.resource);
+            }
+            history.push(Observation {
+                config: cfg,
+                objective: objective.eval(r.runtime_s, r.resource),
+                runtime: r.runtime_s,
+                resource: r.resource,
+                context: vec![],
+            });
+        }
+        best
+    };
+
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    for name in ["Random", "RFHOC", "DAC", "CherryPick", "Tuneful", "LOCAT"] {
+        let mut avg = 0.0;
+        for s in 1..=seeds {
+            let mut t: Box<dyn Tuner> = match name {
+                "Random" => Box::new(RandomSearch::new(space.clone(), s)),
+                "RFHOC" => Box::new(Rfhoc::new(space.clone(), s)),
+                "DAC" => Box::new(Dac::new(space.clone(), s)),
+                "CherryPick" => Box::new(CherryPick::new(space.clone(), Some(t_max), s)),
+                "Tuneful" => Box::new(Tuneful::new(space.clone(), s)),
+                _ => Box::new(Locat::new(space.clone(), s)),
+            };
+            avg += run_baseline(t.as_mut(), s) / seeds as f64;
+        }
+        rows.push((name.to_string(), avg));
+    }
+    // Ours.
+    let mut avg = 0.0;
+    for s in 1..=seeds {
+        let mut tuner = OnlineTuner::new(
+            space.clone(),
+            TunerOptions {
+                beta: 0.5,
+                t_max: Some(t_max),
+                budget,
+                enable_meta: false,
+                seed: s,
+                ..TunerOptions::default()
+            },
+        );
+        let mut best = f64::INFINITY;
+        for t in 0..budget as u64 {
+            let cfg = tuner.suggest(&[]).expect("protocol");
+            let r = job.run(&cfg, s * 977 + t);
+            if r.runtime_s <= t_max {
+                best = best.min(r.runtime_s * r.resource);
+            }
+            tuner.observe(cfg, r.runtime_s, r.resource, &[]).expect("pending");
+        }
+        avg += best / seeds as f64;
+    }
+    rows.push(("Ours".to_string(), avg));
+
+    let random = rows[0].1;
+    for (name, cost) in &rows {
+        writeln!(
+            out,
+            "  {:<11} best cost {:>12.0}   ({:+.1}% vs random)",
+            name,
+            cost,
+            (cost - random) / random * 100.0
+        )?;
+    }
+    Ok(())
+}
+
+fn importance(task: HibenchTask, samples: usize, out: &mut dyn Write) -> std::io::Result<()> {
+    let space = spark_space(ClusterScale::hibench());
+    let job = SimJob::new(ClusterSpec::hibench(), hibench_task(task));
+    let mut rng = StdRng::seed_from_u64(1);
+    let configs = space.sample_n(samples, &mut rng);
+    let x: Vec<Vec<f64>> = configs.iter().map(|c| space.encode(c)).collect();
+    let y: Vec<f64> = configs
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let r = job.run(c, i as u64);
+            Objective::cost().eval(r.runtime_s, r.resource).ln()
+        })
+        .collect();
+    let f = Fanova::fit(&x, &y, 2).expect("valid history");
+    let imp = f.importance();
+    writeln!(out, "fANOVA importance for {} ({} samples, log cost):", task.name(), samples)?;
+    for (rank, &p) in f.ranking().iter().take(10).enumerate() {
+        writeln!(out, "  {:>2}. {:<42} {:.4}", rank + 1, spark_param_names()[p], imp[p])?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_lists_all_sixteen() {
+        let mut buf = Vec::new();
+        assert_eq!(run(Command::Workloads, &mut buf).unwrap(), 0);
+        let text = String::from_utf8(buf).unwrap();
+        for t in HibenchTask::all() {
+            assert!(text.contains(t.name()), "missing {}", t.name());
+        }
+    }
+
+    #[test]
+    fn unknown_task_is_a_soft_error() {
+        let mut buf = Vec::new();
+        let code = run(
+            Command::Tune {
+                task: "nope".into(),
+                beta: 0.5,
+                budget: 2,
+                seed: 0,
+                no_safety: false,
+                no_subspace: false,
+                no_agd: false,
+                out: None,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 2);
+        assert!(String::from_utf8(buf).unwrap().contains("unknown task"));
+    }
+
+    #[test]
+    fn tune_runs_and_writes_history() {
+        let dir = std::env::temp_dir().join("otune_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hist.json");
+        let mut buf = Vec::new();
+        let code = run(
+            Command::Tune {
+                task: "wordcount".into(),
+                beta: 0.5,
+                budget: 4,
+                seed: 1,
+                no_safety: false,
+                no_subspace: false,
+                no_agd: true,
+                out: Some(path.to_string_lossy().into_owned()),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("best executors"), "{text}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        let hist: Vec<serde_json::Value> = serde_json::from_str(&json).unwrap();
+        assert_eq!(hist.len(), 5, "baseline + 4 iterations");
+    }
+
+    #[test]
+    fn importance_prints_top_ten() {
+        let mut buf = Vec::new();
+        let code = run(Command::Importance { task: "sort".into(), samples: 60 }, &mut buf).unwrap();
+        assert_eq!(code, 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count(), 10);
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let mut buf = Vec::new();
+        assert_eq!(run(Command::Help, &mut buf).unwrap(), 0);
+        assert!(String::from_utf8(buf).unwrap().contains("USAGE"));
+    }
+}

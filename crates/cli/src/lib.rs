@@ -1,0 +1,22 @@
+//! The `otune` command-line tool.
+//!
+//! Subcommands (run against the built-in Spark simulator, so everything
+//! works out of the box):
+//!
+//! * `otune workloads` — list the available HiBench-style workloads.
+//! * `otune tune --task <name> [--beta B] [--budget N] [--seed S]
+//!   [--no-safety] [--no-subspace] [--no-agd] [--out FILE]` — run one
+//!   online tuning session, print the trace and the best configuration,
+//!   optionally dump the runhistory as JSON.
+//! * `otune compare --task <name> [--budget N] [--seeds K]` — ours vs the
+//!   six baselines on one task.
+//! * `otune importance --task <name> [--samples N]` — fANOVA top-10
+//!   parameters for one workload.
+//!
+//! The argument parser is intentionally tiny (no external dependency);
+//! [`parse_args`] is exposed for testing.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_args, Command, ParseError};

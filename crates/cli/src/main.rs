@@ -1,0 +1,19 @@
+//! `otune` binary entry point.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match otune_cli::parse_args(&argv) {
+        Ok(cmd) => {
+            let mut stdout = std::io::stdout().lock();
+            otune_cli::commands::run(cmd, &mut stdout).unwrap_or_else(|e| {
+                eprintln!("io error: {e}");
+                1
+            })
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", otune_cli::args::USAGE);
+            2
+        }
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,74 @@
+//! Workload-context features for the datasize-aware surrogate (§3.3).
+//!
+//! The surrogate input is `encode(config) ++ context`. When the input data
+//! size is observable, the context is its normalized value; when it is not
+//! (the paper: "due to data privacy issue, input data size is not always
+//! accessible in production tasks"), the hour of the day and the day of
+//! the week characterize the periodic change of data instead. Calendar
+//! features are cyclically encoded (sin/cos pairs) so hour 23 and hour 0
+//! are neighbours for the SE kernel.
+
+/// Context from an observed data size, normalized by the task's baseline.
+pub fn datasize_context(size_gb: f64, baseline_gb: f64) -> Vec<f64> {
+    vec![size_gb / baseline_gb.max(1e-9)]
+}
+
+/// Calendar fallback context: cyclic encodings of hour-of-day (0–23) and
+/// day-of-week (0–6). Four features, all in `[0, 1]`.
+pub fn calendar_context(hour_of_day: u32, day_of_week: u32) -> Vec<f64> {
+    use std::f64::consts::TAU;
+    let h = (hour_of_day % 24) as f64 / 24.0;
+    let d = (day_of_week % 7) as f64 / 7.0;
+    vec![
+        0.5 + 0.5 * (TAU * h).sin(),
+        0.5 + 0.5 * (TAU * h).cos(),
+        0.5 + 0.5 * (TAU * d).sin(),
+        0.5 + 0.5 * (TAU * d).cos(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    }
+
+    #[test]
+    fn datasize_context_normalizes() {
+        assert_eq!(datasize_context(150.0, 100.0), vec![1.5]);
+        assert!(datasize_context(1.0, 0.0)[0].is_finite());
+    }
+
+    #[test]
+    fn calendar_features_are_bounded() {
+        for h in 0..24 {
+            for d in 0..7 {
+                let c = calendar_context(h, d);
+                assert_eq!(c.len(), 4);
+                assert!(c.iter().all(|v| (0.0..=1.0).contains(v)), "{c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn midnight_wraps_to_neighbour_of_late_evening() {
+        // Hour 23 must be closer to hour 0 than to hour 12.
+        let h23 = calendar_context(23, 0);
+        let h0 = calendar_context(0, 0);
+        let h12 = calendar_context(12, 0);
+        assert!(dist(&h23, &h0) < dist(&h23, &h12));
+        // Sunday (6) wraps to Monday (0).
+        let d6 = calendar_context(0, 6);
+        let d0 = calendar_context(0, 0);
+        let d3 = calendar_context(0, 3);
+        assert!(dist(&d6, &d0) < dist(&d6, &d3));
+    }
+
+    #[test]
+    fn out_of_range_inputs_wrap() {
+        assert_eq!(calendar_context(24, 7), calendar_context(0, 0));
+        assert_eq!(calendar_context(25, 8), calendar_context(1, 1));
+    }
+}

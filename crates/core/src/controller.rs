@@ -1,0 +1,325 @@
+//! The OnlineTune controller (Figure 1): the multi-task tuning service.
+//!
+//! The controller orchestrates the request/report workflow against the
+//! data platform, owns the shared [`DataRepository`], and wires the
+//! meta-knowledge learner into new tasks: when a task registers its first
+//! event-log meta-features, the controller trains the similarity model on
+//! the repository and injects warm-start configurations from the top-3
+//! most similar previous tasks (§5.2).
+
+use crate::repository::DataRepository;
+use crate::tuner::{OnlineTuner, TunerError, TunerOptions};
+use otune_bo::Observation;
+use otune_meta::{warm_start_configs, SimilarityLearner};
+use otune_space::{ConfigSpace, Configuration};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Handle identifying a registered task.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TaskHandle(pub String);
+
+/// Lifecycle state of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Still exploring configurations.
+    Tuning,
+    /// Budget or stopping criterion reached; best config is served.
+    Stopped,
+}
+
+struct TaskEntry {
+    tuner: OnlineTuner,
+    /// Whether warm-start injection was already attempted.
+    warm_injected: bool,
+}
+
+/// The multi-task online tuning service.
+pub struct OnlineTuneController {
+    repository: Arc<DataRepository>,
+    tasks: HashMap<TaskHandle, TaskEntry>,
+    /// How many similar source tasks to transfer from.
+    n_warm_sources: usize,
+    /// Samples per Kendall-τ label when training the similarity model.
+    n_similarity_samples: usize,
+}
+
+impl OnlineTuneController {
+    /// A controller with a fresh repository.
+    pub fn new() -> Self {
+        Self::with_repository(Arc::new(DataRepository::new()))
+    }
+
+    /// A controller over an existing (possibly shared) repository.
+    pub fn with_repository(repository: Arc<DataRepository>) -> Self {
+        OnlineTuneController {
+            repository,
+            tasks: HashMap::new(),
+            n_warm_sources: 3,
+            n_similarity_samples: 50,
+        }
+    }
+
+    /// The shared repository.
+    pub fn repository(&self) -> &Arc<DataRepository> {
+        &self.repository
+    }
+
+    /// Register a tuning task. Returns its handle.
+    pub fn create_task(
+        &mut self,
+        task_id: &str,
+        space: ConfigSpace,
+        options: TunerOptions,
+    ) -> TaskHandle {
+        let handle = TaskHandle(task_id.to_string());
+        let tuner = OnlineTuner::new(space, options);
+        self.tasks.insert(handle.clone(), TaskEntry { tuner, warm_injected: false });
+        handle
+    }
+
+    /// Number of registered tasks.
+    pub fn n_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// A task's lifecycle state.
+    pub fn state(&self, handle: &TaskHandle) -> Option<TaskState> {
+        self.tasks.get(handle).map(|t| {
+            if t.tuner.is_stopped() {
+                TaskState::Stopped
+            } else {
+                TaskState::Tuning
+            }
+        })
+    }
+
+    /// Step 1 (Figure 1): the data platform requests a configuration for
+    /// the next periodic execution.
+    pub fn request_config(
+        &mut self,
+        handle: &TaskHandle,
+        context: &[f64],
+    ) -> Result<Configuration, ControllerError> {
+        let entry = self.tasks.get_mut(handle).ok_or(ControllerError::UnknownTask)?;
+        entry.tuner.suggest(context).map_err(ControllerError::Tuner)
+    }
+
+    /// Step 2 (Figure 1): the data platform reports the execution result.
+    /// `meta_features`, when present (extracted from the run's event log),
+    /// are stored and — on their first arrival — trigger warm-start
+    /// injection from similar tasks.
+    pub fn report_result(
+        &mut self,
+        handle: &TaskHandle,
+        config: Configuration,
+        runtime_s: f64,
+        resource: f64,
+        context: &[f64],
+        meta_features: Option<Vec<f64>>,
+    ) -> Result<(), ControllerError> {
+        let entry = self.tasks.get_mut(handle).ok_or(ControllerError::UnknownTask)?;
+        entry
+            .tuner
+            .observe(config.clone(), runtime_s, resource, context)
+            .map_err(ControllerError::Tuner)?;
+        if let Some(obs) = entry.tuner.history().last() {
+            // Mirror into the repository (post-stop runs are not recorded
+            // by the tuner, so guard on matching config).
+            if obs.config == config {
+                self.repository.record_observation(&handle.0, Observation::clone(obs));
+            }
+        }
+        if let Some(features) = meta_features {
+            self.repository.set_meta_features(&handle.0, features.clone());
+            if !entry.warm_injected {
+                entry.warm_injected = true;
+                Self::inject_warm_start(
+                    &self.repository,
+                    entry,
+                    &handle.0,
+                    &features,
+                    self.n_warm_sources,
+                    self.n_similarity_samples,
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// The best configuration found for a task so far.
+    pub fn best_config(&self, handle: &TaskHandle) -> Option<Configuration> {
+        self.tasks
+            .get(handle)
+            .and_then(|t| t.tuner.best().map(|o| o.config.clone()))
+    }
+
+    /// Direct access to a task's tuner (diagnostics and tests).
+    pub fn tuner(&self, handle: &TaskHandle) -> Option<&OnlineTuner> {
+        self.tasks.get(handle).map(|t| &t.tuner)
+    }
+
+    fn inject_warm_start(
+        repository: &DataRepository,
+        entry: &mut TaskEntry,
+        task_id: &str,
+        features: &[f64],
+        n_sources: usize,
+        n_samples: usize,
+    ) {
+        let sources = repository.source_tasks(task_id);
+        if sources.len() < 2 {
+            return;
+        }
+        let space = entry.tuner.space().clone();
+        let Some(learner) = SimilarityLearner::train(&space, &sources, n_samples, 0) else {
+            return;
+        };
+        let warm = warm_start_configs(&learner, features, &sources, n_sources);
+        if warm.is_empty() {
+            return;
+        }
+        // Rebuild the tuner with warm starts and the sources as ensemble
+        // bases, preserving already-collected history.
+        let mut opts = TunerOptionsSnapshot::capture(&entry.tuner);
+        opts.options.warm_configs = warm;
+        opts.options.base_tasks = sources;
+        let mut tuner = OnlineTuner::new(space, opts.options);
+        for o in opts.history {
+            tuner.seed_observation(o.config, o.runtime, o.resource, &o.context);
+        }
+        entry.tuner = tuner;
+    }
+}
+
+impl Default for OnlineTuneController {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Snapshot used when a tuner is rebuilt with transferred knowledge.
+struct TunerOptionsSnapshot {
+    options: TunerOptions,
+    history: Vec<Observation>,
+}
+
+impl TunerOptionsSnapshot {
+    fn capture(tuner: &OnlineTuner) -> Self {
+        TunerOptionsSnapshot {
+            options: tuner.options().clone(),
+            history: tuner.history().to_vec(),
+        }
+    }
+}
+
+/// Controller errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControllerError {
+    /// The handle does not name a registered task.
+    UnknownTask,
+    /// Underlying tuner protocol error.
+    Tuner(TunerError),
+}
+
+impl std::fmt::Display for ControllerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControllerError::UnknownTask => write!(f, "unknown task"),
+            ControllerError::Tuner(e) => write!(f, "tuner error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ControllerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otune_space::{ConfigSpace, Parameter};
+
+    fn toy_space() -> ConfigSpace {
+        ConfigSpace::new(vec![
+            Parameter::int("n", 1, 50, 10),
+            Parameter::int("m", 1, 32, 8),
+        ])
+    }
+
+    fn toy_eval(c: &Configuration) -> (f64, f64) {
+        let n = c[0].as_int().unwrap() as f64;
+        let m = c[1].as_int().unwrap() as f64;
+        (400.0 / n + 30.0 / m + 10.0, n * (1.0 + 0.5 * m))
+    }
+
+    #[test]
+    fn request_report_cycle() {
+        let mut ctl = OnlineTuneController::new();
+        let h = ctl.create_task("t1", toy_space(), TunerOptions { budget: 5, ..Default::default() });
+        assert_eq!(ctl.n_tasks(), 1);
+        assert_eq!(ctl.state(&h), Some(TaskState::Tuning));
+        for _ in 0..5 {
+            let cfg = ctl.request_config(&h, &[]).unwrap();
+            let (rt, r) = toy_eval(&cfg);
+            ctl.report_result(&h, cfg, rt, r, &[], None).unwrap();
+        }
+        // Budget spent: next request flips to Stopped and serves the best.
+        let best_served = ctl.request_config(&h, &[]).unwrap();
+        assert_eq!(ctl.state(&h), Some(TaskState::Stopped));
+        assert_eq!(Some(best_served), ctl.best_config(&h));
+        assert_eq!(ctl.repository().task("t1").unwrap().observations.len(), 5);
+    }
+
+    #[test]
+    fn unknown_task_rejected() {
+        let mut ctl = OnlineTuneController::new();
+        let bogus = TaskHandle("nope".into());
+        assert_eq!(
+            ctl.request_config(&bogus, &[]).unwrap_err(),
+            ControllerError::UnknownTask
+        );
+    }
+
+    #[test]
+    fn meta_features_recorded_and_warm_start_attempted() {
+        let mut ctl = OnlineTuneController::new();
+        // Two completed source tasks in the repository.
+        for tid in ["src-a", "src-b"] {
+            let h = ctl.create_task(tid, toy_space(), TunerOptions { budget: 8, ..Default::default() });
+            for i in 0..8 {
+                let cfg = ctl.request_config(&h, &[]).unwrap();
+                let (rt, r) = toy_eval(&cfg);
+                let features = if i == 0 { Some(vec![1.0, 2.0, 3.0]) } else { None };
+                ctl.report_result(&h, cfg, rt, r, &[], features).unwrap();
+            }
+        }
+        // A new task reporting meta-features triggers the transfer path.
+        let h = ctl.create_task("new", toy_space(), TunerOptions { budget: 8, ..Default::default() });
+        let cfg = ctl.request_config(&h, &[]).unwrap();
+        let (rt, r) = toy_eval(&cfg);
+        ctl.report_result(&h, cfg, rt, r, &[], Some(vec![1.0, 2.0, 3.1])).unwrap();
+        // Tuning continues normally afterwards.
+        for _ in 0..3 {
+            let cfg = ctl.request_config(&h, &[]).unwrap();
+            let (rt, r) = toy_eval(&cfg);
+            ctl.report_result(&h, cfg, rt, r, &[], None).unwrap();
+        }
+        assert!(ctl.best_config(&h).is_some());
+        let rec = ctl.repository().task("new").unwrap();
+        assert_eq!(rec.meta_features, vec![1.0, 2.0, 3.1]);
+    }
+
+    #[test]
+    fn multiple_tasks_are_independent() {
+        let mut ctl = OnlineTuneController::new();
+        let h1 = ctl.create_task("a", toy_space(), TunerOptions { budget: 3, ..Default::default() });
+        let h2 = ctl.create_task("b", toy_space(), TunerOptions { budget: 3, ..Default::default() });
+        let c1 = ctl.request_config(&h1, &[]).unwrap();
+        let c2 = ctl.request_config(&h2, &[]).unwrap();
+        let (rt1, r1) = toy_eval(&c1);
+        let (rt2, r2) = toy_eval(&c2);
+        ctl.report_result(&h1, c1, rt1, r1, &[], None).unwrap();
+        ctl.report_result(&h2, c2, rt2, r2, &[], None).unwrap();
+        assert_eq!(ctl.repository().task("a").unwrap().observations.len(), 1);
+        assert_eq!(ctl.repository().task("b").unwrap().observations.len(), 1);
+    }
+}

@@ -1,0 +1,627 @@
+//! The efficient & safe configuration generator (Algorithm 2).
+//!
+//! Each call to [`ConfigGenerator::suggest`] performs one iteration of the
+//! paper's generation procedure:
+//!
+//! 1. warm-start / low-discrepancy initial design while history is scarce;
+//! 2. otherwise fit surrogates for the objective and the runtime on the
+//!    runhistory (plus workload context);
+//! 3. every `N_AGD` iterations, propose by approximate gradient descent
+//!    from the incumbent (§4.3);
+//! 4. otherwise evolve the sub-space from the success/failure record
+//!    (§4.1), intersect it with the safe region (§4.2), and maximize EIC
+//!    over the result.
+
+use crate::objective::{Constraints, Objective};
+use otune_bo::{
+    best_observation, maximize_eic, Agd, AdaptiveSubspace, CandidateParams, EicObjective,
+    Observation, Predictor, SafeRegion, SubspaceParams,
+};
+use otune_space::{ConfigSpace, Configuration, Subspace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Where a suggestion came from (diagnostics and the Figure 8/9 ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuggestionSource {
+    /// Transferred from a similar task (§5.2).
+    WarmStart,
+    /// Low-discrepancy initial design (§3.3).
+    InitialDesign,
+    /// Approximate gradient descent (§4.3).
+    Agd,
+    /// EIC maximization over the safe sub-space.
+    Bo,
+    /// Conservative fallback (empty candidate set after filtering).
+    Fallback,
+}
+
+/// One suggested configuration with provenance.
+#[derive(Debug, Clone)]
+pub struct Suggestion {
+    /// The configuration to evaluate next.
+    pub config: Configuration,
+    /// Which mechanism produced it.
+    pub source: SuggestionSource,
+    /// EIC value at the choice (0 for non-BO sources), used by the
+    /// stopping criterion.
+    pub eic: f64,
+    /// Whether the choice came from inside the GP safe region.
+    pub from_safe_region: bool,
+}
+
+/// Generator options with the paper's default hyperparameters.
+#[derive(Debug, Clone)]
+pub struct GeneratorOptions {
+    /// Objective definition (β).
+    pub objective: Objective,
+    /// Application requirements (`T_max`, `R_max`).
+    pub constraints: Constraints,
+    /// Initial-design size before BO starts (warm-start configs count
+    /// toward it).
+    pub n_init: usize,
+    /// AGD cadence `N_AGD` (a proposal every `n_agd` iterations; 0
+    /// disables AGD).
+    pub n_agd: usize,
+    /// Safe-region pessimism γ (Eq. 8).
+    pub gamma: f64,
+    /// Gate the hard safe-region filter (§4.2 ablation, Figure 8).
+    pub enable_safety: bool,
+    /// Gate adaptive sub-space generation (§4.1 ablation, Figure 7);
+    /// disabled = search the full space.
+    pub enable_subspace: bool,
+    /// Sub-space evolution parameters.
+    pub subspace: SubspaceParams,
+    /// Candidate-generation parameters for acquisition maximization.
+    pub candidates: CandidateParams,
+    /// Refresh the fANOVA importance ranking every this many observations.
+    pub fanova_period: usize,
+    /// Seed for all stochastic components.
+    pub seed: u64,
+}
+
+impl GeneratorOptions {
+    /// Paper defaults for a space of `n_params` parameters.
+    pub fn paper_defaults(n_params: usize) -> Self {
+        GeneratorOptions {
+            objective: Objective::cost(),
+            constraints: Constraints::none(),
+            n_init: 3,
+            n_agd: 5,
+            gamma: 1.0,
+            enable_safety: true,
+            enable_subspace: true,
+            subspace: SubspaceParams::paper_defaults(n_params),
+            candidates: CandidateParams::default(),
+            fanova_period: 5,
+            seed: 0,
+        }
+    }
+}
+
+/// The stateful configuration generator for one tuning task.
+pub struct ConfigGenerator {
+    space: ConfigSpace,
+    opts: GeneratorOptions,
+    subspace_mgr: AdaptiveSubspace,
+    resource_fn: Arc<dyn Fn(&Configuration) -> f64 + Send + Sync>,
+    rng: StdRng,
+    /// History length already fed into the success/failure counters.
+    processed: usize,
+    /// Best feasible objective seen while processing (drives "success").
+    running_best: f64,
+    /// Iteration counter (suggestions handed out).
+    iteration: usize,
+}
+
+impl ConfigGenerator {
+    /// Create a generator. `expert_ranking` orders parameters by prior
+    /// importance (most important first); `resource_fn` is the analytic
+    /// white-box `R(x)`.
+    pub fn new(
+        space: ConfigSpace,
+        opts: GeneratorOptions,
+        expert_ranking: Vec<usize>,
+        resource_fn: Arc<dyn Fn(&Configuration) -> f64 + Send + Sync>,
+    ) -> Self {
+        let subspace_mgr = AdaptiveSubspace::new(opts.subspace, expert_ranking);
+        let rng = StdRng::seed_from_u64(opts.seed ^ 0xa5a5_5a5a_dead_beef);
+        ConfigGenerator {
+            space,
+            opts,
+            subspace_mgr,
+            resource_fn,
+            rng,
+            processed: 0,
+            running_best: f64::INFINITY,
+            iteration: 0,
+        }
+    }
+
+    /// The generator's options.
+    pub fn options(&self) -> &GeneratorOptions {
+        &self.opts
+    }
+
+    /// Current sub-space size `K`.
+    pub fn subspace_k(&self) -> usize {
+        self.subspace_mgr.k()
+    }
+
+    /// Current importance ranking (most important first).
+    pub fn ranking(&self) -> &[usize] {
+        self.subspace_mgr.ranking()
+    }
+
+    /// Suggest the next configuration (Algorithm 2).
+    ///
+    /// `history` is the full runhistory; `context` the current workload
+    /// features (data size or calendar features — must match the widths in
+    /// history); `warm_configs` the meta-learned initial design (§5.2);
+    /// `meta_objective` an optional ensemble surrogate replacing the plain
+    /// objective GP (§5.2).
+    pub fn suggest(
+        &mut self,
+        history: &[Observation],
+        context: &[f64],
+        warm_configs: &[Configuration],
+        meta_objective: Option<&dyn Predictor>,
+    ) -> Suggestion {
+        self.ingest(history);
+        let i = self.iteration;
+        self.iteration += 1;
+
+        // --- Initial design (Algorithm 1, line 1) ---
+        if i < warm_configs.len() {
+            return Suggestion {
+                config: warm_configs[i].clone(),
+                source: SuggestionSource::WarmStart,
+                eic: 0.0,
+                from_safe_region: true,
+            };
+        }
+        let init_total = self.opts.n_init.max(warm_configs.len());
+        if i < init_total || history.len() < 2 {
+            let probe_idx = i.saturating_sub(warm_configs.len());
+            let probes = self
+                .space
+                .low_discrepancy(probe_idx + 1, self.opts.seed ^ 0x1234);
+            return Suggestion {
+                config: probes[probe_idx].clone(),
+                source: SuggestionSource::InitialDesign,
+                eic: 0.0,
+                from_safe_region: true,
+            };
+        }
+
+        // --- Surrogates (Algorithm 2, line 1) ---
+        // Runtime and objective are modeled in log space: both metrics span
+        // orders of magnitude across the configuration space, and the GP's
+        // standardization alone cannot keep the basin around the optimum
+        // resolvable next to spill blow-ups.
+        let t = &self.opts.constraints;
+        let incumbent =
+            best_observation(history, t.t_max, t.r_max).expect("history is non-empty");
+        let log_history: Vec<Observation> = history
+            .iter()
+            .map(|o| Observation {
+                objective: o.objective.max(1e-9).ln(),
+                runtime: o.runtime.max(1e-9).ln(),
+                ..o.clone()
+            })
+            .collect();
+        let runtime_gp = otune_bo::fit_surrogate(
+            &self.space,
+            &log_history,
+            otune_bo::SurrogateInput::Runtime,
+            self.opts.seed,
+        );
+        let objective_gp = otune_bo::fit_surrogate(
+            &self.space,
+            &log_history,
+            otune_bo::SurrogateInput::Objective,
+            self.opts.seed,
+        );
+        let (Ok(runtime_gp), Ok(objective_gp)) = (runtime_gp, objective_gp) else {
+            // Degenerate history (e.g. identical rows) — explore.
+            return Suggestion {
+                config: self.space.sample(&mut self.rng),
+                source: SuggestionSource::Fallback,
+                eic: 0.0,
+                from_safe_region: false,
+            };
+        };
+
+        // --- AGD every N_AGD iterations (Algorithm 2, lines 2-4) ---
+        // §4.3 applies AGD "when observations D are sufficient to
+        // approximate the objective function": with a thin history the
+        // surrogate gradient is noise and the step wastes an online run.
+        if self.opts.n_agd > 0
+            && history.len() >= 12
+            && (i + 1).is_multiple_of(self.opts.n_agd)
+        {
+            let agd = Agd {
+                beta: self.opts.objective.beta,
+                eta: 0.04,
+                log_runtime: true,
+                ..Agd::default()
+            };
+            let proposal = agd.propose(
+                &self.space,
+                &incumbent.config,
+                context,
+                &runtime_gp,
+                &*self.resource_fn.clone(),
+            );
+            // AGD proposals are online executions too: they must clear the
+            // same safe region as BO suggestions (§4.2), else they would be
+            // the one unguarded path to an SLA-violating run.
+            let safe = match (self.opts.enable_safety, self.opts.constraints.t_max) {
+                (true, Some(t_max)) => {
+                    let mut x = self.space.encode(&proposal);
+                    x.extend_from_slice(context);
+                    let (m, v) = runtime_gp.predict(&x);
+                    m + self.opts.gamma * v.max(0.0).sqrt() <= t_max.max(1e-9).ln()
+                }
+                _ => true,
+            };
+            let within_r = self
+                .opts
+                .constraints
+                .r_max
+                .is_none_or(|r| (self.resource_fn)(&proposal) <= r);
+            // A gradient step must also *predict* descent — if the
+            // surrogate thinks the step lands above the incumbent, the
+            // gradient was noise and BO spends the iteration instead.
+            let predicted_descent = {
+                let mut x = self.space.encode(&proposal);
+                x.extend_from_slice(context);
+                objective_gp.predict_mean(&x) < incumbent.objective.max(1e-9).ln()
+            };
+            if safe && within_r && predicted_descent && proposal != incumbent.config {
+                return Suggestion {
+                    config: proposal,
+                    source: SuggestionSource::Agd,
+                    eic: 0.0,
+                    from_safe_region: true,
+                };
+            }
+            // Zero gradient or unsafe proposal: fall through to BO.
+        }
+
+        // --- Sub-space (Algorithm 2, line 6) ---
+        let sub = if self.opts.enable_subspace {
+            self.subspace_mgr.build(&self.space, incumbent.config.clone())
+        } else {
+            Subspace::full(&self.space, incumbent.config.clone())
+                .expect("full subspace is always valid")
+        };
+
+        // --- Safe region ∩ sub-space, EIC maximization (lines 7-8) ---
+        // Thresholds move to log space along with the surrogates.
+        let mut safe_regions = Vec::new();
+        if self.opts.enable_safety {
+            if let Some(t_max) = self.opts.constraints.t_max {
+                safe_regions.push(SafeRegion::new(
+                    &runtime_gp,
+                    t_max.max(1e-9).ln(),
+                    self.opts.gamma,
+                ));
+            }
+        }
+        // The EIC probability factor is part of the safety machinery too:
+        // with safety disabled (the Figure 8 "vanilla BO" arm) plain EI is
+        // used, matching how the paper's ablation ignores the constraint.
+        let mut constraints: Vec<(&otune_gp::GaussianProcess, f64)> = Vec::new();
+        if self.opts.enable_safety {
+            if let Some(t_max) = self.opts.constraints.t_max {
+                constraints.push((&runtime_gp, t_max.max(1e-9).ln()));
+            }
+        }
+        let objective: &dyn Predictor = match meta_objective {
+            Some(m) => m,
+            None => &objective_gp,
+        };
+        let eic_obj = EicObjective {
+            objective_gp: objective,
+            // In log space, EI directly measures expected *relative*
+            // improvement — which also matches the paper's "EI below 10%"
+            // stopping rule.
+            y_best: incumbent.objective.max(1e-9).ln(),
+            constraints,
+        };
+        let resource_fn = self.resource_fn.clone();
+        let r_max = self.opts.constraints.r_max;
+        let analytic = r_max.map(|r| {
+            move |c: &Configuration| resource_fn(c) <= r
+        });
+        let analytic_ref: Option<&dyn Fn(&Configuration) -> bool> =
+            analytic.as_ref().map(|f| f as &dyn Fn(&Configuration) -> bool);
+
+        let choice = maximize_eic(
+            &sub,
+            context,
+            &eic_obj,
+            &safe_regions,
+            analytic_ref,
+            Some(&incumbent.config),
+            self.opts.candidates,
+            &mut self.rng,
+        );
+        Suggestion {
+            config: choice.config,
+            source: SuggestionSource::Bo,
+            eic: choice.eic,
+            from_safe_region: choice.from_safe_region,
+        }
+    }
+
+    /// Feed new observations into the success/failure counters and the
+    /// fANOVA ranking refresh.
+    fn ingest(&mut self, history: &[Observation]) {
+        let t = &self.opts.constraints;
+        while self.processed < history.len() {
+            let o = &history[self.processed];
+            self.processed += 1;
+            let feasible = o.is_feasible(t.t_max, t.r_max);
+            let success = feasible && o.objective < self.running_best;
+            if success {
+                self.running_best = o.objective;
+            }
+            // Counters only matter once BO is active.
+            if self.processed > self.opts.n_init {
+                self.subspace_mgr.record(success);
+            }
+            if self.opts.fanova_period > 0
+                && self.processed >= 2 * self.opts.fanova_period
+                && self.processed.is_multiple_of(self.opts.fanova_period)
+            {
+                let x: Vec<Vec<f64>> = history[..self.processed]
+                    .iter()
+                    .map(|o| self.space.encode(&o.config))
+                    .collect();
+                let y: Vec<f64> = history[..self.processed]
+                    .iter()
+                    .map(|o| o.objective)
+                    .collect();
+                self.subspace_mgr.refresh_ranking(&x, &y, self.opts.seed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otune_space::{Parameter, ParamValue};
+
+    fn toy_space() -> ConfigSpace {
+        ConfigSpace::new(vec![
+            Parameter::int("n", 1, 50, 10),
+            Parameter::int("m", 1, 32, 8),
+            Parameter::float("frac", 0.1, 0.9, 0.5),
+            Parameter::boolean("flag", false),
+        ])
+    }
+
+    fn toy_resource() -> Arc<dyn Fn(&Configuration) -> f64 + Send + Sync> {
+        Arc::new(|c: &Configuration| {
+            c[0].as_int().unwrap() as f64 * (1.0 + 0.5 * c[1].as_int().unwrap() as f64)
+        })
+    }
+
+    /// Toy runtime: decreasing in n, penalized when m is small.
+    fn toy_runtime(c: &Configuration) -> f64 {
+        let n = c[0].as_int().unwrap() as f64;
+        let m = c[1].as_int().unwrap() as f64;
+        400.0 / n + 30.0 / m + 10.0
+    }
+
+    fn generator(opts: GeneratorOptions) -> ConfigGenerator {
+        ConfigGenerator::new(toy_space(), opts, vec![0, 1, 2, 3], toy_resource())
+    }
+
+    fn evaluate(space: &ConfigSpace, cfg: &Configuration, beta: f64) -> Observation {
+        let _ = space;
+        let rt = toy_runtime(cfg);
+        let r = toy_resource()(cfg);
+        Observation {
+            config: cfg.clone(),
+            objective: rt.powf(beta) * r.powf(1.0 - beta),
+            runtime: rt,
+            resource: r,
+            context: vec![],
+        }
+    }
+
+    #[test]
+    fn initial_design_precedes_bo() {
+        let mut opts = GeneratorOptions::paper_defaults(4);
+        opts.n_init = 3;
+        let mut g = generator(opts);
+        let mut history = Vec::new();
+        for i in 0..3 {
+            let s = g.suggest(&history, &[], &[], None);
+            assert_eq!(s.source, SuggestionSource::InitialDesign, "iter {i}");
+            history.push(evaluate(&toy_space(), &s.config, 0.5));
+        }
+        let s = g.suggest(&history, &[], &[], None);
+        assert!(
+            matches!(s.source, SuggestionSource::Bo | SuggestionSource::Agd),
+            "BO starts after init: {:?}",
+            s.source
+        );
+    }
+
+    #[test]
+    fn warm_configs_are_used_first_and_verbatim() {
+        let space = toy_space();
+        let warm = vec![
+            space.configuration(vec![
+                ParamValue::Int(5),
+                ParamValue::Int(4),
+                ParamValue::Float(0.3),
+                ParamValue::Bool(true),
+            ])
+            .unwrap(),
+            space.configuration(vec![
+                ParamValue::Int(25),
+                ParamValue::Int(16),
+                ParamValue::Float(0.7),
+                ParamValue::Bool(false),
+            ])
+            .unwrap(),
+        ];
+        let mut g = generator(GeneratorOptions::paper_defaults(4));
+        let mut history = Vec::new();
+        for w in &warm {
+            let s = g.suggest(&history, &[], &warm, None);
+            assert_eq!(s.source, SuggestionSource::WarmStart);
+            assert_eq!(&s.config, w);
+            history.push(evaluate(&space, &s.config, 0.5));
+        }
+    }
+
+    #[test]
+    fn agd_fires_on_schedule_once_history_suffices() {
+        let mut opts = GeneratorOptions::paper_defaults(4);
+        opts.n_init = 3;
+        opts.n_agd = 5;
+        let mut g = generator(opts);
+        let space = toy_space();
+        let mut history = Vec::new();
+        let mut sources = Vec::new();
+        for _ in 0..20 {
+            let s = g.suggest(&history, &[], &[], None);
+            sources.push(s.source);
+            history.push(evaluate(&space, &s.config, 0.5));
+        }
+        // AGD needs ≥12 observations and fires at (i+1) % 5 == 0 → i = 14, 19
+        // (earlier slots fall through to BO while history is thin); the
+        // proposal may still be vetoed when the surrogate predicts no
+        // descent, in which case the slot runs BO.
+        for i in [4usize, 9] {
+            assert_ne!(sources[i], SuggestionSource::Agd, "too early at {i}: {sources:?}");
+        }
+        let fired = [14usize, 19]
+            .iter()
+            .filter(|&&i| sources[i] == SuggestionSource::Agd)
+            .count();
+        assert!(fired >= 1, "AGD fires on schedule: {sources:?}");
+    }
+
+    #[test]
+    fn agd_disabled_when_cadence_zero() {
+        let mut opts = GeneratorOptions::paper_defaults(4);
+        opts.n_agd = 0;
+        let mut g = generator(opts);
+        let space = toy_space();
+        let mut history = Vec::new();
+        for _ in 0..10 {
+            let s = g.suggest(&history, &[], &[], None);
+            assert_ne!(s.source, SuggestionSource::Agd);
+            history.push(evaluate(&space, &s.config, 0.5));
+        }
+    }
+
+    #[test]
+    fn optimizes_toy_cost_objective() {
+        let mut opts = GeneratorOptions::paper_defaults(4);
+        opts.seed = 3;
+        let mut g = generator(opts);
+        let space = toy_space();
+        let mut history = vec![evaluate(&space, &space.default_configuration(), 0.5)];
+        for _ in 0..20 {
+            let s = g.suggest(&history, &[], &[], None);
+            history.push(evaluate(&space, &s.config, 0.5));
+        }
+        let first = history[0].objective;
+        let best = history
+            .iter()
+            .map(|o| o.objective)
+            .fold(f64::INFINITY, f64::min);
+        assert!(best < first * 0.8, "improved: {best} vs initial {first}");
+    }
+
+    #[test]
+    fn safety_keeps_suggestions_inside_threshold_mostly() {
+        let space = toy_space();
+        let default_rt = toy_runtime(&space.default_configuration());
+        let t_max = default_rt * 1.5;
+        let mut opts = GeneratorOptions::paper_defaults(4);
+        opts.constraints = Constraints { t_max: Some(t_max), r_max: None };
+        opts.n_init = 3;
+        opts.seed = 11;
+        let mut g = generator(opts);
+        let mut history = vec![evaluate(&space, &space.default_configuration(), 0.5)];
+        let mut violations = 0;
+        let mut total = 0;
+        for _ in 0..20 {
+            let s = g.suggest(&history, &[], &[], None);
+            let o = evaluate(&space, &s.config, 0.5);
+            if matches!(s.source, SuggestionSource::Bo) {
+                total += 1;
+                if o.runtime > t_max {
+                    violations += 1;
+                }
+            }
+            history.push(o);
+        }
+        assert!(total > 5, "enough BO iterations: {total}");
+        assert!(
+            (violations as f64) < total as f64 * 0.4,
+            "safety limits violations: {violations}/{total}"
+        );
+    }
+
+    #[test]
+    fn analytic_resource_constraint_is_hard() {
+        let space = toy_space();
+        let r_max = 100.0;
+        let mut opts = GeneratorOptions::paper_defaults(4);
+        opts.constraints = Constraints { t_max: None, r_max: Some(r_max) };
+        opts.n_init = 2;
+        let mut g = generator(opts);
+        // Seed history with feasible points so the incumbent is feasible.
+        let mut history = vec![evaluate(&space, &space.default_configuration(), 0.5)];
+        for _ in 0..15 {
+            let s = g.suggest(&history, &[], &[], None);
+            if matches!(s.source, SuggestionSource::Bo) {
+                assert!(
+                    toy_resource()(&s.config) <= r_max,
+                    "BO suggestions respect R_max"
+                );
+            }
+            history.push(evaluate(&space, &s.config, 0.5));
+        }
+    }
+
+    #[test]
+    fn subspace_evolves_with_failures() {
+        let mut opts = GeneratorOptions::paper_defaults(4);
+        opts.subspace = SubspaceParams {
+            k_init: 3,
+            k_min: 1,
+            k_max: 4,
+            tau_success: 2,
+            tau_failure: 2,
+            step: 1,
+        };
+        opts.n_init = 2;
+        opts.n_agd = 0;
+        let mut g = generator(opts);
+        let space = toy_space();
+        // Feed a history that never improves → failures shrink K.
+        let mut history = vec![evaluate(&space, &space.default_configuration(), 0.5)];
+        // Make the "best" extremely good so every new obs is a failure.
+        history[0].objective = -1e9;
+        for _ in 0..8 {
+            let s = g.suggest(&history, &[], &[], None);
+            let mut o = evaluate(&space, &s.config, 0.5);
+            o.objective = 1.0;
+            history.push(o);
+        }
+        assert!(g.subspace_k() < 3, "K shrank: {}", g.subspace_k());
+    }
+}

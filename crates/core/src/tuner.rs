@@ -1,0 +1,560 @@
+//! The single-task online tuner: the iterative workflow of §3.1 for one
+//! periodic Spark job, including the stopping and restarting criteria.
+
+use crate::generator::{ConfigGenerator, GeneratorOptions, Suggestion, SuggestionSource};
+use crate::objective::{Constraints, Objective};
+use otune_bo::{best_observation, CandidateParams, Observation, SubspaceParams};
+use otune_meta::{EnsembleSurrogate, TaskRecord};
+use otune_space::{ConfigSpace, Configuration};
+use std::sync::Arc;
+
+/// Options for one tuning task. `Default` gives the paper's settings with
+/// the cost objective and no constraints.
+#[derive(Debug, Clone)]
+pub struct TunerOptions {
+    /// Objective exponent β (Eq. 1).
+    pub beta: f64,
+    /// Maximum tolerated runtime `T_max` (None disables).
+    pub t_max: Option<f64>,
+    /// Maximum tolerated resource `R_max` (None disables).
+    pub r_max: Option<f64>,
+    /// Tuning budget in iterations; afterwards the best configuration is
+    /// returned unchanged.
+    pub budget: usize,
+    /// Initial-design size.
+    pub n_init: usize,
+    /// AGD cadence (0 disables).
+    pub n_agd: usize,
+    /// Safe-region pessimism γ.
+    pub gamma: f64,
+    /// Gate the safe-region filter (Figure 8 ablation).
+    pub enable_safety: bool,
+    /// Gate adaptive sub-space generation (Figure 7 ablation).
+    pub enable_subspace: bool,
+    /// Gate the meta-learning ensemble surrogate (Figure 6 ablation).
+    pub enable_meta: bool,
+    /// Warm-start configurations (from §5.2's similarity ranking).
+    pub warm_configs: Vec<Configuration>,
+    /// Previous-task records feeding the ensemble surrogate.
+    pub base_tasks: Vec<TaskRecord>,
+    /// Stop when EIC falls below this fraction of the incumbent objective
+    /// (§3.3's stopping criterion; 0 disables).
+    pub ei_stop_ratio: f64,
+    /// Restart tuning after this many consecutive post-tuning runs whose
+    /// objective degrades > [`TunerOptions::degradation_factor`] over the
+    /// expected (best) value. 0 disables restart detection.
+    pub restart_after: usize,
+    /// Degradation multiplier that counts a run as degraded.
+    pub degradation_factor: f64,
+    /// Sub-space evolution parameters (`None` = paper defaults for the
+    /// space's parameter count).
+    pub subspace: Option<SubspaceParams>,
+    /// Candidate-generation parameters.
+    pub candidates: CandidateParams,
+    /// Seed for all randomized components.
+    pub seed: u64,
+}
+
+impl Default for TunerOptions {
+    fn default() -> Self {
+        TunerOptions {
+            beta: 0.5,
+            t_max: None,
+            r_max: None,
+            budget: 20,
+            n_init: 3,
+            n_agd: 5,
+            gamma: 1.0,
+            enable_safety: true,
+            enable_subspace: true,
+            enable_meta: true,
+            warm_configs: Vec::new(),
+            base_tasks: Vec::new(),
+            ei_stop_ratio: 0.0,
+            restart_after: 3,
+            degradation_factor: 1.5,
+            subspace: None,
+            candidates: CandidateParams::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// Errors surfaced by the tuner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TunerError {
+    /// `suggest` was called twice without an intervening `observe`.
+    PendingObservation,
+    /// `observe` did not match a pending suggestion.
+    NoPendingSuggestion,
+}
+
+impl std::fmt::Display for TunerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TunerError::PendingObservation => {
+                write!(f, "a suggestion is pending; call observe() first")
+            }
+            TunerError::NoPendingSuggestion => write!(f, "no suggestion pending"),
+        }
+    }
+}
+
+impl std::error::Error for TunerError {}
+
+/// The online tuner for one periodic Spark job.
+///
+/// Lifecycle per period: [`OnlineTuner::suggest`] → run the job with the
+/// returned configuration → [`OnlineTuner::observe`] the metrics. After the
+/// budget (or the EI stopping criterion) the tuner keeps returning the
+/// best configuration found; if post-tuning executions degrade persistently
+/// it restarts tuning, transferring its own history via the meta ensemble
+/// (§3.3 "Stopping & Restarting Criterion").
+pub struct OnlineTuner {
+    space: ConfigSpace,
+    opts: TunerOptions,
+    generator: ConfigGenerator,
+    objective: Objective,
+    history: Vec<Observation>,
+    pending: Option<Suggestion>,
+    stopped: bool,
+    /// Consecutive degraded post-tuning runs.
+    degraded_streak: usize,
+    /// Number of restarts performed.
+    restarts: usize,
+    /// Extra base tasks accumulated from restarts.
+    own_records: Vec<TaskRecord>,
+    /// Iterations consumed in the current tuning round.
+    round_iterations: usize,
+}
+
+impl OnlineTuner {
+    /// Create a tuner over the given space. The analytic resource function
+    /// is derived from the well-known Spark parameters when present, else
+    /// it falls back to a constant (runtime-only tuning).
+    pub fn new(space: ConfigSpace, opts: TunerOptions) -> Self {
+        let resource_fn = crate::objective::resource_fn_for(&space);
+        Self::with_resource_fn(space, opts, resource_fn)
+    }
+
+    /// Create a tuner with an explicit analytic resource function.
+    pub fn with_resource_fn(
+        space: ConfigSpace,
+        opts: TunerOptions,
+        resource_fn: Arc<dyn Fn(&Configuration) -> f64 + Send + Sync>,
+    ) -> Self {
+        let generator = Self::make_generator(&space, &opts, resource_fn);
+        OnlineTuner {
+            objective: Objective::new(opts.beta),
+            generator,
+            space,
+            opts,
+            history: Vec::new(),
+            pending: None,
+            stopped: false,
+            degraded_streak: 0,
+            restarts: 0,
+            own_records: Vec::new(),
+            round_iterations: 0,
+        }
+    }
+
+    fn make_generator(
+        space: &ConfigSpace,
+        opts: &TunerOptions,
+        resource_fn: Arc<dyn Fn(&Configuration) -> f64 + Send + Sync>,
+    ) -> ConfigGenerator {
+        let gen_opts = GeneratorOptions {
+            objective: Objective::new(opts.beta),
+            constraints: Constraints { t_max: opts.t_max, r_max: opts.r_max },
+            n_init: opts.n_init,
+            n_agd: opts.n_agd,
+            gamma: opts.gamma,
+            enable_safety: opts.enable_safety,
+            enable_subspace: opts.enable_subspace,
+            subspace: opts
+                .subspace
+                .unwrap_or_else(|| SubspaceParams::paper_defaults(space.len())),
+            candidates: opts.candidates,
+            fanova_period: 5,
+            seed: opts.seed,
+        };
+        let ranking = if space.len() == 30 {
+            otune_bo::subspace::spark_expert_ranking()
+        } else {
+            (0..space.len()).collect()
+        };
+        ConfigGenerator::new(space.clone(), gen_opts, ranking, resource_fn)
+    }
+
+    /// The configuration space.
+    pub fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    /// The tuner's options.
+    pub fn options(&self) -> &TunerOptions {
+        &self.opts
+    }
+
+    /// The runhistory so far.
+    pub fn history(&self) -> &[Observation] {
+        &self.history
+    }
+
+    /// Whether tuning has stopped (budget or EI criterion).
+    pub fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+
+    /// Number of restarts triggered by degradation detection.
+    pub fn restarts(&self) -> usize {
+        self.restarts
+    }
+
+    /// The objective definition.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// Best (feasible-first) observation so far.
+    pub fn best(&self) -> Option<&Observation> {
+        best_observation(&self.history, self.opts.t_max, self.opts.r_max)
+    }
+
+    /// The configuration for the next periodic execution (Step 1 of
+    /// Figure 1). While tuning: the generator's next suggestion. After
+    /// stopping: the best configuration found.
+    pub fn suggest(&mut self, context: &[f64]) -> Result<Configuration, TunerError> {
+        if self.pending.is_some() {
+            return Err(TunerError::PendingObservation);
+        }
+        if self.stopped || self.round_iterations >= self.opts.budget {
+            self.stopped = true;
+            let best = self
+                .best()
+                .map(|o| o.config.clone())
+                .unwrap_or_else(|| self.space.default_configuration());
+            self.pending = Some(Suggestion {
+                config: best.clone(),
+                source: SuggestionSource::Fallback,
+                eic: 0.0,
+                from_safe_region: true,
+            });
+            return Ok(best);
+        }
+
+        let ensemble = self.build_ensemble();
+        let warm = self.opts.warm_configs.clone();
+        let suggestion = self.generator.suggest(
+            &self.history,
+            context,
+            &warm,
+            ensemble.as_ref().map(|e| e as &dyn otune_bo::Predictor),
+        );
+
+        // Stopping criterion: negligible expected improvement (§3.3).
+        if self.opts.ei_stop_ratio > 0.0
+            && matches!(suggestion.source, SuggestionSource::Bo)
+            && self.round_iterations > self.opts.n_init + 2
+        {
+            if let Some(best_cfg) = self.best().map(|b| b.config.clone()) {
+                // EIC is computed on the log objective, so it directly
+                // measures the expected *relative* improvement (§3.3's
+                // "expected improvement less than a threshold, e.g. 10%").
+                if suggestion.eic < self.opts.ei_stop_ratio && suggestion.from_safe_region {
+                    self.stopped = true;
+                    self.pending = Some(Suggestion {
+                        config: best_cfg.clone(),
+                        source: SuggestionSource::Fallback,
+                        eic: suggestion.eic,
+                        from_safe_region: true,
+                    });
+                    return Ok(best_cfg);
+                }
+            }
+        }
+
+        let config = suggestion.config.clone();
+        self.pending = Some(suggestion);
+        Ok(config)
+    }
+
+    /// Provenance of the pending suggestion (diagnostics).
+    pub fn pending_source(&self) -> Option<SuggestionSource> {
+        self.pending.as_ref().map(|s| s.source)
+    }
+
+    /// Report the execution result of the pending suggestion (Step 2 of
+    /// Figure 1). `runtime_s` and `resource` come from the platform;
+    /// `context` must match what was passed to [`OnlineTuner::suggest`].
+    pub fn observe(
+        &mut self,
+        config: Configuration,
+        runtime_s: f64,
+        resource: f64,
+        context: &[f64],
+    ) -> Result<(), TunerError> {
+        let pending = self.pending.take().ok_or(TunerError::NoPendingSuggestion)?;
+        debug_assert_eq!(pending.config, config, "observed config must match suggestion");
+        let objective = self.objective.eval(runtime_s, resource);
+
+        if self.stopped {
+            // Post-tuning: watch for continuous degradation (§3.3).
+            let expected = self.best().map(|o| o.objective).unwrap_or(objective);
+            if self.opts.restart_after > 0 && objective > expected * self.opts.degradation_factor
+            {
+                self.degraded_streak += 1;
+                if self.degraded_streak >= self.opts.restart_after {
+                    self.restart();
+                }
+            } else {
+                self.degraded_streak = 0;
+            }
+            return Ok(());
+        }
+
+        self.history.push(Observation {
+            config,
+            objective,
+            runtime: runtime_s,
+            resource,
+            context: context.to_vec(),
+        });
+        self.round_iterations += 1;
+        Ok(())
+    }
+
+    /// Seed the runhistory with an already-executed configuration (e.g.
+    /// the manual configuration's production metrics). Does not consume
+    /// budget.
+    pub fn seed_observation(&mut self, config: Configuration, runtime_s: f64, resource: f64, context: &[f64]) {
+        let objective = self.objective.eval(runtime_s, resource);
+        self.history.push(Observation {
+            config,
+            objective,
+            runtime: runtime_s,
+            resource,
+            context: context.to_vec(),
+        });
+    }
+
+    /// Force a tuning restart: the current runhistory becomes a base task
+    /// for the meta ensemble, and a fresh tuning round begins (workload
+    /// drift response, §3.3).
+    pub fn restart(&mut self) {
+        self.restarts += 1;
+        self.degraded_streak = 0;
+        if !self.history.is_empty() {
+            self.own_records.push(TaskRecord {
+                task_id: format!("self-round-{}", self.restarts),
+                meta_features: Vec::new(),
+                observations: std::mem::take(&mut self.history),
+            });
+        }
+        self.stopped = false;
+        self.round_iterations = 0;
+        let resource_fn = crate::objective::resource_fn_for(&self.space);
+        self.generator = Self::make_generator(&self.space, &self.opts, resource_fn);
+    }
+
+    /// Export this task's history as a [`TaskRecord`] for the repository.
+    pub fn export_record(&self, task_id: &str, meta_features: Vec<f64>) -> TaskRecord {
+        TaskRecord {
+            task_id: task_id.to_string(),
+            meta_features,
+            observations: self.history.clone(),
+        }
+    }
+
+    fn build_ensemble(&self) -> Option<EnsembleSurrogate> {
+        if !self.opts.enable_meta {
+            return None;
+        }
+        let mut bases: Vec<TaskRecord> = self.opts.base_tasks.clone();
+        bases.extend(self.own_records.iter().cloned());
+        if bases.is_empty() {
+            return None;
+        }
+        // The generator's EIC works on the log objective; the ensemble's
+        // member surrogates must live on the same scale.
+        let log = |obs: &[Observation]| -> Vec<Observation> {
+            obs.iter()
+                .map(|o| Observation { objective: o.objective.max(1e-9).ln(), ..o.clone() })
+                .collect()
+        };
+        let bases: Vec<TaskRecord> = bases
+            .into_iter()
+            .map(|t| TaskRecord { observations: log(&t.observations), ..t })
+            .collect();
+        EnsembleSurrogate::build(&self.space, &bases, &log(&self.history), 50, self.opts.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otune_space::{ParamValue, Parameter};
+
+    fn toy_space() -> ConfigSpace {
+        ConfigSpace::new(vec![
+            Parameter::int("n", 1, 50, 10),
+            Parameter::int("m", 1, 32, 8),
+        ])
+    }
+
+    fn toy_resource(c: &Configuration) -> f64 {
+        c[0].as_int().unwrap() as f64 * (1.0 + 0.5 * c[1].as_int().unwrap() as f64)
+    }
+
+    fn toy_runtime(c: &Configuration) -> f64 {
+        400.0 / c[0].as_int().unwrap() as f64 + 30.0 / c[1].as_int().unwrap() as f64 + 10.0
+    }
+
+    fn make_tuner(opts: TunerOptions) -> OnlineTuner {
+        OnlineTuner::with_resource_fn(toy_space(), opts, Arc::new(toy_resource))
+    }
+
+    fn drive(tuner: &mut OnlineTuner, rounds: usize) {
+        for _ in 0..rounds {
+            let cfg = tuner.suggest(&[]).unwrap();
+            let (rt, r) = (toy_runtime(&cfg), toy_resource(&cfg));
+            tuner.observe(cfg, rt, r, &[]).unwrap();
+        }
+    }
+
+    #[test]
+    fn improves_over_default_within_budget() {
+        let mut tuner = make_tuner(TunerOptions { budget: 15, seed: 1, ..Default::default() });
+        let d = toy_space().default_configuration();
+        tuner.seed_observation(d.clone(), toy_runtime(&d), toy_resource(&d), &[]);
+        let initial = tuner.history()[0].objective;
+        drive(&mut tuner, 15);
+        let best = tuner.best().unwrap().objective;
+        assert!(best < initial, "{best} !< {initial}");
+        assert_eq!(tuner.history().len(), 16);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_best_config() {
+        let mut tuner = make_tuner(TunerOptions { budget: 5, ..Default::default() });
+        drive(&mut tuner, 5);
+        assert!(!tuner.is_stopped());
+        let best = tuner.best().unwrap().config.clone();
+        let next = tuner.suggest(&[]).unwrap();
+        assert!(tuner.is_stopped());
+        assert_eq!(next, best, "post-budget suggestions are the incumbent");
+        tuner.observe(next, 100.0, 10.0, &[]).unwrap();
+        // History no longer grows post-stop.
+        assert_eq!(tuner.history().len(), 5);
+    }
+
+    #[test]
+    fn suggest_twice_without_observe_errors() {
+        let mut tuner = make_tuner(TunerOptions::default());
+        let _ = tuner.suggest(&[]).unwrap();
+        assert_eq!(tuner.suggest(&[]).unwrap_err(), TunerError::PendingObservation);
+    }
+
+    #[test]
+    fn observe_without_suggest_errors() {
+        let mut tuner = make_tuner(TunerOptions::default());
+        let cfg = toy_space().default_configuration();
+        assert_eq!(
+            tuner.observe(cfg, 1.0, 1.0, &[]).unwrap_err(),
+            TunerError::NoPendingSuggestion
+        );
+    }
+
+    #[test]
+    fn degradation_triggers_restart() {
+        let mut tuner = make_tuner(TunerOptions {
+            budget: 4,
+            restart_after: 3,
+            degradation_factor: 1.2,
+            ..Default::default()
+        });
+        drive(&mut tuner, 4);
+        // Exhaust the budget → stopped.
+        let cfg = tuner.suggest(&[]).unwrap();
+        assert!(tuner.is_stopped());
+        tuner.observe(cfg, 1e6, 1e6, &[]).unwrap(); // degraded run 1
+        for _ in 0..2 {
+            let cfg = tuner.suggest(&[]).unwrap();
+            tuner.observe(cfg, 1e6, 1e6, &[]).unwrap();
+        }
+        assert_eq!(tuner.restarts(), 1);
+        assert!(!tuner.is_stopped(), "tuning resumed after restart");
+        // Old history moved into base records; a new round begins.
+        assert!(tuner.history().is_empty());
+    }
+
+    #[test]
+    fn healthy_post_tuning_runs_do_not_restart() {
+        let mut tuner = make_tuner(TunerOptions { budget: 4, ..Default::default() });
+        drive(&mut tuner, 4);
+        let best_rt = tuner.best().unwrap().runtime;
+        let best_r = tuner.best().unwrap().resource;
+        for _ in 0..6 {
+            let cfg = tuner.suggest(&[]).unwrap();
+            tuner.observe(cfg, best_rt, best_r, &[]).unwrap();
+        }
+        assert_eq!(tuner.restarts(), 0);
+    }
+
+    #[test]
+    fn warm_configs_come_first() {
+        let space = toy_space();
+        let warm = space
+            .configuration(vec![ParamValue::Int(7), ParamValue::Int(3)])
+            .unwrap();
+        let mut tuner = make_tuner(TunerOptions {
+            warm_configs: vec![warm.clone()],
+            ..Default::default()
+        });
+        let first = tuner.suggest(&[]).unwrap();
+        assert_eq!(first, warm);
+    }
+
+    #[test]
+    fn export_record_captures_history() {
+        let mut tuner = make_tuner(TunerOptions { budget: 4, ..Default::default() });
+        drive(&mut tuner, 4);
+        let rec = tuner.export_record("toy", vec![1.0, 2.0]);
+        assert_eq!(rec.task_id, "toy");
+        assert_eq!(rec.observations.len(), 4);
+        assert_eq!(rec.meta_features, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn safety_reduces_constraint_violations() {
+        let space = toy_space();
+        let d = space.default_configuration();
+        let t_max = toy_runtime(&d) * 1.2;
+        let run = |enable_safety: bool, seed: u64| -> usize {
+            let mut tuner = make_tuner(TunerOptions {
+                budget: 18,
+                t_max: Some(t_max),
+                enable_safety,
+                n_agd: 0,
+                seed,
+                ..Default::default()
+            });
+            tuner.seed_observation(d.clone(), toy_runtime(&d), toy_resource(&d), &[]);
+            let mut violations = 0;
+            for _ in 0..18 {
+                let cfg = tuner.suggest(&[]).unwrap();
+                let rt = toy_runtime(&cfg);
+                if rt > t_max {
+                    violations += 1;
+                }
+                let r = toy_resource(&cfg);
+                tuner.observe(cfg, rt, r, &[]).unwrap();
+            }
+            violations
+        };
+        let unsafe_v: usize = (0..3).map(|s| run(false, s)).sum();
+        let safe_v: usize = (0..3).map(|s| run(true, s)).sum();
+        assert!(safe_v <= unsafe_v, "safety helps: {safe_v} vs {unsafe_v}");
+    }
+}

@@ -1,0 +1,38 @@
+//! Regression trees, random forests, and fANOVA importance analysis.
+//!
+//! §4.1: the paper ranks Spark parameters with fANOVA (Hutter et al.,
+//! ICML'14) — random-forest marginals decomposed in a functional-ANOVA
+//! framework that quantifies the importance of single parameters *and* of
+//! parameter interactions. This crate provides the full stack from scratch:
+//! CART regression trees with axis-aligned leaf boxes, bootstrapped random
+//! forests, and the variance decomposition over the unit cube.
+//!
+//! The same forest implementation also powers the RFHOC and DAC baselines.
+
+mod fanova;
+mod forest;
+mod tree;
+
+pub use fanova::Fanova;
+pub use forest::{ForestConfig, RandomForest};
+pub use tree::{LeafBox, RegressionTree, TreeConfig};
+
+/// Errors from forest training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ForestError {
+    /// No training rows were provided.
+    Empty,
+    /// Rows have inconsistent dimensionality or `x`/`y` lengths differ.
+    ShapeMismatch,
+}
+
+impl std::fmt::Display for ForestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ForestError::Empty => write!(f, "no training data"),
+            ForestError::ShapeMismatch => write!(f, "input shape mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for ForestError {}

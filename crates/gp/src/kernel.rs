@@ -1,0 +1,213 @@
+//! The mixed Matérn / Hamming / SE product kernel (§3.3).
+
+use serde::{Deserialize, Serialize};
+
+/// What kind of feature an input dimension carries — selects the kernel
+/// component that handles it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureKind {
+    /// Numeric Spark parameter → Matérn-5/2.
+    Numeric,
+    /// Categorical/boolean Spark parameter → Hamming.
+    Categorical,
+    /// Workload context (data size, hour-of-day, …) → squared exponential.
+    DataSize,
+}
+
+/// Kernel hyperparameters: one lengthscale per feature group plus signal
+/// variance and observation noise. All strictly positive.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelHyper {
+    /// Matérn lengthscale for numeric dims.
+    pub len_numeric: f64,
+    /// Hamming decay for categorical dims.
+    pub len_categorical: f64,
+    /// SE lengthscale for data-size dims.
+    pub len_datasize: f64,
+    /// Signal variance σ_f².
+    pub signal_var: f64,
+    /// Observation noise variance τ².
+    pub noise_var: f64,
+}
+
+impl Default for KernelHyper {
+    fn default() -> Self {
+        KernelHyper {
+            len_numeric: 0.5,
+            len_categorical: 1.0,
+            len_datasize: 0.5,
+            signal_var: 1.0,
+            noise_var: 1e-2,
+        }
+    }
+}
+
+impl KernelHyper {
+    /// Pack into log-space for optimization.
+    pub fn to_log(self) -> [f64; 5] {
+        [
+            self.len_numeric.ln(),
+            self.len_categorical.ln(),
+            self.len_datasize.ln(),
+            self.signal_var.ln(),
+            self.noise_var.ln(),
+        ]
+    }
+
+    /// Unpack from log-space.
+    pub fn from_log(v: [f64; 5]) -> Self {
+        KernelHyper {
+            len_numeric: v[0].exp(),
+            len_categorical: v[1].exp(),
+            len_datasize: v[2].exp(),
+            signal_var: v[3].exp(),
+            noise_var: v[4].exp(),
+        }
+    }
+}
+
+/// The mixed product kernel over encoded configurations:
+///
+/// `k(x, x') = σ_f² · k_M52(x_num) · k_Ham(x_cat) · k_SE(x_ds)`
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MixedKernel {
+    kinds: Vec<FeatureKind>,
+    /// Current hyperparameters.
+    pub hyper: KernelHyper,
+}
+
+impl MixedKernel {
+    /// Build a kernel over dimensions of the given kinds.
+    pub fn new(kinds: Vec<FeatureKind>, hyper: KernelHyper) -> Self {
+        MixedKernel { kinds, hyper }
+    }
+
+    /// Number of input dimensions.
+    pub fn dim(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Feature kinds per dimension.
+    pub fn kinds(&self) -> &[FeatureKind] {
+        &self.kinds
+    }
+
+    /// Evaluate `k(a, b)` (without observation noise).
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), self.kinds.len());
+        debug_assert_eq!(b.len(), self.kinds.len());
+        let mut sq_num = 0.0;
+        let mut mismatches = 0.0;
+        let mut sq_ds = 0.0;
+        for (i, kind) in self.kinds.iter().enumerate() {
+            let (x, y) = (a[i], b[i]);
+            match kind {
+                FeatureKind::Numeric => {
+                    let d = x - y;
+                    sq_num += d * d;
+                }
+                FeatureKind::Categorical => {
+                    if (x - y).abs() > 1e-9 {
+                        mismatches += 1.0;
+                    }
+                }
+                FeatureKind::DataSize => {
+                    let d = x - y;
+                    sq_ds += d * d;
+                }
+            }
+        }
+        let h = &self.hyper;
+        let matern = {
+            let r = sq_num.sqrt() / h.len_numeric;
+            let s5r = 5f64.sqrt() * r;
+            (1.0 + s5r + 5.0 * r * r / 3.0) * (-s5r).exp()
+        };
+        let hamming = (-mismatches / h.len_categorical).exp();
+        let se = (-0.5 * sq_ds / (h.len_datasize * h.len_datasize)).exp();
+        h.signal_var * matern * hamming * se
+    }
+
+    /// `k(x, x)` — the prior variance at any point.
+    pub fn diag(&self) -> f64 {
+        self.hyper.signal_var
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel(kinds: Vec<FeatureKind>) -> MixedKernel {
+        MixedKernel::new(kinds, KernelHyper::default())
+    }
+
+    #[test]
+    fn identical_points_have_prior_variance() {
+        let k = kernel(vec![FeatureKind::Numeric, FeatureKind::Categorical, FeatureKind::DataSize]);
+        let x = [0.3, 1.0, 0.7];
+        assert!((k.eval(&x, &x) - k.diag()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_decays_with_numeric_distance() {
+        let k = kernel(vec![FeatureKind::Numeric]);
+        let base = [0.0];
+        let near = k.eval(&base, &[0.1]);
+        let far = k.eval(&base, &[0.9]);
+        assert!(near > far);
+        assert!(near < k.diag());
+        assert!(far > 0.0);
+    }
+
+    #[test]
+    fn hamming_ignores_magnitude_of_disagreement() {
+        let k = kernel(vec![FeatureKind::Categorical]);
+        // Any disagreement counts the same, regardless of encoded distance.
+        let a = k.eval(&[0.0], &[0.5]);
+        let b = k.eval(&[0.0], &[1.0]);
+        assert!((a - b).abs() < 1e-12);
+        assert!(a < k.eval(&[0.0], &[0.0]));
+    }
+
+    #[test]
+    fn product_structure_multiplies_components() {
+        let knum = kernel(vec![FeatureKind::Numeric]);
+        let kcat = kernel(vec![FeatureKind::Categorical]);
+        let kmix = kernel(vec![FeatureKind::Numeric, FeatureKind::Categorical]);
+        let mix = kmix.eval(&[0.2, 0.0], &[0.7, 1.0]);
+        let expect = knum.eval(&[0.2], &[0.7]) * kcat.eval(&[0.0], &[1.0])
+            / KernelHyper::default().signal_var;
+        assert!((mix - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetry() {
+        let k = kernel(vec![FeatureKind::Numeric, FeatureKind::Numeric, FeatureKind::DataSize]);
+        let a = [0.1, 0.9, 0.4];
+        let b = [0.6, 0.2, 0.8];
+        assert!((k.eval(&a, &b) - k.eval(&b, &a)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn shorter_lengthscale_decays_faster() {
+        let mut short = kernel(vec![FeatureKind::Numeric]);
+        short.hyper.len_numeric = 0.1;
+        let long = kernel(vec![FeatureKind::Numeric]);
+        assert!(short.eval(&[0.0], &[0.5]) < long.eval(&[0.0], &[0.5]));
+    }
+
+    #[test]
+    fn log_round_trip() {
+        let h = KernelHyper {
+            len_numeric: 0.3,
+            len_categorical: 2.0,
+            len_datasize: 0.9,
+            signal_var: 1.7,
+            noise_var: 1e-4,
+        };
+        let back = KernelHyper::from_log(h.to_log());
+        assert!((back.len_numeric - 0.3).abs() < 1e-12);
+        assert!((back.noise_var - 1e-4).abs() < 1e-16);
+    }
+}

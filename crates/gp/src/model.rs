@@ -1,0 +1,412 @@
+//! Gaussian-process regression with LML-based hyperparameter fitting.
+
+use crate::kernel::{FeatureKind, KernelHyper, MixedKernel};
+use otune_linalg::{Cholesky, LinalgError, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Errors from GP fitting and prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpError {
+    /// No observations were provided.
+    Empty,
+    /// Rows of `X` have inconsistent dimensionality, or `X`/`y` lengths differ.
+    ShapeMismatch,
+    /// A target value is not finite.
+    NonFiniteTarget,
+    /// Covariance factorization failed.
+    Linalg(LinalgError),
+}
+
+impl std::fmt::Display for GpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GpError::Empty => write!(f, "no observations"),
+            GpError::ShapeMismatch => write!(f, "input shape mismatch"),
+            GpError::NonFiniteTarget => write!(f, "non-finite target value"),
+            GpError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GpError {}
+
+impl From<LinalgError> for GpError {
+    fn from(e: LinalgError) -> Self {
+        GpError::Linalg(e)
+    }
+}
+
+/// Fitting options.
+#[derive(Debug, Clone, Copy)]
+pub struct GpConfig {
+    /// Optimize hyperparameters by LML (otherwise keep the supplied ones).
+    pub optimize_hypers: bool,
+    /// Random-search candidates for the LML optimization.
+    pub n_candidates: usize,
+    /// Coordinate-refinement sweeps after random search.
+    pub n_refine: usize,
+    /// Seed for the hyperparameter search.
+    pub seed: u64,
+}
+
+impl Default for GpConfig {
+    fn default() -> Self {
+        GpConfig { optimize_hypers: true, n_candidates: 30, n_refine: 3, seed: 0 }
+    }
+}
+
+/// A fitted Gaussian process with standardized targets.
+///
+/// Predictions follow Eq. 2: `μ(x) = k(X,x)ᵀ (K + τ²I)⁻¹ y` and
+/// `σ²(x) = k(x,x) − k(X,x)ᵀ (K + τ²I)⁻¹ k(X,x)` (plus τ²), computed via a
+/// cached Cholesky factor.
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    kernel: MixedKernel,
+    x: Vec<Vec<f64>>,
+    /// `(K + τ²I)⁻¹ ỹ` where ỹ is the standardized target.
+    alpha: Vec<f64>,
+    chol: Cholesky,
+    y_mean: f64,
+    y_std: f64,
+    lml: f64,
+}
+
+impl GaussianProcess {
+    /// Fit a GP on encoded inputs `x` (all rows the same length, matching
+    /// `kinds`) and targets `y`.
+    pub fn fit(
+        kinds: Vec<FeatureKind>,
+        x: Vec<Vec<f64>>,
+        y: &[f64],
+        cfg: GpConfig,
+    ) -> Result<Self, GpError> {
+        if x.is_empty() || y.is_empty() {
+            return Err(GpError::Empty);
+        }
+        if x.len() != y.len() || x.iter().any(|r| r.len() != kinds.len()) {
+            return Err(GpError::ShapeMismatch);
+        }
+        if y.iter().any(|v| !v.is_finite()) {
+            return Err(GpError::NonFiniteTarget);
+        }
+
+        let y_mean = otune_linalg::mean(y);
+        let y_std = {
+            let s = otune_linalg::std_dev(y);
+            if s > 1e-12 {
+                s
+            } else {
+                1.0
+            }
+        };
+        let ys: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
+
+        let mut best_hyper = KernelHyper::default();
+        let mut best_lml = f64::NEG_INFINITY;
+        let mut best_fit: Option<(Cholesky, Vec<f64>)> = None;
+
+        let consider = |hyper: KernelHyper,
+                            best_hyper: &mut KernelHyper,
+                            best_lml: &mut f64,
+                            best_fit: &mut Option<(Cholesky, Vec<f64>)>| {
+            let kernel = MixedKernel::new(kinds.clone(), hyper);
+            if let Ok((chol, alpha, lml)) = Self::factor(&kernel, &x, &ys) {
+                if lml > *best_lml {
+                    *best_lml = lml;
+                    *best_hyper = hyper;
+                    *best_fit = Some((chol, alpha));
+                }
+            }
+        };
+
+        consider(KernelHyper::default(), &mut best_hyper, &mut best_lml, &mut best_fit);
+
+        if cfg.optimize_hypers && x.len() >= 3 {
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            for _ in 0..cfg.n_candidates {
+                let hyper = KernelHyper::from_log([
+                    rng.gen_range(-2.5..1.5),  // numeric lengthscale
+                    rng.gen_range(-1.5..2.0),  // hamming decay
+                    rng.gen_range(-2.5..1.5),  // datasize lengthscale
+                    rng.gen_range(-1.0..1.5),  // signal variance
+                    rng.gen_range(-9.0..-1.0), // noise variance
+                ]);
+                consider(hyper, &mut best_hyper, &mut best_lml, &mut best_fit);
+            }
+            // Coordinate refinement around the incumbent.
+            for sweep in 0..cfg.n_refine {
+                let step = 0.5 / (sweep + 1) as f64;
+                for dim in 0..5 {
+                    for dir in [-1.0, 1.0] {
+                        let mut logs = best_hyper.to_log();
+                        logs[dim] += dir * step;
+                        consider(
+                            KernelHyper::from_log(logs),
+                            &mut best_hyper,
+                            &mut best_lml,
+                            &mut best_fit,
+                        );
+                    }
+                }
+            }
+        }
+
+        let (chol, alpha) = best_fit.ok_or(GpError::Linalg(LinalgError::NotPositiveDefinite {
+            pivot: 0,
+        }))?;
+        Ok(GaussianProcess {
+            kernel: MixedKernel::new(kinds, best_hyper),
+            x,
+            alpha,
+            chol,
+            y_mean,
+            y_std,
+            lml: best_lml,
+        })
+    }
+
+    fn factor(
+        kernel: &MixedKernel,
+        x: &[Vec<f64>],
+        ys: &[f64],
+    ) -> Result<(Cholesky, Vec<f64>, f64), GpError> {
+        let n = x.len();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = kernel.eval(&x[i], &x[j]);
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+        }
+        k.add_diagonal(kernel.hyper.noise_var)?;
+        let chol = Cholesky::decompose(&k)?;
+        let alpha = chol.solve(ys)?;
+        let lml = -0.5 * otune_linalg::dot(ys, &alpha)
+            - 0.5 * chol.log_det()
+            - n as f64 / 2.0 * (2.0 * std::f64::consts::PI).ln();
+        if !lml.is_finite() {
+            return Err(GpError::NonFiniteTarget);
+        }
+        Ok((chol, alpha, lml))
+    }
+
+    /// Number of observations.
+    pub fn n(&self) -> usize {
+        self.x.len()
+    }
+
+    /// The fitted kernel (exposes hyperparameters).
+    pub fn kernel(&self) -> &MixedKernel {
+        &self.kernel
+    }
+
+    /// Log marginal likelihood of the fitted model (standardized targets).
+    pub fn log_marginal_likelihood(&self) -> f64 {
+        self.lml
+    }
+
+    /// Posterior predictive mean and variance at `x` (original target scale).
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        debug_assert_eq!(x.len(), self.kernel.dim());
+        let kx: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, x)).collect();
+        let mean_std = otune_linalg::dot(&kx, &self.alpha);
+        // v = L⁻¹ kx; σ² = k(x,x) − vᵀv.
+        let v = self
+            .chol
+            .solve_lower(&kx)
+            .expect("dimension verified at fit time");
+        let var_std =
+            (self.kernel.diag() + self.kernel.hyper.noise_var - otune_linalg::dot(&v, &v)).max(1e-12);
+        (
+            mean_std * self.y_std + self.y_mean,
+            var_std * self.y_std * self.y_std,
+        )
+    }
+
+    /// Posterior mean only (convenience).
+    pub fn predict_mean(&self, x: &[f64]) -> f64 {
+        self.predict(x).0
+    }
+
+    /// Batch prediction.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_kinds(d: usize) -> Vec<FeatureKind> {
+        vec![FeatureKind::Numeric; d]
+    }
+
+    fn grid_1d(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect()
+    }
+
+    #[test]
+    fn interpolates_smooth_function() {
+        let x = grid_1d(12);
+        let y: Vec<f64> = x.iter().map(|v| (v[0] * 6.0).sin()).collect();
+        let gp = GaussianProcess::fit(numeric_kinds(1), x, &y, GpConfig::default()).unwrap();
+        for test in [0.15, 0.43, 0.77] {
+            let (mu, var) = gp.predict(&[test]);
+            assert!((mu - (test * 6.0).sin()).abs() < 0.15, "μ({test}) = {mu}");
+            assert!(var >= 0.0);
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let x = vec![vec![0.4], vec![0.5], vec![0.6]];
+        let y = vec![1.0, 1.1, 0.9];
+        let gp = GaussianProcess::fit(
+            numeric_kinds(1),
+            x,
+            &y,
+            GpConfig { optimize_hypers: false, ..GpConfig::default() },
+        )
+        .unwrap();
+        let (_, var_near) = gp.predict(&[0.5]);
+        let (_, var_far) = gp.predict(&[0.0]);
+        assert!(var_far > var_near * 2.0, "{var_far} vs {var_near}");
+    }
+
+    #[test]
+    fn predictions_near_training_points_match_targets() {
+        let x = grid_1d(8);
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v[0] + 1.0).collect();
+        let gp = GaussianProcess::fit(numeric_kinds(1), x.clone(), &y, GpConfig::default()).unwrap();
+        for (xi, yi) in x.iter().zip(&y) {
+            let mu = gp.predict_mean(xi);
+            assert!((mu - yi).abs() < 0.1, "{mu} vs {yi}");
+        }
+    }
+
+    #[test]
+    fn handles_constant_targets() {
+        let x = grid_1d(5);
+        let y = vec![42.0; 5];
+        let gp = GaussianProcess::fit(numeric_kinds(1), x, &y, GpConfig::default()).unwrap();
+        let (mu, var) = gp.predict(&[0.33]);
+        assert!((mu - 42.0).abs() < 1e-6);
+        assert!(var.is_finite());
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(matches!(
+            GaussianProcess::fit(numeric_kinds(1), vec![], &[], GpConfig::default()),
+            Err(GpError::Empty)
+        ));
+        assert!(matches!(
+            GaussianProcess::fit(numeric_kinds(2), vec![vec![0.0]], &[1.0], GpConfig::default()),
+            Err(GpError::ShapeMismatch)
+        ));
+        assert!(matches!(
+            GaussianProcess::fit(
+                numeric_kinds(1),
+                vec![vec![0.0], vec![1.0]],
+                &[1.0],
+                GpConfig::default()
+            ),
+            Err(GpError::ShapeMismatch)
+        ));
+        assert!(matches!(
+            GaussianProcess::fit(
+                numeric_kinds(1),
+                vec![vec![0.0]],
+                &[f64::NAN],
+                GpConfig::default()
+            ),
+            Err(GpError::NonFiniteTarget)
+        ));
+    }
+
+    #[test]
+    fn hyperparameter_fitting_improves_lml() {
+        let x = grid_1d(15);
+        let y: Vec<f64> = x.iter().map(|v| (v[0] * 12.0).sin()).collect();
+        let fixed = GaussianProcess::fit(
+            numeric_kinds(1),
+            x.clone(),
+            &y,
+            GpConfig { optimize_hypers: false, ..GpConfig::default() },
+        )
+        .unwrap();
+        let fitted =
+            GaussianProcess::fit(numeric_kinds(1), x, &y, GpConfig::default()).unwrap();
+        assert!(fitted.log_marginal_likelihood() >= fixed.log_marginal_likelihood());
+    }
+
+    #[test]
+    fn mixed_kernel_distinguishes_categories() {
+        // y depends on the categorical dim; the GP should track it.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            let num = i as f64 / 9.0;
+            x.push(vec![num, 0.0]);
+            y.push(1.0 + 0.1 * num);
+            x.push(vec![num, 1.0]);
+            y.push(5.0 + 0.1 * num);
+        }
+        let kinds = vec![FeatureKind::Numeric, FeatureKind::Categorical];
+        let gp = GaussianProcess::fit(kinds, x, &y, GpConfig::default()).unwrap();
+        let lo = gp.predict_mean(&[0.5, 0.0]);
+        let hi = gp.predict_mean(&[0.5, 1.0]);
+        assert!(hi - lo > 2.0, "categorical split visible: {lo} vs {hi}");
+    }
+
+    #[test]
+    fn datasize_dimension_is_smooth() {
+        // y = datasize effect; SE kernel should extrapolate smoothly nearby.
+        let kinds = vec![FeatureKind::Numeric, FeatureKind::DataSize];
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..12 {
+            let ds = i as f64 / 11.0;
+            x.push(vec![0.5, ds]);
+            y.push(10.0 * ds);
+        }
+        let gp = GaussianProcess::fit(kinds, x, &y, GpConfig::default()).unwrap();
+        let a = gp.predict_mean(&[0.5, 0.35]);
+        assert!((a - 3.5).abs() < 0.7, "{a}");
+    }
+
+    #[test]
+    fn noisy_observations_are_smoothed() {
+        // Duplicated x with conflicting y must not explode.
+        let x = vec![vec![0.5], vec![0.5], vec![0.5], vec![0.2], vec![0.8]];
+        let y = vec![1.0, 1.4, 0.6, 0.0, 2.0];
+        let gp = GaussianProcess::fit(numeric_kinds(1), x, &y, GpConfig::default()).unwrap();
+        let (mu, var) = gp.predict(&[0.5]);
+        assert!(mu > 0.5 && mu < 1.5, "{mu}");
+        assert!(var > 0.0);
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let x = grid_1d(6);
+        let y: Vec<f64> = x.iter().map(|v| v[0] * v[0]).collect();
+        let gp = GaussianProcess::fit(numeric_kinds(1), x, &y, GpConfig::default()).unwrap();
+        let pts = vec![vec![0.1], vec![0.9]];
+        let batch = gp.predict_batch(&pts);
+        assert_eq!(batch[0], gp.predict(&[0.1]));
+        assert_eq!(batch[1], gp.predict(&[0.9]));
+    }
+
+    #[test]
+    fn deterministic_fit() {
+        let x = grid_1d(10);
+        let y: Vec<f64> = x.iter().map(|v| (v[0] * 3.0).cos()).collect();
+        let a = GaussianProcess::fit(numeric_kinds(1), x.clone(), &y, GpConfig::default()).unwrap();
+        let b = GaussianProcess::fit(numeric_kinds(1), x, &y, GpConfig::default()).unwrap();
+        assert_eq!(a.predict(&[0.37]), b.predict(&[0.37]));
+    }
+}

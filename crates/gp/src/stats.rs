@@ -1,0 +1,61 @@
+//! Standard normal density and distribution functions.
+
+/// Standard normal probability density `φ(x)`.
+#[inline]
+pub fn norm_pdf(x: f64) -> f64 {
+    const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+    INV_SQRT_2PI * (-0.5 * x * x).exp()
+}
+
+/// Standard normal cumulative distribution `Φ(x)`, via the Abramowitz &
+/// Stegun 7.1.26 rational approximation of `erf` (|ε| < 1.5e-7 — far below
+/// the noise floor of any acquisition computation).
+#[inline]
+pub fn norm_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pdf_peak_and_symmetry() {
+        assert!((norm_pdf(0.0) - 0.3989422804).abs() < 1e-9);
+        assert!((norm_pdf(1.3) - norm_pdf(-1.3)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((norm_cdf(1.0) - 0.8413447461).abs() < 1e-6);
+        assert!((norm_cdf(-1.0) - 0.1586552539).abs() < 1e-6);
+        assert!((norm_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!(norm_cdf(8.0) > 0.999999);
+        assert!(norm_cdf(-8.0) < 1e-6);
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let mut prev = 0.0;
+        for i in -40..=40 {
+            let v = norm_cdf(i as f64 / 10.0);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for Gaussian-process regression.
+
+use otune_gp::{FeatureKind, GaussianProcess, GpConfig, MixedKernel, KernelHyper};
+use proptest::prelude::*;
+
+fn rows(n: usize, d: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, d), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Posterior variance is non-negative and predictions are finite for
+    /// arbitrary (deduplicated-by-jitter) training sets.
+    #[test]
+    fn posterior_is_finite_and_nonneg(
+        x in rows(8, 3),
+        y in proptest::collection::vec(-100.0f64..100.0, 8),
+        probe in proptest::collection::vec(0.0f64..1.0, 3),
+    ) {
+        let kinds = vec![FeatureKind::Numeric, FeatureKind::Numeric, FeatureKind::Categorical];
+        let gp = GaussianProcess::fit(kinds, x, &y, GpConfig::default()).unwrap();
+        let (m, v) = gp.predict(&probe);
+        prop_assert!(m.is_finite());
+        prop_assert!(v.is_finite() && v >= 0.0);
+    }
+
+    /// The kernel is symmetric and bounded by the prior variance.
+    #[test]
+    fn kernel_symmetric_and_bounded(
+        a in proptest::collection::vec(0.0f64..1.0, 4),
+        b in proptest::collection::vec(0.0f64..1.0, 4),
+        log_len in -2.0f64..1.0,
+    ) {
+        let hyper = KernelHyper {
+            len_numeric: log_len.exp(),
+            ..KernelHyper::default()
+        };
+        let k = MixedKernel::new(
+            vec![
+                FeatureKind::Numeric,
+                FeatureKind::Numeric,
+                FeatureKind::Categorical,
+                FeatureKind::DataSize,
+            ],
+            hyper,
+        );
+        let kab = k.eval(&a, &b);
+        let kba = k.eval(&b, &a);
+        prop_assert!((kab - kba).abs() < 1e-12);
+        prop_assert!(kab <= k.diag() + 1e-12);
+        prop_assert!(kab >= 0.0);
+    }
+
+    /// With negligible noise and hyper-optimization off, the GP
+    /// interpolates distinct training points closely.
+    #[test]
+    fn interpolates_training_points(seed in 0u64..500) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> = (0..6)
+            .map(|i| vec![i as f64 / 5.0 + rng.gen::<f64>() * 0.01])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|v| (v[0] * 3.0).sin() * 5.0).collect();
+        let gp = GaussianProcess::fit(
+            vec![FeatureKind::Numeric],
+            x.clone(),
+            &y,
+            GpConfig::default(),
+        )
+        .unwrap();
+        for (xi, yi) in x.iter().zip(&y) {
+            let m = gp.predict_mean(xi);
+            prop_assert!((m - yi).abs() < 1.5, "pred {m} vs target {yi}");
+        }
+    }
+
+    /// Standardization makes predictions invariant (up to scale) under
+    /// affine transformations of the targets.
+    #[test]
+    fn affine_equivariance(
+        scale in 0.5f64..20.0,
+        shift in -50.0f64..50.0,
+    ) {
+        let x: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 7.0]).collect();
+        let y: Vec<f64> = x.iter().map(|v| (v[0] * 4.0).cos()).collect();
+        let y2: Vec<f64> = y.iter().map(|v| v * scale + shift).collect();
+        let cfg = GpConfig { optimize_hypers: false, ..GpConfig::default() };
+        let g1 = GaussianProcess::fit(vec![FeatureKind::Numeric], x.clone(), &y, cfg).unwrap();
+        let g2 = GaussianProcess::fit(vec![FeatureKind::Numeric], x, &y2, cfg).unwrap();
+        let p1 = g1.predict_mean(&[0.33]);
+        let p2 = g2.predict_mean(&[0.33]);
+        prop_assert!((p2 - (p1 * scale + shift)).abs() < 1e-6 * (1.0 + scale + shift.abs()));
+    }
+}

@@ -1,0 +1,257 @@
+//! Jittered Cholesky factorization for symmetric positive-definite matrices.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite matrix.
+///
+/// Gaussian-process covariance matrices are PSD by construction but can be
+/// numerically indefinite when two configurations nearly coincide, so
+/// [`Cholesky::decompose`] retries with exponentially increasing diagonal
+/// jitter (starting at `1e-10 · max|A|`) before giving up.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor (entries above the diagonal are zero).
+    l: Matrix,
+    /// Jitter that was added to the diagonal to achieve positive definiteness.
+    jitter: f64,
+}
+
+impl Cholesky {
+    /// Factor `a`, adding diagonal jitter if needed.
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square inputs and
+    /// [`LinalgError::NotPositiveDefinite`] if even the maximum jitter
+    /// (`1e-2 · max|A|`) does not make the matrix factorizable.
+    pub fn decompose(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let scale = a.max_abs().max(1.0);
+        let mut jitter = 0.0;
+        // 0, 1e-10, 1e-9, ..., 1e-2 (relative to the matrix scale).
+        for attempt in 0..10 {
+            match Self::try_factor(a, jitter) {
+                Ok(l) => return Ok(Cholesky { l, jitter }),
+                Err(err) => {
+                    if attempt == 9 {
+                        return Err(err);
+                    }
+                    jitter = scale * 1e-10 * 10f64.powi(attempt);
+                }
+            }
+        }
+        unreachable!("loop either returns Ok or the final Err")
+    }
+
+    fn try_factor(a: &Matrix, jitter: f64) -> Result<Matrix> {
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                if i == j {
+                    sum += jitter;
+                }
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Jitter added to the diagonal during factorization (0 when none was needed).
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Solve `L y = b` (forward substitution).
+    #[allow(clippy::needless_range_loop)] // triangular-solve indexing is clearest explicit
+    pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Solve `Lᵀ x = y` (backward substitution).
+    #[allow(clippy::needless_range_loop)] // triangular-solve indexing is clearest explicit
+    pub fn solve_upper(&self, y: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if y.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                left: (n, n),
+                right: (y.len(), 1),
+            });
+        }
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solve `A x = b` where `A = L Lᵀ`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let y = self.solve_lower(b)?;
+        self.solve_upper(&y)
+    }
+
+    /// `log |A| = 2 Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Explicit inverse `A⁻¹` (column-by-column solves). Only used in tests
+    /// and diagnostics; prefer [`Cholesky::solve`].
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.l.rows();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            e[j] = 0.0;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        Ok(inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = B Bᵀ + I for B with distinct rows — guaranteed SPD.
+        Matrix::from_rows(&[
+            vec![5.0, 2.0, 1.0],
+            vec![2.0, 6.0, 2.0],
+            vec![1.0, 2.0, 4.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn factor_reconstructs_input() {
+        let a = spd3();
+        let ch = Cholesky::decompose(&a).unwrap();
+        let rec = ch.l().matmul(&ch.l().transpose()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((rec[(i, j)] - a[(i, j)]).abs() < 1e-10, "at ({i},{j})");
+            }
+        }
+        assert_eq!(ch.jitter(), 0.0);
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = spd3();
+        let ch = Cholesky::decompose(&a).unwrap();
+        let b = vec![1.0, -2.0, 0.5];
+        let x = ch.solve(&b).unwrap();
+        let back = a.matvec(&x).unwrap();
+        for (u, v) in back.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn log_det_matches_known() {
+        // det(diag(2, 3, 4)) = 24.
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = 2.0;
+        a[(1, 1)] = 3.0;
+        a[(2, 2)] = 4.0;
+        let ch = Cholesky::decompose(&a).unwrap();
+        assert!((ch.log_det() - 24.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_rescues_near_singular() {
+        // Rank-1 matrix: vvᵀ with v = (1, 1); singular but jitter fixes it.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        let ch = Cholesky::decompose(&a).unwrap();
+        assert!(ch.jitter() > 0.0);
+        // Factor must still be usable for solves.
+        let x = ch.solve(&[1.0, 1.0]).unwrap();
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn indefinite_rejected() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, -5.0]]).unwrap();
+        let err = Cholesky::decompose(&a).unwrap_err();
+        assert!(matches!(err, LinalgError::NotPositiveDefinite { .. }));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::decompose(&a).unwrap_err(),
+            LinalgError::NotSquare { .. }
+        ));
+    }
+
+    #[test]
+    fn solve_shape_checked() {
+        let ch = Cholesky::decompose(&spd3()).unwrap();
+        assert!(ch.solve(&[1.0]).is_err());
+        assert!(ch.solve_lower(&[1.0, 2.0]).is_err());
+        assert!(ch.solve_upper(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd3();
+        let inv = Cholesky::decompose(&a).unwrap().inverse().unwrap();
+        let id = a.matmul(&inv).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((id[(i, j)] - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix_factorizes() {
+        let a = Matrix::zeros(0, 0);
+        let ch = Cholesky::decompose(&a).unwrap();
+        assert_eq!(ch.log_det(), 0.0);
+        assert_eq!(ch.solve(&[]).unwrap(), Vec::<f64>::new());
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the linalg substrate.
+
+use otune_linalg::{Cholesky, Matrix};
+use proptest::prelude::*;
+
+fn small_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-5.0f64..5.0, n * n)
+        .prop_map(move |data| Matrix::from_vec(n, n, data).unwrap())
+}
+
+/// Build an SPD matrix as B Bᵀ + εI from an arbitrary B.
+fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    small_matrix(n).prop_map(move |b| {
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        a.add_diagonal(0.5).unwrap();
+        a
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_involution(m in small_matrix(4)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity_right(m in small_matrix(4)) {
+        let id = Matrix::identity(4);
+        let prod = m.matmul(&id).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                prop_assert!((prod[(i, j)] - m[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_reconstructs(a in spd_matrix(5)) {
+        let ch = Cholesky::decompose(&a).unwrap();
+        let rec = ch.l().matmul(&ch.l().transpose()).unwrap();
+        let scale = a.max_abs().max(1.0);
+        for i in 0..5 {
+            for j in 0..5 {
+                // Reconstruction differs from A only by the jitter on the diagonal.
+                let expect = a[(i, j)] + if i == j { ch.jitter() } else { 0.0 };
+                prop_assert!((rec[(i, j)] - expect).abs() < 1e-8 * scale);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_is_inverse_application(a in spd_matrix(4), b in proptest::collection::vec(-3.0f64..3.0, 4)) {
+        let ch = Cholesky::decompose(&a).unwrap();
+        let x = ch.solve(&b).unwrap();
+        // (A + jitter I) x == b
+        let mut aj = a.clone();
+        aj.add_diagonal(ch.jitter()).unwrap();
+        let back = aj.matvec(&x).unwrap();
+        let scale = a.max_abs().max(1.0);
+        for (u, v) in back.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-6 * scale, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn log_det_positive_for_dominant_diagonal(mut a in spd_matrix(3)) {
+        // Make eigenvalues > 1 so log-det must be positive.
+        a.add_diagonal(1.0).unwrap();
+        let ch = Cholesky::decompose(&a).unwrap();
+        prop_assert!(ch.log_det() > 0.0);
+    }
+
+    #[test]
+    fn matvec_linearity(m in small_matrix(3), v in proptest::collection::vec(-2.0f64..2.0, 3), s in -3.0f64..3.0) {
+        let scaled: Vec<f64> = v.iter().map(|x| x * s).collect();
+        let lhs = m.matvec(&scaled).unwrap();
+        let rhs: Vec<f64> = m.matvec(&v).unwrap().iter().map(|x| x * s).collect();
+        for (a, b) in lhs.iter().zip(&rhs) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

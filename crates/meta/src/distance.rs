@@ -1,0 +1,140 @@
+//! Kendall-τ task distance (§5.1).
+//!
+//! The distance between tasks `i` and `j` is computed from their surrogate
+//! models: sample a shared set of random configurations `D_rand`, predict
+//! with both surrogates, and count discordant prediction pairs.
+//! `Dist(Mⁱ, Mʲ) = (1 − τ(Mⁱ, Mʲ)) / 2 ∈ [0, 1]` — 0 for identical
+//! orderings, 1 for fully reversed ones.
+
+use otune_gp::GaussianProcess;
+use otune_space::ConfigSpace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Kendall rank-correlation coefficient of two equal-length vectors
+/// (τ-a: ties count as discordant-neutral with denominator `n(n−1)/2`).
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vectors must be the same length");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            let s = da * db;
+            if s > 0.0 {
+                concordant += 1;
+            } else if s < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    (concordant - discordant) as f64 / pairs
+}
+
+/// Distance between two fitted surrogates over a shared random sample of
+/// `n_sample` configurations: `(1 − τ)/2`, clamped to `[0, 1]`.
+///
+/// Both surrogates must be fitted on configuration-only encodings of the
+/// same space (no context dims) so their inputs align.
+pub fn surrogate_distance(
+    space: &ConfigSpace,
+    a: &GaussianProcess,
+    b: &GaussianProcess,
+    n_sample: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let xs: Vec<Vec<f64>> = space
+        .sample_n(n_sample.max(2), &mut rng)
+        .iter()
+        .map(|c| space.encode(c))
+        .collect();
+    let pa: Vec<f64> = xs.iter().map(|x| a.predict_mean(x)).collect();
+    let pb: Vec<f64> = xs.iter().map(|x| b.predict_mean(x)).collect();
+    ((1.0 - kendall_tau(&pa, &pb)) / 2.0).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otune_bo::{fit_surrogate, Observation, SurrogateInput};
+    use otune_space::{ConfigSpace, Parameter};
+
+    #[test]
+    fn tau_perfect_agreement() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(kendall_tau(&a, &a), 1.0);
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(kendall_tau(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn tau_perfect_reversal() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 2.0, 1.0];
+        assert_eq!(kendall_tau(&a, &b), -1.0);
+    }
+
+    #[test]
+    fn tau_partial() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, 3.0, 2.0, 4.0];
+        // One discordant pair of six.
+        assert!((kendall_tau(&a, &b) - (5.0 - 1.0) / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tau_degenerate() {
+        assert_eq!(kendall_tau(&[], &[]), 1.0);
+        assert_eq!(kendall_tau(&[1.0], &[2.0]), 1.0);
+        // All ties → τ = 0.
+        assert_eq!(kendall_tau(&[1.0, 1.0, 1.0], &[2.0, 2.0, 2.0]), 0.0);
+    }
+
+    fn space() -> ConfigSpace {
+        ConfigSpace::new(vec![Parameter::float("a", 0.0, 1.0, 0.5)])
+    }
+
+    fn surrogate_for<F: Fn(f64) -> f64>(space: &ConfigSpace, f: F) -> GaussianProcess {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1);
+        let obs: Vec<Observation> = space
+            .sample_n(20, &mut rng)
+            .into_iter()
+            .map(|config| {
+                let v = f(config[0].as_float().unwrap());
+                Observation { config, objective: v, runtime: v, resource: 1.0, context: vec![] }
+            })
+            .collect();
+        fit_surrogate(space, &obs, SurrogateInput::Objective, 0).unwrap()
+    }
+
+    #[test]
+    fn similar_tasks_have_small_distance() {
+        let s = space();
+        let a = surrogate_for(&s, |x| x * 10.0);
+        let b = surrogate_for(&s, |x| x * 12.0 + 1.0); // same ordering
+        let c = surrogate_for(&s, |x| -x * 10.0); // reversed ordering
+        let d_ab = surrogate_distance(&s, &a, &b, 50, 7);
+        let d_ac = surrogate_distance(&s, &a, &c, 50, 7);
+        assert!(d_ab < 0.15, "aligned surrogates: {d_ab}");
+        assert!(d_ac > 0.85, "reversed surrogates: {d_ac}");
+    }
+
+    #[test]
+    fn distance_is_deterministic_given_seed() {
+        let s = space();
+        let a = surrogate_for(&s, |x| x);
+        let b = surrogate_for(&s, |x| x * x);
+        assert_eq!(
+            surrogate_distance(&s, &a, &b, 40, 3),
+            surrogate_distance(&s, &a, &b, 40, 3)
+        );
+    }
+}

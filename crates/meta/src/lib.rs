@@ -1,0 +1,31 @@
+//! Meta-learning based acceleration (§5).
+//!
+//! Components:
+//!
+//! * [`features`] — 75 meta-features per tuning task extracted from the
+//!   Spark event log (11 stage-level + 64 task-level), after Prats et al.,
+//!   "You Only Run Once";
+//! * [`distance`] — the surrogate distance between two tasks: the scaled
+//!   negative Kendall-τ of their surrogates' predictions on a shared random
+//!   configuration sample (§5.1);
+//! * [`similarity`] — the learned regressor `M_reg: (v₁, v₂) ↦ d` (GBDT
+//!   stand-in for LightGBM) that predicts task distance from meta-features
+//!   alone, so new tasks can be matched before any tuning history exists;
+//! * [`warmstart`] — initial design from the best configurations of the
+//!   top-3 most similar tasks (§5.2);
+//! * [`ensemble`] — the meta surrogate ensemble
+//!   `μ_meta = Σᵢ wᵢ μᵢ`, `σ²_meta = Σᵢ wᵢ² σᵢ²` (Eq. 12), with base
+//!   weights `1 − Dist(Mⁱ, Mᵗ)` and the target weight from a
+//!   cross-validation rank-agreement score.
+
+pub mod distance;
+pub mod ensemble;
+pub mod features;
+pub mod similarity;
+pub mod warmstart;
+
+pub use distance::{kendall_tau, surrogate_distance};
+pub use ensemble::EnsembleSurrogate;
+pub use features::{extract_meta_features, META_FEATURE_COUNT};
+pub use similarity::{SimilarityLearner, TaskRecord};
+pub use warmstart::warm_start_configs;

@@ -1,0 +1,271 @@
+//! The 30-parameter Spark configuration space.
+//!
+//! §2.1/§6.1: following Tuneful (Fekry et al., KDD'20) the paper tunes 30
+//! parameters that significantly affect job performance, with value ranges
+//! scaled to the cluster size. [`spark_space`] reproduces that set; the
+//! identifiers in [`SparkParam`] give typed access to the parameters the
+//! resource function and the simulator read directly.
+
+use crate::{ConfigSpace, Parameter};
+
+/// Cluster sizing that scales resource-parameter ranges (§6.1: "value
+/// ranges of the parameters are set differently depending on cluster size").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterScale {
+    /// Maximum executors the resource group can host.
+    pub max_executors: i64,
+    /// Maximum cores per executor.
+    pub max_executor_cores: i64,
+    /// Maximum executor heap in GB.
+    pub max_executor_memory_gb: i64,
+    /// Upper bound for parallelism-style parameters.
+    pub max_parallelism: i64,
+}
+
+impl ClusterScale {
+    /// The four-node HiBench test cluster from §6.1 (2× 48-core EPYC,
+    /// 512 GB per node).
+    pub fn hibench() -> Self {
+        ClusterScale {
+            max_executors: 64,
+            max_executor_cores: 8,
+            max_executor_memory_gb: 32,
+            max_parallelism: 1000,
+        }
+    }
+
+    /// A production-scale resource group (§6.2: hundreds of executors).
+    pub fn production() -> Self {
+        ClusterScale {
+            max_executors: 800,
+            max_executor_cores: 8,
+            max_executor_memory_gb: 32,
+            max_parallelism: 4000,
+        }
+    }
+}
+
+/// Well-known Spark parameters used by the resource function `R(x)`, the
+/// approximate gradient descent, and the simulator. The discriminant is the
+/// parameter's index in [`spark_space`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum SparkParam {
+    /// `spark.executor.instances`
+    ExecutorInstances = 0,
+    /// `spark.executor.cores`
+    ExecutorCores = 1,
+    /// `spark.executor.memory` (GB)
+    ExecutorMemory = 2,
+    /// `spark.executor.memoryOverhead` (MB)
+    ExecutorMemoryOverhead = 3,
+    /// `spark.driver.cores`
+    DriverCores = 4,
+    /// `spark.driver.memory` (GB)
+    DriverMemory = 5,
+    /// `spark.default.parallelism`
+    DefaultParallelism = 6,
+    /// `spark.sql.shuffle.partitions`
+    SqlShufflePartitions = 7,
+    /// `spark.memory.fraction`
+    MemoryFraction = 8,
+    /// `spark.memory.storageFraction`
+    MemoryStorageFraction = 9,
+    /// `spark.shuffle.compress`
+    ShuffleCompress = 10,
+    /// `spark.shuffle.spill.compress`
+    ShuffleSpillCompress = 11,
+    /// `spark.shuffle.file.buffer` (KB)
+    ShuffleFileBuffer = 12,
+    /// `spark.reducer.maxSizeInFlight` (MB)
+    ReducerMaxSizeInFlight = 13,
+    /// `spark.shuffle.sort.bypassMergeThreshold`
+    ShuffleSortBypassMergeThreshold = 14,
+    /// `spark.shuffle.io.numConnectionsPerPeer`
+    ShuffleIoNumConnectionsPerPeer = 15,
+    /// `spark.serializer` (`java` | `kryo`)
+    Serializer = 16,
+    /// `spark.kryoserializer.buffer.max` (MB)
+    KryoserializerBufferMax = 17,
+    /// `spark.io.compression.codec` (`lz4` | `snappy` | `zstd`)
+    IoCompressionCodec = 18,
+    /// `spark.rdd.compress`
+    RddCompress = 19,
+    /// `spark.broadcast.blockSize` (MB)
+    BroadcastBlockSize = 20,
+    /// `spark.broadcast.compress`
+    BroadcastCompress = 21,
+    /// `spark.storage.memoryMapThreshold` (MB)
+    StorageMemoryMapThreshold = 22,
+    /// `spark.locality.wait` (s)
+    LocalityWait = 23,
+    /// `spark.scheduler.mode` (`FIFO` | `FAIR`)
+    SchedulerMode = 24,
+    /// `spark.speculation`
+    Speculation = 25,
+    /// `spark.speculation.multiplier`
+    SpeculationMultiplier = 26,
+    /// `spark.task.maxFailures`
+    TaskMaxFailures = 27,
+    /// `spark.network.timeout` (s)
+    NetworkTimeout = 28,
+    /// `spark.executor.heartbeatInterval` (s)
+    ExecutorHeartbeatInterval = 29,
+}
+
+impl SparkParam {
+    /// Index of this parameter in [`spark_space`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The Spark property name.
+    pub fn name(self) -> &'static str {
+        SPARK_PARAM_NAMES[self.index()]
+    }
+}
+
+const SPARK_PARAM_NAMES: [&str; 30] = [
+    "spark.executor.instances",
+    "spark.executor.cores",
+    "spark.executor.memory",
+    "spark.executor.memoryOverhead",
+    "spark.driver.cores",
+    "spark.driver.memory",
+    "spark.default.parallelism",
+    "spark.sql.shuffle.partitions",
+    "spark.memory.fraction",
+    "spark.memory.storageFraction",
+    "spark.shuffle.compress",
+    "spark.shuffle.spill.compress",
+    "spark.shuffle.file.buffer",
+    "spark.reducer.maxSizeInFlight",
+    "spark.shuffle.sort.bypassMergeThreshold",
+    "spark.shuffle.io.numConnectionsPerPeer",
+    "spark.serializer",
+    "spark.kryoserializer.buffer.max",
+    "spark.io.compression.codec",
+    "spark.rdd.compress",
+    "spark.broadcast.blockSize",
+    "spark.broadcast.compress",
+    "spark.storage.memoryMapThreshold",
+    "spark.locality.wait",
+    "spark.scheduler.mode",
+    "spark.speculation",
+    "spark.speculation.multiplier",
+    "spark.task.maxFailures",
+    "spark.network.timeout",
+    "spark.executor.heartbeatInterval",
+];
+
+/// The names of the 30 tuned Spark parameters, in space order.
+pub fn spark_param_names() -> &'static [&'static str; 30] {
+    &SPARK_PARAM_NAMES
+}
+
+/// Build the 30-parameter Spark space for a given cluster scale.
+///
+/// Defaults follow Spark 3.0 defaults where they exist (e.g.
+/// `spark.memory.fraction = 0.6`) and conservative platform baselines
+/// otherwise (4 executors × 2 cores × 4 GB).
+pub fn spark_space(scale: ClusterScale) -> ConfigSpace {
+    let s = scale;
+    ConfigSpace::new(vec![
+        Parameter::int(SPARK_PARAM_NAMES[0], 1, s.max_executors, (s.max_executors / 8).max(2)),
+        Parameter::int(SPARK_PARAM_NAMES[1], 1, s.max_executor_cores, 2),
+        Parameter::int(SPARK_PARAM_NAMES[2], 1, s.max_executor_memory_gb, 4),
+        Parameter::log_int(SPARK_PARAM_NAMES[3], 384, 8192, 384),
+        Parameter::int(SPARK_PARAM_NAMES[4], 1, 8, 1),
+        Parameter::int(SPARK_PARAM_NAMES[5], 1, 16, 2),
+        Parameter::log_int(
+            SPARK_PARAM_NAMES[6],
+            (s.max_parallelism / 80).max(8),
+            s.max_parallelism,
+            64.clamp((s.max_parallelism / 80).max(8), s.max_parallelism),
+        ),
+        Parameter::log_int(
+            SPARK_PARAM_NAMES[7],
+            (s.max_parallelism / 80).max(8),
+            s.max_parallelism,
+            200.clamp((s.max_parallelism / 80).max(8), s.max_parallelism),
+        ),
+        Parameter::float(SPARK_PARAM_NAMES[8], 0.4, 0.9, 0.6),
+        Parameter::float(SPARK_PARAM_NAMES[9], 0.1, 0.9, 0.5),
+        Parameter::boolean(SPARK_PARAM_NAMES[10], true),
+        Parameter::boolean(SPARK_PARAM_NAMES[11], true),
+        Parameter::log_int(SPARK_PARAM_NAMES[12], 16, 1024, 32),
+        Parameter::log_int(SPARK_PARAM_NAMES[13], 16, 512, 48),
+        Parameter::int(SPARK_PARAM_NAMES[14], 50, 1000, 200),
+        Parameter::int(SPARK_PARAM_NAMES[15], 1, 4, 1),
+        Parameter::categorical(SPARK_PARAM_NAMES[16], &["java", "kryo"], 0),
+        Parameter::log_int(SPARK_PARAM_NAMES[17], 16, 512, 64),
+        Parameter::categorical(SPARK_PARAM_NAMES[18], &["lz4", "snappy", "zstd"], 0),
+        Parameter::boolean(SPARK_PARAM_NAMES[19], false),
+        Parameter::int(SPARK_PARAM_NAMES[20], 1, 16, 4),
+        Parameter::boolean(SPARK_PARAM_NAMES[21], true),
+        Parameter::int(SPARK_PARAM_NAMES[22], 1, 16, 2),
+        Parameter::int(SPARK_PARAM_NAMES[23], 0, 10, 3),
+        Parameter::categorical(SPARK_PARAM_NAMES[24], &["FIFO", "FAIR"], 0),
+        Parameter::boolean(SPARK_PARAM_NAMES[25], false),
+        Parameter::float(SPARK_PARAM_NAMES[26], 1.0, 3.0, 1.5),
+        Parameter::int(SPARK_PARAM_NAMES[27], 1, 8, 4),
+        Parameter::int(SPARK_PARAM_NAMES[28], 60, 600, 120),
+        Parameter::int(SPARK_PARAM_NAMES[29], 5, 30, 10),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DimKind;
+
+    #[test]
+    fn thirty_parameters() {
+        let s = spark_space(ClusterScale::hibench());
+        assert_eq!(s.len(), 30);
+    }
+
+    #[test]
+    fn names_match_enum_indices() {
+        let s = spark_space(ClusterScale::hibench());
+        for (i, name) in spark_param_names().iter().enumerate() {
+            assert_eq!(&s.param(i).name, name);
+            assert_eq!(s.index_of(name).unwrap(), i);
+        }
+        assert_eq!(SparkParam::ExecutorMemory.name(), "spark.executor.memory");
+        assert_eq!(SparkParam::ExecutorMemory.index(), 2);
+        assert_eq!(SparkParam::ExecutorHeartbeatInterval.index(), 29);
+    }
+
+    #[test]
+    fn default_is_valid_for_both_scales() {
+        for scale in [ClusterScale::hibench(), ClusterScale::production()] {
+            let s = spark_space(scale);
+            s.validate(&s.default_configuration()).unwrap();
+        }
+    }
+
+    #[test]
+    fn production_scale_widens_resource_ranges() {
+        let hb = spark_space(ClusterScale::hibench());
+        let prod = spark_space(ClusterScale::production());
+        let idx = SparkParam::ExecutorInstances.index();
+        match (&hb.param(idx).domain, &prod.param(idx).domain) {
+            (crate::Domain::Int { hi: a, .. }, crate::Domain::Int { hi: b, .. }) => {
+                assert!(b > a);
+            }
+            other => panic!("unexpected domains {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_dim_kinds_present() {
+        let s = spark_space(ClusterScale::hibench());
+        let kinds = s.dim_kinds();
+        let n_cat = kinds.iter().filter(|k| **k == DimKind::Categorical).count();
+        // 5 booleans + 3 categoricals.
+        assert_eq!(n_cat, 8);
+        assert_eq!(kinds.len() - n_cat, 22);
+    }
+}

@@ -1,0 +1,238 @@
+//! Sub-space projection (§4.1).
+//!
+//! A [`Subspace`] freezes every parameter outside the `K` most important
+//! ones at the values of a *base configuration* (in the tuner: the best
+//! configuration found so far) and exposes sampling/encoding over the
+//! remaining `K` free dimensions. `Λ_sub = Λ¹ × … × Λᴷ` with the indices
+//! chosen by fANOVA importance ranking.
+
+use crate::{ConfigSpace, Configuration, HaltonSequence, Result, SpaceError};
+use rand::Rng;
+
+/// A view of a [`ConfigSpace`] restricted to a subset of free parameters.
+#[derive(Debug, Clone)]
+pub struct Subspace {
+    space: ConfigSpace,
+    /// Indices (into the full space) of the free parameters.
+    free: Vec<usize>,
+    /// Values for all parameters; frozen dims are read from here.
+    base: Configuration,
+}
+
+impl Subspace {
+    /// Create a sub-space over the given free parameter indices, freezing
+    /// all other parameters at `base`'s values.
+    ///
+    /// Duplicate or out-of-range indices are rejected.
+    pub fn new(space: &ConfigSpace, free: Vec<usize>, base: Configuration) -> Result<Self> {
+        space.validate(&base)?;
+        let mut seen = vec![false; space.len()];
+        for &i in &free {
+            if i >= space.len() {
+                return Err(SpaceError::ArityMismatch {
+                    expected: space.len(),
+                    actual: i + 1,
+                });
+            }
+            if seen[i] {
+                return Err(SpaceError::UnknownParameter(format!(
+                    "duplicate free index {i}"
+                )));
+            }
+            seen[i] = true;
+        }
+        Ok(Subspace {
+            space: space.clone(),
+            free,
+            base,
+        })
+    }
+
+    /// The full sub-space: every parameter free. Equivalent to searching
+    /// `Λ_cs` directly.
+    pub fn full(space: &ConfigSpace, base: Configuration) -> Result<Self> {
+        let free = (0..space.len()).collect();
+        Subspace::new(space, free, base)
+    }
+
+    /// Number of free dimensions `K`.
+    pub fn k(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Indices of the free parameters in the full space.
+    pub fn free_indices(&self) -> &[usize] {
+        &self.free
+    }
+
+    /// The base configuration holding frozen values.
+    pub fn base(&self) -> &Configuration {
+        &self.base
+    }
+
+    /// The underlying full space.
+    pub fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    /// Replace the base configuration (e.g. when a new incumbent is found).
+    pub fn set_base(&mut self, base: Configuration) -> Result<()> {
+        self.space.validate(&base)?;
+        self.base = base;
+        Ok(())
+    }
+
+    /// Lift a point of the reduced unit cube `[0,1]^K` into a full
+    /// configuration: free dims decoded from `u`, frozen dims from the base.
+    pub fn lift(&self, u: &[f64]) -> Configuration {
+        debug_assert_eq!(u.len(), self.free.len());
+        let mut full_u = self.space.encode(&self.base);
+        for (&dim, &coord) in self.free.iter().zip(u) {
+            full_u[dim] = coord;
+        }
+        self.space.decode(&full_u)
+    }
+
+    /// Project a full configuration onto the reduced unit cube (encoded
+    /// values of the free dims only).
+    pub fn project(&self, config: &Configuration) -> Vec<f64> {
+        let full_u = self.space.encode(config);
+        self.free.iter().map(|&i| full_u[i]).collect()
+    }
+
+    /// Uniform random configuration within the sub-space.
+    pub fn sample(&self, rng: &mut impl Rng) -> Configuration {
+        let u: Vec<f64> = (0..self.free.len()).map(|_| rng.gen::<f64>()).collect();
+        self.lift(&u)
+    }
+
+    /// `n` uniform random configurations within the sub-space.
+    pub fn sample_n(&self, n: usize, rng: &mut impl Rng) -> Vec<Configuration> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// `n` low-discrepancy configurations within the sub-space.
+    pub fn low_discrepancy(&self, n: usize, seed: u64) -> Vec<Configuration> {
+        let mut h = HaltonSequence::new(self.free.len(), seed);
+        h.take_points(n).iter().map(|u| self.lift(u)).collect()
+    }
+
+    /// A local perturbation of `config` moving only free dimensions.
+    pub fn neighbor(&self, config: &Configuration, scale: f64, rng: &mut impl Rng) -> Configuration {
+        let perturbed = self.space.neighbor(config, scale, rng);
+        // Keep frozen dims from `config` (not from base: local search may
+        // walk around any configuration inside the sub-space).
+        let mut u = self.space.encode(config);
+        let pu = self.space.encode(&perturbed);
+        for &i in &self.free {
+            u[i] = pu[i];
+        }
+        self.space.decode(&u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ParamValue, Parameter};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_space() -> ConfigSpace {
+        ConfigSpace::new(vec![
+            Parameter::int("a", 0, 10, 5),
+            Parameter::float("b", 0.0, 1.0, 0.5),
+            Parameter::categorical("c", &["x", "y", "z"], 1),
+            Parameter::boolean("d", false),
+        ])
+    }
+
+    #[test]
+    fn lift_freezes_non_free_dims() {
+        let s = toy_space();
+        let sub = Subspace::new(&s, vec![0, 2], s.default_configuration()).unwrap();
+        let cfg = sub.lift(&[1.0, 0.0]);
+        assert_eq!(cfg[0], ParamValue::Int(10)); // free, moved
+        assert_eq!(cfg[2], ParamValue::Categorical(0)); // free, moved
+        assert_eq!(cfg[1], ParamValue::Float(0.5)); // frozen at default
+        assert_eq!(cfg[3], ParamValue::Bool(false)); // frozen at default
+    }
+
+    #[test]
+    fn project_then_lift_preserves_free_dims() {
+        let s = toy_space();
+        let mut rng = StdRng::seed_from_u64(3);
+        let sub = Subspace::new(&s, vec![1, 3], s.default_configuration()).unwrap();
+        for _ in 0..20 {
+            let c = sub.sample(&mut rng);
+            let u = sub.project(&c);
+            let back = sub.lift(&u);
+            assert_eq!(back, c);
+        }
+    }
+
+    #[test]
+    fn duplicate_or_out_of_range_indices_rejected() {
+        let s = toy_space();
+        assert!(Subspace::new(&s, vec![0, 0], s.default_configuration()).is_err());
+        assert!(Subspace::new(&s, vec![7], s.default_configuration()).is_err());
+    }
+
+    #[test]
+    fn full_subspace_behaves_like_space() {
+        let s = toy_space();
+        let sub = Subspace::full(&s, s.default_configuration()).unwrap();
+        assert_eq!(sub.k(), 4);
+        let c = sub.lift(&[0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(c[0], ParamValue::Int(0));
+    }
+
+    #[test]
+    fn sampling_respects_frozen_dims() {
+        let s = toy_space();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut base = s.default_configuration();
+        base.set(3, ParamValue::Bool(true));
+        let sub = Subspace::new(&s, vec![0], base).unwrap();
+        for c in sub.sample_n(30, &mut rng) {
+            assert_eq!(c[3], ParamValue::Bool(true));
+            assert_eq!(c[1], ParamValue::Float(0.5));
+        }
+    }
+
+    #[test]
+    fn low_discrepancy_within_subspace() {
+        let s = toy_space();
+        let sub = Subspace::new(&s, vec![0, 1], s.default_configuration()).unwrap();
+        let pts = sub.low_discrepancy(8, 2);
+        assert_eq!(pts.len(), 8);
+        for c in &pts {
+            s.validate(c).unwrap();
+            assert_eq!(c[2], ParamValue::Categorical(1));
+        }
+    }
+
+    #[test]
+    fn neighbor_moves_only_free_dims() {
+        let s = toy_space();
+        let mut rng = StdRng::seed_from_u64(17);
+        let sub = Subspace::new(&s, vec![1], s.default_configuration()).unwrap();
+        let start = sub.lift(&[0.5]);
+        for _ in 0..50 {
+            let n = sub.neighbor(&start, 0.5, &mut rng);
+            assert_eq!(n[0], start[0]);
+            assert_eq!(n[2], start[2]);
+            assert_eq!(n[3], start[3]);
+        }
+    }
+
+    #[test]
+    fn set_base_validates() {
+        let s = toy_space();
+        let mut sub = Subspace::new(&s, vec![0], s.default_configuration()).unwrap();
+        let bad = Configuration::new(vec![ParamValue::Int(99); 4]);
+        assert!(sub.set_base(bad).is_err());
+        let good = s.default_configuration();
+        assert!(sub.set_base(good).is_ok());
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the configuration space.
+
+use otune_space::{spark_space, ClusterScale, ConfigSpace, Domain, ParamValue, Parameter, Subspace};
+use proptest::prelude::*;
+
+fn unit_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..1.0, n)
+}
+
+fn space() -> ConfigSpace {
+    spark_space(ClusterScale::hibench())
+}
+
+proptest! {
+    /// decode ∘ encode is the identity on configurations produced by decode
+    /// (i.e. decode produces fixed points of the discretization).
+    #[test]
+    fn decode_is_idempotent_through_encode(u in unit_vec(30)) {
+        let s = space();
+        let c = s.decode(&u);
+        s.validate(&c).unwrap();
+        let u2 = s.encode(&c);
+        let c2 = s.decode(&u2);
+        prop_assert_eq!(c, c2);
+    }
+
+    /// Every encoded coordinate stays in [0, 1].
+    #[test]
+    fn encode_stays_in_unit_cube(u in unit_vec(30)) {
+        let s = space();
+        let c = s.decode(&u);
+        let e = s.encode(&c);
+        prop_assert!(e.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    /// Monotonicity of numeric encodings: a larger raw value never encodes
+    /// to a smaller coordinate.
+    #[test]
+    fn numeric_encoding_is_monotone(a in 1i64..=64, b in 1i64..=64) {
+        let d = Domain::Int { lo: 1, hi: 64, log: false };
+        let (ua, ub) = (d.encode(&ParamValue::Int(a)), d.encode(&ParamValue::Int(b)));
+        if a <= b {
+            prop_assert!(ua <= ub);
+        } else {
+            prop_assert!(ua >= ub);
+        }
+        let dl = Domain::Int { lo: 1, hi: 64, log: true };
+        let (la, lb) = (dl.encode(&ParamValue::Int(a)), dl.encode(&ParamValue::Int(b)));
+        if a <= b {
+            prop_assert!(la <= lb);
+        } else {
+            prop_assert!(la >= lb);
+        }
+    }
+
+    /// Subspace lift/project round-trips for arbitrary free sets.
+    #[test]
+    fn subspace_lift_project_round_trip(
+        u in unit_vec(30),
+        mask in proptest::collection::vec(any::<bool>(), 30),
+    ) {
+        let s = space();
+        let free: Vec<usize> = mask.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i).collect();
+        prop_assume!(!free.is_empty());
+        let sub = Subspace::new(&s, free, s.default_configuration()).unwrap();
+        let reduced: Vec<f64> = sub.free_indices().iter().map(|&i| u[i]).collect();
+        let cfg = sub.lift(&reduced);
+        let back = sub.project(&cfg);
+        let again = sub.lift(&back);
+        prop_assert_eq!(cfg, again);
+    }
+
+    /// Frozen dimensions never change under subspace sampling.
+    #[test]
+    fn subspace_freezes_complement(seed in 0u64..1000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let s = space();
+        let free = vec![0usize, 2, 8];
+        let sub = Subspace::new(&s, free.clone(), s.default_configuration()).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = sub.sample(&mut rng);
+        let d = s.default_configuration();
+        for i in 0..30 {
+            if !free.contains(&i) {
+                prop_assert_eq!(c.get(i), d.get(i), "dim {} moved", i);
+            }
+        }
+    }
+
+    /// Float domains decode within bounds for any coordinate, including
+    /// slightly out-of-range ones.
+    #[test]
+    fn float_decode_clamped(x in -1.0f64..2.0) {
+        let p = Parameter::float("f", 0.25, 0.75, 0.5);
+        match p.domain.decode(x) {
+            ParamValue::Float(v) => prop_assert!((0.25..=0.75).contains(&v)),
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Analytic Spark execution simulator — the evaluation substrate for `otune`.
+//!
+//! The paper evaluates its tuner against real Spark 3.0 clusters (Tencent
+//! production resource groups and a four-node HiBench cluster). This crate
+//! replaces those clusters with an analytic simulator: given a cluster
+//! specification, a workload profile, a 30-parameter Spark
+//! [`Configuration`](otune_space::Configuration) and an input data size, it
+//! produces a runtime, resource-usage metrics, and a structured
+//! [`EventLog`] equivalent to the SparkEventLog the
+//! meta-learner parses.
+//!
+//! The simulator is *not* a performance model of any particular cluster.
+//! It reproduces the qualitative structure the tuner exploits:
+//!
+//! * executor sizing dominates cost and interacts with cluster capacity
+//!   (requesting more executors than fit silently caps the parallelism but
+//!   still bills the request);
+//! * memory pressure causes super-linear penalties (spill, GC) with cliffs
+//!   that make parts of the space *unsafe* (runtime ≫ default);
+//! * parallelism has an optimum (too few partitions → idle slots; too many
+//!   → scheduling overhead);
+//! * serialization/compression choices trade CPU for I/O volume;
+//! * per-workload profiles differ in which parameters matter, which is what
+//!   sub-space generation and meta-learning need;
+//! * repeated executions are noisy (multiplicative log-normal noise) and
+//!   the input size drifts across periodic runs.
+//!
+//! Everything is deterministic given seeds — no wall clock, no OS entropy.
+
+pub mod cluster;
+pub mod datasize;
+pub mod engine;
+pub mod eventlog;
+pub mod metrics;
+pub mod production;
+pub mod workload;
+pub mod workloads;
+
+pub use cluster::ClusterSpec;
+pub use datasize::DataSizeModel;
+pub use engine::{simulate, SimJob};
+pub use eventlog::{EventLog, StageEvent, TaskStats};
+pub use metrics::ExecutionResult;
+pub use production::{ProductionTask, ProductionTaskGenerator};
+pub use workload::{StageProfile, WorkloadProfile};
+pub use workloads::{hibench_suite, hibench_task, HibenchTask};

@@ -1,0 +1,69 @@
+//! Quickstart: tune a simulated HiBench WordCount job online.
+//!
+//! ```text
+//! cargo run --release -p otune-core --example quickstart
+//! ```
+//!
+//! Demonstrates the minimal loop from §3.1: build the 30-parameter Spark
+//! space, define a cost objective with a runtime safety constraint, and
+//! alternate `suggest` (the configuration for the next periodic run) with
+//! `observe` (the run's metrics).
+
+use otune_core::prelude::*;
+
+fn main() {
+    // The job under tuning: simulated WordCount on the 4-node test cluster.
+    let space = spark_space(ClusterScale::hibench());
+    let job = SimJob::new(ClusterSpec::hibench(), hibench_task(HibenchTask::WordCount));
+
+    // Baseline: the default configuration's behaviour.
+    let default_cfg = space.default_configuration();
+    let baseline = job.run(&default_cfg, 0);
+    println!(
+        "default config: runtime {:.1}s, resource {:.1}, cost {:.0}",
+        baseline.runtime_s,
+        baseline.resource,
+        baseline.execution_cost()
+    );
+
+    // Tune the execution cost (β = 0.5) with the paper's safety rule:
+    // never exceed twice the baseline runtime.
+    let mut tuner = OnlineTuner::new(
+        space,
+        TunerOptions {
+            beta: 0.5,
+            t_max: Some(2.0 * baseline.runtime_s),
+            budget: 20,
+            ..TunerOptions::default()
+        },
+    );
+    tuner.seed_observation(default_cfg, baseline.runtime_s, baseline.resource, &[]);
+
+    for run in 1..=20u64 {
+        let cfg = tuner.suggest(&[]).expect("suggest/observe alternation");
+        let result = job.run(&cfg, run);
+        println!(
+            "run {run:>2}: runtime {:>7.1}s  resource {:>6.1}  cost {:>8.0}  {}",
+            result.runtime_s,
+            result.resource,
+            result.execution_cost(),
+            if result.runtime_s <= 2.0 * baseline.runtime_s { "" } else { "  (!) over threshold" }
+        );
+        tuner
+            .observe(cfg, result.runtime_s, result.resource, &[])
+            .expect("pending suggestion");
+    }
+
+    let best = tuner.best().expect("at least one observation");
+    let saved = (baseline.execution_cost() - best.runtime * best.resource)
+        / baseline.execution_cost()
+        * 100.0;
+    println!(
+        "\nbest found: runtime {:.1}s, resource {:.1}, cost {:.0}  ({saved:.1}% cheaper than default)",
+        best.runtime, best.resource, best.runtime * best.resource
+    );
+    let inst = best.config[SparkParam::ExecutorInstances.index()].clone();
+    let cores = best.config[SparkParam::ExecutorCores.index()].clone();
+    let mem = best.config[SparkParam::ExecutorMemory.index()].clone();
+    println!("best executors: {inst} instances x {cores} cores x {mem} GB");
+}

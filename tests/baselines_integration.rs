@@ -1,0 +1,83 @@
+//! Baseline tuners against the simulator: every strategy completes a
+//! budget producing valid configurations, and `otune` is competitive.
+
+use otune_baselines::{CherryPick, Dac, Locat, RandomSearch, Rfhoc, Tuneful, Tuner};
+use otune_bo::Observation;
+use otune_core::prelude::*;
+
+fn run_baseline(tuner: &mut dyn Tuner, job: &SimJob, space: &ConfigSpace, budget: u64) -> f64 {
+    let mut history: Vec<Observation> = Vec::new();
+    let mut best = f64::INFINITY;
+    for t in 0..budget {
+        let cfg = tuner.suggest(&history, &[]);
+        space.validate(&cfg).unwrap_or_else(|e| panic!("{}: invalid config: {e}", tuner.name()));
+        let r = job.run(&cfg, t);
+        best = best.min(r.execution_cost());
+        history.push(Observation {
+            config: cfg,
+            objective: r.execution_cost().sqrt(),
+            runtime: r.runtime_s,
+            resource: r.resource,
+            context: vec![],
+        });
+    }
+    best
+}
+
+#[test]
+fn all_baselines_complete_a_budget_with_valid_configs() {
+    let space = spark_space(ClusterScale::hibench());
+    let job = SimJob::new(ClusterSpec::hibench(), hibench_task(HibenchTask::WordCount));
+    let budget = 12;
+
+    let mut tuners: Vec<Box<dyn Tuner>> = vec![
+        Box::new(RandomSearch::new(space.clone(), 1)),
+        Box::new(Rfhoc::new(space.clone(), 1)),
+        Box::new(Dac::new(space.clone(), 1)),
+        Box::new(CherryPick::new(space.clone(), None, 1)),
+        Box::new(Tuneful::new(space.clone(), 1)),
+        Box::new(Locat::new(space.clone(), 1)),
+    ];
+    for t in &mut tuners {
+        let best = run_baseline(t.as_mut(), &job, &space, budget);
+        assert!(best.is_finite() && best > 0.0, "{}", t.name());
+    }
+}
+
+#[test]
+fn otune_is_competitive_with_random_search() {
+    let space = spark_space(ClusterScale::hibench());
+    let job = SimJob::new(ClusterSpec::hibench(), hibench_task(HibenchTask::KMeans));
+    let budget = 15u64;
+
+    // Average over seeds to suppress noise.
+    let mut random_best = 0.0;
+    let mut ours_best = 0.0;
+    for seed in 1..=2u64 {
+        let mut rs = RandomSearch::new(space.clone(), seed);
+        random_best += run_baseline(&mut rs, &job, &space, budget) / 2.0;
+
+        let mut tuner = OnlineTuner::new(
+            space.clone(),
+            TunerOptions {
+                beta: 0.5,
+                budget: budget as usize,
+                enable_meta: false,
+                seed,
+                ..TunerOptions::default()
+            },
+        );
+        let mut best = f64::INFINITY;
+        for t in 0..budget {
+            let cfg = tuner.suggest(&[]).unwrap();
+            let r = job.run(&cfg, seed * 99 + t);
+            best = best.min(r.execution_cost());
+            tuner.observe(cfg, r.runtime_s, r.resource, &[]).unwrap();
+        }
+        ours_best += best / 2.0;
+    }
+    assert!(
+        ours_best < random_best * 1.2,
+        "otune at least matches random: {ours_best} vs {random_best}"
+    );
+}

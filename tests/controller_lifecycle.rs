@@ -1,0 +1,123 @@
+//! The OnlineTune controller service lifecycle against the simulator:
+//! request/report cycles, multiple tasks, repository mirroring, stopping,
+//! and restart on workload drift.
+
+use otune_core::controller::TaskState;
+use otune_core::prelude::*;
+use otune_meta::extract_meta_features;
+
+#[test]
+fn full_service_lifecycle_with_two_tasks() {
+    let mut ctl = OnlineTuneController::new();
+    let space = spark_space(ClusterScale::hibench());
+
+    let jobs = [
+        (
+            "wc-hourly",
+            SimJob::new(ClusterSpec::hibench(), hibench_task(HibenchTask::WordCount)),
+        ),
+        (
+            "sort-hourly",
+            SimJob::new(ClusterSpec::hibench(), hibench_task(HibenchTask::Sort)),
+        ),
+    ];
+
+    let mut handles = Vec::new();
+    for (id, _) in &jobs {
+        let h = ctl.create_task(
+            id,
+            space.clone(),
+            TunerOptions { beta: 0.5, budget: 6, enable_meta: false, ..TunerOptions::default() },
+        );
+        handles.push(h);
+    }
+
+    for t in 0..6u64 {
+        for (h, (_, job)) in handles.iter().zip(&jobs) {
+            let cfg = ctl.request_config(h, &[]).expect("registered task");
+            let r = job.run(&cfg, t);
+            let meta = if t == 0 {
+                Some(extract_meta_features(&r.event_log))
+            } else {
+                None
+            };
+            ctl.report_result(h, cfg, r.runtime_s, r.resource, &[], meta)
+                .expect("pending suggestion");
+        }
+    }
+
+    for h in &handles {
+        // Budget exhausted: the next request flips to Stopped.
+        let _ = ctl.request_config(h, &[]).unwrap();
+        assert_eq!(ctl.state(h), Some(TaskState::Stopped));
+        assert!(ctl.best_config(h).is_some());
+        let rec = ctl.repository().task(&h.0).unwrap();
+        assert_eq!(rec.observations.len(), 6);
+        assert!(!rec.meta_features.is_empty(), "meta features recorded");
+    }
+}
+
+#[test]
+fn degradation_restarts_tuning_and_transfers_history() {
+    let space = spark_space(ClusterScale::hibench());
+    let job = SimJob::new(ClusterSpec::hibench(), hibench_task(HibenchTask::WordCount));
+
+    let mut tuner = OnlineTuner::new(
+        space,
+        TunerOptions {
+            beta: 0.5,
+            budget: 6,
+            restart_after: 2,
+            degradation_factor: 1.3,
+            enable_meta: true,
+            seed: 17,
+            ..TunerOptions::default()
+        },
+    );
+    for t in 0..6u64 {
+        let cfg = tuner.suggest(&[]).unwrap();
+        let r = job.run(&cfg, t);
+        tuner.observe(cfg, r.runtime_s, r.resource, &[]).unwrap();
+    }
+    let _ = tuner.suggest(&[]).unwrap();
+    assert!(tuner.is_stopped());
+    let best = tuner.best().unwrap();
+    let (rt, rs) = (best.runtime, best.resource);
+    tuner.observe(best.config.clone(), rt, rs, &[]).unwrap();
+
+    // The workload drifts: post-tuning executions degrade 10x.
+    for _ in 0..2 {
+        let cfg = tuner.suggest(&[]).unwrap();
+        tuner.observe(cfg, rt * 10.0, rs, &[]).unwrap();
+    }
+    assert_eq!(tuner.restarts(), 1);
+    assert!(!tuner.is_stopped());
+
+    // The fresh round still works and can use the old round as meta base.
+    for t in 100..104u64 {
+        let cfg = tuner.suggest(&[]).unwrap();
+        let r = job.run(&cfg, t);
+        tuner.observe(cfg, r.runtime_s, r.resource, &[]).unwrap();
+    }
+    assert_eq!(tuner.history().len(), 4);
+}
+
+#[test]
+fn repository_round_trips_through_json() {
+    let mut ctl = OnlineTuneController::new();
+    let space = spark_space(ClusterScale::hibench());
+    let job = SimJob::new(ClusterSpec::hibench(), hibench_task(HibenchTask::KMeans));
+    let h = ctl.create_task(
+        "km",
+        space,
+        TunerOptions { budget: 4, enable_meta: false, ..TunerOptions::default() },
+    );
+    for t in 0..4u64 {
+        let cfg = ctl.request_config(&h, &[]).unwrap();
+        let r = job.run(&cfg, t);
+        ctl.report_result(&h, cfg, r.runtime_s, r.resource, &[], None).unwrap();
+    }
+    let json = ctl.repository().export_json();
+    let back = DataRepository::import_json(&json).unwrap();
+    assert_eq!(back.task("km").unwrap().observations.len(), 4);
+}

@@ -1,0 +1,117 @@
+//! End-to-end: the full online tuning loop against the Spark simulator.
+
+use otune_core::prelude::*;
+
+fn drive(tuner: &mut OnlineTuner, job: &SimJob, budget: u64, seed: u64) -> Vec<f64> {
+    let mut costs = Vec::new();
+    for t in 0..budget {
+        let cfg = tuner.suggest(&[]).expect("alternating suggest/observe");
+        let r = job.run(&cfg, seed * 1000 + t);
+        costs.push(r.execution_cost());
+        tuner
+            .observe(cfg, r.runtime_s, r.resource, &[])
+            .expect("pending suggestion");
+    }
+    costs
+}
+
+#[test]
+fn tuning_beats_the_default_configuration() {
+    let space = spark_space(ClusterScale::hibench());
+    let job = SimJob::new(ClusterSpec::hibench(), hibench_task(HibenchTask::WordCount));
+    let default_cfg = space.default_configuration();
+    let baseline = job.run(&default_cfg, 0);
+
+    let mut tuner = OnlineTuner::new(
+        space,
+        TunerOptions {
+            beta: 0.5,
+            t_max: Some(2.0 * baseline.runtime_s),
+            budget: 18,
+            enable_meta: false,
+            seed: 1,
+            ..TunerOptions::default()
+        },
+    );
+    tuner.seed_observation(default_cfg, baseline.runtime_s, baseline.resource, &[]);
+    let costs = drive(&mut tuner, &job, 18, 1);
+
+    let best = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        best < baseline.execution_cost() * 0.9,
+        "best {best} vs baseline {}",
+        baseline.execution_cost()
+    );
+    // The tuner's own view of its best agrees with the observed stream.
+    let tuner_best = tuner.best().unwrap();
+    assert!(tuner_best.objective.is_finite());
+    assert_eq!(tuner.history().len(), 19);
+}
+
+#[test]
+fn runtime_objective_prefers_faster_configs_than_resource_objective() {
+    let space = spark_space(ClusterScale::hibench());
+    let job = SimJob::new(ClusterSpec::hibench(), hibench_task(HibenchTask::Sort));
+
+    let run_with_beta = |beta: f64| {
+        let mut tuner = OnlineTuner::new(
+            space.clone(),
+            TunerOptions { beta, budget: 15, enable_meta: false, seed: 3, ..TunerOptions::default() },
+        );
+        drive(&mut tuner, &job, 15, 2);
+        let best = tuner.best().unwrap();
+        (best.runtime, best.resource)
+    };
+
+    let (rt_fast, res_fast) = run_with_beta(1.0);
+    let (rt_cheap, res_cheap) = run_with_beta(0.0);
+    assert!(
+        rt_fast < rt_cheap,
+        "β=1 finds faster configs: {rt_fast} vs {rt_cheap}"
+    );
+    assert!(
+        res_cheap < res_fast,
+        "β=0 finds cheaper configs: {res_cheap} vs {res_fast}"
+    );
+}
+
+#[test]
+fn datasize_context_keeps_surrogates_consistent_under_drift() {
+    let space = spark_space(ClusterScale::hibench());
+    let job = SimJob::new(ClusterSpec::hibench(), hibench_task(HibenchTask::WordCount));
+    let datasize = DataSizeModel::hourly(100.0, 5);
+
+    let mut tuner = OnlineTuner::new(
+        space,
+        TunerOptions { beta: 0.5, budget: 12, enable_meta: false, seed: 5, ..TunerOptions::default() },
+    );
+    for t in 0..12u64 {
+        let ds = datasize.size_at(t);
+        let ctx = vec![ds / 100.0];
+        let cfg = tuner.suggest(&ctx).expect("protocol");
+        let r = job.run_with_datasize(&cfg, ds, t);
+        tuner.observe(cfg, r.runtime_s, r.resource, &ctx).expect("pending");
+    }
+    assert_eq!(tuner.history().len(), 12);
+    assert!(tuner.best().is_some());
+}
+
+#[test]
+fn budget_then_stopped_configuration_is_stable() {
+    let space = spark_space(ClusterScale::hibench());
+    let job = SimJob::new(ClusterSpec::hibench(), hibench_task(HibenchTask::KMeans));
+    let mut tuner = OnlineTuner::new(
+        space,
+        TunerOptions { budget: 6, enable_meta: false, seed: 7, ..TunerOptions::default() },
+    );
+    drive(&mut tuner, &job, 6, 3);
+    let best_cfg = tuner.best().unwrap().config.clone();
+    // Post-budget, the same configuration is served every period.
+    for t in 0..4u64 {
+        let cfg = tuner.suggest(&[]).unwrap();
+        assert_eq!(cfg, best_cfg);
+        let r = job.run(&cfg, 900 + t);
+        tuner.observe(cfg, r.runtime_s, r.resource, &[]).unwrap();
+    }
+    assert!(tuner.is_stopped());
+}

@@ -1,0 +1,102 @@
+//! Safe exploration (§4.2) against the simulator: the safe region must
+//! reduce constraint violations during online tuning.
+
+use otune_core::prelude::*;
+
+fn violations(task: HibenchTask, enable_safety: bool, seed: u64) -> (usize, usize) {
+    let space = spark_space(ClusterScale::hibench());
+    let job = SimJob::new(ClusterSpec::hibench(), hibench_task(task));
+    let default_cfg = space.default_configuration();
+    let baseline = job.run(&default_cfg, 0);
+    let t_max = 2.0 * baseline.runtime_s;
+
+    let mut tuner = OnlineTuner::new(
+        space,
+        TunerOptions {
+            beta: 0.5,
+            t_max: Some(t_max),
+            budget: 18,
+            enable_safety,
+            enable_meta: false,
+            seed,
+            ..TunerOptions::default()
+        },
+    );
+    tuner.seed_observation(default_cfg, baseline.runtime_s, baseline.resource, &[]);
+    let mut bad = 0;
+    let mut total = 0;
+    for t in 0..18u64 {
+        let cfg = tuner.suggest(&[]).expect("protocol");
+        let r = job.run(&cfg, seed * 777 + t);
+        total += 1;
+        if r.runtime_s > t_max {
+            bad += 1;
+        }
+        tuner.observe(cfg, r.runtime_s, r.resource, &[]).expect("pending");
+    }
+    (bad, total)
+}
+
+#[test]
+fn safe_region_reduces_violations_on_memory_hungry_tasks() {
+    let mut with_safety = 0;
+    let mut without = 0;
+    for seed in 1..=3 {
+        with_safety += violations(HibenchTask::TeraSort, true, seed).0;
+        without += violations(HibenchTask::TeraSort, false, seed).0;
+    }
+    assert!(
+        with_safety <= without,
+        "safety must not increase violations: {with_safety} vs {without}"
+    );
+}
+
+#[test]
+fn most_suggestions_are_safe_with_safety_on() {
+    let (bad, total) = violations(HibenchTask::WordCount, true, 2);
+    assert!(
+        (bad as f64) < total as f64 * 0.5,
+        "safe tuning keeps most runs feasible: {bad}/{total}"
+    );
+}
+
+#[test]
+fn r_max_constraint_is_hard_for_bo_suggestions() {
+    // With an analytic resource cap, all BO-sourced evaluations must
+    // respect it exactly (it is white-box).
+    let space = spark_space(ClusterScale::hibench());
+    let job = SimJob::new(ClusterSpec::hibench(), hibench_task(HibenchTask::Sort));
+    let default_cfg = space.default_configuration();
+    let baseline = job.run(&default_cfg, 0);
+    let r_max = baseline.resource * 1.5;
+
+    let mut tuner = OnlineTuner::new(
+        space,
+        TunerOptions {
+            beta: 0.5,
+            r_max: Some(r_max),
+            budget: 15,
+            n_agd: 0, // AGD steps are exploratory and may leave the cap
+            enable_meta: false,
+            seed: 4,
+            ..TunerOptions::default()
+        },
+    );
+    tuner.seed_observation(default_cfg, baseline.runtime_s, baseline.resource, &[]);
+    let mut checked = 0;
+    for t in 0..15u64 {
+        let cfg = tuner.suggest(&[]).expect("protocol");
+        let r = job.run(&cfg, 31 + t);
+        // Initial-design probes may exceed the cap; BO suggestions must not.
+        if t >= 4 {
+            assert!(
+                r.resource <= r_max + 1e-9,
+                "iteration {t}: resource {} exceeds cap {r_max}",
+                r.resource
+            );
+            checked += 1;
+        }
+        tuner.observe(cfg, r.runtime_s, r.resource, &[]).expect("pending");
+    }
+    assert!(checked >= 10);
+}
