@@ -1,0 +1,50 @@
+//! Vendored, API-compatible subset of `crossbeam`: scoped threads built
+//! on `std::thread::scope` (available since Rust 1.63).
+
+pub mod thread {
+    //! Scoped threads (`crossbeam::thread`).
+
+    /// Handle passed to the `scope` closure for spawning workers.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped worker. The closure receives a spawn token
+        /// (crossbeam passes the scope here; the workspace ignores it).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(&()))
+        }
+    }
+
+    /// Run `f` with a scope whose spawned threads are all joined before
+    /// returning. Unlike crossbeam, a panicking worker propagates the
+    /// panic (std semantics) instead of surfacing through `Err` — the
+    /// workspace treats worker panics as fatal either way.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let mut out = vec![0u64; 4];
+            super::scope(|s| {
+                for (slot, v) in out.iter_mut().zip(&data) {
+                    s.spawn(move |_| *slot = v * 10);
+                }
+            })
+            .unwrap();
+            assert_eq!(out, vec![10, 20, 30, 40]);
+        }
+    }
+}

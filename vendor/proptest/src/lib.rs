@@ -1,0 +1,485 @@
+//! Vendored, API-compatible subset of `proptest`.
+//!
+//! Supports the strategy combinators and macros the workspace uses:
+//! numeric range strategies, `collection::vec`, `option::of`,
+//! `any::<T>()`, `prop_map`, and the `proptest!` / `prop_assert*` /
+//! `prop_assume!` macros. Cases are generated from a deterministic
+//! seeded RNG; shrinking is not implemented (a failing input is
+//! reported as found).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod prelude {
+    //! Common imports, mirroring `proptest::prelude`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, Strategy, TestCaseError,
+    };
+    pub use crate::{ProptestConfig, TestRunner};
+}
+
+/// Source of randomness handed to strategies.
+pub type TestRng = StdRng;
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// Input rejected by `prop_assume!`; does not count as a failure.
+    Reject(String),
+    /// Assertion failed; the whole property test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A rejection (filtered input).
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+
+    /// A failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Maximum rejected inputs before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Generates values of `Self::Value` from an RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Box the strategy (API parity; rarely needed here).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Boxed, type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Strategy adapter created by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Types with a canonical `any::<T>()` strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for `Self`.
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+/// Strategy generating any value of `T` (subset of types).
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary()
+}
+
+/// Strategy backed by a plain generation function.
+pub struct FnStrategy<T>(fn(&mut TestRng) -> T);
+
+impl<T> Strategy for FnStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_fn {
+    ($($t:ty => $gen:expr),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> BoxedStrategy<$t> {
+                FnStrategy::<$t>($gen).boxed()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_fn! {
+    bool => |rng| rng.gen::<bool>(),
+    u8 => |rng| rng.gen::<u8>(),
+    u16 => |rng| rng.gen::<u16>(),
+    u32 => |rng| rng.gen::<u32>(),
+    u64 => |rng| rng.gen::<u64>(),
+    usize => |rng| rng.gen::<u64>() as usize,
+    i8 => |rng| rng.gen::<i8>(),
+    i16 => |rng| rng.gen::<i16>(),
+    i32 => |rng| rng.gen::<i32>(),
+    i64 => |rng| rng.gen::<i64>(),
+    f32 => |rng| rng.gen::<f32>(),
+    f64 => |rng| rng.gen::<f64>(),
+}
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection`).
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Length specification: a fixed size or a size range.
+    pub trait SizeRange {
+        /// Pick a length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `S`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`: vectors of `element` with length `len`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod option {
+    //! Option strategies (`proptest::option`).
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Option<T>`: `None` about 1 in 4 cases.
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// `proptest::option::of`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+/// Drives property test cases; used by the `proptest!` macro.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Runner with the given config and a fixed seed (deterministic runs).
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner {
+            config,
+            rng: TestRng::seed_from_u64(0x70726f7074657374),
+        }
+    }
+
+    /// Run `test` against `config.cases` generated values; panics with
+    /// the failing input's debug representation on failure.
+    pub fn run<S, F>(&mut self, strategy: &S, test: F)
+    where
+        S: Strategy,
+        S::Value: std::fmt::Debug,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < self.config.cases {
+            if rejected > self.config.max_global_rejects {
+                panic!(
+                    "proptest: too many rejected inputs ({} rejects, {} passes)",
+                    rejected, passed
+                );
+            }
+            let value = strategy.generate(&mut self.rng);
+            let shown = format!("{value:?}");
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => rejected += 1,
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest case failed: {msg}\n  input: {shown}")
+                }
+            }
+        }
+    }
+}
+
+/// Property-test entry macro, mirroring `proptest::proptest!`.
+///
+/// Supports the forms used in this workspace:
+/// `proptest! { #![proptest_config(cfg)] #[test] fn name(a in strat, ...) { body } ... }`.
+#[macro_export]
+macro_rules! proptest {
+    // With a config attribute.
+    (#![proptest_config($config:expr)]
+     $(
+         $(#[$meta:meta])*
+         fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let strategy = ($($strategy,)+);
+                let mut runner = $crate::TestRunner::new(config);
+                $crate::__run_tuple!(runner, strategy, ($($arg),+), $body);
+            }
+        )*
+    };
+    // Default config.
+    ($(
+         $(#[$meta:meta])*
+         fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     )*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+/// Internal: run the strategies tuple and destructure into the named args.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __run_tuple {
+    ($runner:ident, $strategy:ident, ($($arg:pat),+), $body:block) => {
+        $runner.run(&$strategy, |($($arg),+,)| {
+            $body
+            #[allow(unreachable_code)]
+            Ok(())
+        });
+    };
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S0 / 0);
+impl_tuple_strategy!(S0 / 0, S1 / 1);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);
+
+/// `prop_assert!`: assert inside a property test without panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `prop_assert_eq!`: equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// `prop_assume!`: reject inputs that do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn range_strategy_stays_in_range(x in -50.0f64..50.0) {
+            prop_assert!((-50.0..50.0).contains(&x));
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(v in crate::collection::vec(0u32..10, 0..20usize)) {
+            prop_assert!(v.len() < 20);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn multiple_args_and_assume(a in 1u32..100, b in 1u32..100) {
+            prop_assume!(a != b);
+            prop_assert!(a + b > 1);
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn option_and_any(flag in any::<bool>(), opt in crate::option::of(1.0f64..1e4)) {
+            if let Some(v) = opt {
+                prop_assert!(v >= 1.0 && v < 1e4);
+            }
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let strat = (0u32..10).prop_map(|x| x * 2);
+        let mut rng = TestRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert_eq!(v % 2, 0);
+            assert!(v < 20);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failing_property_panics() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(8));
+        runner.run(&(0u32..10), |x| {
+            if x < 100 {
+                Err(TestCaseError::fail("always fails"))
+            } else {
+                Ok(())
+            }
+        });
+    }
+}

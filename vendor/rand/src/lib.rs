@@ -1,0 +1,234 @@
+//! Vendored, API-compatible subset of the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! ships the slice of `rand` it actually uses: [`Rng`], [`SeedableRng`],
+//! [`rngs::StdRng`]/[`rngs::SmallRng`] and [`seq::SliceRandom`]. The
+//! generator is xoshiro256++ seeded through SplitMix64 — deterministic
+//! given a seed, which is all the workspace relies on (statistical
+//! equivalence with upstream `StdRng` streams is *not* promised).
+
+pub mod rngs;
+pub mod seq;
+
+pub use rngs::{SmallRng, StdRng};
+
+/// Core of every generator: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// The next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next uniform 32-bit word.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64` seed (the only constructor the workspace
+    /// uses).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let w = sm.next().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&w[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types producible by [`Rng::gen`] (upstream's `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draw a uniform value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types drawable uniformly from a bounded range; the element-type bound
+/// behind [`SampleRange`]. A single generic `SampleRange` impl (rather
+/// than one per concrete type) lets inference unify `T` with the range's
+/// element type before literal fallback, exactly as upstream rand's
+/// `SampleUniform` does — `rng.gen_range(2.0..6.0)` must infer `f64`.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Draw from `[lo, hi)` (`inclusive == false`) or `[lo, hi]`.
+    fn sample_uniform<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
+        -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                lo: $t,
+                hi: $t,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                assert!(span > 0, "gen_range: empty range");
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                lo: $t,
+                hi: $t,
+                _inclusive: bool,
+                rng: &mut R,
+            ) -> $t {
+                assert!(lo < hi, "gen_range: empty range");
+                let u = <$t as Standard>::sample_standard(rng);
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_uniform_float!(f32, f64);
+
+/// Ranges acceptable to [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a uniform value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_uniform(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_uniform(lo, hi, true, rng)
+    }
+}
+
+/// User-facing generator methods; blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform value of an inferred [`Standard`] type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// A uniform value within `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        <f64 as Standard>::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// SplitMix64: seed expander (public only for the proptest vendor stub).
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    /// The next word in the SplitMix64 sequence.
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_interval_and_ranges() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            let x = rng.gen_range(-3.0..5.0);
+            assert!((-3.0..5.0).contains(&x));
+            let k = rng.gen_range(0..10usize);
+            assert!(k < 10);
+            let j = rng.gen_range(2..=4usize);
+            assert!((2..=4).contains(&j));
+            let s = rng.gen_range(-9i64..-1);
+            assert!((-9..-1).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_mean() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "{hits}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Concrete generators: xoshiro256++ behind the `StdRng`/`SmallRng` names.
+
+use crate::{RngCore, SeedableRng};
+
+/// xoshiro256++ state.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_bytes(seed: [u8; 32]) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks(8).enumerate() {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(chunk);
+            s[i] = u64::from_le_bytes(w);
+        }
+        // An all-zero state is a fixed point; nudge it.
+        if s == [0; 4] {
+            s = [0x9e37_79b9_7f4a_7c15, 1, 2, 3];
+        }
+        Xoshiro256 { s }
+    }
+}
+
+impl RngCore for Xoshiro256 {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// The workspace's standard seeded generator.
+#[derive(Debug, Clone)]
+pub struct StdRng(Xoshiro256);
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        StdRng(Xoshiro256::from_bytes(seed))
+    }
+}
+
+/// Small-footprint generator; same engine as [`StdRng`] here.
+#[derive(Debug, Clone)]
+pub struct SmallRng(Xoshiro256);
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        SmallRng(Xoshiro256::from_bytes(seed))
+    }
+}

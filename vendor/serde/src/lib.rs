@@ -1,0 +1,386 @@
+//! Vendored, API-compatible subset of `serde`.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the `Serialize`/`Deserialize` traits (plus the derive macros
+//! from the sibling `serde_derive` stub) against a simplified data model:
+//! values serialize into a [`Content`] tree which `serde_json` renders.
+//! The JSON produced matches upstream serde's externally-tagged defaults
+//! (struct → object, unit variant → string, data variant →
+//! single-key object), so logs and exports stay interchangeable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// The serialized form of any value: a JSON-shaped tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Content>),
+    /// Key/value map, insertion-ordered.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) | Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// "expected X while deserializing Y" helper used by derived code.
+    pub fn expected(what: &str, while_deserializing: &str) -> Self {
+        DeError(format!("expected {what} while deserializing {while_deserializing}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialization into the [`Content`] tree.
+pub trait Serialize {
+    /// This value as a content tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Deserialization from the [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Build the value from a content tree.
+    fn from_content(c: &Content) -> Result<Self, DeError>;
+
+    /// The value to use for a field absent from the input map, when one
+    /// exists (`Option` fields deserialize to `None`, like upstream).
+    fn from_missing() -> Option<Self> {
+        None
+    }
+}
+
+/// Look up a struct field in a deserialized map (used by derived code).
+pub fn field<T: Deserialize>(m: &[(String, Content)], key: &str, ty: &str) -> Result<T, DeError> {
+    match m.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_content(v)
+            .map_err(|e| DeError(format!("{ty}.{key}: {e}"))),
+        None => T::from_missing()
+            .ok_or_else(|| DeError(format!("missing field `{key}` while deserializing {ty}"))),
+    }
+}
+
+// --- primitive impls ---
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                #[allow(unused_comparisons)]
+                if (*self as i128) < 0 {
+                    Content::I64(*self as i64)
+                } else {
+                    Content::U64(*self as u64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let out = match *c {
+                    Content::I64(v) => v as i128,
+                    Content::U64(v) => v as i128,
+                    Content::F64(v) if v.fract() == 0.0 => v as i128,
+                    _ => return Err(DeError::expected("integer", stringify!($t))),
+                };
+                <$t>::try_from(out)
+                    .map_err(|_| DeError(format!("integer {out} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_ser_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match *c {
+                    Content::F64(v) => Ok(v as $t),
+                    Content::I64(v) => Ok(v as $t),
+                    Content::U64(v) => Ok(v as $t),
+                    _ => Err(DeError::expected("number", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+impl_ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", "bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::expected("single-character string", "char")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+
+    fn from_missing() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| DeError::expected("sequence", "Vec"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let s = c.as_seq().ok_or_else(|| DeError::expected("sequence", "tuple"))?;
+                let mut it = s.iter();
+                let mut next = || it.next().ok_or_else(|| DeError::expected("longer sequence", "tuple"));
+                Ok(($($t::from_content(next()?)?,)+))
+            }
+        }
+    )*};
+}
+impl_ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.clone(), v.to_content())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_map()
+            .ok_or_else(|| DeError::expected("map", "BTreeMap"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_content(&self) -> Content {
+        // Sort for deterministic output, like serializing via BTreeMap.
+        let mut entries: Vec<(String, Content)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_content())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_map()
+            .ok_or_else(|| DeError::expected("map", "HashMap"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_content(&42u64.to_content()).unwrap(), 42);
+        assert_eq!(i64::from_content(&(-3i64).to_content()).unwrap(), -3);
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert_eq!(bool::from_content(&true.to_content()).unwrap(), true);
+        assert_eq!(String::from_content(&"hi".to_string().to_content()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn integers_accept_any_numeric_content() {
+        assert_eq!(usize::from_content(&Content::I64(7)).unwrap(), 7);
+        assert_eq!(f64::from_content(&Content::U64(7)).unwrap(), 7.0);
+        assert!(u8::from_content(&Content::I64(300)).is_err());
+        assert!(u64::from_content(&Content::I64(-1)).is_err());
+    }
+
+    #[test]
+    fn missing_option_field_is_none() {
+        let m = vec![("present".to_string(), Content::F64(1.0))];
+        let v: Option<f64> = field(&m, "absent", "T").unwrap();
+        assert_eq!(v, None);
+        let p: Option<f64> = field(&m, "present", "T").unwrap();
+        assert_eq!(p, Some(1.0));
+        assert!(field::<f64>(&m, "absent", "T").is_err());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1.0f64, 2.0, 3.0];
+        assert_eq!(Vec::<f64>::from_content(&v.to_content()).unwrap(), v);
+        let o: Option<u32> = Some(5);
+        assert_eq!(Option::<u32>::from_content(&o.to_content()).unwrap(), o);
+        let mut map = BTreeMap::new();
+        map.insert("a".to_string(), 1u64);
+        assert_eq!(BTreeMap::<String, u64>::from_content(&map.to_content()).unwrap(), map);
+        let t = (1u32, "x".to_string());
+        assert_eq!(<(u32, String)>::from_content(&t.to_content()).unwrap(), t);
+    }
+}

@@ -1,0 +1,236 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` for the local `serde`
+//! subset.
+//!
+//! The offline build cannot pull `syn`/`quote`, so the item is parsed
+//! directly from the `proc_macro` token stream. Supported shapes cover
+//! everything the workspace derives on:
+//!
+//! * structs with named fields (honoring `#[serde(skip)]`),
+//! * tuple structs,
+//! * enums with unit, tuple, and struct variants (externally tagged,
+//!   matching upstream serde's JSON layout).
+//!
+//! Generics are intentionally unsupported; deriving on a generic type is
+//! a compile-time panic with a clear message.
+
+use proc_macro::TokenStream;
+
+mod parse;
+
+use parse::{Fields, Item, ItemKind, Variant};
+
+/// Derive `::serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse::parse_item(input);
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => serialize_struct(&item, fields),
+        ItemKind::Enum(variants) => serialize_enum(&item, variants),
+    };
+    let code = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n\
+         }}",
+        name = item.name
+    );
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derive `::serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse::parse_item(input);
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => deserialize_struct(&item, fields),
+        ItemKind::Enum(variants) => deserialize_enum(&item, variants),
+    };
+    let code = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(c: &::serde::Content) -> ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}",
+        name = item.name
+    );
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+fn serialize_struct(item: &Item, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(named) => {
+            let mut out = String::from("let mut m: Vec<(String, ::serde::Content)> = Vec::new();\n");
+            for f in named.iter().filter(|f| !f.skip) {
+                out.push_str(&format!(
+                    "m.push((String::from(\"{n}\"), ::serde::Serialize::to_content(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            out.push_str("::serde::Content::Map(m)");
+            out
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", elems.join(", "))
+        }
+        Fields::Unit => format!("let _ = self; ::serde::Content::Str(String::from(\"{}\"))", item.name),
+    }
+}
+
+fn deserialize_struct(item: &Item, fields: &Fields) -> String {
+    let name = &item.name;
+    match fields {
+        Fields::Named(named) => {
+            let mut inits = String::new();
+            for f in named {
+                if f.skip {
+                    inits.push_str(&format!("{}: ::core::default::Default::default(),\n", f.name));
+                } else {
+                    inits.push_str(&format!(
+                        "{n}: ::serde::field(m, \"{n}\", \"{name}\")?,\n",
+                        n = f.name
+                    ));
+                }
+            }
+            format!(
+                "let m = c.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", \"{name}\"))?;\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        Fields::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_content(c)?))"),
+        Fields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&s[{i}])?"))
+                .collect();
+            format!(
+                "let s = c.as_seq().ok_or_else(|| ::serde::DeError::expected(\"sequence\", \"{name}\"))?;\n\
+                 if s.len() != {n} {{\n\
+                     return Err(::serde::DeError::expected(\"sequence of length {n}\", \"{name}\"));\n\
+                 }}\n\
+                 Ok({name}({elems}))",
+                elems = elems.join(", ")
+            )
+        }
+        Fields::Unit => format!(
+            "match c {{\n\
+                 ::serde::Content::Str(s) if s == \"{name}\" => Ok({name}),\n\
+                 ::serde::Content::Null => Ok({name}),\n\
+                 _ => Err(::serde::DeError::expected(\"unit\", \"{name}\")),\n\
+             }}"
+        ),
+    }
+}
+
+fn serialize_enum(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => arms.push_str(&format!(
+                "{name}::{vn} => ::serde::Content::Str(String::from(\"{vn}\")),\n"
+            )),
+            Fields::Tuple(1) => arms.push_str(&format!(
+                "{name}::{vn}(f0) => ::serde::Content::Map(vec![(String::from(\"{vn}\"), \
+                 ::serde::Serialize::to_content(f0))]),\n"
+            )),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                let elems: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_content({b})"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vn}({binds}) => ::serde::Content::Map(vec![(String::from(\"{vn}\"), \
+                     ::serde::Content::Seq(vec![{elems}]))]),\n",
+                    binds = binds.join(", "),
+                    elems = elems.join(", ")
+                ));
+            }
+            Fields::Named(named) => {
+                let binds: Vec<String> = named.iter().map(|f| f.name.clone()).collect();
+                let mut inner =
+                    String::from("let mut m: Vec<(String, ::serde::Content)> = Vec::new();\n");
+                for f in named.iter().filter(|f| !f.skip) {
+                    inner.push_str(&format!(
+                        "m.push((String::from(\"{n}\"), ::serde::Serialize::to_content({n})));\n",
+                        n = f.name
+                    ));
+                }
+                inner.push_str("::serde::Content::Map(m)");
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {binds} }} => ::serde::Content::Map(vec![(String::from(\"{vn}\"), \
+                     {{ {inner} }})]),\n",
+                    binds = binds.join(", ")
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+fn deserialize_enum(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n")),
+            Fields::Tuple(1) => data_arms.push_str(&format!(
+                "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_content(v)?)),\n"
+            )),
+            Fields::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_content(&s[{i}])?"))
+                    .collect();
+                data_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                         let s = v.as_seq().ok_or_else(|| ::serde::DeError::expected(\"sequence\", \"{name}::{vn}\"))?;\n\
+                         if s.len() != {n} {{\n\
+                             return Err(::serde::DeError::expected(\"sequence of length {n}\", \"{name}::{vn}\"));\n\
+                         }}\n\
+                         Ok({name}::{vn}({elems}))\n\
+                     }}\n",
+                    elems = elems.join(", ")
+                ));
+            }
+            Fields::Named(named) => {
+                let mut inits = String::new();
+                for f in named {
+                    if f.skip {
+                        inits.push_str(&format!("{}: ::core::default::Default::default(),\n", f.name));
+                    } else {
+                        inits.push_str(&format!(
+                            "{n}: ::serde::field(mm, \"{n}\", \"{name}::{vn}\")?,\n",
+                            n = f.name
+                        ));
+                    }
+                }
+                data_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                         let mm = v.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", \"{name}::{vn}\"))?;\n\
+                         Ok({name}::{vn} {{\n{inits}}})\n\
+                     }}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "match c {{\n\
+             ::serde::Content::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => Err(::serde::DeError(format!(\"unknown unit variant `{{other}}` of {name}\"))),\n\
+             }},\n\
+             ::serde::Content::Map(m) if m.len() == 1 => {{\n\
+                 let (k, v) = &m[0];\n\
+                 let _ = v;\n\
+                 match k.as_str() {{\n\
+                     {data_arms}\
+                     other => Err(::serde::DeError(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 }}\n\
+             }}\n\
+             _ => Err(::serde::DeError::expected(\"externally tagged variant\", \"{name}\")),\n\
+         }}"
+    )
+}

@@ -1,0 +1,215 @@
+//! Token-stream parsing of the derived item (structs and enums) without
+//! `syn`: just enough shape recognition for the workspace's types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A named field with its `#[serde(skip)]` flag.
+pub(crate) struct Field {
+    pub(crate) name: String,
+    pub(crate) skip: bool,
+}
+
+/// The fields of a struct or enum variant.
+pub(crate) enum Fields {
+    /// `{ a: T, b: U }`
+    Named(Vec<Field>),
+    /// `(T, U)` — only the arity matters for codegen.
+    Tuple(usize),
+    /// No fields.
+    Unit,
+}
+
+/// One enum variant.
+pub(crate) struct Variant {
+    pub(crate) name: String,
+    pub(crate) fields: Fields,
+}
+
+/// What was derived on.
+pub(crate) enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+/// The parsed item.
+pub(crate) struct Item {
+    pub(crate) name: String,
+    pub(crate) kind: ItemKind,
+}
+
+/// Attributes preceding an item/field/variant; returns whether any was
+/// `#[serde(skip)]`.
+fn take_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut skip = false;
+    while i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[i] else { break };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[i + 1] else { break };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        // Inspect `#[serde(...)]` contents for `skip`.
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    let has_skip = args
+                        .stream()
+                        .into_iter()
+                        .any(|t| matches!(&t, TokenTree::Ident(a) if a.to_string() == "skip"));
+                    if has_skip {
+                        skip = true;
+                    } else {
+                        panic!(
+                            "vendored serde_derive supports only #[serde(skip)], got #[serde({})]",
+                            args.stream()
+                        );
+                    }
+                }
+            }
+        }
+        i += 2;
+    }
+    (i, skip)
+}
+
+/// Skip a visibility modifier (`pub`, `pub(crate)`, ...).
+fn take_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Skip tokens until a comma at angle-bracket depth 0; returns the index
+/// *after* the comma (or `tokens.len()`).
+fn skip_past_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut prev_dash = false;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                // `->` in fn-pointer types must not close an angle bracket.
+                '>' if !prev_dash && depth > 0 => depth -= 1,
+                ',' if depth == 0 => return i + 1,
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parse `{ a: T, b: U, ... }` named fields.
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (j, skip) = take_attrs(&tokens, i);
+        let j = take_vis(&tokens, j);
+        let Some(TokenTree::Ident(name)) = tokens.get(j) else {
+            panic!("expected field name, got {:?}", tokens.get(j).map(|t| t.to_string()));
+        };
+        let name = name.to_string();
+        match tokens.get(j + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {:?}", other.map(|t| t.to_string())),
+        }
+        fields.push(Field { name, skip });
+        i = skip_past_comma(&tokens, j + 2);
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct/variant `( T, U, ... )`.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut n = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        // Each field may start with attrs and a visibility.
+        let (j, _) = take_attrs(&tokens, i);
+        let j = take_vis(&tokens, j);
+        n += 1;
+        i = skip_past_comma(&tokens, j);
+    }
+    n
+}
+
+/// Parse the enum body into variants.
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (j, _) = take_attrs(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(j) else {
+            panic!("expected variant name, got {:?}", tokens.get(j).map(|t| t.to_string()));
+        };
+        let name = name.to_string();
+        let (fields, j) = match tokens.get(j + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (Fields::Named(parse_named_fields(g.stream())), j + 2)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                (Fields::Tuple(count_tuple_fields(g.stream())), j + 2)
+            }
+            _ => (Fields::Unit, j + 1),
+        };
+        variants.push(Variant { name, fields });
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        i = skip_past_comma(&tokens, j);
+    }
+    variants
+}
+
+/// Parse the full derive input item.
+pub(crate) fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (i, _) = take_attrs(&tokens, 0);
+    let i = take_vis(&tokens, i);
+    let Some(TokenTree::Ident(kw)) = tokens.get(i) else {
+        panic!("expected `struct` or `enum`");
+    };
+    let kw = kw.to_string();
+    let Some(TokenTree::Ident(name)) = tokens.get(i + 1) else {
+        panic!("expected item name after `{kw}`");
+    };
+    let name = name.to_string();
+    if matches!(&tokens.get(i + 2), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic type `{name}`");
+    }
+    let kind = match (kw.as_str(), tokens.get(i + 2)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            ItemKind::Struct(Fields::Named(parse_named_fields(g.stream())))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            ItemKind::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => {
+            ItemKind::Struct(Fields::Unit)
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            ItemKind::Enum(parse_variants(g.stream()))
+        }
+        (kw, other) => panic!(
+            "unsupported item shape: `{kw} {name}` followed by {:?}",
+            other.map(|t| t.to_string())
+        ),
+    };
+    Item { name, kind }
+}

@@ -1,0 +1,155 @@
+//! Vendored, API-compatible subset of `serde_json`.
+//!
+//! Works against the simplified [`serde::Content`] data model of the
+//! sibling vendored `serde` crate: serialization renders a `Content`
+//! tree to JSON text, deserialization parses JSON text into a `Content`
+//! tree and hands it to `Deserialize`. Float formatting uses Rust's
+//! shortest round-trip representation, mirroring upstream's
+//! `float_roundtrip` feature.
+
+mod de;
+mod ser;
+mod value;
+
+pub use value::Value;
+
+use serde::{Content, Deserialize, Serialize};
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(ser::write_compact(&value.to_content()))
+}
+
+/// Serialize to a pretty-printed JSON string (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(ser::write_pretty(&value.to_content()))
+}
+
+/// Serialize as compact JSON into an `io::Write`.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    writer
+        .write_all(ser::write_compact(&value.to_content()).as_bytes())
+        .map_err(|e| Error::new(format!("io error: {e}")))
+}
+
+/// Serialize to a compact JSON byte vector.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    Ok(ser::write_compact(&value.to_content()).into_bytes())
+}
+
+/// Deserialize from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let content = de::parse(s)?;
+    Ok(T::from_content(&content)?)
+}
+
+/// Deserialize from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid utf-8: {e}")))?;
+    from_str(s)
+}
+
+/// Parse arbitrary JSON into a [`Value`] tree (also usable via
+/// `from_str::<Value>`).
+pub fn value_from_content(c: &Content) -> Value {
+    Value::from_content_tree(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars() {
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string("a\"b\\c\n").unwrap(), r#""a\"b\\c\n""#);
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(from_str::<f64>("3").unwrap(), 3.0);
+        assert_eq!(from_str::<String>(r#""a\"b\\c\n""#).unwrap(), "a\"b\\c\n");
+    }
+
+    #[test]
+    fn round_trips_containers() {
+        let v = vec![1.0f64, 2.5, -3.0];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[1.0,2.5,-3.0]");
+        assert_eq!(from_str::<Vec<f64>>(&json).unwrap(), v);
+        let o: Option<f64> = None;
+        assert_eq!(to_string(&o).unwrap(), "null");
+        assert_eq!(from_str::<Option<f64>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn float_shortest_representation_round_trips() {
+        for &x in &[0.1, 1e-8, 123456.789, f64::MIN_POSITIVE, 1e300, -0.25] {
+            let s = to_string(&x).unwrap();
+            assert_eq!(from_str::<f64>(&s).unwrap(), x, "{s}");
+        }
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_parses_back() {
+        let v = vec![vec![1.0f64], vec![2.0, 3.0]];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  "));
+        assert_eq!(from_str::<Vec<Vec<f64>>>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<f64>("").is_err());
+        assert!(from_str::<f64>("1.5x").is_err());
+        assert!(from_str::<Vec<f64>>("[1,").is_err());
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn value_api() {
+        let v: Value = from_str(r#"{"name":"x","pi":3.5,"ok":true,"xs":[1,2]}"#).unwrap();
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("x"));
+        assert_eq!(v.get("pi").and_then(Value::as_f64), Some(3.5));
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("xs").and_then(Value::as_array).map(|a| a.len()), Some(2));
+        assert_eq!(v.get("missing"), None);
+        let back = to_string(&v).unwrap();
+        assert_eq!(from_str::<Value>(&back).unwrap(), v);
+    }
+}

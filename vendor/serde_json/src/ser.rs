@@ -1,0 +1,103 @@
+//! Rendering a [`serde::Content`] tree as JSON text.
+
+use serde::Content;
+use std::fmt::Write as _;
+
+/// Compact rendering (no whitespace).
+pub(crate) fn write_compact(c: &Content) -> String {
+    let mut out = String::new();
+    write_value(&mut out, c, None, 0);
+    out
+}
+
+/// Pretty rendering with 2-space indent.
+pub(crate) fn write_pretty(c: &Content) -> String {
+    let mut out = String::new();
+    write_value(&mut out, c, Some(2), 0);
+    out
+}
+
+fn write_value(out: &mut String, c: &Content, indent: Option<usize>, level: usize) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Content::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Content::F64(v) => {
+            if v.is_finite() {
+                // `{:?}` is Rust's shortest round-trip float form, and it
+                // always keeps a `.0` or exponent so the JSON stays a float.
+                let _ = write!(out, "{v:?}");
+            } else {
+                // Upstream serde_json cannot represent non-finite floats.
+                out.push_str("null");
+            }
+        }
+        Content::Str(s) => write_string(out, s),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            if !items.is_empty() {
+                newline_indent(out, indent, level);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent, level + 1);
+            }
+            if !entries.is_empty() {
+                newline_indent(out, indent, level);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
