@@ -5,8 +5,7 @@
 
 use crate::Tuner;
 use otune_bo::{
-    best_observation, expected_improvement, fit_surrogate, prob_below, Observation,
-    SurrogateInput,
+    best_observation, expected_improvement, fit_surrogate, prob_below, Observation, SurrogateInput,
 };
 use otune_space::{ConfigSpace, Configuration};
 use rand::rngs::StdRng;
@@ -40,7 +39,9 @@ impl CherryPick {
 impl Tuner for CherryPick {
     fn suggest(&mut self, history: &[Observation], context: &[f64]) -> Configuration {
         if history.len() < self.n_init {
-            let probes = self.space.low_discrepancy(history.len() + 1, self.seed ^ 0xCAFE);
+            let probes = self
+                .space
+                .low_discrepancy(history.len() + 1, self.seed ^ 0xCAFE);
             return probes[history.len()].clone();
         }
         // Surrogates are fitted on log metrics — the same warping `otune`
@@ -101,7 +102,13 @@ mod tests {
     fn eval(c: &Configuration) -> Observation {
         let a = c[0].as_float().unwrap();
         let obj = (a - 0.3) * (a - 0.3) * 100.0;
-        Observation { config: c.clone(), objective: obj, runtime: obj + 10.0, resource: 1.0, context: vec![] }
+        Observation {
+            config: c.clone(),
+            objective: obj,
+            runtime: obj + 10.0,
+            resource: 1.0,
+            context: vec![],
+        }
     }
 
     #[test]
@@ -114,8 +121,14 @@ mod tests {
             s.validate(&c).unwrap();
             history.push(eval(&c));
         }
-        let best_init = history[..3].iter().map(|o| o.objective).fold(f64::INFINITY, f64::min);
-        let best_all = history.iter().map(|o| o.objective).fold(f64::INFINITY, f64::min);
+        let best_init = history[..3]
+            .iter()
+            .map(|o| o.objective)
+            .fold(f64::INFINITY, f64::min);
+        let best_all = history
+            .iter()
+            .map(|o| o.objective)
+            .fold(f64::INFINITY, f64::min);
         assert!(best_all <= best_init);
         assert!(best_all < 5.0, "found the basin: {best_all}");
         assert_eq!(t.name(), "CherryPick");
@@ -148,6 +161,9 @@ mod tests {
             .map(|o| o.config[0].as_float().unwrap())
             .sum::<f64>()
             / 6.0;
-        assert!(late_mean > 0.2, "constraint pushes away from a = 0: {late_mean}");
+        assert!(
+            late_mean > 0.2,
+            "constraint pushes away from a = 0: {late_mean}"
+        );
     }
 }

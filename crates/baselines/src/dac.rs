@@ -34,7 +34,6 @@ impl Dac {
             min_history: 8,
         }
     }
-
 }
 
 impl Tuner for Dac {
@@ -65,7 +64,11 @@ impl Tuner for Dac {
         // Level 1: coarse model.
         let coarse_cfg = ForestConfig {
             n_trees: 16,
-            tree: TreeConfig { max_depth: 4, min_samples_leaf: 3, mtry: None },
+            tree: TreeConfig {
+                max_depth: 4,
+                min_samples_leaf: 3,
+                mtry: None,
+            },
             ..ForestConfig::default()
         };
         let Ok(level1) = RandomForest::fit(&x, &y, coarse_cfg) else {
@@ -79,7 +82,11 @@ impl Tuner for Dac {
             .collect();
         let fine_cfg = ForestConfig {
             n_trees: 16,
-            tree: TreeConfig { max_depth: 8, min_samples_leaf: 2, mtry: None },
+            tree: TreeConfig {
+                max_depth: 8,
+                min_samples_leaf: 2,
+                mtry: None,
+            },
             seed: 7,
             ..ForestConfig::default()
         };
@@ -97,9 +104,14 @@ impl Tuner for Dac {
             level1.predict(&v) + level2.as_ref().map_or(0.0, |l2| l2.predict(&v))
         };
         let mut sorted: Vec<&Observation> = history.iter().collect();
-        sorted.sort_by(|a, b| a.objective.partial_cmp(&b.objective).unwrap_or(std::cmp::Ordering::Equal));
+        sorted.sort_by(|a, b| {
+            a.objective
+                .partial_cmp(&b.objective)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let seeds: Vec<Configuration> = sorted.iter().take(3).map(|o| o.config.clone()).collect();
-        self.ga.minimize(&self.space, &seeds, &fitness, &mut self.rng)
+        self.ga
+            .minimize(&self.space, &seeds, &fitness, &mut self.rng)
     }
 
     fn name(&self) -> &'static str {
@@ -147,7 +159,10 @@ mod tests {
         // Final suggestion for ds = 0.75 should target n ≈ 30, not n ≈ 10.
         let c = t.suggest(&history, &[0.75]);
         let n = c[0].as_int().unwrap() as f64;
-        assert!((n - 30.0).abs() < 15.0, "datasize-aware suggestion: n = {n}");
+        assert!(
+            (n - 30.0).abs() < 15.0,
+            "datasize-aware suggestion: n = {n}"
+        );
         assert_eq!(t.name(), "DAC");
     }
 

@@ -76,13 +76,18 @@ impl GeneticAlgorithm {
                 let mut child: Vec<f64> = pop[a]
                     .iter()
                     .zip(&pop[b])
-                    .map(|(&x, &y)| if rng.gen::<f64>() < p.crossover_prob { y } else { x })
+                    .map(|(&x, &y)| {
+                        if rng.gen::<f64>() < p.crossover_prob {
+                            y
+                        } else {
+                            x
+                        }
+                    })
                     .collect();
                 for gene in &mut child {
                     if rng.gen::<f64>() < p.mutation_prob {
                         let (u, v): (f64, f64) = (rng.gen::<f64>().max(1e-12), rng.gen());
-                        let gauss =
-                            (-2.0 * u.ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos();
+                        let gauss = (-2.0 * u.ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos();
                         *gene = (*gene + gauss * p.mutation_scale).clamp(0.0, 1.0);
                     }
                 }
@@ -152,7 +157,10 @@ mod tests {
             (c[0].as_float().unwrap() - 0.9).powi(2) + (c[1].as_float().unwrap() - 0.9).powi(2)
         };
         let seed_cfg = s.decode(&[0.9, 0.9, 0.5]);
-        let ga = GeneticAlgorithm::new(GaParams { generations: 1, ..Default::default() });
+        let ga = GeneticAlgorithm::new(GaParams {
+            generations: 1,
+            ..Default::default()
+        });
         let mut rng = StdRng::seed_from_u64(9);
         let best = ga.minimize(&s, std::slice::from_ref(&seed_cfg), &target, &mut rng);
         // With elitism and one generation, the seeded optimum survives.

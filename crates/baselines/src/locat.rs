@@ -41,8 +41,10 @@ impl Locat {
     /// IICP: rank parameters by |Spearman correlation| between each
     /// encoded coordinate and the objective.
     fn iicp(&self, history: &[Observation]) -> Vec<usize> {
-        let encoded: Vec<Vec<f64>> =
-            history.iter().map(|o| self.space.encode(&o.config)).collect();
+        let encoded: Vec<Vec<f64>> = history
+            .iter()
+            .map(|o| self.space.encode(&o.config))
+            .collect();
         let y: Vec<f64> = history.iter().map(|o| o.objective).collect();
         let mut scored: Vec<(usize, f64)> = (0..self.space.len())
             .map(|d| {
@@ -51,14 +53,20 @@ impl Locat {
             })
             .collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        scored.into_iter().take(self.k.min(self.space.len())).map(|(d, _)| d).collect()
+        scored
+            .into_iter()
+            .take(self.k.min(self.space.len()))
+            .map(|(d, _)| d)
+            .collect()
     }
 }
 
 impl Tuner for Locat {
     fn suggest(&mut self, history: &[Observation], context: &[f64]) -> Configuration {
         if history.len() < self.exploration {
-            let probes = self.space.low_discrepancy(history.len() + 1, self.seed ^ 0xA7);
+            let probes = self
+                .space
+                .low_discrepancy(history.len() + 1, self.seed ^ 0xA7);
             return probes[history.len()].clone();
         }
         if self.important.is_none() {
@@ -76,7 +84,10 @@ impl Tuner for Locat {
         // features in the surrogate.
         let logged: Vec<Observation> = history
             .iter()
-            .map(|o| Observation { objective: o.objective.max(1e-9).ln(), ..o.clone() })
+            .map(|o| Observation {
+                objective: o.objective.max(1e-9).ln(),
+                ..o.clone()
+            })
             .collect();
         let Ok(gp) = fit_surrogate(&self.space, &logged, SurrogateInput::Objective, self.seed)
         else {
@@ -95,7 +106,8 @@ impl Tuner for Locat {
                 best = Some((cand, acq));
             }
         }
-        best.map(|(c, _)| c).unwrap_or_else(|| sub.sample(&mut self.rng))
+        best.map(|(c, _)| c)
+            .unwrap_or_else(|| sub.sample(&mut self.rng))
     }
 
     fn name(&self) -> &'static str {
@@ -154,7 +166,10 @@ mod tests {
             let c = t.suggest(&history, &[ds]);
             history.push(eval(&c, ds));
         }
-        let best = history.iter().map(|o| o.objective).fold(f64::INFINITY, f64::min);
+        let best = history
+            .iter()
+            .map(|o| o.objective)
+            .fold(f64::INFINITY, f64::min);
         assert!(best < 3.0, "converged: {best}");
     }
 }

@@ -16,7 +16,10 @@ pub struct RandomSearch {
 impl RandomSearch {
     /// Create a random searcher with a fixed seed.
     pub fn new(space: ConfigSpace, seed: u64) -> Self {
-        RandomSearch { space, rng: StdRng::seed_from_u64(seed) }
+        RandomSearch {
+            space,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 

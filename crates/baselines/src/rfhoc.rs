@@ -37,7 +37,10 @@ impl Tuner for Rfhoc {
         if history.len() < self.min_history {
             return self.space.sample(&mut self.rng);
         }
-        let x: Vec<Vec<f64>> = history.iter().map(|o| self.space.encode(&o.config)).collect();
+        let x: Vec<Vec<f64>> = history
+            .iter()
+            .map(|o| self.space.encode(&o.config))
+            .collect();
         let y: Vec<f64> = history.iter().map(|o| o.objective).collect();
         let Ok(forest) = RandomForest::fit(&x, &y, ForestConfig::default()) else {
             return self.space.sample(&mut self.rng);
@@ -46,9 +49,14 @@ impl Tuner for Rfhoc {
         let fitness = move |c: &Configuration| forest.predict(&space.encode(c));
         // Seed the GA with the best configurations observed so far.
         let mut sorted: Vec<&Observation> = history.iter().collect();
-        sorted.sort_by(|a, b| a.objective.partial_cmp(&b.objective).unwrap_or(std::cmp::Ordering::Equal));
+        sorted.sort_by(|a, b| {
+            a.objective
+                .partial_cmp(&b.objective)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let seeds: Vec<Configuration> = sorted.iter().take(3).map(|o| o.config.clone()).collect();
-        self.ga.minimize(&self.space, &seeds, &fitness, &mut self.rng)
+        self.ga
+            .minimize(&self.space, &seeds, &fitness, &mut self.rng)
     }
 
     fn name(&self) -> &'static str {
@@ -72,7 +80,13 @@ mod tests {
         let n = c[0].as_int().unwrap() as f64;
         let m = c[1].as_int().unwrap() as f64;
         let obj = (n - 30.0).powi(2) + (m - 4.0).powi(2);
-        Observation { config: c.clone(), objective: obj, runtime: obj, resource: 1.0, context: vec![] }
+        Observation {
+            config: c.clone(),
+            objective: obj,
+            runtime: obj,
+            resource: 1.0,
+            context: vec![],
+        }
     }
 
     #[test]
@@ -87,7 +101,10 @@ mod tests {
         }
         // The model phase should find a better point than pure chance:
         // the best of the last 10 beats the best of the first 8 usually.
-        let best_late = history[8..].iter().map(|o| o.objective).fold(f64::INFINITY, f64::min);
+        let best_late = history[8..]
+            .iter()
+            .map(|o| o.objective)
+            .fold(f64::INFINITY, f64::min);
         assert!(best_late.is_finite());
         assert_eq!(t.name(), "RFHOC");
     }
@@ -101,7 +118,10 @@ mod tests {
             let c = t.suggest(&history, &[]);
             history.push(eval(&c));
         }
-        let best = history.iter().map(|o| o.objective).fold(f64::INFINITY, f64::min);
+        let best = history
+            .iter()
+            .map(|o| o.objective)
+            .fold(f64::INFINITY, f64::min);
         assert!(best < 350.0, "approached the optimum: {best}");
     }
 }

@@ -46,18 +46,28 @@ impl Tuner for Tuneful {
     fn suggest(&mut self, history: &[Observation], _context: &[f64]) -> Configuration {
         if history.len() < self.exploration {
             // Significance-analysis phase: space-filling probes.
-            let probes = self.space.low_discrepancy(history.len() + 1, self.seed ^ 0x7F);
+            let probes = self
+                .space
+                .low_discrepancy(history.len() + 1, self.seed ^ 0x7F);
             return probes[history.len()].clone();
         }
         // One-shot importance analysis (Tuneful fixes the space afterwards).
         if self.important.is_none() {
-            let x: Vec<Vec<f64>> = history.iter().map(|o| self.space.encode(&o.config)).collect();
+            let x: Vec<Vec<f64>> = history
+                .iter()
+                .map(|o| self.space.encode(&o.config))
+                .collect();
             let y: Vec<f64> = history.iter().map(|o| o.objective).collect();
             let ranking = match Fanova::fit(&x, &y, self.seed) {
                 Ok(f) => f.ranking(),
                 Err(_) => (0..self.space.len()).collect(),
             };
-            self.important = Some(ranking.into_iter().take(self.k.min(self.space.len())).collect());
+            self.important = Some(
+                ranking
+                    .into_iter()
+                    .take(self.k.min(self.space.len()))
+                    .collect(),
+            );
         }
         let incumbent = best_observation(history, None, None).expect("history non-empty");
         let free = self.important.clone().expect("set above");
@@ -85,7 +95,8 @@ impl Tuner for Tuneful {
                 best = Some((cand, acq));
             }
         }
-        best.map(|(c, _)| c).unwrap_or_else(|| sub.sample(&mut self.rng))
+        best.map(|(c, _)| c)
+            .unwrap_or_else(|| sub.sample(&mut self.rng))
     }
 
     fn name(&self) -> &'static str {
@@ -110,7 +121,13 @@ mod tests {
     fn eval(c: &Configuration) -> Observation {
         let a = c[0].as_float().unwrap();
         let obj = (a - 0.6) * (a - 0.6) * 50.0;
-        Observation { config: c.clone(), objective: obj, runtime: obj, resource: 1.0, context: vec![] }
+        Observation {
+            config: c.clone(),
+            objective: obj,
+            runtime: obj,
+            resource: 1.0,
+            context: vec![],
+        }
     }
 
     #[test]
@@ -142,7 +159,10 @@ mod tests {
             let c = t.suggest(&history, &[]);
             history.push(eval(&c));
         }
-        let best = history.iter().map(|o| o.objective).fold(f64::INFINITY, f64::min);
+        let best = history
+            .iter()
+            .map(|o| o.objective)
+            .fold(f64::INFINITY, f64::min);
         assert!(best < 2.0, "converged: {best}");
         assert_eq!(t.name(), "Tuneful");
     }

@@ -41,7 +41,11 @@ fn main() {
     );
     for (name, lo, hi) in buckets {
         let count = |v: &[f64]| v.iter().filter(|&&x| x >= lo && x < hi).count();
-        hist.row(vec![name.into(), count(&mem_red).to_string(), count(&cpu_red).to_string()]);
+        hist.row(vec![
+            name.into(),
+            count(&mem_red).to_string(),
+            count(&cpu_red).to_string(),
+        ]);
     }
     hist.print();
 

@@ -14,7 +14,15 @@ fn main() {
     let budget = 30;
     let mut table = Table::new(
         "Figure 4 — Speedup vs random search (runtime objective, 30 iters)",
-        &["task", "RFHOC", "DAC", "CherryPick", "Tuneful", "LOCAT", "Ours"],
+        &[
+            "task",
+            "RFHOC",
+            "DAC",
+            "CherryPick",
+            "Tuneful",
+            "LOCAT",
+            "Ours",
+        ],
     );
 
     let mut ours_speedups = Vec::new();
@@ -62,7 +70,10 @@ fn main() {
         "\nmeasured: ours {:.2}x-{:.2}x, runner-up {:.2}x-{:.2}x (avg over {} seeds)",
         ours_speedups.iter().cloned().fold(f64::INFINITY, f64::min),
         ours_speedups.iter().cloned().fold(0.0, f64::max),
-        runner_up_speedups.iter().cloned().fold(f64::INFINITY, f64::min),
+        runner_up_speedups
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min),
         runner_up_speedups.iter().cloned().fold(0.0, f64::max),
         seeds
     );

@@ -13,7 +13,15 @@ fn main() {
     let budget = 30;
     let mut table = Table::new(
         "Figure 5 — Cost reduction vs random search (cost objective, 30 iters)",
-        &["task", "RFHOC", "DAC", "CherryPick", "Tuneful", "LOCAT", "Ours"],
+        &[
+            "task",
+            "RFHOC",
+            "DAC",
+            "CherryPick",
+            "Tuneful",
+            "LOCAT",
+            "Ours",
+        ],
     );
 
     let mut ours_red = Vec::new();

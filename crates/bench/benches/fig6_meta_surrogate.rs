@@ -5,7 +5,9 @@
 //! iterations is clearly lower, and the ensemble needs at least 3× fewer
 //! iterations to match vanilla BO's cost after 30 iterations.
 
-use otune_bench::{experiments::task_record_for, hibench_setup, n_seeds, run_otune, write_csv, Table};
+use otune_bench::{
+    experiments::task_record_for, hibench_setup, n_seeds, run_otune, write_csv, Table,
+};
 use otune_core::TunerOptions;
 use otune_sparksim::HibenchTask;
 

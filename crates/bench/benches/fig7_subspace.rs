@@ -15,9 +15,15 @@ use otune_core::TunerOptions;
 use otune_sparksim::HibenchTask;
 
 fn variant_options(variant: &str) -> TunerOptions {
-    let base = TunerOptions { enable_meta: false, ..TunerOptions::default() };
+    let base = TunerOptions {
+        enable_meta: false,
+        ..TunerOptions::default()
+    };
     match variant {
-        "full" => TunerOptions { enable_subspace: false, ..base },
+        "full" => TunerOptions {
+            enable_subspace: false,
+            ..base
+        },
         "small" => TunerOptions {
             // Fixed 6-parameter space: freeze the evolution at K = 6.
             subspace: Some(SubspaceParams {

@@ -14,8 +14,13 @@ use std::hint::black_box;
 
 fn training_data(n: usize, d: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let x: Vec<Vec<f64>> = (0..n).map(|_| (0..d).map(|_| rng.gen()).collect()).collect();
-    let y: Vec<f64> = x.iter().map(|r| r.iter().sum::<f64>().sin() * 10.0).collect();
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.gen()).collect())
+        .collect();
+    let y: Vec<f64> = x
+        .iter()
+        .map(|r| r.iter().sum::<f64>().sin() * 10.0)
+        .collect();
     (x, y)
 }
 
@@ -68,7 +73,11 @@ fn bench_tuner_iteration(c: &mut Criterion) {
         b.iter(|| {
             let mut tuner = OnlineTuner::new(
                 space.clone(),
-                TunerOptions { budget: 20, enable_meta: false, ..TunerOptions::default() },
+                TunerOptions {
+                    budget: 20,
+                    enable_meta: false,
+                    ..TunerOptions::default()
+                },
             );
             for t in 0..20 {
                 let cfg = tuner.suggest(&[]).unwrap();

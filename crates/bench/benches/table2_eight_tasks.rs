@@ -18,8 +18,16 @@ fn main() {
     let mut table = Table::new(
         "Table 2 — eight in-production tasks, manual vs tuned",
         &[
-            "task", "method", "memory_gbh", "cpu_coreh", "runtime_s", "exec_cost",
-            "instances", "cores", "memory_gb", "#iter",
+            "task",
+            "method",
+            "memory_gbh",
+            "cpu_coreh",
+            "runtime_s",
+            "exec_cost",
+            "instances",
+            "cores",
+            "memory_gb",
+            "#iter",
         ],
     );
 
@@ -30,9 +38,15 @@ fn main() {
         let manual = {
             use otune_space::SparkParam as P;
             (
-                task.manual_config[P::ExecutorInstances.index()].as_int().unwrap(),
-                task.manual_config[P::ExecutorCores.index()].as_int().unwrap(),
-                task.manual_config[P::ExecutorMemory.index()].as_int().unwrap(),
+                task.manual_config[P::ExecutorInstances.index()]
+                    .as_int()
+                    .unwrap(),
+                task.manual_config[P::ExecutorCores.index()]
+                    .as_int()
+                    .unwrap(),
+                task.manual_config[P::ExecutorMemory.index()]
+                    .as_int()
+                    .unwrap(),
             )
         };
         table.row(vec![

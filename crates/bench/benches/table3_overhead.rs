@@ -8,7 +8,79 @@
 //! about 4 post-tuning executions.
 
 use otune_bench::experiments::production_sweep;
-use otune_bench::{mean, n_fig2_tasks, write_csv, Table};
+use otune_bench::{mean, n_fig2_tasks, percentile, write_csv, Table};
+use otune_core::telemetry::{metric, Telemetry};
+use otune_core::{OnlineTuner, TunerOptions};
+use otune_space::{spark_space, ClusterScale};
+use otune_sparksim::{hibench_task, ClusterSpec, HibenchTask, SimJob};
+use std::time::Instant;
+
+/// One full tuning session; returns the wall-clock seconds of each
+/// `suggest` call. Identical seeds give identical suggestion streams,
+/// so enabled-vs-disabled timings compare like for like.
+fn timed_session(telemetry: Telemetry, budget: usize, seed: u64) -> Vec<f64> {
+    let space = spark_space(ClusterScale::hibench());
+    let job =
+        SimJob::new(ClusterSpec::hibench(), hibench_task(HibenchTask::WordCount)).with_seed(seed);
+    let mut tuner = OnlineTuner::new(
+        space,
+        TunerOptions {
+            budget,
+            enable_meta: false,
+            seed,
+            ..TunerOptions::default()
+        },
+    );
+    tuner.set_telemetry(telemetry);
+    let mut latencies = Vec::with_capacity(budget);
+    for t in 0..budget as u64 {
+        let start = Instant::now();
+        let cfg = tuner.suggest(&[]).expect("protocol");
+        latencies.push(start.elapsed().as_secs_f64());
+        let r = job.run(&cfg, t);
+        tuner
+            .observe(cfg, r.runtime_s, r.resource, &[])
+            .expect("pending");
+    }
+    latencies
+}
+
+/// Telemetry overhead: the disabled handle must be effectively free,
+/// and even a live ring sink must stay in the noise next to a GP fit.
+fn telemetry_overhead(budget: usize) {
+    let mut disabled = Vec::new();
+    let mut enabled = Vec::new();
+    for seed in 1..=3u64 {
+        disabled.extend(timed_session(Telemetry::disabled(), budget, seed));
+        let (telemetry, _sink) = Telemetry::ring(8192);
+        enabled.extend(timed_session(telemetry.clone(), budget, seed));
+        // Sanity: the enabled run recorded its own latencies too.
+        let snap = telemetry.snapshot().expect("enabled");
+        assert_eq!(
+            snap.histograms[metric::SUGGEST_LATENCY_S].count,
+            budget as u64
+        );
+    }
+
+    let mut table = Table::new(
+        "Telemetry overhead — suggest() latency, disabled vs ring sink",
+        &["telemetry", "mean (ms)", "p50 (ms)", "p95 (ms)", "overhead"],
+    );
+    let ms = 1e3;
+    let base = mean(&disabled);
+    for (name, lat) in [("disabled", &disabled), ("ring sink", &enabled)] {
+        table.row(vec![
+            name.into(),
+            format!("{:.3}", mean(lat) * ms),
+            format!("{:.3}", percentile(lat, 0.5) * ms),
+            format!("{:.3}", percentile(lat, 0.95) * ms),
+            format!("{:+.1}%", (mean(lat) - base) / base * 100.0),
+        ]);
+    }
+    table.print();
+    let p = write_csv("table3_telemetry_overhead.csv", &table);
+    println!("csv: {}", p.display());
+}
 
 fn main() {
     // Table 3 shares Figure 2's protocol; reuse its scale knob at half
@@ -35,7 +107,13 @@ fn main() {
 
     let mut table = Table::new(
         "Table 3 — cost reduction: under-tuning vs pre, post-tuning vs pre",
-        &["metric", "under vs pre (measured)", "post vs pre (measured)", "paper under", "paper post"],
+        &[
+            "metric",
+            "under vs pre (measured)",
+            "post vs pre (measured)",
+            "paper under",
+            "paper post",
+        ],
     );
     table.row(vec![
         "Memory usage".into(),
@@ -80,4 +158,8 @@ fn main() {
     println!("paper:    no more than 4 extra executions to amortize the CPU overhead");
     let p = write_csv("table3_overhead.csv", &table);
     println!("csv: {}", p.display());
+
+    // The tuning service's own observability must not add to the
+    // overhead story: quantify it alongside the paper's Table 3.
+    telemetry_overhead(15);
 }

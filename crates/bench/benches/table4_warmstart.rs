@@ -39,7 +39,9 @@ fn main() {
 
     let mut table = Table::new(
         "Table 4 — Execution cost of warm-started configurations",
-        &["target", "source", "default", "manual", "top1", "top2", "top3"],
+        &[
+            "target", "source", "default", "manual", "top1", "top2", "top3",
+        ],
     );
 
     let mut wins_vs_manual = 0usize;

@@ -9,7 +9,7 @@
 
 use otune_bench::{write_csv, Table};
 use otune_forest::Fanova;
-use otune_space::{spark_space, spark_param_names, ClusterScale};
+use otune_space::{spark_param_names, spark_space, ClusterScale};
 use otune_sparksim::ProductionTaskGenerator;
 
 /// Paper's Table 5 reference scores by parameter name.
@@ -91,7 +91,13 @@ fn main() {
 
     let mut table = Table::new(
         "Table 5 — Top-10 Spark parameters by fANOVA importance",
-        &["#", "parameter", "importance (mean ± std)", "paper rank", "paper score"],
+        &[
+            "#",
+            "parameter",
+            "importance (mean ± std)",
+            "paper rank",
+            "paper score",
+        ],
     );
     for (rank, &p) in order.iter().take(10).enumerate() {
         let name = spark_param_names()[p];

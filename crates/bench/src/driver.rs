@@ -81,7 +81,11 @@ impl RunTrace {
         let mut best = 0;
         let mut best_val = f64::INFINITY;
         for i in 0..self.objectives.len() {
-            let penalized = if self.feasible[i] { self.objectives[i] } else { f64::INFINITY };
+            let penalized = if self.feasible[i] {
+                self.objectives[i]
+            } else {
+                f64::INFINITY
+            };
             if penalized < best_val {
                 best_val = penalized;
                 best = i;
@@ -134,9 +138,19 @@ pub fn run_otune(setup: &TuningSetup, mut options: TunerOptions, seed: u64) -> R
     let mut trace = RunTrace::default();
     for t in 0..setup.budget as u64 {
         let ctx = setup.context(t);
-        let cfg = tuner.suggest(&ctx).expect("driver alternates suggest/observe");
-        let result = setup.job.run_with_datasize(&cfg, setup.size_at(t), seed * 1000 + t);
-        record(&mut trace, setup, result.runtime_s, result.resource, &result);
+        let cfg = tuner
+            .suggest(&ctx)
+            .expect("driver alternates suggest/observe");
+        let result = setup
+            .job
+            .run_with_datasize(&cfg, setup.size_at(t), seed * 1000 + t);
+        record(
+            &mut trace,
+            setup,
+            result.runtime_s,
+            result.resource,
+            &result,
+        );
         tuner
             .observe(cfg, result.runtime_s, result.resource, &ctx)
             .expect("suggestion pending");
@@ -152,8 +166,16 @@ pub fn run_baseline(setup: &TuningSetup, tuner: &mut dyn Tuner, seed: u64) -> Ru
     for t in 0..setup.budget as u64 {
         let ctx = setup.context(t);
         let cfg: Configuration = tuner.suggest(&history, &ctx);
-        let result = setup.job.run_with_datasize(&cfg, setup.size_at(t), seed * 1000 + t);
-        record(&mut trace, setup, result.runtime_s, result.resource, &result);
+        let result = setup
+            .job
+            .run_with_datasize(&cfg, setup.size_at(t), seed * 1000 + t);
+        record(
+            &mut trace,
+            setup,
+            result.runtime_s,
+            result.resource,
+            &result,
+        );
         history.push(Observation {
             config: cfg,
             objective: objective.eval(result.runtime_s, result.resource),

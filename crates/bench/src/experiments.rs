@@ -7,8 +7,15 @@ use otune_space::{spark_space, ClusterScale};
 use otune_sparksim::{hibench_task, ClusterSpec, HibenchTask, SimJob};
 
 /// The method roster of Figures 4–5, in presentation order.
-pub const METHODS: [&str; 7] =
-    ["Random", "RFHOC", "DAC", "CherryPick", "Tuneful", "LOCAT", "Ours"];
+pub const METHODS: [&str; 7] = [
+    "Random",
+    "RFHOC",
+    "DAC",
+    "CherryPick",
+    "Tuneful",
+    "LOCAT",
+    "Ours",
+];
 
 /// Build the standard §6.3 setup for a HiBench task: the small cluster,
 /// the 30-parameter space, a runtime threshold of twice the default
@@ -253,13 +260,20 @@ pub fn production_history(
             ..TunerOptions::default()
         },
     );
-    tuner.seed_observation(task.manual_config.clone(), manual.runtime_s, manual.resource, &[1.0]);
+    tuner.seed_observation(
+        task.manual_config.clone(),
+        manual.runtime_s,
+        manual.resource,
+        &[1.0],
+    );
     for t in 1..=budget as u64 {
         let ds = task.datasize.size_at(t);
         let ctx = vec![ds / task.datasize.base_gb.max(1e-9)];
         let cfg = tuner.suggest(&ctx).expect("protocol");
         let r = job.run_with_datasize(&cfg, ds, t);
-        tuner.observe(cfg, r.runtime_s, r.resource, &ctx).expect("pending");
+        tuner
+            .observe(cfg, r.runtime_s, r.resource, &ctx)
+            .expect("pending");
     }
     tuner.history().to_vec()
 }
@@ -361,7 +375,10 @@ pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -
         }
     })
     .expect("worker threads do not panic");
-    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -390,7 +407,12 @@ mod tests {
         let task = gen.generate_one(0);
         let out = tune_production_task(&task, 8, vec![], 1);
         assert_eq!(out.best_cost_curve.len(), 8);
-        assert!(out.post.3 <= out.pre.3, "post {} vs pre {}", out.post.3, out.pre.3);
+        assert!(
+            out.post.3 <= out.pre.3,
+            "post {} vs pre {}",
+            out.post.3,
+            out.pre.3
+        );
         assert!(out.best_iteration <= 8);
     }
 

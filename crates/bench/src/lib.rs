@@ -19,7 +19,7 @@ pub mod report;
 
 pub use driver::{run_baseline, run_otune, RunTrace, TuningSetup};
 pub use experiments::{hibench_setup, ours_options, run_method, METHODS};
-pub use report::{geo_mean, mean, write_csv, Table};
+pub use report::{geo_mean, mean, percentile, write_csv, Table};
 
 /// Repetitions per experiment cell (`OTUNE_SEEDS`, default 3).
 pub fn n_seeds() -> u64 {

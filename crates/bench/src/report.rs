@@ -20,6 +20,20 @@ pub fn geo_mean(v: &[f64]) -> f64 {
     (v.iter().map(|x| x.max(1e-300).ln()).sum::<f64>() / v.len() as f64).exp()
 }
 
+/// Exact percentile `q` in `[0, 1]` by linear interpolation between
+/// order statistics (0 for empty input).
+pub fn percentile(v: &[f64], q: f64) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = v.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
+}
+
 /// A simple aligned text table with a title, printed to stdout by the
 /// bench targets and mirrored to CSV.
 pub struct Table {
@@ -89,10 +103,18 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
-            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
         }
         std::fs::write(path, out).expect("CSV output is writable");
     }
@@ -115,6 +137,16 @@ mod tests {
         assert_eq!(mean(&[]), 0.0);
         assert!((geo_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
         assert_eq!(geo_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let v = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+        assert_eq!(percentile(&v, 0.5), 2.5);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.9), 7.0);
     }
 
     #[test]

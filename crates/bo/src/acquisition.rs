@@ -104,8 +104,14 @@ mod tests {
     #[test]
     fn lcb_prefers_low_mean_and_high_uncertainty() {
         let base = lower_confidence_bound(1.0, 1.0, 2.0);
-        assert!(lower_confidence_bound(0.5, 1.0, 2.0) > base, "lower mean wins");
-        assert!(lower_confidence_bound(1.0, 4.0, 2.0) > base, "more uncertainty wins");
+        assert!(
+            lower_confidence_bound(0.5, 1.0, 2.0) > base,
+            "lower mean wins"
+        );
+        assert!(
+            lower_confidence_bound(1.0, 4.0, 2.0) > base,
+            "more uncertainty wins"
+        );
         // κ = 0 reduces to pure exploitation of the mean.
         assert_eq!(lower_confidence_bound(3.0, 9.0, 0.0), -3.0);
     }

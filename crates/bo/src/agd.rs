@@ -33,7 +33,12 @@ pub struct Agd {
 
 impl Default for Agd {
     fn default() -> Self {
-        Agd { beta: 0.5, eta: 0.08, epsilon: 0.05, log_runtime: false }
+        Agd {
+            beta: 0.5,
+            eta: 0.08,
+            epsilon: 0.05,
+            log_runtime: false,
+        }
     }
 }
 
@@ -124,8 +129,13 @@ mod tests {
         let configs: Vec<_> = (0..40).map(|_| space.sample(&mut rng)).collect();
         let x: Vec<Vec<f64>> = configs.iter().map(|c| space.encode(c)).collect();
         let y: Vec<f64> = x.iter().map(|u| 200.0 - 100.0 * u[0]).collect();
-        GaussianProcess::fit(vec![FeatureKind::Numeric, FeatureKind::Numeric], x, &y, GpConfig::default())
-            .unwrap()
+        GaussianProcess::fit(
+            vec![FeatureKind::Numeric, FeatureKind::Numeric],
+            x,
+            &y,
+            GpConfig::default(),
+        )
+        .unwrap()
     }
 
     fn resource(c: &Configuration) -> f64 {
@@ -136,7 +146,10 @@ mod tests {
     fn beta_zero_descends_resource() {
         let s = space();
         let gp = runtime_gp(&s);
-        let agd = Agd { beta: 0.0, ..Agd::default() };
+        let agd = Agd {
+            beta: 0.0,
+            ..Agd::default()
+        };
         let best = s.default_configuration();
         let next = agd.propose(&s, &best, &[], &gp, &resource);
         assert!(resource(&next) < resource(&best), "resource must drop");
@@ -146,7 +159,10 @@ mod tests {
     fn beta_one_descends_runtime() {
         let s = space();
         let gp = runtime_gp(&s);
-        let agd = Agd { beta: 1.0, ..Agd::default() };
+        let agd = Agd {
+            beta: 1.0,
+            ..Agd::default()
+        };
         let best = s.default_configuration();
         let next = agd.propose(&s, &best, &[], &gp, &resource);
         // Faster runtime needs more instances in this model.
@@ -161,7 +177,10 @@ mod tests {
     fn cost_objective_reduces_predicted_cost() {
         let s = space();
         let gp = runtime_gp(&s);
-        let agd = Agd { beta: 0.5, ..Agd::default() };
+        let agd = Agd {
+            beta: 0.5,
+            ..Agd::default()
+        };
         // Start from an over-provisioned corner.
         let best = s
             .configuration(vec![ParamValue::Int(90), ParamValue::Int(30)])
@@ -171,14 +190,24 @@ mod tests {
             (t * resource(c)).sqrt()
         };
         let next = agd.propose(&s, &best, &[], &gp, &resource);
-        assert!(cost(&next) < cost(&best), "{} !< {}", cost(&next), cost(&best));
+        assert!(
+            cost(&next) < cost(&best),
+            "{} !< {}",
+            cost(&next),
+            cost(&best)
+        );
     }
 
     #[test]
     fn step_is_bounded_by_eta() {
         let s = space();
         let gp = runtime_gp(&s);
-        let agd = Agd { beta: 0.5, eta: 0.05, epsilon: 0.03, log_runtime: false };
+        let agd = Agd {
+            beta: 0.5,
+            eta: 0.05,
+            epsilon: 0.03,
+            log_runtime: false,
+        };
         let best = s.default_configuration();
         let next = agd.propose(&s, &best, &[], &gp, &resource);
         let u0 = s.encode(&best);

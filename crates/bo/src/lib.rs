@@ -31,7 +31,11 @@ pub use acquisition::{
 };
 pub use agd::Agd;
 pub use observation::{best_observation, Observation};
-pub use optimizer::{maximize_eic, CandidateParams, EicObjective};
+pub use optimizer::{
+    maximize_eic, maximize_eic_with, AcquisitionChoice, CandidateParams, EicObjective,
+};
 pub use safe::SafeRegion;
 pub use subspace::{AdaptiveSubspace, SubspaceParams};
-pub use surrogate::{fit_surrogate, surrogate_kinds, Predictor, SurrogateInput};
+pub use surrogate::{
+    fit_surrogate, fit_surrogate_with, surrogate_kinds, Predictor, SurrogateInput,
+};

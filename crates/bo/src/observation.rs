@@ -38,7 +38,11 @@ pub fn best_observation(
     let feasible = obs
         .iter()
         .filter(|o| o.is_feasible(t_max, r_max))
-        .min_by(|a, b| a.objective.partial_cmp(&b.objective).unwrap_or(std::cmp::Ordering::Equal));
+        .min_by(|a, b| {
+            a.objective
+                .partial_cmp(&b.objective)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
     feasible.or_else(|| {
         obs.iter().min_by(|a, b| {
             a.objective
@@ -74,7 +78,11 @@ mod tests {
 
     #[test]
     fn best_prefers_feasible() {
-        let all = vec![obs(1.0, 500.0, 10.0), obs(5.0, 50.0, 10.0), obs(3.0, 60.0, 10.0)];
+        let all = vec![
+            obs(1.0, 500.0, 10.0),
+            obs(5.0, 50.0, 10.0),
+            obs(3.0, 60.0, 10.0),
+        ];
         let best = best_observation(&all, Some(100.0), None).unwrap();
         assert_eq!(best.objective, 3.0, "lowest objective among feasible");
     }

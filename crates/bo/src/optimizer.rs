@@ -6,6 +6,7 @@ use crate::safe::SafeRegion;
 use crate::surrogate::Predictor;
 use otune_gp::GaussianProcess;
 use otune_space::{Configuration, Subspace};
+use otune_telemetry::{metric, Telemetry};
 use rand::rngs::StdRng;
 use std::collections::HashSet;
 
@@ -22,7 +23,11 @@ pub struct CandidateParams {
 
 impl Default for CandidateParams {
     fn default() -> Self {
-        CandidateParams { n_random: 700, n_local: 160, local_scale: 0.08 }
+        CandidateParams {
+            n_random: 700,
+            n_local: 160,
+            local_scale: 0.08,
+        }
     }
 }
 
@@ -86,6 +91,35 @@ pub fn maximize_eic(
     params: CandidateParams,
     rng: &mut StdRng,
 ) -> AcquisitionChoice {
+    maximize_eic_with(
+        sub,
+        context,
+        objective,
+        safe_regions,
+        analytic_feasible,
+        incumbent,
+        params,
+        rng,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`maximize_eic`] with instrumentation: records the number of EIC
+/// evaluations per call (`eic_evals_per_iter` histogram) and counts
+/// candidates rejected by the GP safe region
+/// (`safe_region_rejections` counter).
+#[allow(clippy::too_many_arguments)]
+pub fn maximize_eic_with(
+    sub: &Subspace,
+    context: &[f64],
+    objective: &EicObjective<'_>,
+    safe_regions: &[SafeRegion<'_>],
+    analytic_feasible: Option<&dyn Fn(&Configuration) -> bool>,
+    incumbent: Option<&Configuration>,
+    params: CandidateParams,
+    rng: &mut StdRng,
+    telemetry: &Telemetry,
+) -> AcquisitionChoice {
     let mut candidates: Vec<Configuration> = sub.sample_n(params.n_random, rng);
     if let Some(inc) = incumbent {
         for i in 0..params.n_local {
@@ -96,14 +130,16 @@ pub fn maximize_eic(
 
     // Dedup and apply analytic constraints.
     let mut seen = HashSet::new();
-    candidates.retain(|c| {
-        seen.insert(c.dedup_key()) && analytic_feasible.is_none_or(|f| f(c))
-    });
+    candidates.retain(|c| seen.insert(c.dedup_key()) && analytic_feasible.is_none_or(|f| f(c)));
     if candidates.is_empty() {
         // Analytic constraints rejected everything — fall back to the
         // incumbent or the sub-space base.
         let config = incumbent.cloned().unwrap_or_else(|| sub.base().clone());
-        return AcquisitionChoice { config, eic: 0.0, from_safe_region: false };
+        return AcquisitionChoice {
+            config,
+            eic: 0.0,
+            from_safe_region: false,
+        };
     }
 
     let space = sub.space();
@@ -118,17 +154,25 @@ pub fn maximize_eic(
 
     let mut best_safe: Option<(usize, f64)> = None;
     let mut least_violation: Option<(usize, f64)> = None;
+    let mut n_evals = 0u64;
+    let mut n_rejected = 0u64;
     for (i, x) in encoded.iter().enumerate() {
         let violation: f64 = safe_regions.iter().map(|r| r.violation(x)).sum();
         if violation <= 0.0 {
             let v = objective.eval(x);
+            n_evals += 1;
             if best_safe.is_none_or(|(_, b)| v > b) {
                 best_safe = Some((i, v));
             }
-        } else if least_violation.is_none_or(|(_, b)| violation < b) {
-            least_violation = Some((i, violation));
+        } else {
+            n_rejected += 1;
+            if least_violation.is_none_or(|(_, b)| violation < b) {
+                least_violation = Some((i, violation));
+            }
         }
     }
+    telemetry.observe(metric::EIC_EVALS_PER_ITER, n_evals as f64);
+    telemetry.add(metric::SAFE_REGION_REJECTIONS, n_rejected);
 
     if let Some((i, v)) = best_safe {
         AcquisitionChoice {
@@ -204,9 +248,22 @@ mod tests {
         let s = space();
         let sub = Subspace::full(&s, s.default_configuration()).unwrap();
         let gp = objective_gp();
-        let obj = EicObjective { objective_gp: &gp, y_best: 0.5, constraints: vec![] };
+        let obj = EicObjective {
+            objective_gp: &gp,
+            y_best: 0.5,
+            constraints: vec![],
+        };
         let mut rng = StdRng::seed_from_u64(2);
-        let choice = maximize_eic(&sub, &[], &obj, &[], None, None, CandidateParams::default(), &mut rng);
+        let choice = maximize_eic(
+            &sub,
+            &[],
+            &obj,
+            &[],
+            None,
+            None,
+            CandidateParams::default(),
+            &mut rng,
+        );
         let a = choice.config[0].as_float().unwrap();
         assert!((a - 0.2).abs() < 0.25, "chose a = {a}");
         assert!(choice.from_safe_region);
@@ -234,7 +291,11 @@ mod tests {
         .unwrap();
         let rgp = runtime_gp();
         let region = SafeRegion::new(&rgp, 300.0, 1.0); // safe ⇔ a ≲ 0.4
-        let obj = EicObjective { objective_gp: &ogp, y_best: 1.0, constraints: vec![] };
+        let obj = EicObjective {
+            objective_gp: &ogp,
+            y_best: 1.0,
+            constraints: vec![],
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let choice = maximize_eic(
             &sub,
@@ -259,7 +320,11 @@ mod tests {
         let rgp = runtime_gp();
         // Threshold below every achievable upper bound → empty safe region.
         let region = SafeRegion::new(&rgp, 50.0, 1.0);
-        let obj = EicObjective { objective_gp: &ogp, y_best: 1.0, constraints: vec![] };
+        let obj = EicObjective {
+            objective_gp: &ogp,
+            y_best: 1.0,
+            constraints: vec![],
+        };
         let mut rng = StdRng::seed_from_u64(4);
         let choice = maximize_eic(
             &sub,
@@ -282,7 +347,11 @@ mod tests {
         let s = space();
         let sub = Subspace::full(&s, s.default_configuration()).unwrap();
         let gp = objective_gp();
-        let obj = EicObjective { objective_gp: &gp, y_best: 0.5, constraints: vec![] };
+        let obj = EicObjective {
+            objective_gp: &gp,
+            y_best: 0.5,
+            constraints: vec![],
+        };
         let only_large_b = |c: &Configuration| c[1].as_float().unwrap() > 0.8;
         let mut rng = StdRng::seed_from_u64(5);
         let choice = maximize_eic(
@@ -338,11 +407,53 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_counts_evals_and_rejections() {
+        let s = space();
+        let sub = Subspace::full(&s, s.default_configuration()).unwrap();
+        let ogp = objective_gp();
+        let rgp = runtime_gp();
+        // safe ⇔ a ≲ 0.4, so a substantial share of candidates is rejected.
+        let region = SafeRegion::new(&rgp, 300.0, 1.0);
+        let obj = EicObjective {
+            objective_gp: &ogp,
+            y_best: 1.0,
+            constraints: vec![],
+        };
+        let mut rng = StdRng::seed_from_u64(8);
+        let (telemetry, _sink) = Telemetry::ring(4);
+        let choice = maximize_eic_with(
+            &sub,
+            &[],
+            &obj,
+            &[region],
+            None,
+            None,
+            CandidateParams::default(),
+            &mut rng,
+            &telemetry,
+        );
+        assert!(choice.from_safe_region);
+        let snap = telemetry.snapshot().unwrap();
+        let evals = snap.histograms[metric::EIC_EVALS_PER_ITER].max;
+        let rejections = snap.counters[metric::SAFE_REGION_REJECTIONS];
+        assert!(evals > 0.0, "some candidates were evaluated");
+        assert!(rejections > 0, "some candidates were rejected");
+        assert!(
+            (evals + rejections as f64) <= CandidateParams::default().n_random as f64 + 1.0,
+            "evals + rejections bounded by the candidate count"
+        );
+    }
+
+    #[test]
     fn local_candidates_exploit_incumbent() {
         let s = space();
         let sub = Subspace::full(&s, s.default_configuration()).unwrap();
         let gp = objective_gp();
-        let obj = EicObjective { objective_gp: &gp, y_best: 0.01, constraints: vec![] };
+        let obj = EicObjective {
+            objective_gp: &gp,
+            y_best: 0.01,
+            constraints: vec![],
+        };
         let incumbent = s
             .configuration(vec![
                 otune_space::ParamValue::Float(0.2),
@@ -357,7 +468,11 @@ mod tests {
             &[],
             None,
             Some(&incumbent),
-            CandidateParams { n_random: 20, n_local: 60, local_scale: 0.05 },
+            CandidateParams {
+                n_random: 20,
+                n_local: 60,
+                local_scale: 0.05,
+            },
             &mut rng,
         );
         // With a tight incumbent and a tight y_best, the winner should sit

@@ -22,7 +22,11 @@ impl<'a> SafeRegion<'a> {
     /// upper bound, and the pessimism factor `γ ∈ (0, 1]`.
     pub fn new(surrogate: &'a GaussianProcess, threshold: f64, gamma: f64) -> Self {
         debug_assert!(gamma > 0.0 && gamma <= 1.0, "paper uses γ ∈ (0, 1]");
-        SafeRegion { surrogate, threshold, gamma }
+        SafeRegion {
+            surrogate,
+            threshold,
+            gamma,
+        }
     }
 
     /// Upper confidence bound `u(x) = μ(x) + γσ(x)`.

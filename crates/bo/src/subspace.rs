@@ -98,7 +98,10 @@ impl AdaptiveSubspace {
             self.successes = 0;
             self.failures = 0;
         } else if self.failures >= self.params.tau_failure {
-            self.k = self.k.saturating_sub(self.params.step).max(self.params.k_min);
+            self.k = self
+                .k
+                .saturating_sub(self.params.step)
+                .max(self.params.k_min);
             self.successes = 0;
             self.failures = 0;
         }
@@ -124,7 +127,11 @@ impl AdaptiveSubspace {
     /// Externally supplied ranking (e.g. averaged scores across tasks or a
     /// meta-learned suggestion, §5.2).
     pub fn set_ranking(&mut self, ranking: Vec<usize>) {
-        assert_eq!(ranking.len(), self.ranking.len(), "ranking must cover the space");
+        assert_eq!(
+            ranking.len(),
+            self.ranking.len(),
+            "ranking must cover the space"
+        );
         self.ranking = ranking;
     }
 
@@ -261,7 +268,12 @@ mod tests {
             x.push(row);
         }
         m.refresh_ranking(&x, &y, 1);
-        assert_eq!(m.ranking()[0], 7, "dominant dim promoted: {:?}", &m.ranking()[..5]);
+        assert_eq!(
+            m.ranking()[0],
+            7,
+            "dominant dim promoted: {:?}",
+            &m.ranking()[..5]
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::observation::Observation;
 use otune_gp::{FeatureKind, GaussianProcess, GpConfig, GpError};
 use otune_space::{ConfigSpace, Configuration, DimKind};
+use otune_telemetry::{metric, Telemetry};
 
 /// Anything that yields a posterior `(mean, variance)` at an encoded
 /// point — a plain GP or the meta-learning ensemble surrogate.
@@ -42,7 +43,11 @@ pub fn surrogate_kinds(space: &ConfigSpace, n_context: usize) -> Vec<FeatureKind
 }
 
 /// Encode a configuration with its context features appended.
-pub fn encode_with_context(space: &ConfigSpace, config: &Configuration, context: &[f64]) -> Vec<f64> {
+pub fn encode_with_context(
+    space: &ConfigSpace,
+    config: &Configuration,
+    context: &[f64],
+) -> Vec<f64> {
     let mut v = space.encode(config);
     v.extend_from_slice(context);
     v
@@ -58,6 +63,19 @@ pub fn fit_surrogate(
     input: SurrogateInput,
     seed: u64,
 ) -> Result<GaussianProcess, GpError> {
+    fit_surrogate_with(space, obs, input, seed, &Telemetry::disabled())
+}
+
+/// [`fit_surrogate`] with instrumentation: the fit is wrapped in a
+/// `gp_fit_s` timing span.
+pub fn fit_surrogate_with(
+    space: &ConfigSpace,
+    obs: &[Observation],
+    input: SurrogateInput,
+    seed: u64,
+    telemetry: &Telemetry,
+) -> Result<GaussianProcess, GpError> {
+    let _span = telemetry.span(metric::GP_FIT_S);
     if obs.is_empty() {
         return Err(GpError::Empty);
     }
@@ -74,7 +92,15 @@ pub fn fit_surrogate(
             SurrogateInput::Runtime => o.runtime,
         })
         .collect();
-    GaussianProcess::fit(kinds, x, &y, GpConfig { seed, ..GpConfig::default() })
+    GaussianProcess::fit(
+        kinds,
+        x,
+        &y,
+        GpConfig {
+            seed,
+            ..GpConfig::default()
+        },
+    )
 }
 
 #[cfg(test)]

@@ -25,6 +25,9 @@ pub enum Command {
         no_agd: bool,
         /// Optional JSON output path for the runhistory.
         out: Option<String>,
+        /// Optional JSONL path for the telemetry event stream (a
+        /// `<path>.metrics.json` snapshot is written alongside).
+        events: Option<String>,
     },
     /// Compare strategies on one task.
     Compare {
@@ -41,6 +44,21 @@ pub enum Command {
         task: String,
         /// Random evaluations for the analysis.
         samples: usize,
+    },
+    /// Replay a telemetry event stream written by `tune --events`.
+    Events {
+        /// JSONL event-stream path.
+        file: String,
+        /// Only events of this task.
+        task: Option<String>,
+        /// Only events of this kind (e.g. `SuggestionMade`).
+        kind: Option<String>,
+    },
+    /// Summarize the metrics snapshot of a tuning session.
+    Stats {
+        /// Metrics JSON path (or the events path, whose
+        /// `<path>.metrics.json` sidecar is used).
+        file: String,
     },
     /// Print usage.
     Help,
@@ -66,8 +84,11 @@ USAGE:
   otune workloads
   otune tune --task <name> [--beta B] [--budget N] [--seed S]
              [--no-safety] [--no-subspace] [--no-agd] [--out FILE]
+             [--events FILE]
   otune compare --task <name> [--budget N] [--seeds K]
   otune importance --task <name> [--samples N]
+  otune events --file FILE [--task ID] [--kind KIND]
+  otune stats --file FILE
   otune help
 ";
 
@@ -78,9 +99,8 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
     };
     let (flags, switches) = split_flags(&argv[1..])?;
     let get = |k: &str| flags.get(k).cloned();
-    let req_task = || {
-        get("task").ok_or_else(|| ParseError("missing required --task <name>".into()))
-    };
+    let req_task =
+        || get("task").ok_or_else(|| ParseError("missing required --task <name>".into()));
     let num = |k: &str, default: f64| -> Result<f64, ParseError> {
         match get(k) {
             None => Ok(default),
@@ -105,6 +125,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                 no_subspace: switches.contains(&"no-subspace".to_string()),
                 no_agd: switches.contains(&"no-agd".to_string()),
                 out: get("out"),
+                events: get("events"),
             })
         }
         "compare" => Ok(Command::Compare {
@@ -116,8 +137,18 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
             task: req_task()?,
             samples: num("samples", 150.0)? as usize,
         }),
+        "events" => Ok(Command::Events {
+            file: get("file").ok_or_else(|| ParseError("missing required --file FILE".into()))?,
+            task: get("task"),
+            kind: get("kind"),
+        }),
+        "stats" => Ok(Command::Stats {
+            file: get("file").ok_or_else(|| ParseError("missing required --file FILE".into()))?,
+        }),
         "help" | "--help" | "-h" => Ok(Command::Help),
-        other => Err(ParseError(format!("unknown subcommand {other:?}; try `otune help`"))),
+        other => Err(ParseError(format!(
+            "unknown subcommand {other:?}; try `otune help`"
+        ))),
     }
 }
 
@@ -130,7 +161,9 @@ fn split_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>)
     while i < args.len() {
         let arg = &args[i];
         let Some(key) = arg.strip_prefix("--") else {
-            return Err(ParseError(format!("unexpected positional argument {arg:?}")));
+            return Err(ParseError(format!(
+                "unexpected positional argument {arg:?}"
+            )));
         };
         if SWITCHES.contains(&key) {
             switches.push(key.to_string());
@@ -168,6 +201,7 @@ mod tests {
                 no_subspace: false,
                 no_agd: false,
                 out: None,
+                events: None,
             }
         );
     }
@@ -175,11 +209,21 @@ mod tests {
     #[test]
     fn parses_tune_with_everything() {
         let cmd = parse_args(&argv(
-            "tune --task kmeans --beta 1 --budget 30 --seed 7 --no-agd --out h.json",
+            "tune --task kmeans --beta 1 --budget 30 --seed 7 --no-agd --out h.json --events e.jsonl",
         ))
         .unwrap();
         match cmd {
-            Command::Tune { task, beta, budget, seed, no_agd, no_safety, out, .. } => {
+            Command::Tune {
+                task,
+                beta,
+                budget,
+                seed,
+                no_agd,
+                no_safety,
+                out,
+                events,
+                ..
+            } => {
                 assert_eq!(task, "kmeans");
                 assert_eq!(beta, 1.0);
                 assert_eq!(budget, 30);
@@ -187,9 +231,41 @@ mod tests {
                 assert!(no_agd);
                 assert!(!no_safety);
                 assert_eq!(out.as_deref(), Some("h.json"));
+                assert_eq!(events.as_deref(), Some("e.jsonl"));
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn events_and_stats_parse() {
+        assert_eq!(
+            parse_args(&argv(
+                "events --file run.jsonl --task wc --kind SuggestionMade"
+            ))
+            .unwrap(),
+            Command::Events {
+                file: "run.jsonl".into(),
+                task: Some("wc".into()),
+                kind: Some("SuggestionMade".into()),
+            }
+        );
+        assert_eq!(
+            parse_args(&argv("events --file run.jsonl")).unwrap(),
+            Command::Events {
+                file: "run.jsonl".into(),
+                task: None,
+                kind: None
+            }
+        );
+        assert_eq!(
+            parse_args(&argv("stats --file run.jsonl")).unwrap(),
+            Command::Stats {
+                file: "run.jsonl".into()
+            }
+        );
+        assert!(parse_args(&argv("events")).is_err());
+        assert!(parse_args(&argv("stats")).is_err());
     }
 
     #[test]
@@ -217,11 +293,18 @@ mod tests {
     fn compare_and_importance() {
         assert_eq!(
             parse_args(&argv("compare --task sort --budget 10 --seeds 3")).unwrap(),
-            Command::Compare { task: "sort".into(), budget: 10, seeds: 3 }
+            Command::Compare {
+                task: "sort".into(),
+                budget: 10,
+                seeds: 3
+            }
         );
         assert_eq!(
             parse_args(&argv("importance --task bayes")).unwrap(),
-            Command::Importance { task: "bayes".into(), samples: 150 }
+            Command::Importance {
+                task: "bayes".into(),
+                samples: 150
+            }
         );
     }
 }

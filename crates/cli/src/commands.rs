@@ -3,6 +3,7 @@
 use crate::args::Command;
 use otune_baselines::{CherryPick, Dac, Locat, RandomSearch, Rfhoc, Tuneful, Tuner};
 use otune_bo::Observation;
+use otune_core::telemetry::{read_jsonl, EventKind, JsonlSink, MetricsSnapshot, Telemetry};
 use otune_core::{Objective, OnlineTuner, TunerOptions};
 use otune_forest::Fanova;
 use otune_space::{spark_param_names, spark_space, ClusterScale, SparkParam};
@@ -35,15 +36,44 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> std::io::Result<i32> {
             }
             Ok(0)
         }
-        Command::Tune { task, beta, budget, seed, no_safety, no_subspace, no_agd, out: path } => {
+        Command::Tune {
+            task,
+            beta,
+            budget,
+            seed,
+            no_safety,
+            no_subspace,
+            no_agd,
+            out: path,
+            events,
+        } => {
             let Some(task) = find_task(&task) else {
                 writeln!(out, "unknown task {task:?}; run `otune workloads`")?;
                 return Ok(2);
             };
-            tune(task, beta, budget, seed, no_safety, no_subspace, no_agd, path, out)?;
+            tune(
+                task,
+                beta,
+                budget,
+                seed,
+                no_safety,
+                no_subspace,
+                no_agd,
+                path,
+                events,
+                out,
+            )?;
             Ok(0)
         }
-        Command::Compare { task, budget, seeds } => {
+        Command::Events { file, task, kind } => {
+            events_cmd(&file, task.as_deref(), kind.as_deref(), out)
+        }
+        Command::Stats { file } => stats_cmd(&file, out),
+        Command::Compare {
+            task,
+            budget,
+            seeds,
+        } => {
             let Some(task) = find_task(&task) else {
                 writeln!(out, "unknown task {task:?}; run `otune workloads`")?;
                 return Ok(2);
@@ -76,9 +106,20 @@ fn tune(
     no_subspace: bool,
     no_agd: bool,
     path: Option<String>,
+    events: Option<String>,
     out: &mut dyn Write,
 ) -> std::io::Result<()> {
+    let telemetry = match &events {
+        Some(p) => Telemetry::new(Box::new(JsonlSink::create(p)?)).for_task(task.name()),
+        None => Telemetry::disabled(),
+    };
     let space = spark_space(ClusterScale::hibench());
+    telemetry.emit(
+        0,
+        EventKind::TaskRegistered {
+            n_params: space.len(),
+        },
+    );
     let job = SimJob::new(ClusterSpec::hibench(), hibench_task(task)).with_seed(seed);
     let default_cfg = space.default_configuration();
     let baseline = job.run(&default_cfg, 0);
@@ -103,6 +144,7 @@ fn tune(
             ..TunerOptions::default()
         },
     );
+    tuner.set_telemetry(telemetry.clone());
     tuner.seed_observation(default_cfg, baseline.runtime_s, baseline.resource, &[]);
 
     for t in 1..=budget as u64 {
@@ -115,7 +157,9 @@ fn tune(
             r.resource,
             Objective::new(beta).eval(r.runtime_s, r.resource)
         )?;
-        tuner.observe(cfg, r.runtime_s, r.resource, &[]).expect("pending");
+        tuner
+            .observe(cfg, r.runtime_s, r.resource, &[])
+            .expect("pending");
     }
 
     let best = tuner.best().expect("observed at least the baseline");
@@ -133,19 +177,133 @@ fn tune(
         best.config[SparkParam::DefaultParallelism.index()],
     )?;
     if let Some(path) = path {
-        let json = serde_json::to_string_pretty(tuner.history())
-            .expect("runhistory serializes");
+        let json = serde_json::to_string_pretty(tuner.history()).expect("runhistory serializes");
         std::fs::write(&path, json)?;
         writeln!(out, "runhistory written to {path}")?;
+    }
+    if let Some(events_path) = events {
+        // One post-budget suggest records the TaskStopped event.
+        let _ = tuner.suggest(&[]);
+        telemetry.flush();
+        if let Some(snapshot) = telemetry.snapshot() {
+            let metrics_path = format!("{events_path}.metrics.json");
+            let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+            std::fs::write(&metrics_path, json)?;
+            writeln!(
+                out,
+                "events written to {events_path}, metrics to {metrics_path}"
+            )?;
+        }
     }
     Ok(())
 }
 
-fn compare(task: HibenchTask, budget: usize, seeds: u64, out: &mut dyn Write) -> std::io::Result<()> {
+/// `otune events`: replay a JSONL event stream, optionally filtered by
+/// task id and event kind.
+fn events_cmd(
+    file: &str,
+    task: Option<&str>,
+    kind: Option<&str>,
+    out: &mut dyn Write,
+) -> std::io::Result<i32> {
+    let events = match read_jsonl(file) {
+        Ok(e) => e,
+        Err(e) => {
+            writeln!(out, "cannot read {file}: {e}")?;
+            return Ok(2);
+        }
+    };
+    let mut shown = 0usize;
+    for e in &events {
+        if task.is_some_and(|t| e.task != t) || kind.is_some_and(|k| e.kind.label() != k) {
+            continue;
+        }
+        shown += 1;
+        let detail = serde_json::to_string(&e.kind).unwrap_or_default();
+        writeln!(
+            out,
+            "{:>6}  iter {:>4}  {:<16} {}",
+            e.seq, e.iteration, e.task, detail
+        )?;
+    }
+    writeln!(out, "{shown} event(s) shown ({} total)", events.len())?;
+    Ok(0)
+}
+
+/// `otune stats`: print the metrics snapshot of a tuning session as a
+/// summary table. Accepts the metrics JSON directly, or the events path
+/// when a `<path>.metrics.json` sidecar exists.
+fn stats_cmd(file: &str, out: &mut dyn Write) -> std::io::Result<i32> {
+    let sidecar = format!("{file}.metrics.json");
+    let path = if std::path::Path::new(&sidecar).exists() {
+        &sidecar
+    } else {
+        file
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            writeln!(out, "cannot read {path}: {e}")?;
+            return Ok(2);
+        }
+    };
+    let snapshot: MetricsSnapshot = match serde_json::from_str(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            writeln!(out, "{path} is not a metrics snapshot: {e:?}")?;
+            return Ok(2);
+        }
+    };
+    writeln!(out, "metrics from {path}")?;
+    if !snapshot.counters.is_empty() {
+        writeln!(out, "\ncounters:")?;
+        for (name, value) in &snapshot.counters {
+            writeln!(out, "  {name:<28} {value:>10}")?;
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        writeln!(out, "\ngauges:")?;
+        for (name, value) in &snapshot.gauges {
+            writeln!(out, "  {name:<28} {value:>10.2}")?;
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        writeln!(out, "\nhistograms:")?;
+        writeln!(
+            out,
+            "  {:<28} {:>8} {:>12} {:>12} {:>12} {:>12}",
+            "name", "count", "mean", "p50", "p95", "max"
+        )?;
+        for (name, h) in &snapshot.histograms {
+            writeln!(
+                out,
+                "  {:<28} {:>8} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
+                name, h.count, h.mean, h.p50, h.p95, h.max
+            )?;
+        }
+    }
+    Ok(0)
+}
+
+fn compare(
+    task: HibenchTask,
+    budget: usize,
+    seeds: u64,
+    out: &mut dyn Write,
+) -> std::io::Result<()> {
     let space = spark_space(ClusterScale::hibench());
     let job = SimJob::new(ClusterSpec::hibench(), hibench_task(task));
-    let t_max = 2.0 * job.clone().with_noise(0.0).run(&space.default_configuration(), 0).runtime_s;
-    writeln!(out, "comparing methods on {} (cost objective, {budget} iters, {seeds} seed(s))", task.name())?;
+    let t_max = 2.0
+        * job
+            .clone()
+            .with_noise(0.0)
+            .run(&space.default_configuration(), 0)
+            .runtime_s;
+    writeln!(
+        out,
+        "comparing methods on {} (cost objective, {budget} iters, {seeds} seed(s))",
+        task.name()
+    )?;
 
     let objective = Objective::cost();
     let run_baseline = |tuner: &mut dyn Tuner, seed: u64| -> f64 {
@@ -205,7 +363,9 @@ fn compare(task: HibenchTask, budget: usize, seeds: u64, out: &mut dyn Write) ->
             if r.runtime_s <= t_max {
                 best = best.min(r.runtime_s * r.resource);
             }
-            tuner.observe(cfg, r.runtime_s, r.resource, &[]).expect("pending");
+            tuner
+                .observe(cfg, r.runtime_s, r.resource, &[])
+                .expect("pending");
         }
         avg += best / seeds as f64;
     }
@@ -240,9 +400,20 @@ fn importance(task: HibenchTask, samples: usize, out: &mut dyn Write) -> std::io
         .collect();
     let f = Fanova::fit(&x, &y, 2).expect("valid history");
     let imp = f.importance();
-    writeln!(out, "fANOVA importance for {} ({} samples, log cost):", task.name(), samples)?;
+    writeln!(
+        out,
+        "fANOVA importance for {} ({} samples, log cost):",
+        task.name(),
+        samples
+    )?;
     for (rank, &p) in f.ranking().iter().take(10).enumerate() {
-        writeln!(out, "  {:>2}. {:<42} {:.4}", rank + 1, spark_param_names()[p], imp[p])?;
+        writeln!(
+            out,
+            "  {:>2}. {:<42} {:.4}",
+            rank + 1,
+            spark_param_names()[p],
+            imp[p]
+        )?;
     }
     Ok(())
 }
@@ -274,6 +445,7 @@ mod tests {
                 no_subspace: false,
                 no_agd: false,
                 out: None,
+                events: None,
             },
             &mut buf,
         )
@@ -298,6 +470,7 @@ mod tests {
                 no_subspace: false,
                 no_agd: true,
                 out: Some(path.to_string_lossy().into_owned()),
+                events: None,
             },
             &mut buf,
         )
@@ -311,12 +484,113 @@ mod tests {
     }
 
     #[test]
-    fn importance_prints_top_ten() {
+    fn tune_with_events_then_replay_and_stats() {
+        let dir = std::env::temp_dir().join("otune_cli_events_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let events_path = dir.join("run.jsonl").to_string_lossy().into_owned();
+
         let mut buf = Vec::new();
-        let code = run(Command::Importance { task: "sort".into(), samples: 60 }, &mut buf).unwrap();
+        let code = run(
+            Command::Tune {
+                task: "wordcount".into(),
+                beta: 0.5,
+                budget: 4,
+                seed: 1,
+                no_safety: false,
+                no_subspace: false,
+                no_agd: true,
+                out: None,
+                events: Some(events_path.clone()),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        assert!(String::from_utf8(buf).unwrap().contains("metrics to"));
+
+        // Replay the full stream.
+        let mut buf = Vec::new();
+        let code = run(
+            Command::Events {
+                file: events_path.clone(),
+                task: None,
+                kind: None,
+            },
+            &mut buf,
+        )
+        .unwrap();
         assert_eq!(code, 0);
         let text = String::from_utf8(buf).unwrap();
-        assert_eq!(text.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count(), 10);
+        assert!(text.contains("TaskRegistered"), "{text}");
+        assert!(text.contains("SuggestionMade"), "{text}");
+        assert!(text.contains("TaskStopped"), "{text}");
+
+        // Kind filter narrows the stream.
+        let mut buf = Vec::new();
+        run(
+            Command::Events {
+                file: events_path.clone(),
+                task: Some("wordcount".into()),
+                kind: Some("SuggestionMade".into()),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(!text.contains("TaskRegistered"), "{text}");
+        assert!(text.contains("SuggestionMade"), "{text}");
+
+        // Stats resolves the metrics sidecar from the events path.
+        let mut buf = Vec::new();
+        let code = run(Command::Stats { file: events_path }, &mut buf).unwrap();
+        assert_eq!(code, 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("suggest_latency_s"), "{text}");
+        assert!(text.contains("counters"), "{text}");
+    }
+
+    #[test]
+    fn events_on_missing_file_is_a_soft_error() {
+        let mut buf = Vec::new();
+        let code = run(
+            Command::Events {
+                file: "/nonexistent/x.jsonl".into(),
+                task: None,
+                kind: None,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 2);
+        let code = run(
+            Command::Stats {
+                file: "/nonexistent/x.jsonl".into(),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn importance_prints_top_ten() {
+        let mut buf = Vec::new();
+        let code = run(
+            Command::Importance {
+                task: "sort".into(),
+                samples: 60,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.trim_start().starts_with(char::is_numeric))
+                .count(),
+            10
+        );
     }
 
     #[test]

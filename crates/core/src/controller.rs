@@ -10,8 +10,9 @@
 use crate::repository::DataRepository;
 use crate::tuner::{OnlineTuner, TunerError, TunerOptions};
 use otune_bo::Observation;
-use otune_meta::{warm_start_configs, SimilarityLearner};
+use otune_meta::{warm_start_configs_with, SimilarityLearner};
 use otune_space::{ConfigSpace, Configuration};
+use otune_telemetry::{EventKind, Telemetry};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -32,6 +33,8 @@ struct TaskEntry {
     tuner: OnlineTuner,
     /// Whether warm-start injection was already attempted.
     warm_injected: bool,
+    /// Task-labeled telemetry handle.
+    telemetry: Telemetry,
 }
 
 /// The multi-task online tuning service.
@@ -42,6 +45,8 @@ pub struct OnlineTuneController {
     n_warm_sources: usize,
     /// Samples per Kendall-τ label when training the similarity model.
     n_similarity_samples: usize,
+    /// Root telemetry handle; tasks get labeled clones of it.
+    telemetry: Telemetry,
 }
 
 impl OnlineTuneController {
@@ -57,7 +62,19 @@ impl OnlineTuneController {
             tasks: HashMap::new(),
             n_warm_sources: 3,
             n_similarity_samples: 50,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle; tasks created afterwards emit their
+    /// events through task-labeled clones of it.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The controller's telemetry handle (for snapshots and flushing).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The shared repository.
@@ -73,8 +90,23 @@ impl OnlineTuneController {
         options: TunerOptions,
     ) -> TaskHandle {
         let handle = TaskHandle(task_id.to_string());
-        let tuner = OnlineTuner::new(space, options);
-        self.tasks.insert(handle.clone(), TaskEntry { tuner, warm_injected: false });
+        let telemetry = self.telemetry.for_task(task_id);
+        telemetry.emit(
+            0,
+            EventKind::TaskRegistered {
+                n_params: space.len(),
+            },
+        );
+        let mut tuner = OnlineTuner::new(space, options);
+        tuner.set_telemetry(telemetry.clone());
+        self.tasks.insert(
+            handle.clone(),
+            TaskEntry {
+                tuner,
+                warm_injected: false,
+                telemetry,
+            },
+        );
         handle
     }
 
@@ -101,7 +133,10 @@ impl OnlineTuneController {
         handle: &TaskHandle,
         context: &[f64],
     ) -> Result<Configuration, ControllerError> {
-        let entry = self.tasks.get_mut(handle).ok_or(ControllerError::UnknownTask)?;
+        let entry = self
+            .tasks
+            .get_mut(handle)
+            .ok_or(ControllerError::UnknownTask)?;
         entry.tuner.suggest(context).map_err(ControllerError::Tuner)
     }
 
@@ -118,20 +153,37 @@ impl OnlineTuneController {
         context: &[f64],
         meta_features: Option<Vec<f64>>,
     ) -> Result<(), ControllerError> {
-        let entry = self.tasks.get_mut(handle).ok_or(ControllerError::UnknownTask)?;
+        let entry = self
+            .tasks
+            .get_mut(handle)
+            .ok_or(ControllerError::UnknownTask)?;
         entry
             .tuner
             .observe(config.clone(), runtime_s, resource, context)
             .map_err(ControllerError::Tuner)?;
+        let opts = entry.tuner.options();
+        let constraint_violated =
+            opts.t_max.is_some_and(|t| runtime_s > t) || opts.r_max.is_some_and(|r| resource > r);
+        entry.telemetry.emit(
+            entry.tuner.history().len() as u64,
+            EventKind::ObservationReported {
+                runtime: runtime_s,
+                resource,
+                objective: entry.tuner.objective().eval(runtime_s, resource),
+                constraint_violated,
+            },
+        );
         if let Some(obs) = entry.tuner.history().last() {
             // Mirror into the repository (post-stop runs are not recorded
             // by the tuner, so guard on matching config).
             if obs.config == config {
-                self.repository.record_observation(&handle.0, Observation::clone(obs));
+                self.repository
+                    .record_observation(&handle.0, Observation::clone(obs));
             }
         }
         if let Some(features) = meta_features {
-            self.repository.set_meta_features(&handle.0, features.clone());
+            self.repository
+                .set_meta_features(&handle.0, features.clone());
             if !entry.warm_injected {
                 entry.warm_injected = true;
                 Self::inject_warm_start(
@@ -175,16 +227,25 @@ impl OnlineTuneController {
         let Some(learner) = SimilarityLearner::train(&space, &sources, n_samples, 0) else {
             return;
         };
-        let warm = warm_start_configs(&learner, features, &sources, n_sources);
+        let warm =
+            warm_start_configs_with(&learner, features, &sources, n_sources, &entry.telemetry);
         if warm.is_empty() {
             return;
         }
+        entry.telemetry.emit(
+            entry.tuner.history().len() as u64,
+            EventKind::WarmStartInjected {
+                n_configs: warm.len(),
+                n_sources: n_sources.min(sources.len()),
+            },
+        );
         // Rebuild the tuner with warm starts and the sources as ensemble
         // bases, preserving already-collected history.
         let mut opts = TunerOptionsSnapshot::capture(&entry.tuner);
         opts.options.warm_configs = warm;
         opts.options.base_tasks = sources;
         let mut tuner = OnlineTuner::new(space, opts.options);
+        tuner.set_telemetry(entry.telemetry.clone());
         for o in opts.history {
             tuner.seed_observation(o.config, o.runtime, o.resource, &o.context);
         }
@@ -254,7 +315,14 @@ mod tests {
     #[test]
     fn request_report_cycle() {
         let mut ctl = OnlineTuneController::new();
-        let h = ctl.create_task("t1", toy_space(), TunerOptions { budget: 5, ..Default::default() });
+        let h = ctl.create_task(
+            "t1",
+            toy_space(),
+            TunerOptions {
+                budget: 5,
+                ..Default::default()
+            },
+        );
         assert_eq!(ctl.n_tasks(), 1);
         assert_eq!(ctl.state(&h), Some(TaskState::Tuning));
         for _ in 0..5 {
@@ -284,19 +352,38 @@ mod tests {
         let mut ctl = OnlineTuneController::new();
         // Two completed source tasks in the repository.
         for tid in ["src-a", "src-b"] {
-            let h = ctl.create_task(tid, toy_space(), TunerOptions { budget: 8, ..Default::default() });
+            let h = ctl.create_task(
+                tid,
+                toy_space(),
+                TunerOptions {
+                    budget: 8,
+                    ..Default::default()
+                },
+            );
             for i in 0..8 {
                 let cfg = ctl.request_config(&h, &[]).unwrap();
                 let (rt, r) = toy_eval(&cfg);
-                let features = if i == 0 { Some(vec![1.0, 2.0, 3.0]) } else { None };
+                let features = if i == 0 {
+                    Some(vec![1.0, 2.0, 3.0])
+                } else {
+                    None
+                };
                 ctl.report_result(&h, cfg, rt, r, &[], features).unwrap();
             }
         }
         // A new task reporting meta-features triggers the transfer path.
-        let h = ctl.create_task("new", toy_space(), TunerOptions { budget: 8, ..Default::default() });
+        let h = ctl.create_task(
+            "new",
+            toy_space(),
+            TunerOptions {
+                budget: 8,
+                ..Default::default()
+            },
+        );
         let cfg = ctl.request_config(&h, &[]).unwrap();
         let (rt, r) = toy_eval(&cfg);
-        ctl.report_result(&h, cfg, rt, r, &[], Some(vec![1.0, 2.0, 3.1])).unwrap();
+        ctl.report_result(&h, cfg, rt, r, &[], Some(vec![1.0, 2.0, 3.1]))
+            .unwrap();
         // Tuning continues normally afterwards.
         for _ in 0..3 {
             let cfg = ctl.request_config(&h, &[]).unwrap();
@@ -311,8 +398,22 @@ mod tests {
     #[test]
     fn multiple_tasks_are_independent() {
         let mut ctl = OnlineTuneController::new();
-        let h1 = ctl.create_task("a", toy_space(), TunerOptions { budget: 3, ..Default::default() });
-        let h2 = ctl.create_task("b", toy_space(), TunerOptions { budget: 3, ..Default::default() });
+        let h1 = ctl.create_task(
+            "a",
+            toy_space(),
+            TunerOptions {
+                budget: 3,
+                ..Default::default()
+            },
+        );
+        let h2 = ctl.create_task(
+            "b",
+            toy_space(),
+            TunerOptions {
+                budget: 3,
+                ..Default::default()
+            },
+        );
         let c1 = ctl.request_config(&h1, &[]).unwrap();
         let c2 = ctl.request_config(&h2, &[]).unwrap();
         let (rt1, r1) = toy_eval(&c1);

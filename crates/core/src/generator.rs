@@ -14,10 +14,11 @@
 
 use crate::objective::{Constraints, Objective};
 use otune_bo::{
-    best_observation, maximize_eic, Agd, AdaptiveSubspace, CandidateParams, EicObjective,
+    best_observation, maximize_eic_with, AdaptiveSubspace, Agd, CandidateParams, EicObjective,
     Observation, Predictor, SafeRegion, SubspaceParams,
 };
 use otune_space::{ConfigSpace, Configuration, Subspace};
+use otune_telemetry::{metric, EventKind, ResizeDirection, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -113,6 +114,8 @@ pub struct ConfigGenerator {
     running_best: f64,
     /// Iteration counter (suggestions handed out).
     iteration: usize,
+    /// Observability handle (disabled by default).
+    telemetry: Telemetry,
 }
 
 impl ConfigGenerator {
@@ -136,7 +139,14 @@ impl ConfigGenerator {
             processed: 0,
             running_best: f64::INFINITY,
             iteration: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle; suggestions emit `SurrogateFitted`,
+    /// `AgdStep`, and `SubspaceResized` events through it.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The generator's options.
@@ -201,8 +211,7 @@ impl ConfigGenerator {
         // standardization alone cannot keep the basin around the optimum
         // resolvable next to spill blow-ups.
         let t = &self.opts.constraints;
-        let incumbent =
-            best_observation(history, t.t_max, t.r_max).expect("history is non-empty");
+        let incumbent = best_observation(history, t.t_max, t.r_max).expect("history is non-empty");
         let log_history: Vec<Observation> = history
             .iter()
             .map(|o| Observation {
@@ -211,20 +220,23 @@ impl ConfigGenerator {
                 ..o.clone()
             })
             .collect();
-        let runtime_gp = otune_bo::fit_surrogate(
+        let runtime_gp = otune_bo::fit_surrogate_with(
             &self.space,
             &log_history,
             otune_bo::SurrogateInput::Runtime,
             self.opts.seed,
+            &self.telemetry,
         );
-        let objective_gp = otune_bo::fit_surrogate(
+        let objective_gp = otune_bo::fit_surrogate_with(
             &self.space,
             &log_history,
             otune_bo::SurrogateInput::Objective,
             self.opts.seed,
+            &self.telemetry,
         );
         let (Ok(runtime_gp), Ok(objective_gp)) = (runtime_gp, objective_gp) else {
             // Degenerate history (e.g. identical rows) — explore.
+            self.telemetry.incr(metric::FALLBACK_SUGGESTIONS);
             return Suggestion {
                 config: self.space.sample(&mut self.rng),
                 source: SuggestionSource::Fallback,
@@ -232,15 +244,21 @@ impl ConfigGenerator {
                 from_safe_region: false,
             };
         };
+        for model in ["runtime_gp", "objective_gp"] {
+            self.telemetry.emit(
+                i as u64,
+                EventKind::SurrogateFitted {
+                    model: model.to_string(),
+                    n_obs: history.len(),
+                },
+            );
+        }
 
         // --- AGD every N_AGD iterations (Algorithm 2, lines 2-4) ---
         // §4.3 applies AGD "when observations D are sufficient to
         // approximate the objective function": with a thin history the
         // surrogate gradient is noise and the step wastes an online run.
-        if self.opts.n_agd > 0
-            && history.len() >= 12
-            && (i + 1).is_multiple_of(self.opts.n_agd)
-        {
+        if self.opts.n_agd > 0 && history.len() >= 12 && (i + 1).is_multiple_of(self.opts.n_agd) {
             let agd = Agd {
                 beta: self.opts.objective.beta,
                 eta: 0.04,
@@ -279,7 +297,10 @@ impl ConfigGenerator {
                 x.extend_from_slice(context);
                 objective_gp.predict_mean(&x) < incumbent.objective.max(1e-9).ln()
             };
-            if safe && within_r && predicted_descent && proposal != incumbent.config {
+            let accepted = safe && within_r && predicted_descent && proposal != incumbent.config;
+            self.telemetry
+                .emit(i as u64, EventKind::AgdStep { accepted });
+            if accepted {
                 return Suggestion {
                     config: proposal,
                     source: SuggestionSource::Agd,
@@ -292,11 +313,14 @@ impl ConfigGenerator {
 
         // --- Sub-space (Algorithm 2, line 6) ---
         let sub = if self.opts.enable_subspace {
-            self.subspace_mgr.build(&self.space, incumbent.config.clone())
+            self.subspace_mgr
+                .build(&self.space, incumbent.config.clone())
         } else {
             Subspace::full(&self.space, incumbent.config.clone())
                 .expect("full subspace is always valid")
         };
+        self.telemetry
+            .gauge(metric::SUBSPACE_K, self.subspace_mgr.k() as f64);
 
         // --- Safe region ∩ sub-space, EIC maximization (lines 7-8) ---
         // Thresholds move to log space along with the surrogates.
@@ -333,13 +357,12 @@ impl ConfigGenerator {
         };
         let resource_fn = self.resource_fn.clone();
         let r_max = self.opts.constraints.r_max;
-        let analytic = r_max.map(|r| {
-            move |c: &Configuration| resource_fn(c) <= r
-        });
-        let analytic_ref: Option<&dyn Fn(&Configuration) -> bool> =
-            analytic.as_ref().map(|f| f as &dyn Fn(&Configuration) -> bool);
+        let analytic = r_max.map(|r| move |c: &Configuration| resource_fn(c) <= r);
+        let analytic_ref: Option<&dyn Fn(&Configuration) -> bool> = analytic
+            .as_ref()
+            .map(|f| f as &dyn Fn(&Configuration) -> bool);
 
-        let choice = maximize_eic(
+        let choice = maximize_eic_with(
             &sub,
             context,
             &eic_obj,
@@ -348,6 +371,7 @@ impl ConfigGenerator {
             Some(&incumbent.config),
             self.opts.candidates,
             &mut self.rng,
+            &self.telemetry,
         );
         Suggestion {
             config: choice.config,
@@ -371,7 +395,22 @@ impl ConfigGenerator {
             }
             // Counters only matter once BO is active.
             if self.processed > self.opts.n_init {
-                self.subspace_mgr.record(success);
+                let k_before = self.subspace_mgr.k();
+                let k_after = self.subspace_mgr.record(success);
+                if k_after != k_before {
+                    let direction = if k_after > k_before {
+                        ResizeDirection::Grow
+                    } else {
+                        ResizeDirection::Shrink
+                    };
+                    self.telemetry.emit(
+                        self.iteration as u64,
+                        EventKind::SubspaceResized {
+                            k: k_after,
+                            direction,
+                        },
+                    );
+                }
             }
             if self.opts.fanova_period > 0
                 && self.processed >= 2 * self.opts.fanova_period
@@ -394,7 +433,7 @@ impl ConfigGenerator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use otune_space::{Parameter, ParamValue};
+    use otune_space::{ParamValue, Parameter};
 
     fn toy_space() -> ConfigSpace {
         ConfigSpace::new(vec![
@@ -458,20 +497,22 @@ mod tests {
     fn warm_configs_are_used_first_and_verbatim() {
         let space = toy_space();
         let warm = vec![
-            space.configuration(vec![
-                ParamValue::Int(5),
-                ParamValue::Int(4),
-                ParamValue::Float(0.3),
-                ParamValue::Bool(true),
-            ])
-            .unwrap(),
-            space.configuration(vec![
-                ParamValue::Int(25),
-                ParamValue::Int(16),
-                ParamValue::Float(0.7),
-                ParamValue::Bool(false),
-            ])
-            .unwrap(),
+            space
+                .configuration(vec![
+                    ParamValue::Int(5),
+                    ParamValue::Int(4),
+                    ParamValue::Float(0.3),
+                    ParamValue::Bool(true),
+                ])
+                .unwrap(),
+            space
+                .configuration(vec![
+                    ParamValue::Int(25),
+                    ParamValue::Int(16),
+                    ParamValue::Float(0.7),
+                    ParamValue::Bool(false),
+                ])
+                .unwrap(),
         ];
         let mut g = generator(GeneratorOptions::paper_defaults(4));
         let mut history = Vec::new();
@@ -508,7 +549,11 @@ mod tests {
         // proposal may still be vetoed when the surrogate predicts no
         // descent, in which case the slot runs BO.
         for i in [4usize, 9] {
-            assert_ne!(sources[i], SuggestionSource::Agd, "too early at {i}: {sources:?}");
+            assert_ne!(
+                sources[i],
+                SuggestionSource::Agd,
+                "too early at {i}: {sources:?}"
+            );
         }
         let fired = [14usize, 19]
             .iter()
@@ -533,7 +578,7 @@ mod tests {
 
     #[test]
     fn optimizes_toy_cost_objective() {
-        let mut opts = GeneratorOptions::paper_defaults(4);
+        let opts = GeneratorOptions::paper_defaults(4);
         let mut g = generator(opts);
         let space = toy_space();
         let mut history = vec![evaluate(&space, &space.default_configuration(), 0.5)];
@@ -555,7 +600,10 @@ mod tests {
         let default_rt = toy_runtime(&space.default_configuration());
         let t_max = default_rt * 1.5;
         let mut opts = GeneratorOptions::paper_defaults(4);
-        opts.constraints = Constraints { t_max: Some(t_max), r_max: None };
+        opts.constraints = Constraints {
+            t_max: Some(t_max),
+            r_max: None,
+        };
         opts.n_init = 3;
         opts.seed = 11;
         let mut g = generator(opts);
@@ -585,7 +633,10 @@ mod tests {
         let space = toy_space();
         let r_max = 100.0;
         let mut opts = GeneratorOptions::paper_defaults(4);
-        opts.constraints = Constraints { t_max: None, r_max: Some(r_max) };
+        opts.constraints = Constraints {
+            t_max: None,
+            r_max: Some(r_max),
+        };
         opts.n_init = 2;
         let mut g = generator(opts);
         // Seed history with feasible points so the incumbent is feasible.

@@ -59,10 +59,16 @@ pub use objective::{Constraints, Objective};
 pub use repository::DataRepository;
 pub use tuner::{OnlineTuner, TunerOptions};
 
+/// The observability layer, re-exported so applications can attach
+/// sinks without a direct `otune-telemetry` dependency.
+pub use otune_telemetry as telemetry;
+pub use otune_telemetry::Telemetry;
+
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use crate::Telemetry;
     pub use crate::{
-        Constraints, ConfigGenerator, DataRepository, GeneratorOptions, Objective,
+        ConfigGenerator, Constraints, DataRepository, GeneratorOptions, Objective,
         OnlineTuneController, OnlineTuner, TunerOptions,
     };
     pub use otune_bo::Observation;

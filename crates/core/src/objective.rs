@@ -17,7 +17,10 @@ pub struct Objective {
 impl Objective {
     /// Construct, validating `β ∈ [0, 1]`.
     pub fn new(beta: f64) -> Self {
-        assert!((0.0..=1.0).contains(&beta), "β must lie in [0, 1], got {beta}");
+        assert!(
+            (0.0..=1.0).contains(&beta),
+            "β must lie in [0, 1], got {beta}"
+        );
         Objective { beta }
     }
 
@@ -67,8 +70,7 @@ impl Constraints {
 
     /// Whether `(runtime, resource)` satisfies the constraints.
     pub fn satisfied(&self, runtime_s: f64, resource: f64) -> bool {
-        self.t_max.is_none_or(|t| runtime_s <= t)
-            && self.r_max.is_none_or(|r| resource <= r)
+        self.t_max.is_none_or(|t| runtime_s <= t) && self.r_max.is_none_or(|r| resource <= r)
     }
 }
 
@@ -153,7 +155,10 @@ mod tests {
 
     #[test]
     fn constraints_checks() {
-        let c = Constraints { t_max: Some(100.0), r_max: Some(50.0) };
+        let c = Constraints {
+            t_max: Some(100.0),
+            r_max: Some(50.0),
+        };
         assert!(c.satisfied(100.0, 50.0));
         assert!(!c.satisfied(100.1, 50.0));
         assert!(!c.satisfied(100.0, 50.1));

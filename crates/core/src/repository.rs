@@ -42,22 +42,28 @@ impl DataRepository {
     /// record if needed).
     pub fn record_observation(&self, task_id: &str, obs: Observation) {
         let mut repo = self.inner.write();
-        let rec = repo.tasks.entry(task_id.to_string()).or_insert_with(|| TaskRecord {
-            task_id: task_id.to_string(),
-            meta_features: Vec::new(),
-            observations: Vec::new(),
-        });
+        let rec = repo
+            .tasks
+            .entry(task_id.to_string())
+            .or_insert_with(|| TaskRecord {
+                task_id: task_id.to_string(),
+                meta_features: Vec::new(),
+                observations: Vec::new(),
+            });
         rec.observations.push(obs);
     }
 
     /// Set (or update) a task's meta-features.
     pub fn set_meta_features(&self, task_id: &str, features: Vec<f64>) {
         let mut repo = self.inner.write();
-        let rec = repo.tasks.entry(task_id.to_string()).or_insert_with(|| TaskRecord {
-            task_id: task_id.to_string(),
-            meta_features: Vec::new(),
-            observations: Vec::new(),
-        });
+        let rec = repo
+            .tasks
+            .entry(task_id.to_string())
+            .or_insert_with(|| TaskRecord {
+                task_id: task_id.to_string(),
+                meta_features: Vec::new(),
+                observations: Vec::new(),
+            });
         rec.meta_features = features;
     }
 
@@ -75,9 +81,7 @@ impl DataRepository {
             .tasks
             .values()
             .filter(|t| {
-                t.task_id != exclude
-                    && !t.meta_features.is_empty()
-                    && t.observations.len() >= 3
+                t.task_id != exclude && !t.meta_features.is_empty() && t.observations.len() >= 3
             })
             .cloned()
             .collect()
@@ -91,7 +95,9 @@ impl DataRepository {
     /// Load a repository from JSON.
     pub fn import_json(json: &str) -> Result<Self, serde_json::Error> {
         let repo: Repo = serde_json::from_str(json)?;
-        Ok(DataRepository { inner: RwLock::new(repo) })
+        Ok(DataRepository {
+            inner: RwLock::new(repo),
+        })
     }
 }
 
@@ -172,7 +178,10 @@ mod tests {
         }
         assert_eq!(repo.len(), 4);
         for t in 0..4 {
-            assert_eq!(repo.task(&format!("task-{t}")).unwrap().observations.len(), 50);
+            assert_eq!(
+                repo.task(&format!("task-{t}")).unwrap().observations.len(),
+                50
+            );
         }
     }
 }

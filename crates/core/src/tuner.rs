@@ -6,7 +6,21 @@ use crate::objective::{Constraints, Objective};
 use otune_bo::{best_observation, CandidateParams, Observation, SubspaceParams};
 use otune_meta::{EnsembleSurrogate, TaskRecord};
 use otune_space::{ConfigSpace, Configuration};
+use otune_telemetry::{metric, EventKind, StopReason, SuggestionKind, Telemetry};
 use std::sync::Arc;
+
+impl SuggestionSource {
+    /// The telemetry mirror of this provenance.
+    pub fn kind(self) -> SuggestionKind {
+        match self {
+            SuggestionSource::WarmStart => SuggestionKind::WarmStart,
+            SuggestionSource::InitialDesign => SuggestionKind::InitialDesign,
+            SuggestionSource::Agd => SuggestionKind::Agd,
+            SuggestionSource::Bo => SuggestionKind::Bo,
+            SuggestionSource::Fallback => SuggestionKind::Fallback,
+        }
+    }
+}
 
 /// Options for one tuning task. `Default` gives the paper's settings with
 /// the cost objective and no constraints.
@@ -126,6 +140,8 @@ pub struct OnlineTuner {
     own_records: Vec<TaskRecord>,
     /// Iterations consumed in the current tuning round.
     round_iterations: usize,
+    /// Observability handle (disabled by default).
+    telemetry: Telemetry,
 }
 
 impl OnlineTuner {
@@ -156,7 +172,15 @@ impl OnlineTuner {
             restarts: 0,
             own_records: Vec::new(),
             round_iterations: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle; the tuner (and its generator) emit
+    /// events and metrics through it.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.generator.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
     }
 
     fn make_generator(
@@ -166,7 +190,10 @@ impl OnlineTuner {
     ) -> ConfigGenerator {
         let gen_opts = GeneratorOptions {
             objective: Objective::new(opts.beta),
-            constraints: Constraints { t_max: opts.t_max, r_max: opts.r_max },
+            constraints: Constraints {
+                t_max: opts.t_max,
+                r_max: opts.r_max,
+            },
             n_init: opts.n_init,
             n_agd: opts.n_agd,
             gamma: opts.gamma,
@@ -230,6 +257,14 @@ impl OnlineTuner {
             return Err(TunerError::PendingObservation);
         }
         if self.stopped || self.round_iterations >= self.opts.budget {
+            if !self.stopped {
+                self.telemetry.emit(
+                    self.round_iterations as u64,
+                    EventKind::TaskStopped {
+                        reason: StopReason::BudgetExhausted,
+                    },
+                );
+            }
             self.stopped = true;
             let best = self
                 .best()
@@ -246,11 +281,22 @@ impl OnlineTuner {
 
         let ensemble = self.build_ensemble();
         let warm = self.opts.warm_configs.clone();
-        let suggestion = self.generator.suggest(
-            &self.history,
-            context,
-            &warm,
-            ensemble.as_ref().map(|e| e as &dyn otune_bo::Predictor),
+        let suggestion = {
+            let _span = self.telemetry.span(metric::SUGGEST_LATENCY_S);
+            self.generator.suggest(
+                &self.history,
+                context,
+                &warm,
+                ensemble.as_ref().map(|e| e as &dyn otune_bo::Predictor),
+            )
+        };
+        self.telemetry.emit(
+            self.round_iterations as u64,
+            EventKind::SuggestionMade {
+                source: suggestion.source.kind(),
+                eic: suggestion.eic,
+                in_safe_region: suggestion.from_safe_region,
+            },
         );
 
         // Stopping criterion: negligible expected improvement (§3.3).
@@ -263,6 +309,12 @@ impl OnlineTuner {
                 // measures the expected *relative* improvement (§3.3's
                 // "expected improvement less than a threshold, e.g. 10%").
                 if suggestion.eic < self.opts.ei_stop_ratio && suggestion.from_safe_region {
+                    self.telemetry.emit(
+                        self.round_iterations as u64,
+                        EventKind::TaskStopped {
+                            reason: StopReason::EiConverged,
+                        },
+                    );
                     self.stopped = true;
                     self.pending = Some(Suggestion {
                         config: best_cfg.clone(),
@@ -296,14 +348,16 @@ impl OnlineTuner {
         context: &[f64],
     ) -> Result<(), TunerError> {
         let pending = self.pending.take().ok_or(TunerError::NoPendingSuggestion)?;
-        debug_assert_eq!(pending.config, config, "observed config must match suggestion");
+        debug_assert_eq!(
+            pending.config, config,
+            "observed config must match suggestion"
+        );
         let objective = self.objective.eval(runtime_s, resource);
 
         if self.stopped {
             // Post-tuning: watch for continuous degradation (§3.3).
             let expected = self.best().map(|o| o.objective).unwrap_or(objective);
-            if self.opts.restart_after > 0 && objective > expected * self.opts.degradation_factor
-            {
+            if self.opts.restart_after > 0 && objective > expected * self.opts.degradation_factor {
                 self.degraded_streak += 1;
                 if self.degraded_streak >= self.opts.restart_after {
                     self.restart();
@@ -328,7 +382,13 @@ impl OnlineTuner {
     /// Seed the runhistory with an already-executed configuration (e.g.
     /// the manual configuration's production metrics). Does not consume
     /// budget.
-    pub fn seed_observation(&mut self, config: Configuration, runtime_s: f64, resource: f64, context: &[f64]) {
+    pub fn seed_observation(
+        &mut self,
+        config: Configuration,
+        runtime_s: f64,
+        resource: f64,
+        context: &[f64],
+    ) {
         let objective = self.objective.eval(runtime_s, resource);
         self.history.push(Observation {
             config,
@@ -356,6 +416,7 @@ impl OnlineTuner {
         self.round_iterations = 0;
         let resource_fn = crate::objective::resource_fn_for(&self.space);
         self.generator = Self::make_generator(&self.space, &self.opts, resource_fn);
+        self.generator.set_telemetry(self.telemetry.clone());
     }
 
     /// Export this task's history as a [`TaskRecord`] for the repository.
@@ -380,12 +441,18 @@ impl OnlineTuner {
         // member surrogates must live on the same scale.
         let log = |obs: &[Observation]| -> Vec<Observation> {
             obs.iter()
-                .map(|o| Observation { objective: o.objective.max(1e-9).ln(), ..o.clone() })
+                .map(|o| Observation {
+                    objective: o.objective.max(1e-9).ln(),
+                    ..o.clone()
+                })
                 .collect()
         };
         let bases: Vec<TaskRecord> = bases
             .into_iter()
-            .map(|t| TaskRecord { observations: log(&t.observations), ..t })
+            .map(|t| TaskRecord {
+                observations: log(&t.observations),
+                ..t
+            })
             .collect();
         EnsembleSurrogate::build(&self.space, &bases, &log(&self.history), 50, self.opts.seed)
     }
@@ -425,7 +492,11 @@ mod tests {
 
     #[test]
     fn improves_over_default_within_budget() {
-        let mut tuner = make_tuner(TunerOptions { budget: 15, seed: 1, ..Default::default() });
+        let mut tuner = make_tuner(TunerOptions {
+            budget: 15,
+            seed: 1,
+            ..Default::default()
+        });
         let d = toy_space().default_configuration();
         tuner.seed_observation(d.clone(), toy_runtime(&d), toy_resource(&d), &[]);
         let initial = tuner.history()[0].objective;
@@ -437,7 +508,10 @@ mod tests {
 
     #[test]
     fn budget_exhaustion_returns_best_config() {
-        let mut tuner = make_tuner(TunerOptions { budget: 5, ..Default::default() });
+        let mut tuner = make_tuner(TunerOptions {
+            budget: 5,
+            ..Default::default()
+        });
         drive(&mut tuner, 5);
         assert!(!tuner.is_stopped());
         let best = tuner.best().unwrap().config.clone();
@@ -453,7 +527,10 @@ mod tests {
     fn suggest_twice_without_observe_errors() {
         let mut tuner = make_tuner(TunerOptions::default());
         let _ = tuner.suggest(&[]).unwrap();
-        assert_eq!(tuner.suggest(&[]).unwrap_err(), TunerError::PendingObservation);
+        assert_eq!(
+            tuner.suggest(&[]).unwrap_err(),
+            TunerError::PendingObservation
+        );
     }
 
     #[test]
@@ -491,7 +568,10 @@ mod tests {
 
     #[test]
     fn healthy_post_tuning_runs_do_not_restart() {
-        let mut tuner = make_tuner(TunerOptions { budget: 4, ..Default::default() });
+        let mut tuner = make_tuner(TunerOptions {
+            budget: 4,
+            ..Default::default()
+        });
         drive(&mut tuner, 4);
         let best_rt = tuner.best().unwrap().runtime;
         let best_r = tuner.best().unwrap().resource;
@@ -518,7 +598,10 @@ mod tests {
 
     #[test]
     fn export_record_captures_history() {
-        let mut tuner = make_tuner(TunerOptions { budget: 4, ..Default::default() });
+        let mut tuner = make_tuner(TunerOptions {
+            budget: 4,
+            ..Default::default()
+        });
         drive(&mut tuner, 4);
         let rec = tuner.export_record("toy", vec![1.0, 2.0]);
         assert_eq!(rec.task_id, "toy");

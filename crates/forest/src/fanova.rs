@@ -30,7 +30,11 @@ impl Fanova {
         let forest = RandomForest::fit(x, y, ForestConfig::for_fanova(dim, seed))?;
         let root: Vec<(f64, f64)> = vec![(0.0, 1.0); dim];
         let partitions = forest.trees().iter().map(|t| t.leaf_boxes(&root)).collect();
-        Ok(Fanova { forest, partitions, dim })
+        Ok(Fanova {
+            forest,
+            partitions,
+            dim,
+        })
     }
 
     /// Dimensionality.
@@ -73,7 +77,10 @@ impl Fanova {
     /// of the 2-D marginal beyond both main effects, as a fraction of total
     /// variance, averaged over trees.
     pub fn pairwise_importance(&self, a: usize, b: usize) -> f64 {
-        assert!(a < self.dim && b < self.dim && a != b, "invalid pair ({a}, {b})");
+        assert!(
+            a < self.dim && b < self.dim && a != b,
+            "invalid pair ({a}, {b})"
+        );
         let mut score = 0.0;
         let mut active = 0.0;
         for part in &self.partitions {
@@ -98,7 +105,11 @@ impl Fanova {
     pub fn ranking(&self) -> Vec<usize> {
         let imp = self.importance();
         let mut order: Vec<usize> = (0..self.dim).collect();
-        order.sort_by(|&i, &j| imp[j].partial_cmp(&imp[i]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&i, &j| {
+            imp[j]
+                .partial_cmp(&imp[i])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         order
     }
 }

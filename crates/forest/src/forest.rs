@@ -152,8 +152,15 @@ mod tests {
         let a = RandomForest::fit(&x, &y, ForestConfig::default()).unwrap();
         let b = RandomForest::fit(&x, &y, ForestConfig::default()).unwrap();
         assert_eq!(a.predict(&x[0]), b.predict(&x[0]));
-        let c = RandomForest::fit(&x, &y, ForestConfig { seed: 9, ..ForestConfig::default() })
-            .unwrap();
+        let c = RandomForest::fit(
+            &x,
+            &y,
+            ForestConfig {
+                seed: 9,
+                ..ForestConfig::default()
+            },
+        )
+        .unwrap();
         assert_ne!(a.predict(&x[7]), c.predict(&x[7]));
     }
 
@@ -168,9 +175,7 @@ mod tests {
     #[test]
     fn errors_propagate() {
         assert!(RandomForest::fit(&[], &[], ForestConfig::default()).is_err());
-        assert!(
-            RandomForest::fit(&[vec![1.0]], &[1.0, 2.0], ForestConfig::default()).is_err()
-        );
+        assert!(RandomForest::fit(&[vec![1.0]], &[1.0, 2.0], ForestConfig::default()).is_err());
     }
 
     #[test]

@@ -18,7 +18,11 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        TreeConfig { max_depth: 10, min_samples_leaf: 2, mtry: None }
+        TreeConfig {
+            max_depth: 10,
+            min_samples_leaf: 2,
+            mtry: None,
+        }
     }
 }
 
@@ -69,7 +73,10 @@ impl RegressionTree {
         if x.len() != y.len() || x.iter().any(|r| r.len() != dim) || dim == 0 {
             return Err(ForestError::ShapeMismatch);
         }
-        let mut tree = RegressionTree { nodes: Vec::new(), dim };
+        let mut tree = RegressionTree {
+            nodes: Vec::new(),
+            dim,
+        };
         let idx: Vec<usize> = (0..x.len()).collect();
         tree.grow(x, y, idx, 0, cfg, rng);
         Ok(tree)
@@ -147,7 +154,12 @@ impl RegressionTree {
         self.nodes.push(Node::Leaf { value: mean }); // placeholder
         let left = self.grow(x, y, left_idx, depth + 1, cfg, rng);
         let right = self.grow(x, y, right_idx, depth + 1, cfg, rng);
-        self.nodes[node_id] = Node::Split { feature, threshold, left, right };
+        self.nodes[node_id] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         node_id
     }
 
@@ -158,7 +170,10 @@ impl RegressionTree {
 
     /// Number of leaves.
     pub fn n_leaves(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
     }
 
     /// Predict the value at `x`.
@@ -171,8 +186,17 @@ impl RegressionTree {
         loop {
             match &self.nodes[node] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
-                    node = if x[*feature] < *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -188,8 +212,16 @@ impl RegressionTree {
 
     fn collect_boxes(&self, node: usize, bounds: Vec<(f64, f64)>, out: &mut Vec<LeafBox>) {
         match &self.nodes[node] {
-            Node::Leaf { value } => out.push(LeafBox { bounds, value: *value }),
-            Node::Split { feature, threshold, left, right } => {
+            Node::Leaf { value } => out.push(LeafBox {
+                bounds,
+                value: *value,
+            }),
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
                 let mut lb = bounds.clone();
                 lb[*feature].1 = lb[*feature].1.min(*threshold);
                 let mut rb = bounds;
@@ -236,7 +268,10 @@ mod tests {
         let t = RegressionTree::fit(
             &x,
             &y,
-            TreeConfig { max_depth: 0, ..TreeConfig::default() },
+            TreeConfig {
+                max_depth: 0,
+                ..TreeConfig::default()
+            },
             &mut rng(),
         )
         .unwrap();
@@ -253,7 +288,12 @@ mod tests {
         assert_eq!(boxes.len(), t.n_leaves());
         let vol: f64 = boxes
             .iter()
-            .map(|b| b.bounds.iter().map(|(lo, hi)| (hi - lo).max(0.0)).product::<f64>())
+            .map(|b| {
+                b.bounds
+                    .iter()
+                    .map(|(lo, hi)| (hi - lo).max(0.0))
+                    .product::<f64>()
+            })
             .sum();
         assert!((vol - 1.0).abs() < 1e-9, "boxes tile the cube, got {vol}");
     }
@@ -284,7 +324,10 @@ mod tests {
         let coarse = RegressionTree::fit(
             &x,
             &y,
-            TreeConfig { min_samples_leaf: 8, ..TreeConfig::default() },
+            TreeConfig {
+                min_samples_leaf: 8,
+                ..TreeConfig::default()
+            },
             &mut rng(),
         )
         .unwrap();

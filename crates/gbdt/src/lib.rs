@@ -32,7 +32,11 @@ impl Default for GbdtConfig {
         GbdtConfig {
             n_rounds: 120,
             learning_rate: 0.1,
-            tree: TreeConfig { max_depth: 4, min_samples_leaf: 3, mtry: None },
+            tree: TreeConfig {
+                max_depth: 4,
+                min_samples_leaf: 3,
+                mtry: None,
+            },
             subsample: 0.9,
             seed: 0,
         }
@@ -84,14 +88,16 @@ impl GbdtRegressor {
             }
             trees.push(tree);
         }
-        Ok(GbdtRegressor { base, learning_rate: cfg.learning_rate, trees })
+        Ok(GbdtRegressor {
+            base,
+            learning_rate: cfg.learning_rate,
+            trees,
+        })
     }
 
     /// Predict the target at `x`.
     pub fn predict(&self, x: &[f64]) -> f64 {
-        self.base
-            + self.learning_rate
-                * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
+        self.base + self.learning_rate * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
     }
 
     /// Number of boosted trees.
@@ -131,9 +137,12 @@ mod tests {
         let (x, y) = nonlinear(300, 1);
         let model = GbdtRegressor::fit(&x, &y, GbdtConfig::default()).unwrap();
         let mean = y.iter().sum::<f64>() / y.len() as f64;
-        let base_rmse =
-            (y.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / y.len() as f64).sqrt();
-        assert!(model.rmse(&x, &y) < base_rmse * 0.25, "{} vs {base_rmse}", model.rmse(&x, &y));
+        let base_rmse = (y.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / y.len() as f64).sqrt();
+        assert!(
+            model.rmse(&x, &y) < base_rmse * 0.25,
+            "{} vs {base_rmse}",
+            model.rmse(&x, &y)
+        );
     }
 
     #[test]
@@ -143,9 +152,8 @@ mod tests {
         let (train_y, test_y) = y.split_at(300);
         let model = GbdtRegressor::fit(train_x, train_y, GbdtConfig::default()).unwrap();
         let mean = train_y.iter().sum::<f64>() / train_y.len() as f64;
-        let base_rmse = (test_y.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
-            / test_y.len() as f64)
-            .sqrt();
+        let base_rmse =
+            (test_y.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / test_y.len() as f64).sqrt();
         let rmse = model.rmse(test_x, test_y);
         assert!(rmse < base_rmse * 0.5, "{rmse} vs {base_rmse}");
     }
@@ -156,13 +164,19 @@ mod tests {
         let few = GbdtRegressor::fit(
             &x,
             &y,
-            GbdtConfig { n_rounds: 10, ..GbdtConfig::default() },
+            GbdtConfig {
+                n_rounds: 10,
+                ..GbdtConfig::default()
+            },
         )
         .unwrap();
         let many = GbdtRegressor::fit(
             &x,
             &y,
-            GbdtConfig { n_rounds: 200, ..GbdtConfig::default() },
+            GbdtConfig {
+                n_rounds: 200,
+                ..GbdtConfig::default()
+            },
         )
         .unwrap();
         assert!(many.rmse(&x, &y) < few.rmse(&x, &y));

@@ -144,7 +144,11 @@ mod tests {
 
     #[test]
     fn identical_points_have_prior_variance() {
-        let k = kernel(vec![FeatureKind::Numeric, FeatureKind::Categorical, FeatureKind::DataSize]);
+        let k = kernel(vec![
+            FeatureKind::Numeric,
+            FeatureKind::Categorical,
+            FeatureKind::DataSize,
+        ]);
         let x = [0.3, 1.0, 0.7];
         assert!((k.eval(&x, &x) - k.diag()).abs() < 1e-12);
     }
@@ -183,7 +187,11 @@ mod tests {
 
     #[test]
     fn symmetry() {
-        let k = kernel(vec![FeatureKind::Numeric, FeatureKind::Numeric, FeatureKind::DataSize]);
+        let k = kernel(vec![
+            FeatureKind::Numeric,
+            FeatureKind::Numeric,
+            FeatureKind::DataSize,
+        ]);
         let a = [0.1, 0.9, 0.4];
         let b = [0.6, 0.2, 0.8];
         assert!((k.eval(&a, &b) - k.eval(&b, &a)).abs() < 1e-15);

@@ -52,7 +52,12 @@ pub struct GpConfig {
 
 impl Default for GpConfig {
     fn default() -> Self {
-        GpConfig { optimize_hypers: true, n_candidates: 30, n_refine: 3, seed: 0 }
+        GpConfig {
+            optimize_hypers: true,
+            n_candidates: 30,
+            n_refine: 3,
+            seed: 0,
+        }
     }
 }
 
@@ -108,9 +113,9 @@ impl GaussianProcess {
         let mut best_fit: Option<(Cholesky, Vec<f64>)> = None;
 
         let consider = |hyper: KernelHyper,
-                            best_hyper: &mut KernelHyper,
-                            best_lml: &mut f64,
-                            best_fit: &mut Option<(Cholesky, Vec<f64>)>| {
+                        best_hyper: &mut KernelHyper,
+                        best_lml: &mut f64,
+                        best_fit: &mut Option<(Cholesky, Vec<f64>)>| {
             let kernel = MixedKernel::new(kinds.clone(), hyper);
             if let Ok((chol, alpha, lml)) = Self::factor(&kernel, &x, &ys) {
                 if lml > *best_lml {
@@ -121,7 +126,12 @@ impl GaussianProcess {
             }
         };
 
-        consider(KernelHyper::default(), &mut best_hyper, &mut best_lml, &mut best_fit);
+        consider(
+            KernelHyper::default(),
+            &mut best_hyper,
+            &mut best_lml,
+            &mut best_fit,
+        );
 
         if cfg.optimize_hypers && x.len() >= 3 {
             let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -218,8 +228,9 @@ impl GaussianProcess {
             .chol
             .solve_lower(&kx)
             .expect("dimension verified at fit time");
-        let var_std =
-            (self.kernel.diag() + self.kernel.hyper.noise_var - otune_linalg::dot(&v, &v)).max(1e-12);
+        let var_std = (self.kernel.diag() + self.kernel.hyper.noise_var
+            - otune_linalg::dot(&v, &v))
+        .max(1e-12);
         (
             mean_std * self.y_std + self.y_mean,
             var_std * self.y_std * self.y_std,
@@ -269,7 +280,10 @@ mod tests {
             numeric_kinds(1),
             x,
             &y,
-            GpConfig { optimize_hypers: false, ..GpConfig::default() },
+            GpConfig {
+                optimize_hypers: false,
+                ..GpConfig::default()
+            },
         )
         .unwrap();
         let (_, var_near) = gp.predict(&[0.5]);
@@ -281,7 +295,8 @@ mod tests {
     fn predictions_near_training_points_match_targets() {
         let x = grid_1d(8);
         let y: Vec<f64> = x.iter().map(|v| 3.0 * v[0] + 1.0).collect();
-        let gp = GaussianProcess::fit(numeric_kinds(1), x.clone(), &y, GpConfig::default()).unwrap();
+        let gp =
+            GaussianProcess::fit(numeric_kinds(1), x.clone(), &y, GpConfig::default()).unwrap();
         for (xi, yi) in x.iter().zip(&y) {
             let mu = gp.predict_mean(xi);
             assert!((mu - yi).abs() < 0.1, "{mu} vs {yi}");
@@ -305,7 +320,12 @@ mod tests {
             Err(GpError::Empty)
         ));
         assert!(matches!(
-            GaussianProcess::fit(numeric_kinds(2), vec![vec![0.0]], &[1.0], GpConfig::default()),
+            GaussianProcess::fit(
+                numeric_kinds(2),
+                vec![vec![0.0]],
+                &[1.0],
+                GpConfig::default()
+            ),
             Err(GpError::ShapeMismatch)
         ));
         assert!(matches!(
@@ -336,11 +356,13 @@ mod tests {
             numeric_kinds(1),
             x.clone(),
             &y,
-            GpConfig { optimize_hypers: false, ..GpConfig::default() },
+            GpConfig {
+                optimize_hypers: false,
+                ..GpConfig::default()
+            },
         )
         .unwrap();
-        let fitted =
-            GaussianProcess::fit(numeric_kinds(1), x, &y, GpConfig::default()).unwrap();
+        let fitted = GaussianProcess::fit(numeric_kinds(1), x, &y, GpConfig::default()).unwrap();
         assert!(fitted.log_marginal_likelihood() >= fixed.log_marginal_likelihood());
     }
 

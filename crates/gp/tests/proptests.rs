@@ -1,6 +1,6 @@
 //! Property-based tests for Gaussian-process regression.
 
-use otune_gp::{FeatureKind, GaussianProcess, GpConfig, MixedKernel, KernelHyper};
+use otune_gp::{FeatureKind, GaussianProcess, GpConfig, KernelHyper, MixedKernel};
 use proptest::prelude::*;
 
 fn rows(n: usize, d: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {

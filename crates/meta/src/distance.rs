@@ -109,7 +109,13 @@ mod tests {
             .into_iter()
             .map(|config| {
                 let v = f(config[0].as_float().unwrap());
-                Observation { config, objective: v, runtime: v, resource: 1.0, context: vec![] }
+                Observation {
+                    config,
+                    objective: v,
+                    runtime: v,
+                    resource: 1.0,
+                    context: vec![],
+                }
             })
             .collect();
         fit_surrogate(space, &obs, SurrogateInput::Objective, 0).unwrap()

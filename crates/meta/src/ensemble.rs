@@ -106,7 +106,10 @@ impl EnsembleSurrogate {
                 m.1 /= total;
             }
         }
-        Some(EnsembleSurrogate { members, target_scale })
+        Some(EnsembleSurrogate {
+            members,
+            target_scale,
+        })
     }
 
     /// Number of member surrogates.
@@ -167,7 +170,10 @@ fn fit_target_surrogate(
     }
     let stripped: Vec<Observation> = obs
         .iter()
-        .map(|o| Observation { context: vec![], ..o.clone() })
+        .map(|o| Observation {
+            context: vec![],
+            ..o.clone()
+        })
         .collect();
     fit_surrogate(space, &stripped, SurrogateInput::Objective, seed).ok()
 }
@@ -195,7 +201,11 @@ fn target_weight(space: &ConfigSpace, obs: &[Observation], seed: u64) -> f64 {
                 yt.push(y[i]);
             }
         }
-        let cfg = GpConfig { optimize_hypers: false, seed, ..GpConfig::default() };
+        let cfg = GpConfig {
+            optimize_hypers: false,
+            seed,
+            ..GpConfig::default()
+        };
         if let Ok(gp) = GaussianProcess::fit(kinds.clone(), xt, &yt, cfg) {
             preds.push(gp.predict_mean(&x[k]));
             truth.push(y[k]);
@@ -217,17 +227,33 @@ mod tests {
         ConfigSpace::new(vec![Parameter::float("a", 0.0, 1.0, 0.5)])
     }
 
-    fn record<F: Fn(f64) -> f64>(space: &ConfigSpace, id: &str, n: usize, seed: u64, f: F) -> TaskRecord {
+    fn record<F: Fn(f64) -> f64>(
+        space: &ConfigSpace,
+        id: &str,
+        n: usize,
+        seed: u64,
+        f: F,
+    ) -> TaskRecord {
         let mut rng = StdRng::seed_from_u64(seed);
         let observations: Vec<Observation> = space
             .sample_n(n, &mut rng)
             .into_iter()
             .map(|config| {
                 let v = f(config[0].as_float().unwrap());
-                Observation { config, objective: v, runtime: 1.0, resource: 1.0, context: vec![] }
+                Observation {
+                    config,
+                    objective: v,
+                    runtime: 1.0,
+                    resource: 1.0,
+                    context: vec![],
+                }
             })
             .collect();
-        TaskRecord { task_id: id.into(), meta_features: vec![0.0], observations }
+        TaskRecord {
+            task_id: id.into(),
+            meta_features: vec![0.0],
+            observations,
+        }
     }
 
     /// Target function shared by the "helpful" base tasks: min at a = 0.3.

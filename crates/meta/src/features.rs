@@ -16,12 +16,28 @@ const OP_CATEGORIES: [&[&str]; 9] = [
     &["map", "mapValues", "mapPartitions"],
     &["flatMap"],
     &["filter", "sample"],
-    &["reduceByKey", "combineByKey", "treeAggregate", "reduce", "aggregate"],
+    &[
+        "reduceByKey",
+        "combineByKey",
+        "treeAggregate",
+        "reduce",
+        "aggregate",
+    ],
     &["join", "groupByKey", "cogroup"],
-    &["sortByKey", "repartitionAndSortWithinPartitions", "repartition"],
+    &[
+        "sortByKey",
+        "repartitionAndSortWithinPartitions",
+        "repartition",
+    ],
     &["collect", "collectAsMap", "take"],
     &["cache", "persist"],
-    &["textFile", "objectFile", "newAPIHadoopFile", "saveAsTextFile", "saveAsNewAPIHadoopFile"],
+    &[
+        "textFile",
+        "objectFile",
+        "newAPIHadoopFile",
+        "saveAsTextFile",
+        "saveAsNewAPIHadoopFile",
+    ],
 ];
 
 /// Extract the 75-feature vector from an event log.

@@ -28,4 +28,4 @@ pub use distance::{kendall_tau, surrogate_distance};
 pub use ensemble::EnsembleSurrogate;
 pub use features::{extract_meta_features, META_FEATURE_COUNT};
 pub use similarity::{SimilarityLearner, TaskRecord};
-pub use warmstart::warm_start_configs;
+pub use warmstart::{warm_start_configs, warm_start_configs_with};

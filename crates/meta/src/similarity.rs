@@ -47,7 +47,10 @@ impl TaskRecord {
         let stripped: Vec<Observation> = self
             .observations
             .iter()
-            .map(|o| Observation { context: vec![], ..o.clone() })
+            .map(|o| Observation {
+                context: vec![],
+                ..o.clone()
+            })
             .collect();
         fit_surrogate(space, &stripped, SurrogateInput::Objective, seed).ok()
     }
@@ -98,7 +101,11 @@ impl SimilarityLearner {
         let model = GbdtRegressor::fit(
             &x,
             &y,
-            GbdtConfig { n_rounds: 80, seed, ..GbdtConfig::default() },
+            GbdtConfig {
+                n_rounds: 80,
+                seed,
+                ..GbdtConfig::default()
+            },
         )
         .ok()?;
         Some(SimilarityLearner { model, feature_dim })
@@ -151,7 +158,13 @@ mod tests {
                 let a = config[0].as_float().unwrap();
                 let b = config[1].as_float().unwrap();
                 let v = sign * 10.0 * a + b + bias;
-                Observation { config, objective: v, runtime: v.abs() + 1.0, resource: 1.0, context: vec![] }
+                Observation {
+                    config,
+                    objective: v,
+                    runtime: v.abs() + 1.0,
+                    resource: 1.0,
+                    context: vec![],
+                }
             })
             .collect();
         TaskRecord {

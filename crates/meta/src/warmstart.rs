@@ -7,6 +7,7 @@
 
 use crate::similarity::{SimilarityLearner, TaskRecord};
 use otune_space::Configuration;
+use otune_telemetry::{metric, Telemetry};
 
 /// Initial configurations for a new task: the best configuration of each
 /// of the `n_sources` most similar tasks (deduplicated, in similarity
@@ -16,6 +17,24 @@ pub fn warm_start_configs(
     target_meta: &[f64],
     tasks: &[TaskRecord],
     n_sources: usize,
+) -> Vec<Configuration> {
+    warm_start_configs_with(
+        learner,
+        target_meta,
+        tasks,
+        n_sources,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`warm_start_configs`] with instrumentation: each transferred
+/// configuration increments the `warm_start_hits` counter.
+pub fn warm_start_configs_with(
+    learner: &SimilarityLearner,
+    target_meta: &[f64],
+    tasks: &[TaskRecord],
+    n_sources: usize,
+    telemetry: &Telemetry,
 ) -> Vec<Configuration> {
     let ranking = learner.rank_tasks(target_meta, tasks);
     let mut out: Vec<Configuration> = Vec::new();
@@ -27,6 +46,7 @@ pub fn warm_start_configs(
             }
         }
     }
+    telemetry.add(metric::WARM_START_HITS, out.len() as u64);
     out
 }
 
@@ -62,7 +82,13 @@ mod tests {
             .map(|config| {
                 let a = config[0].as_float().unwrap();
                 let v = sign * 10.0 * a;
-                Observation { config, objective: v, runtime: 1.0, resource: 1.0, context: vec![] }
+                Observation {
+                    config,
+                    objective: v,
+                    runtime: 1.0,
+                    resource: 1.0,
+                    context: vec![],
+                }
             })
             .collect();
         TaskRecord {
@@ -90,7 +116,10 @@ mod tests {
         assert!(!configs.is_empty() && configs.len() <= 3);
         for c in &configs {
             let a = c[0].as_float().unwrap();
-            assert!(a < 0.5, "transferred config minimizes ascending tasks: a = {a}");
+            assert!(
+                a < 0.5,
+                "transferred config minimizes ascending tasks: a = {a}"
+            );
         }
     }
 

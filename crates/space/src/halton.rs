@@ -14,8 +14,8 @@ use rand::SeedableRng;
 
 /// First 40 primes — one base per supported dimension.
 const PRIMES: [u64; 40] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173,
 ];
 
 /// A deterministic scrambled Halton sequence over `[0, 1)^dim`.
@@ -34,7 +34,11 @@ impl HaltonSequence {
     /// # Panics
     /// Panics if `dim` exceeds the 40 supported dimensions.
     pub fn new(dim: usize, seed: u64) -> Self {
-        assert!(dim <= PRIMES.len(), "HaltonSequence supports at most {} dims", PRIMES.len());
+        assert!(
+            dim <= PRIMES.len(),
+            "HaltonSequence supports at most {} dims",
+            PRIMES.len()
+        );
         let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
         let perms = PRIMES[..dim]
             .iter()

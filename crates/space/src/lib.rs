@@ -15,15 +15,15 @@
 mod config;
 mod halton;
 mod param;
-mod spark;
 mod space;
+mod spark;
 mod subspace;
 
 pub use config::Configuration;
 pub use halton::HaltonSequence;
 pub use param::{Domain, ParamValue, Parameter};
-pub use spark::{spark_param_names, spark_space, ClusterScale, SparkParam};
 pub use space::{ConfigSpace, DimKind};
+pub use spark::{spark_param_names, spark_space, ClusterScale, SparkParam};
 pub use subspace::Subspace;
 
 /// Errors from configuration-space operations.
@@ -59,7 +59,10 @@ impl std::fmt::Display for SpaceError {
                 write!(f, "value out of domain for parameter {param}")
             }
             SpaceError::ArityMismatch { expected, actual } => {
-                write!(f, "configuration arity mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "configuration arity mismatch: expected {expected}, got {actual}"
+                )
             }
         }
     }

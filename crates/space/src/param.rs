@@ -54,8 +54,12 @@ impl Domain {
 
     /// Validate that `value` is of the right type and inside the domain.
     pub fn validate(&self, value: &ParamValue, name: &str) -> Result<()> {
-        let type_err = || SpaceError::TypeMismatch { param: name.to_string() };
-        let range_err = || SpaceError::OutOfDomain { param: name.to_string() };
+        let type_err = || SpaceError::TypeMismatch {
+            param: name.to_string(),
+        };
+        let range_err = || SpaceError::OutOfDomain {
+            param: name.to_string(),
+        };
         match (self, value) {
             (Domain::Int { lo, hi, .. }, ParamValue::Int(v)) => {
                 if v < lo || v > hi {
@@ -256,32 +260,50 @@ impl Parameter {
     pub fn new(name: impl Into<String>, domain: Domain, default: ParamValue) -> Result<Self> {
         let name = name.into();
         domain.validate(&default, &name)?;
-        Ok(Parameter { name, domain, default })
+        Ok(Parameter {
+            name,
+            domain,
+            default,
+        })
     }
 
     /// Integer parameter shorthand.
     pub fn int(name: &str, lo: i64, hi: i64, default: i64) -> Self {
-        Parameter::new(name, Domain::Int { lo, hi, log: false }, ParamValue::Int(default))
-            .expect("static parameter definition must be valid")
+        Parameter::new(
+            name,
+            Domain::Int { lo, hi, log: false },
+            ParamValue::Int(default),
+        )
+        .expect("static parameter definition must be valid")
     }
 
     /// Log-scaled integer parameter shorthand.
     pub fn log_int(name: &str, lo: i64, hi: i64, default: i64) -> Self {
-        Parameter::new(name, Domain::Int { lo, hi, log: true }, ParamValue::Int(default))
-            .expect("static parameter definition must be valid")
+        Parameter::new(
+            name,
+            Domain::Int { lo, hi, log: true },
+            ParamValue::Int(default),
+        )
+        .expect("static parameter definition must be valid")
     }
 
     /// Float parameter shorthand.
     pub fn float(name: &str, lo: f64, hi: f64, default: f64) -> Self {
-        Parameter::new(name, Domain::Float { lo, hi, log: false }, ParamValue::Float(default))
-            .expect("static parameter definition must be valid")
+        Parameter::new(
+            name,
+            Domain::Float { lo, hi, log: false },
+            ParamValue::Float(default),
+        )
+        .expect("static parameter definition must be valid")
     }
 
     /// Categorical parameter shorthand.
     pub fn categorical(name: &str, choices: &[&str], default_idx: usize) -> Self {
         Parameter::new(
             name,
-            Domain::Categorical { choices: choices.iter().map(|s| s.to_string()).collect() },
+            Domain::Categorical {
+                choices: choices.iter().map(|s| s.to_string()).collect(),
+            },
             ParamValue::Categorical(default_idx),
         )
         .expect("static parameter definition must be valid")
@@ -300,7 +322,11 @@ mod tests {
 
     #[test]
     fn int_encode_decode_round_trip() {
-        let d = Domain::Int { lo: 1, hi: 100, log: false };
+        let d = Domain::Int {
+            lo: 1,
+            hi: 100,
+            log: false,
+        };
         for v in [1i64, 17, 50, 100] {
             let u = d.encode(&ParamValue::Int(v));
             assert_eq!(d.decode(u), ParamValue::Int(v));
@@ -309,15 +335,26 @@ mod tests {
 
     #[test]
     fn log_int_encode_midpoint() {
-        let d = Domain::Int { lo: 1, hi: 256, log: true };
+        let d = Domain::Int {
+            lo: 1,
+            hi: 256,
+            log: true,
+        };
         let u = d.encode(&ParamValue::Int(16));
-        assert!((u - 0.5).abs() < 1e-12, "16 is the geometric midpoint of [1,256]");
+        assert!(
+            (u - 0.5).abs() < 1e-12,
+            "16 is the geometric midpoint of [1,256]"
+        );
         assert_eq!(d.decode(0.5), ParamValue::Int(16));
     }
 
     #[test]
     fn float_encode_decode() {
-        let d = Domain::Float { lo: 0.4, hi: 0.9, log: false };
+        let d = Domain::Float {
+            lo: 0.4,
+            hi: 0.9,
+            log: false,
+        };
         let u = d.encode(&ParamValue::Float(0.65));
         assert!((u - 0.5).abs() < 1e-12);
         match d.decode(u) {
@@ -328,9 +365,12 @@ mod tests {
 
     #[test]
     fn categorical_encoding_preserves_identity() {
-        let d = Domain::Categorical { choices: vec!["a".into(), "b".into(), "c".into()] };
-        let us: Vec<f64> =
-            (0..3).map(|i| d.encode(&ParamValue::Categorical(i))).collect();
+        let d = Domain::Categorical {
+            choices: vec!["a".into(), "b".into(), "c".into()],
+        };
+        let us: Vec<f64> = (0..3)
+            .map(|i| d.encode(&ParamValue::Categorical(i)))
+            .collect();
         assert_eq!(us, vec![0.0, 0.5, 1.0]);
         for (i, &u) in us.iter().enumerate() {
             assert_eq!(d.decode(u), ParamValue::Categorical(i));
@@ -348,7 +388,11 @@ mod tests {
 
     #[test]
     fn validation_catches_type_and_range() {
-        let d = Domain::Int { lo: 1, hi: 10, log: false };
+        let d = Domain::Int {
+            lo: 1,
+            hi: 10,
+            log: false,
+        };
         assert!(d.validate(&ParamValue::Int(5), "p").is_ok());
         assert!(matches!(
             d.validate(&ParamValue::Int(11), "p"),
@@ -358,34 +402,73 @@ mod tests {
             d.validate(&ParamValue::Float(5.0), "p"),
             Err(SpaceError::TypeMismatch { .. })
         ));
-        let c = Domain::Categorical { choices: vec!["x".into()] };
+        let c = Domain::Categorical {
+            choices: vec!["x".into()],
+        };
         assert!(c.validate(&ParamValue::Categorical(1), "p").is_err());
-        let f = Domain::Float { lo: 0.0, hi: 1.0, log: false };
+        let f = Domain::Float {
+            lo: 0.0,
+            hi: 1.0,
+            log: false,
+        };
         assert!(f.validate(&ParamValue::Float(f64::NAN), "p").is_err());
     }
 
     #[test]
     fn cardinality() {
-        assert_eq!(Domain::Int { lo: 3, hi: 7, log: false }.cardinality(), Some(5));
+        assert_eq!(
+            Domain::Int {
+                lo: 3,
+                hi: 7,
+                log: false
+            }
+            .cardinality(),
+            Some(5)
+        );
         assert_eq!(Domain::Bool.cardinality(), Some(2));
         assert_eq!(
-            Domain::Categorical { choices: vec!["a".into(), "b".into()] }.cardinality(),
+            Domain::Categorical {
+                choices: vec!["a".into(), "b".into()]
+            }
+            .cardinality(),
             Some(2)
         );
-        assert_eq!(Domain::Float { lo: 0.0, hi: 1.0, log: false }.cardinality(), None);
+        assert_eq!(
+            Domain::Float {
+                lo: 0.0,
+                hi: 1.0,
+                log: false
+            }
+            .cardinality(),
+            None
+        );
     }
 
     #[test]
     fn numeric_classification() {
-        assert!(Domain::Int { lo: 0, hi: 1, log: false }.is_numeric());
-        assert!(Domain::Float { lo: 0.0, hi: 1.0, log: false }.is_numeric());
+        assert!(Domain::Int {
+            lo: 0,
+            hi: 1,
+            log: false
+        }
+        .is_numeric());
+        assert!(Domain::Float {
+            lo: 0.0,
+            hi: 1.0,
+            log: false
+        }
+        .is_numeric());
         assert!(!Domain::Bool.is_numeric());
         assert!(!Domain::Categorical { choices: vec![] }.is_numeric());
     }
 
     #[test]
     fn decode_clamps_out_of_range_coordinates() {
-        let d = Domain::Int { lo: 1, hi: 10, log: false };
+        let d = Domain::Int {
+            lo: 1,
+            hi: 10,
+            log: false,
+        };
         assert_eq!(d.decode(-0.5), ParamValue::Int(1));
         assert_eq!(d.decode(1.5), ParamValue::Int(10));
     }
@@ -394,7 +477,11 @@ mod tests {
     fn param_constructors_validate_defaults() {
         assert!(Parameter::new(
             "x",
-            Domain::Int { lo: 1, hi: 5, log: false },
+            Domain::Int {
+                lo: 1,
+                hi: 5,
+                log: false
+            },
             ParamValue::Int(9)
         )
         .is_err());

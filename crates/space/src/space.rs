@@ -151,7 +151,12 @@ impl ConfigSpace {
     /// A local perturbation of `config`: each numeric dimension moves by a
     /// Gaussian step of standard deviation `scale` in encoded space; each
     /// discrete dimension resamples with probability `scale`.
-    pub fn neighbor(&self, config: &Configuration, scale: f64, rng: &mut impl Rng) -> Configuration {
+    pub fn neighbor(
+        &self,
+        config: &Configuration,
+        scale: f64,
+        rng: &mut impl Rng,
+    ) -> Configuration {
         let mut u = self.encode(config);
         for (i, p) in self.params.iter().enumerate() {
             if p.domain.is_numeric() {
@@ -280,7 +285,10 @@ mod tests {
                 (n[0].as_int().unwrap() - 4).abs() > 4
             })
             .count();
-        assert!(far < 10, "small perturbations should stay local ({far} far moves)");
+        assert!(
+            far < 10,
+            "small perturbations should stay local ({far} far moves)"
+        );
     }
 
     #[test]

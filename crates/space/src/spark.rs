@@ -172,7 +172,12 @@ pub fn spark_param_names() -> &'static [&'static str; 30] {
 pub fn spark_space(scale: ClusterScale) -> ConfigSpace {
     let s = scale;
     ConfigSpace::new(vec![
-        Parameter::int(SPARK_PARAM_NAMES[0], 1, s.max_executors, (s.max_executors / 8).max(2)),
+        Parameter::int(
+            SPARK_PARAM_NAMES[0],
+            1,
+            s.max_executors,
+            (s.max_executors / 8).max(2),
+        ),
         Parameter::int(SPARK_PARAM_NAMES[1], 1, s.max_executor_cores, 2),
         Parameter::int(SPARK_PARAM_NAMES[2], 1, s.max_executor_memory_gb, 4),
         Parameter::log_int(SPARK_PARAM_NAMES[3], 384, 8192, 384),

@@ -118,7 +118,12 @@ impl Subspace {
     }
 
     /// A local perturbation of `config` moving only free dimensions.
-    pub fn neighbor(&self, config: &Configuration, scale: f64, rng: &mut impl Rng) -> Configuration {
+    pub fn neighbor(
+        &self,
+        config: &Configuration,
+        scale: f64,
+        rng: &mut impl Rng,
+    ) -> Configuration {
         let perturbed = self.space.neighbor(config, scale, rng);
         // Keep frozen dims from `config` (not from base: local search may
         // walk around any configuration inside the sub-space).

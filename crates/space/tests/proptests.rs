@@ -1,6 +1,8 @@
 //! Property-based tests for the configuration space.
 
-use otune_space::{spark_space, ClusterScale, ConfigSpace, Domain, ParamValue, Parameter, Subspace};
+use otune_space::{
+    spark_space, ClusterScale, ConfigSpace, Domain, ParamValue, Parameter, Subspace,
+};
 use proptest::prelude::*;
 
 fn unit_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {

@@ -68,7 +68,9 @@ impl ClusterSpec {
         let per_node_by_cores = self.cores_per_node / cores;
         let per_node_by_mem = (self.mem_per_node_gb / mem_gb).floor() as u32;
         let per_node = per_node_by_cores.min(per_node_by_mem);
-        (per_node * self.nodes).min(requested).max(if requested > 0 { 1 } else { 0 })
+        (per_node * self.nodes)
+            .min(requested)
+            .max(if requested > 0 { 1 } else { 0 })
     }
 }
 

@@ -115,7 +115,11 @@ fn mistuning_penalty(workload: &WorkloadProfile, cfg: &Configuration, iterative:
         (3, enc(P::DefaultParallelism, 8.0, 4000.0, true), 3.0),
         (4, enc(P::ShuffleFileBuffer, 16.0, 1024.0, true), 2.2),
         (5, enc(P::ReducerMaxSizeInFlight, 16.0, 512.0, true), 0.6),
-        (6, enc(P::ShuffleSortBypassMergeThreshold, 50.0, 1000.0, false), 0.1),
+        (
+            6,
+            enc(P::ShuffleSortBypassMergeThreshold, 50.0, 1000.0, false),
+            0.1,
+        ),
         (7, enc(P::LocalityWait, 0.0, 10.0, false), 0.15),
         (8, enc(P::BroadcastBlockSize, 1.0, 16.0, false), 0.08),
     ];
@@ -153,7 +157,12 @@ impl SimJob {
     /// Create a job with the default noise level (σ = 0.04, matching the
     /// run-to-run variation of repeated cluster executions).
     pub fn new(cluster: ClusterSpec, workload: WorkloadProfile) -> Self {
-        SimJob { cluster, workload, noise_sigma: 0.04, seed: 0 }
+        SimJob {
+            cluster,
+            workload,
+            noise_sigma: 0.04,
+            seed: 0,
+        }
     }
 
     /// Override the noise level (0 disables noise).
@@ -190,9 +199,8 @@ impl SimJob {
         data_size_gb: f64,
         run_index: u64,
     ) -> ExecutionResult {
-        let mut rng = StdRng::seed_from_u64(
-            self.seed ^ run_index.wrapping_mul(0x9e37_79b9_7f4a_7c15),
-        );
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ run_index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
         simulate(
             &self.cluster,
             &self.workload,
@@ -251,19 +259,29 @@ pub fn simulate(
     let sql_partitions = cfg[SparkParam::SqlShufflePartitions.index()].as_f64();
     let mem_fraction = cfg[SparkParam::MemoryFraction.index()].as_f64();
     let storage_fraction = cfg[SparkParam::MemoryStorageFraction.index()].as_f64();
-    let shuffle_compress = cfg[SparkParam::ShuffleCompress.index()].as_bool().unwrap_or(true);
-    let spill_compress = cfg[SparkParam::ShuffleSpillCompress.index()].as_bool().unwrap_or(true);
+    let shuffle_compress = cfg[SparkParam::ShuffleCompress.index()]
+        .as_bool()
+        .unwrap_or(true);
+    let spill_compress = cfg[SparkParam::ShuffleSpillCompress.index()]
+        .as_bool()
+        .unwrap_or(true);
     let file_buffer_kb = cfg[SparkParam::ShuffleFileBuffer.index()].as_f64();
     let max_in_flight_mb = cfg[SparkParam::ReducerMaxSizeInFlight.index()].as_f64();
     let bypass_threshold = cfg[SparkParam::ShuffleSortBypassMergeThreshold.index()].as_f64();
     let conn_per_peer = cfg[SparkParam::ShuffleIoNumConnectionsPerPeer.index()].as_f64();
-    let rdd_compress = cfg[SparkParam::RddCompress.index()].as_bool().unwrap_or(false);
+    let rdd_compress = cfg[SparkParam::RddCompress.index()]
+        .as_bool()
+        .unwrap_or(false);
     let broadcast_block_mb = cfg[SparkParam::BroadcastBlockSize.index()].as_f64();
-    let broadcast_compress = cfg[SparkParam::BroadcastCompress.index()].as_bool().unwrap_or(true);
+    let broadcast_compress = cfg[SparkParam::BroadcastCompress.index()]
+        .as_bool()
+        .unwrap_or(true);
     let mmap_threshold_mb = cfg[SparkParam::StorageMemoryMapThreshold.index()].as_f64();
     let locality_wait_s = cfg[SparkParam::LocalityWait.index()].as_f64();
     let fair_scheduler = cfg[SparkParam::SchedulerMode.index()].as_categorical() == Some(1);
-    let speculation = cfg[SparkParam::Speculation.index()].as_bool().unwrap_or(false);
+    let speculation = cfg[SparkParam::Speculation.index()]
+        .as_bool()
+        .unwrap_or(false);
     let speculation_mult = cfg[SparkParam::SpeculationMultiplier.index()].as_f64();
     let max_failures = cfg[SparkParam::TaskMaxFailures.index()].as_f64();
     let heartbeat_s = cfg[SparkParam::ExecutorHeartbeatInterval.index()].as_f64();
@@ -296,13 +314,15 @@ pub fn simulate(
     // Broadcast distribution time (driver → executors, once per job).
     let mut total_time = APP_STARTUP_S + EXECUTOR_STARTUP_S * res.granted as f64;
     if workload.broadcast_gb > 0.0 {
-        let wire = workload.broadcast_gb
-            * if broadcast_compress { codec_ratio } else { 1.0 };
+        let wire = workload.broadcast_gb * if broadcast_compress { codec_ratio } else { 1.0 };
         let block_overhead = 1.0 + 0.05 * (4.0 / broadcast_block_mb.max(0.5)).sqrt();
-        let bcast_cpu = if broadcast_compress { wire * 0.2 * codec_cpu } else { 0.0 };
-        total_time += wire / cluster.net_gbps * block_overhead
-            + bcast_cpu
-            + 0.01 * res.granted as f64;
+        let bcast_cpu = if broadcast_compress {
+            wire * 0.2 * codec_cpu
+        } else {
+            0.0
+        };
+        total_time +=
+            wire / cluster.net_gbps * block_overhead + bcast_cpu + 0.01 * res.granted as f64;
     }
 
     // Driver task-launch throughput; too little driver memory for the task
@@ -356,8 +376,7 @@ pub fn simulate(
             let waves = (partitions / slots).ceil().max(1.0);
 
             // --- CPU work ---
-            let mut cpu_time = per_task_gb * stage.cpu_per_gb * CPU_COST_SCALE
-                / cluster.core_speed
+            let mut cpu_time = per_task_gb * stage.cpu_per_gb * CPU_COST_SCALE / cluster.core_speed
                 * tune_penalty
                 * shape_penalty;
 
@@ -378,9 +397,11 @@ pub fn simulate(
                 // All-to-all fetches: more executors, more connections and
                 // smaller segments per connection.
                 let conn_penalty = 1.0 + res.granted as f64 / 300.0;
-                io_time += wire_per_task / net_per_slot * fetch_penalty * mmap_penalty * conn_penalty;
-                deser_time += per_task_gb * frac_shuffled * 0.35 * ser_cpu * workload.ser_sensitivity
-                    / cluster.core_speed;
+                io_time +=
+                    wire_per_task / net_per_slot * fetch_penalty * mmap_penalty * conn_penalty;
+                deser_time +=
+                    per_task_gb * frac_shuffled * 0.35 * ser_cpu * workload.ser_sensitivity
+                        / cluster.core_speed;
                 if shuffle_compress {
                     deser_time += wire_per_task * 0.25 * codec_cpu / cluster.core_speed;
                 }
@@ -408,8 +429,7 @@ pub fn simulate(
                 // Spilled bytes are written and read back, with extra merge
                 // passes that grow super-linearly as memory shrinks.
                 let spill_logical = working_set * spill_ratio;
-                let spill_wire =
-                    spill_logical * if spill_compress { codec_ratio } else { 1.0 };
+                let spill_wire = spill_logical * if spill_compress { codec_ratio } else { 1.0 };
                 spill_gb_per_task = spill_logical;
                 io_time += 2.0 * spill_wire / disk_per_slot;
                 if spill_compress {
@@ -417,26 +437,28 @@ pub fn simulate(
                 }
                 cpu_time *= 1.0 + 2.5 * spill_ratio * spill_ratio;
             }
-            let gc_fraction = (0.02 + 0.10 * (pressure.min(4.0)).powi(2) * ser_size)
-                .min(0.55);
+            let gc_fraction = (0.02 + 0.10 * (pressure.min(4.0)).powi(2) * ser_size).min(0.55);
 
             // --- Shuffle write ---
             let shuffle_out_logical = stage_in * stage.shuffle_write_frac;
             let mut ser_time = 0.0;
             if shuffle_out_logical > 1e-9 {
                 let out_per_task = shuffle_out_logical / partitions;
-                let wire_per_task = out_per_task
-                    * ser_size
-                    * if shuffle_compress { codec_ratio } else { 1.0 };
-                ser_time += out_per_task * 0.5 * ser_cpu * workload.ser_sensitivity
-                    / cluster.core_speed;
+                let wire_per_task =
+                    out_per_task * ser_size * if shuffle_compress { codec_ratio } else { 1.0 };
+                ser_time +=
+                    out_per_task * 0.5 * ser_cpu * workload.ser_sensitivity / cluster.core_speed;
                 if shuffle_compress {
                     ser_time += wire_per_task * 0.35 * codec_cpu / cluster.core_speed;
                 }
                 // Small file buffers flush more often; the bypass-merge path
                 // (few output partitions, no map-side sort) is cheaper.
                 let buffer_penalty = 1.0 + 0.25 * (32.0 / file_buffer_kb.max(1.0)).sqrt();
-                let next_partitions = if workload.uses_sql { sql_partitions } else { parallelism };
+                let next_partitions = if workload.uses_sql {
+                    sql_partitions
+                } else {
+                    parallelism
+                };
                 let bypass = next_partitions <= bypass_threshold;
                 let write_path = if bypass { 0.9 } else { 1.0 };
                 io_time += wire_per_task / disk_per_slot * buffer_penalty * write_path;
@@ -449,10 +471,16 @@ pub fn simulate(
 
             // Scheduling: per-wave dispatch latency + locality waits when
             // executors are sparse relative to data blocks.
-            let locality_miss = (1.0 - (res.granted as f64 / cluster.nodes as f64 / 4.0)).clamp(0.1, 1.0);
+            let locality_miss =
+                (1.0 - (res.granted as f64 / cluster.nodes as f64 / 4.0)).clamp(0.1, 1.0);
             let wave_overhead = 0.05 + locality_wait_s * 0.08 * locality_miss;
-            let launch_time = partitions * launch_cost_per_task
-                * if res.driver_mem_gb * 1024.0 < partitions * 0.5 { 3.0 } else { 1.0 };
+            let launch_time = partitions
+                * launch_cost_per_task
+                * if res.driver_mem_gb * 1024.0 < partitions * 0.5 {
+                    3.0
+                } else {
+                    1.0
+                };
 
             // Straggler tail on the final wave.
             let straggler_base = task_time * stage.skew * 2.0;
@@ -538,8 +566,7 @@ pub fn simulate(
         res.driver_cores,
         res.driver_mem_gb,
     );
-    let billed_mem =
-        res.requested_instances * res.mem_total_per_exec + res.driver_mem_gb;
+    let billed_mem = res.requested_instances * res.mem_total_per_exec + res.driver_mem_gb;
     let billed_cores = res.requested_instances * res.cores as f64 + res.driver_cores;
 
     let _ = (gc_time_total, cpu_busy_time); // retained for future metrics
@@ -584,7 +611,11 @@ mod tests {
         let (cluster, wl, space) = setup();
         let job = SimJob::new(cluster, wl).with_noise(0.0);
         let r = job.run(&space.default_configuration(), 0);
-        assert!(r.runtime_s > 10.0 && r.runtime_s < 5000.0, "runtime {}", r.runtime_s);
+        assert!(
+            r.runtime_s > 10.0 && r.runtime_s < 5000.0,
+            "runtime {}",
+            r.runtime_s
+        );
         assert!(r.memory_gb_h > 0.0);
         assert!(r.cpu_core_h > 0.0);
         assert!(!r.event_log.stages.is_empty());
@@ -599,7 +630,10 @@ mod tests {
         let b = job.run(&cfg, 3);
         assert_eq!(a.runtime_s, b.runtime_s);
         let c = job.run(&cfg, 4);
-        assert_ne!(a.runtime_s, c.runtime_s, "different runs see different noise");
+        assert_ne!(
+            a.runtime_s, c.runtime_s,
+            "different runs see different noise"
+        );
     }
 
     #[test]
@@ -612,7 +646,12 @@ mod tests {
         large.set(0, ParamValue::Int(32));
         let rs = job.run(&small, 0);
         let rl = job.run(&large, 0);
-        assert!(rl.runtime_s < rs.runtime_s, "{} !< {}", rl.runtime_s, rs.runtime_s);
+        assert!(
+            rl.runtime_s < rs.runtime_s,
+            "{} !< {}",
+            rl.runtime_s,
+            rs.runtime_s
+        );
         assert!(rl.resource > rs.resource);
     }
 
@@ -624,10 +663,18 @@ mod tests {
         let mut starved = space.default_configuration();
         starved.set(SparkParam::ExecutorMemory.index(), ParamValue::Int(1));
         starved.set(SparkParam::MemoryFraction.index(), ParamValue::Float(0.4));
-        starved.set(SparkParam::MemoryStorageFraction.index(), ParamValue::Float(0.9));
+        starved.set(
+            SparkParam::MemoryStorageFraction.index(),
+            ParamValue::Float(0.9),
+        );
         starved.set(SparkParam::DefaultParallelism.index(), ParamValue::Int(8));
         let rt = job.run(&starved, 0).runtime_s;
-        assert!(rt > default_rt * 2.0, "starved {} vs default {}", rt, default_rt);
+        assert!(
+            rt > default_rt * 2.0,
+            "starved {} vs default {}",
+            rt,
+            default_rt
+        );
     }
 
     #[test]
@@ -642,7 +689,10 @@ mod tests {
         b.set(0, ParamValue::Int(64));
         let ra = job.run(&a, 0);
         let rb = job.run(&b, 0);
-        assert_eq!(ra.granted_executors, rb.granted_executors, "cluster caps both");
+        assert_eq!(
+            ra.granted_executors, rb.granted_executors,
+            "cluster caps both"
+        );
         assert!((ra.runtime_s - rb.runtime_s).abs() < 1.0);
         assert!(rb.resource > ra.resource);
         assert!(rb.execution_cost() > ra.execution_cost());
@@ -681,7 +731,10 @@ mod tests {
         let high = rt(1000);
         assert!(mid < low * 0.7, "mid {mid} vs low {low}");
         let saturation = (high - mid).abs() / mid;
-        assert!(saturation < 0.2, "returns saturate past the slot count: {saturation}");
+        assert!(
+            saturation < 0.2,
+            "returns saturate past the slot count: {saturation}"
+        );
     }
 
     #[test]
@@ -744,7 +797,10 @@ mod tests {
         let cfg = space.default_configuration();
         let runs: Vec<f64> = (0..30).map(|i| job.run(&cfg, i).runtime_s).collect();
         let mean = runs.iter().sum::<f64>() / runs.len() as f64;
-        let max_dev = runs.iter().map(|r| (r / mean - 1.0).abs()).fold(0.0, f64::max);
+        let max_dev = runs
+            .iter()
+            .map(|r| (r / mean - 1.0).abs())
+            .fold(0.0, f64::max);
         assert!(max_dev < 0.25, "noise too large: {max_dev}");
         assert!(max_dev > 0.005, "noise absent: {max_dev}");
     }

@@ -117,7 +117,11 @@ impl ProductionTaskGenerator {
             stages,
             iterations: 1,
             uses_sql,
-            broadcast_gb: if rng.gen_bool(0.3) { rng.gen_range(0.05..1.0) } else { 0.0 },
+            broadcast_gb: if rng.gen_bool(0.3) {
+                rng.gen_range(0.05..1.0)
+            } else {
+                0.0
+            },
             ser_sensitivity: rng.gen_range(0.7..1.8),
         };
 
@@ -158,7 +162,10 @@ fn manual_configuration(
     let instances = (sensible * over).clamp(1.0, 790.0) as i64;
     let cores = *[2i64, 2, 4].get(rng.gen_range(0..3usize)).unwrap();
     let mem = *[8i64, 8, 16, 20].get(rng.gen_range(0..4usize)).unwrap();
-    cfg.set(SparkParam::ExecutorInstances.index(), ParamValue::Int(instances));
+    cfg.set(
+        SparkParam::ExecutorInstances.index(),
+        ParamValue::Int(instances),
+    );
     cfg.set(SparkParam::ExecutorCores.index(), ParamValue::Int(cores));
     cfg.set(SparkParam::ExecutorMemory.index(), ParamValue::Int(mem));
     cfg.set(SparkParam::DriverMemory.index(), ParamValue::Int(4));
@@ -285,15 +292,27 @@ pub fn eight_advertising_tasks() -> Vec<ProductionTask> {
                 ser_sensitivity: 1.0,
             };
             let mut manual = space.default_configuration();
-            manual.set(SparkParam::ExecutorInstances.index(), ParamValue::Int(s.manual.0));
-            manual.set(SparkParam::ExecutorCores.index(), ParamValue::Int(s.manual.1));
-            manual.set(SparkParam::ExecutorMemory.index(), ParamValue::Int(s.manual.2));
+            manual.set(
+                SparkParam::ExecutorInstances.index(),
+                ParamValue::Int(s.manual.0),
+            );
+            manual.set(
+                SparkParam::ExecutorCores.index(),
+                ParamValue::Int(s.manual.1),
+            );
+            manual.set(
+                SparkParam::ExecutorMemory.index(),
+                ParamValue::Int(s.manual.2),
+            );
             // Engineers size parallelism to the executor fleet (the usual
             // 2–3 tasks-per-core rule); leaving Spark's default would be
             // an implausible manual configuration for these data volumes.
             let par = (s.manual.0 * s.manual.1 * 2).clamp(64, 4000);
             manual.set(SparkParam::DefaultParallelism.index(), ParamValue::Int(par));
-            manual.set(SparkParam::SqlShufflePartitions.index(), ParamValue::Int(par));
+            manual.set(
+                SparkParam::SqlShufflePartitions.index(),
+                ParamValue::Int(par),
+            );
             let datasize = match s.schedule {
                 Schedule::Hourly => DataSizeModel::hourly(s.input_gb, 1000 + i as u64),
                 Schedule::Daily => DataSizeModel::daily(s.input_gb, 1000 + i as u64),
@@ -331,8 +350,14 @@ mod tests {
     fn tasks_are_heterogeneous() {
         let g = ProductionTaskGenerator::new(1);
         let tasks = g.generate(50);
-        let hourly = tasks.iter().filter(|t| t.schedule == Schedule::Hourly).count();
-        assert!(hourly > 10 && hourly < 50, "schedule mix: {hourly}/50 hourly");
+        let hourly = tasks
+            .iter()
+            .filter(|t| t.schedule == Schedule::Hourly)
+            .count();
+        assert!(
+            hourly > 10 && hourly < 50,
+            "schedule mix: {hourly}/50 hourly"
+        );
         let sql = tasks.iter().filter(|t| t.workload.uses_sql).count();
         assert!(sql > 5, "some SQL tasks: {sql}");
         let sizes: Vec<f64> = tasks.iter().map(|t| t.workload.input_gb).collect();

@@ -141,7 +141,11 @@ pub fn hibench_task(task: HibenchTask) -> WorkloadProfile {
             input_gb: 150.0,
             stages: vec![
                 StageProfile::map("partition", 1.0, 2.0, 1.0)
-                    .with_operations(&["newAPIHadoopFile", "map", "repartitionAndSortWithinPartitions"])
+                    .with_operations(&[
+                        "newAPIHadoopFile",
+                        "map",
+                        "repartitionAndSortWithinPartitions",
+                    ])
                     .with_expansion(2.4),
                 StageProfile::reduce("sort+write", 5.0, 0.0)
                     .with_operations(&["sortByKey", "saveAsNewAPIHadoopFile"])
@@ -157,8 +161,12 @@ pub fn hibench_task(task: HibenchTask) -> WorkloadProfile {
             name: "bayes".into(),
             input_gb: 80.0,
             stages: vec![
-                StageProfile::map("tokenize+tf", 1.0, 7.0, 0.5)
-                    .with_operations(&["textFile", "flatMap", "map", "combineByKey"]),
+                StageProfile::map("tokenize+tf", 1.0, 7.0, 0.5).with_operations(&[
+                    "textFile",
+                    "flatMap",
+                    "map",
+                    "combineByKey",
+                ]),
                 StageProfile::reduce("aggregate-weights", 6.0, 0.15)
                     .with_operations(&["reduceByKey", "collect"])
                     .with_expansion(2.2),
@@ -392,7 +400,10 @@ pub fn hibench_task(task: HibenchTask) -> WorkloadProfile {
 
 /// All 16 profiles, in [`HibenchTask::all`] order.
 pub fn hibench_suite() -> Vec<WorkloadProfile> {
-    HibenchTask::all().iter().map(|&t| hibench_task(t)).collect()
+    HibenchTask::all()
+        .iter()
+        .map(|&t| hibench_task(t))
+        .collect()
 }
 
 #[cfg(test)]
@@ -435,7 +446,11 @@ mod tests {
 
     #[test]
     fn one_pass_tasks_do_not_iterate() {
-        for t in [HibenchTask::WordCount, HibenchTask::TeraSort, HibenchTask::Sort] {
+        for t in [
+            HibenchTask::WordCount,
+            HibenchTask::TeraSort,
+            HibenchTask::Sort,
+        ] {
             assert_eq!(hibench_task(t).iterations, 1);
         }
     }

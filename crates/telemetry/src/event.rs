@@ -1,0 +1,248 @@
+//! The typed event model: everything notable that happens inside the
+//! tuning service, serializable as one JSON object per event.
+
+use serde::{Deserialize, Serialize};
+
+/// One telemetry event, stamped with its task and position.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// The tuning task the event belongs to.
+    pub task: String,
+    /// Monotonic sequence number across all tasks sharing a handle;
+    /// total order of the event stream.
+    pub seq: u64,
+    /// Tuning iteration the event occurred in (0 for lifecycle events
+    /// preceding the first iteration).
+    pub iteration: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Provenance of a suggested configuration. Mirrors the core crate's
+/// `SuggestionSource` without depending on it (telemetry sits below
+/// core in the dependency graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SuggestionKind {
+    /// Transferred from a similar task.
+    WarmStart,
+    /// Low-discrepancy initial design.
+    InitialDesign,
+    /// Approximate gradient descent step.
+    Agd,
+    /// EIC maximization over the safe sub-space.
+    Bo,
+    /// Conservative fallback.
+    Fallback,
+}
+
+/// Which way a sub-space resize moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResizeDirection {
+    /// `K` increased (consecutive successes widen the search).
+    Grow,
+    /// `K` decreased (consecutive failures focus the search).
+    Shrink,
+}
+
+/// Why a task stopped tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// The iteration budget is exhausted.
+    BudgetExhausted,
+    /// Expected improvement fell below the stopping threshold.
+    EiConverged,
+}
+
+/// The event vocabulary of the tuning service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A task registered with the controller.
+    TaskRegistered {
+        /// Size of the task's configuration space.
+        n_params: usize,
+    },
+    /// Warm-start configurations were injected from similar tasks.
+    WarmStartInjected {
+        /// How many configurations were transferred.
+        n_configs: usize,
+        /// How many source tasks they came from.
+        n_sources: usize,
+    },
+    /// The generator produced a suggestion.
+    SuggestionMade {
+        /// Which mechanism produced it.
+        source: SuggestionKind,
+        /// EIC value at the choice (0 for non-BO sources).
+        eic: f64,
+        /// Whether the choice came from inside the GP safe region.
+        in_safe_region: bool,
+    },
+    /// An execution result was reported back.
+    ObservationReported {
+        /// Measured runtime in seconds.
+        runtime: f64,
+        /// Measured resource consumption.
+        resource: f64,
+        /// Combined objective value.
+        objective: f64,
+        /// Whether the run violated `T_max`/`R_max`.
+        constraint_violated: bool,
+    },
+    /// The adaptive sub-space changed size.
+    SubspaceResized {
+        /// The new size `K`.
+        k: usize,
+        /// Which way it moved.
+        direction: ResizeDirection,
+    },
+    /// An AGD step was proposed (and either taken or vetoed).
+    AgdStep {
+        /// Whether the proposal survived the safety/descent checks.
+        accepted: bool,
+    },
+    /// A surrogate model was (re)fitted.
+    SurrogateFitted {
+        /// Which model ("runtime_gp", "objective_gp", ...).
+        model: String,
+        /// Observations it was fitted on.
+        n_obs: usize,
+    },
+    /// The task stopped tuning and now serves its incumbent.
+    TaskStopped {
+        /// Why it stopped.
+        reason: StopReason,
+    },
+}
+
+impl EventKind {
+    /// A short stable label for filtering (`otune events --kind`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::TaskRegistered { .. } => "TaskRegistered",
+            EventKind::WarmStartInjected { .. } => "WarmStartInjected",
+            EventKind::SuggestionMade { .. } => "SuggestionMade",
+            EventKind::ObservationReported { .. } => "ObservationReported",
+            EventKind::SubspaceResized { .. } => "SubspaceResized",
+            EventKind::AgdStep { .. } => "AgdStep",
+            EventKind::SurrogateFitted { .. } => "SurrogateFitted",
+            EventKind::TaskStopped { .. } => "TaskStopped",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event {
+                task: "t".into(),
+                seq: 0,
+                iteration: 0,
+                kind: EventKind::TaskRegistered { n_params: 30 },
+            },
+            Event {
+                task: "t".into(),
+                seq: 1,
+                iteration: 0,
+                kind: EventKind::WarmStartInjected {
+                    n_configs: 3,
+                    n_sources: 2,
+                },
+            },
+            Event {
+                task: "t".into(),
+                seq: 2,
+                iteration: 4,
+                kind: EventKind::SuggestionMade {
+                    source: SuggestionKind::InitialDesign,
+                    eic: 0.0,
+                    in_safe_region: true,
+                },
+            },
+            Event {
+                task: "t".into(),
+                seq: 3,
+                iteration: 4,
+                kind: EventKind::ObservationReported {
+                    runtime: 120.5,
+                    resource: 800.0,
+                    objective: 310.4,
+                    constraint_violated: false,
+                },
+            },
+            Event {
+                task: "t".into(),
+                seq: 4,
+                iteration: 5,
+                kind: EventKind::SubspaceResized {
+                    k: 12,
+                    direction: ResizeDirection::Grow,
+                },
+            },
+            Event {
+                task: "t".into(),
+                seq: 5,
+                iteration: 9,
+                kind: EventKind::AgdStep { accepted: false },
+            },
+            Event {
+                task: "t".into(),
+                seq: 6,
+                iteration: 9,
+                kind: EventKind::SurrogateFitted {
+                    model: "runtime_gp".into(),
+                    n_obs: 9,
+                },
+            },
+            Event {
+                task: "t".into(),
+                seq: 7,
+                iteration: 20,
+                kind: EventKind::TaskStopped {
+                    reason: StopReason::BudgetExhausted,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn every_kind_round_trips_through_json() {
+        for event in sample_events() {
+            let line = serde_json::to_string(&event).unwrap();
+            let back: Event = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, event, "round trip failed for {line}");
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let labels: Vec<&str> = sample_events().iter().map(|e| e.kind.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "TaskRegistered",
+                "WarmStartInjected",
+                "SuggestionMade",
+                "ObservationReported",
+                "SubspaceResized",
+                "AgdStep",
+                "SurrogateFitted",
+                "TaskStopped",
+            ]
+        );
+    }
+
+    #[test]
+    fn json_layout_is_externally_tagged() {
+        let event = &sample_events()[2];
+        let line = serde_json::to_string(event).unwrap();
+        assert!(line.contains("\"SuggestionMade\""), "{line}");
+        assert!(
+            line.contains("\"source\": \"InitialDesign\"")
+                || line.contains("\"source\":\"InitialDesign\""),
+            "{line}"
+        );
+    }
+}

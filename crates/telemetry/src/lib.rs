@@ -1,0 +1,222 @@
+//! Observability for the tuning service: a structured event log, a
+//! lightweight metrics registry, and timing spans.
+//!
+//! The crate is deliberately free of tuning logic — it sits below
+//! `otune-bo`, `otune-meta`, and `otune-core` in the dependency graph so
+//! every layer can emit events through a shared [`Telemetry`] handle.
+//!
+//! Design goals:
+//!
+//! * **Zero overhead when off.** [`Telemetry::disabled`] carries no
+//!   allocation; every emit/observe call is a single `Option` branch and
+//!   spans never read the clock.
+//! * **Typed events.** [`Event`] and [`EventKind`] serialize with serde,
+//!   one JSON object per line in the file sink, so external tooling can
+//!   replay a tuning session (`otune events`).
+//! * **Shared across tasks.** Sinks and the registry are lock-guarded
+//!   (`parking_lot`); the controller clones one handle per task via
+//!   [`Telemetry::for_task`], which relabels events without duplicating
+//!   state.
+
+mod event;
+mod metrics;
+mod sink;
+mod span;
+
+pub use event::{Event, EventKind, ResizeDirection, StopReason, SuggestionKind};
+pub use metrics::{metric, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use sink::{read_jsonl, EventSink, JsonlSink, NullSink, RingBufferSink};
+pub use span::Span;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct Inner {
+    sink: Box<dyn EventSink>,
+    metrics: MetricsRegistry,
+    /// Monotonic sequence stamped on every event, across all tasks
+    /// sharing this handle.
+    seq: AtomicU64,
+}
+
+/// A cloneable handle to the telemetry pipeline.
+///
+/// The default handle is [`Telemetry::disabled`]: all operations are
+/// no-ops and spans never touch the clock, so instrumented hot paths pay
+/// only an `Option` check (see the `table3_overhead` bench).
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+    /// Task label stamped on emitted events.
+    task: Option<Arc<str>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .field("task", &self.task)
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// The no-op handle.
+    pub fn disabled() -> Self {
+        Telemetry::default()
+    }
+
+    /// An enabled handle writing events to `sink`.
+    pub fn new(sink: Box<dyn EventSink>) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                sink,
+                metrics: MetricsRegistry::new(),
+                seq: AtomicU64::new(0),
+            })),
+            task: None,
+        }
+    }
+
+    /// Convenience: an enabled handle over an in-memory ring buffer.
+    /// Returns the handle and the sink for later inspection.
+    pub fn ring(capacity: usize) -> (Self, Arc<RingBufferSink>) {
+        let sink = Arc::new(RingBufferSink::new(capacity));
+        (Telemetry::new(Box::new(Arc::clone(&sink))), sink)
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A handle sharing this pipeline but stamping `task` on its events.
+    pub fn for_task(&self, task: &str) -> Telemetry {
+        Telemetry {
+            inner: self.inner.clone(),
+            task: Some(Arc::from(task)),
+        }
+    }
+
+    /// The task label stamped on events emitted through this handle.
+    pub fn task(&self) -> &str {
+        self.task.as_deref().unwrap_or("")
+    }
+
+    /// Emit an event at the given tuning iteration.
+    pub fn emit(&self, iteration: u64, kind: EventKind) {
+        if let Some(inner) = &self.inner {
+            let event = Event {
+                task: self.task().to_string(),
+                seq: inner.seq.fetch_add(1, Ordering::Relaxed),
+                iteration,
+                kind,
+            };
+            inner.sink.record(&event);
+        }
+    }
+
+    /// Increment a counter.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Add to a counter.
+    pub fn add(&self, name: &str, by: u64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.add(name, by);
+        }
+    }
+
+    /// Set a gauge.
+    pub fn gauge(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.set_gauge(name, value);
+        }
+    }
+
+    /// Record a value into a histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.observe(name, value);
+        }
+    }
+
+    /// Start a timing span; the elapsed seconds are recorded into the
+    /// `name` histogram when the returned guard drops. Disabled handles
+    /// return an inert guard that never reads the clock.
+    pub fn span(&self, name: &'static str) -> Span {
+        Span::start(self.clone(), name, self.is_enabled())
+    }
+
+    /// Snapshot the metrics registry (None when disabled).
+    pub fn snapshot(&self) -> Option<MetricsSnapshot> {
+        self.inner.as_ref().map(|i| i.metrics.snapshot())
+    }
+
+    /// Flush the underlying sink (e.g. the JSONL file buffer).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        t.emit(0, EventKind::TaskRegistered { n_params: 3 });
+        t.incr("x");
+        t.observe("y", 1.0);
+        {
+            let _span = t.span("z");
+        }
+        assert!(t.snapshot().is_none());
+    }
+
+    #[test]
+    fn events_carry_task_and_monotonic_seq() {
+        let (t, sink) = Telemetry::ring(16);
+        let a = t.for_task("job-a");
+        let b = t.for_task("job-b");
+        a.emit(0, EventKind::TaskRegistered { n_params: 2 });
+        b.emit(0, EventKind::TaskRegistered { n_params: 4 });
+        a.emit(
+            1,
+            EventKind::SuggestionMade {
+                source: SuggestionKind::Bo,
+                eic: 0.25,
+                in_safe_region: true,
+            },
+        );
+        let events = sink.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].task, "job-a");
+        assert_eq!(events[1].task, "job-b");
+        assert_eq!(events[2].task, "job-a");
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2], "shared handle stamps one sequence");
+    }
+
+    #[test]
+    fn metrics_flow_through_handle() {
+        let (t, _sink) = Telemetry::ring(4);
+        t.incr("fallback_suggestions");
+        t.add("fallback_suggestions", 2);
+        t.gauge("subspace_k", 7.0);
+        t.observe("suggest_latency_s", 0.5);
+        {
+            let _span = t.span("gp_fit_s");
+        }
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.counters["fallback_suggestions"], 3);
+        assert_eq!(snap.gauges["subspace_k"], 7.0);
+        assert_eq!(snap.histograms["suggest_latency_s"].count, 1);
+        assert_eq!(snap.histograms["gp_fit_s"].count, 1);
+    }
+}

@@ -1,0 +1,292 @@
+//! Lightweight metrics: counters, gauges, and fixed-bucket histograms
+//! with serializable snapshots.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Canonical metric names used across the tuning service.
+pub mod metric {
+    /// Histogram: wall-clock seconds per `suggest` call.
+    pub const SUGGEST_LATENCY_S: &str = "suggest_latency_s";
+    /// Histogram: wall-clock seconds per GP fit.
+    pub const GP_FIT_S: &str = "gp_fit_s";
+    /// Histogram: EIC evaluations per acquisition maximization.
+    pub const EIC_EVALS_PER_ITER: &str = "eic_evals_per_iter";
+    /// Counter: candidates rejected by the GP safe region.
+    pub const SAFE_REGION_REJECTIONS: &str = "safe_region_rejections";
+    /// Counter: fallback suggestions served.
+    pub const FALLBACK_SUGGESTIONS: &str = "fallback_suggestions";
+    /// Counter: warm-start configurations transferred into tasks.
+    pub const WARM_START_HITS: &str = "warm_start_hits";
+    /// Gauge: current adaptive sub-space size `K`.
+    pub const SUBSPACE_K: &str = "subspace_k";
+}
+
+/// Number of histogram buckets: 9 decades from 1e-7, 8 buckets per
+/// decade, plus an overflow bucket.
+const N_BUCKETS: usize = 9 * 8 + 1;
+
+/// Lower edge of the first bucket; values at or below it land in
+/// bucket 0.
+const FIRST_EDGE: f64 = 1e-7;
+
+/// Fixed-bucket histogram over `(0, +inf)`, log-spaced.
+///
+/// Buckets span nine decades starting at `1e-7` with eight buckets per
+/// decade — fine enough that interpolated quantiles of timing data are
+/// within a few percent, small enough to snapshot cheaply. Exact
+/// minimum and maximum are tracked separately.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: [u64; N_BUCKETS],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; N_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// Upper edge of bucket `i` (the last bucket is unbounded).
+fn bucket_edge(i: usize) -> f64 {
+    FIRST_EDGE * 10f64.powf((i + 1) as f64 / 8.0)
+}
+
+fn bucket_index(value: f64) -> usize {
+    if value <= FIRST_EDGE {
+        return 0;
+    }
+    // log10(value / FIRST_EDGE) * 8 buckets per decade.
+    let idx = ((value / FIRST_EDGE).log10() * 8.0).floor() as usize;
+    idx.min(N_BUCKETS - 1)
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one value. Non-finite values are ignored.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.counts[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Approximate quantile `q` in `[0, 1]` from the bucket boundaries;
+    /// exact min/max anchor the ends. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Clamp the bucket edge into the observed range so a
+                // single-bucket histogram reports sane quantiles.
+                return bucket_edge(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Freeze into a serializable summary.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            mean: if self.count > 0 {
+                self.sum / self.count as f64
+            } else {
+                0.0
+            },
+            p50: self.quantile(0.5),
+            p95: self.quantile(0.95),
+            max: if self.count > 0 { self.max } else { 0.0 },
+        }
+    }
+}
+
+/// Serializable summary of one histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Approximate median.
+    pub p50: f64,
+    /// Approximate 95th percentile.
+    pub p95: f64,
+    /// Exact maximum.
+    pub max: f64,
+}
+
+/// Serializable snapshot of the whole registry.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Thread-safe registry of counters, gauges, and histograms.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Registry>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Add to a counter (creates it at 0).
+    pub fn add(&self, name: &str, by: u64) {
+        let mut reg = self.inner.lock();
+        *reg.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Set a gauge.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.inner.lock().gauges.insert(name.to_string(), value);
+    }
+
+    /// Record a histogram value.
+    pub fn observe(&self, name: &str, value: f64) {
+        self.inner
+            .lock()
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Freeze the registry into a serializable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let reg = self.inner.lock();
+        MetricsSnapshot {
+            counters: reg.counters.clone(),
+            gauges: reg.gauges.clone(),
+            histograms: reg
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_uniform_data_are_close() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64 / 1000.0); // 0.001 .. 1.0
+        }
+        let p50 = h.quantile(0.5);
+        let p95 = h.quantile(0.95);
+        assert!((p50 / 0.5 - 1.0).abs() < 0.35, "p50 = {p50}");
+        assert!((p95 / 0.95 - 1.0).abs() < 0.35, "p95 = {p95}");
+        assert_eq!(h.quantile(1.0), 1.0);
+        assert_eq!(h.quantile(0.0), 0.001);
+    }
+
+    #[test]
+    fn single_value_histogram_is_degenerate() {
+        let mut h = Histogram::new();
+        h.record(0.25);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max, 0.25);
+        assert_eq!(s.p50, 0.25);
+        assert_eq!(s.p95, 0.25);
+        assert!((s.mean - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_snapshots_to_zeros() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50, 0.0);
+        assert_eq!(s.p95, 0.0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn extreme_values_clamp_into_end_buckets() {
+        let mut h = Histogram::new();
+        h.record(1e-12); // below the first edge
+        h.record(1e9); // beyond the last edge
+        h.record(-3.0); // negative → bucket 0
+        h.record(f64::NAN); // ignored
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.snapshot().max, 1e9);
+    }
+
+    #[test]
+    fn registry_aggregates_and_snapshots() {
+        let reg = MetricsRegistry::new();
+        reg.add("c", 2);
+        reg.add("c", 3);
+        reg.set_gauge("g", 1.5);
+        reg.set_gauge("g", 2.5);
+        for v in [0.1, 0.2, 0.3] {
+            reg.observe("h", v);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["c"], 5);
+        assert_eq!(snap.gauges["g"], 2.5);
+        assert_eq!(snap.histograms["h"].count, 3);
+        // Snapshot serializes and round-trips.
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,66 @@
+//! Timing spans: RAII guards that record elapsed seconds into a
+//! histogram when dropped.
+
+use crate::Telemetry;
+use std::time::Instant;
+
+/// A timing guard returned by [`Telemetry::span`].
+///
+/// When the guard drops, the elapsed wall-clock seconds are recorded
+/// into the histogram named at creation. A guard from a disabled
+/// handle holds no `Instant` and never reads the clock — the cost is
+/// one `Option` branch at construction and one at drop.
+#[must_use = "a span records its timing when dropped; binding it to `_` drops it immediately"]
+pub struct Span {
+    telemetry: Telemetry,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    pub(crate) fn start(telemetry: Telemetry, name: &'static str, enabled: bool) -> Self {
+        Span {
+            telemetry,
+            name,
+            start: enabled.then(Instant::now),
+        }
+    }
+
+    /// End the span explicitly (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.telemetry
+                .observe(self.name, start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_elapsed_seconds() {
+        let (t, _sink) = Telemetry::ring(4);
+        {
+            let span = t.span("work_s");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            span.finish();
+        }
+        let snap = t.snapshot().unwrap();
+        let h = &snap.histograms["work_s"];
+        assert_eq!(h.count, 1);
+        assert!(h.max >= 0.002, "max = {}", h.max);
+    }
+
+    #[test]
+    fn disabled_span_holds_no_instant() {
+        let t = Telemetry::disabled();
+        let span = t.span("work_s");
+        assert!(span.start.is_none());
+    }
+}

@@ -32,7 +32,9 @@ fn record_for(task: HibenchTask, budget: usize, seed: u64) -> TaskRecord {
     for t in 0..budget as u64 {
         let cfg = tuner.suggest(&[]).expect("alternating protocol");
         let r = job.run(&cfg, t);
-        tuner.observe(cfg, r.runtime_s, r.resource, &[]).expect("pending");
+        tuner
+            .observe(cfg, r.runtime_s, r.resource, &[])
+            .expect("pending");
     }
     tuner.export_record(task.name(), extract_meta_features(&baseline.event_log))
 }
@@ -67,7 +69,9 @@ fn tune_target(
         let r = job.run(&cfg, 7000 + t);
         best = best.min(r.execution_cost());
         curve.push(best);
-        tuner.observe(cfg, r.runtime_s, r.resource, &[]).expect("pending");
+        tuner
+            .observe(cfg, r.runtime_s, r.resource, &[])
+            .expect("pending");
     }
     println!(
         "{label:<28} best cost after 3 iters: {:>10.0}, after {budget}: {:>10.0}",
@@ -94,8 +98,7 @@ fn main() {
 
     // Similarity model + warm-start configs for the new TeraSort task.
     let space = spark_space(ClusterScale::hibench());
-    let learner =
-        SimilarityLearner::train(&space, &sources, 50, 0).expect("enough source tasks");
+    let learner = SimilarityLearner::train(&space, &sources, 50, 0).expect("enough source tasks");
     let target_log = SimJob::new(ClusterSpec::hibench(), hibench_task(HibenchTask::TeraSort))
         .with_noise(0.0)
         .run(&space.default_configuration(), 0)
@@ -105,7 +108,11 @@ fn main() {
     let ranked = learner.rank_tasks(&target_features, &sources);
     println!(
         "most similar sources to terasort: {:?}\n",
-        ranked.iter().take(3).map(|(i, d)| (sources[*i].task_id.as_str(), (d * 100.0).round() / 100.0)).collect::<Vec<_>>()
+        ranked
+            .iter()
+            .take(3)
+            .map(|(i, d)| (sources[*i].task_id.as_str(), (d * 100.0).round() / 100.0))
+            .collect::<Vec<_>>()
     );
 
     tune_target("cold start", vec![], vec![], budget);

@@ -47,7 +47,11 @@ fn main() {
         );
 
         let mut best_iter = 0usize;
-        let mut best = (manual.execution_cost(), manual.memory_gb_h, task.manual_config.clone());
+        let mut best = (
+            manual.execution_cost(),
+            manual.memory_gb_h,
+            task.manual_config.clone(),
+        );
         for t in 1..=budget as u64 {
             let ds = task.datasize.size_at(t);
             let ctx = vec![ds / task.datasize.base_gb];
@@ -58,7 +62,9 @@ fn main() {
                 best = (r.execution_cost(), r.memory_gb_h, cfg.clone());
                 best_iter = t as usize;
             }
-            tuner.observe(cfg, r.runtime_s, r.resource, &ctx).expect("pending");
+            tuner
+                .observe(cfg, r.runtime_s, r.resource, &ctx)
+                .expect("pending");
         }
 
         let exec = |c: &Configuration| {

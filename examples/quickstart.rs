@@ -47,7 +47,11 @@ fn main() {
             result.runtime_s,
             result.resource,
             result.execution_cost(),
-            if result.runtime_s <= 2.0 * baseline.runtime_s { "" } else { "  (!) over threshold" }
+            if result.runtime_s <= 2.0 * baseline.runtime_s {
+                ""
+            } else {
+                "  (!) over threshold"
+            }
         );
         tuner
             .observe(cfg, result.runtime_s, result.resource, &[])

@@ -11,7 +11,13 @@
 
 use otune_core::prelude::*;
 
-fn run(enable_safety: bool, t_max: f64, job: &SimJob, space: &ConfigSpace, seed: u64) -> (usize, f64) {
+fn run(
+    enable_safety: bool,
+    t_max: f64,
+    job: &SimJob,
+    space: &ConfigSpace,
+    seed: u64,
+) -> (usize, f64) {
     let mut tuner = OnlineTuner::new(
         space.clone(),
         TunerOptions {
@@ -37,7 +43,9 @@ fn run(enable_safety: bool, t_max: f64, job: &SimJob, space: &ConfigSpace, seed:
         } else {
             best_cost = best_cost.min(r.execution_cost());
         }
-        tuner.observe(cfg, r.runtime_s, r.resource, &[]).expect("pending");
+        tuner
+            .observe(cfg, r.runtime_s, r.resource, &[])
+            .expect("pending");
     }
     (violations, best_cost)
 }

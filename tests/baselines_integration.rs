@@ -10,7 +10,9 @@ fn run_baseline(tuner: &mut dyn Tuner, job: &SimJob, space: &ConfigSpace, budget
     let mut best = f64::INFINITY;
     for t in 0..budget {
         let cfg = tuner.suggest(&history, &[]);
-        space.validate(&cfg).unwrap_or_else(|e| panic!("{}: invalid config: {e}", tuner.name()));
+        space
+            .validate(&cfg)
+            .unwrap_or_else(|e| panic!("{}: invalid config: {e}", tuner.name()));
         let r = job.run(&cfg, t);
         best = best.min(r.execution_cost());
         history.push(Observation {

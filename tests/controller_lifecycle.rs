@@ -27,7 +27,12 @@ fn full_service_lifecycle_with_two_tasks() {
         let h = ctl.create_task(
             id,
             space.clone(),
-            TunerOptions { beta: 0.5, budget: 6, enable_meta: false, ..TunerOptions::default() },
+            TunerOptions {
+                beta: 0.5,
+                budget: 6,
+                enable_meta: false,
+                ..TunerOptions::default()
+            },
         );
         handles.push(h);
     }
@@ -110,12 +115,17 @@ fn repository_round_trips_through_json() {
     let h = ctl.create_task(
         "km",
         space,
-        TunerOptions { budget: 4, enable_meta: false, ..TunerOptions::default() },
+        TunerOptions {
+            budget: 4,
+            enable_meta: false,
+            ..TunerOptions::default()
+        },
     );
     for t in 0..4u64 {
         let cfg = ctl.request_config(&h, &[]).unwrap();
         let r = job.run(&cfg, t);
-        ctl.report_result(&h, cfg, r.runtime_s, r.resource, &[], None).unwrap();
+        ctl.report_result(&h, cfg, r.runtime_s, r.resource, &[], None)
+            .unwrap();
     }
     let json = ctl.repository().export_json();
     let back = DataRepository::import_json(&json).unwrap();

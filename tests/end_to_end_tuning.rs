@@ -56,7 +56,13 @@ fn runtime_objective_prefers_faster_configs_than_resource_objective() {
     let run_with_beta = |beta: f64| {
         let mut tuner = OnlineTuner::new(
             space.clone(),
-            TunerOptions { beta, budget: 15, enable_meta: false, seed: 3, ..TunerOptions::default() },
+            TunerOptions {
+                beta,
+                budget: 15,
+                enable_meta: false,
+                seed: 3,
+                ..TunerOptions::default()
+            },
         );
         drive(&mut tuner, &job, 15, 2);
         let best = tuner.best().unwrap();
@@ -83,14 +89,22 @@ fn datasize_context_keeps_surrogates_consistent_under_drift() {
 
     let mut tuner = OnlineTuner::new(
         space,
-        TunerOptions { beta: 0.5, budget: 12, enable_meta: false, seed: 5, ..TunerOptions::default() },
+        TunerOptions {
+            beta: 0.5,
+            budget: 12,
+            enable_meta: false,
+            seed: 5,
+            ..TunerOptions::default()
+        },
     );
     for t in 0..12u64 {
         let ds = datasize.size_at(t);
         let ctx = vec![ds / 100.0];
         let cfg = tuner.suggest(&ctx).expect("protocol");
         let r = job.run_with_datasize(&cfg, ds, t);
-        tuner.observe(cfg, r.runtime_s, r.resource, &ctx).expect("pending");
+        tuner
+            .observe(cfg, r.runtime_s, r.resource, &ctx)
+            .expect("pending");
     }
     assert_eq!(tuner.history().len(), 12);
     assert!(tuner.best().is_some());
@@ -102,7 +116,12 @@ fn budget_then_stopped_configuration_is_stable() {
     let job = SimJob::new(ClusterSpec::hibench(), hibench_task(HibenchTask::KMeans));
     let mut tuner = OnlineTuner::new(
         space,
-        TunerOptions { budget: 6, enable_meta: false, seed: 7, ..TunerOptions::default() },
+        TunerOptions {
+            budget: 6,
+            enable_meta: false,
+            seed: 7,
+            ..TunerOptions::default()
+        },
     );
     drive(&mut tuner, &job, 6, 3);
     let best_cfg = tuner.best().unwrap().config.clone();

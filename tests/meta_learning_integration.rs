@@ -9,12 +9,20 @@ fn record_for(task: HibenchTask, budget: usize, seed: u64) -> TaskRecord {
     let job = SimJob::new(ClusterSpec::hibench(), hibench_task(task)).with_seed(seed);
     let mut tuner = OnlineTuner::new(
         space.clone(),
-        TunerOptions { beta: 0.5, budget, enable_meta: false, seed, ..TunerOptions::default() },
+        TunerOptions {
+            beta: 0.5,
+            budget,
+            enable_meta: false,
+            seed,
+            ..TunerOptions::default()
+        },
     );
     for t in 0..budget as u64 {
         let cfg = tuner.suggest(&[]).expect("protocol");
         let r = job.run(&cfg, t);
-        tuner.observe(cfg, r.runtime_s, r.resource, &[]).expect("pending");
+        tuner
+            .observe(cfg, r.runtime_s, r.resource, &[])
+            .expect("pending");
     }
     let log = job
         .clone()
@@ -119,7 +127,9 @@ fn tuner_accepts_base_tasks_for_the_ensemble() {
     for t in 0..8u64 {
         let cfg = tuner.suggest(&[]).expect("protocol");
         let r = job.run(&cfg, t);
-        tuner.observe(cfg, r.runtime_s, r.resource, &[]).expect("pending");
+        tuner
+            .observe(cfg, r.runtime_s, r.resource, &[])
+            .expect("pending");
     }
     assert!(tuner.best().is_some());
 }

@@ -32,7 +32,9 @@ fn violations(task: HibenchTask, enable_safety: bool, seed: u64) -> (usize, usiz
         if r.runtime_s > t_max {
             bad += 1;
         }
-        tuner.observe(cfg, r.runtime_s, r.resource, &[]).expect("pending");
+        tuner
+            .observe(cfg, r.runtime_s, r.resource, &[])
+            .expect("pending");
     }
     (bad, total)
 }
@@ -96,7 +98,9 @@ fn r_max_constraint_is_hard_for_bo_suggestions() {
             );
             checked += 1;
         }
-        tuner.observe(cfg, r.runtime_s, r.resource, &[]).expect("pending");
+        tuner
+            .observe(cfg, r.runtime_s, r.resource, &[])
+            .expect("pending");
     }
     assert!(checked >= 10);
 }

@@ -453,7 +453,7 @@ mod tests {
         #[test]
         fn option_and_any(flag in any::<bool>(), opt in crate::option::of(1.0f64..1e4)) {
             if let Some(v) = opt {
-                prop_assert!(v >= 1.0 && v < 1e4);
+                prop_assert!((1.0..1e4).contains(&v));
             }
             let _ = flag;
         }

@@ -94,8 +94,12 @@ impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 /// `SampleUniform` does — `rng.gen_range(2.0..6.0)` must infer `f64`.
 pub trait SampleUniform: Sized + Copy + PartialOrd {
     /// Draw from `[lo, hi)` (`inclusive == false`) or `[lo, hi]`.
-    fn sample_uniform<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
-        -> Self;
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
 }
 
 macro_rules! impl_uniform_int {
@@ -182,6 +186,7 @@ pub struct SplitMix64(pub u64);
 
 impl SplitMix64 {
     /// The next word in the SplitMix64 sequence.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = self.0;

@@ -70,7 +70,9 @@ pub struct DeError(pub String);
 impl DeError {
     /// "expected X while deserializing Y" helper used by derived code.
     pub fn expected(what: &str, while_deserializing: &str) -> Self {
-        DeError(format!("expected {what} while deserializing {while_deserializing}"))
+        DeError(format!(
+            "expected {what} while deserializing {while_deserializing}"
+        ))
     }
 }
 
@@ -103,8 +105,7 @@ pub trait Deserialize: Sized {
 /// Look up a struct field in a deserialized map (used by derived code).
 pub fn field<T: Deserialize>(m: &[(String, Content)], key: &str, ty: &str) -> Result<T, DeError> {
     match m.iter().find(|(k, _)| k == key) {
-        Some((_, v)) => T::from_content(v)
-            .map_err(|e| DeError(format!("{ty}.{key}: {e}"))),
+        Some((_, v)) => T::from_content(v).map_err(|e| DeError(format!("{ty}.{key}: {e}"))),
         None => T::from_missing()
             .ok_or_else(|| DeError(format!("missing field `{key}` while deserializing {ty}"))),
     }
@@ -306,7 +307,11 @@ impl_ser_tuple! {
 
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn to_content(&self) -> Content {
-        Content::Map(self.iter().map(|(k, v)| (k.clone(), v.to_content())).collect())
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
     }
 }
 
@@ -323,8 +328,10 @@ impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
 impl<V: Serialize> Serialize for HashMap<String, V> {
     fn to_content(&self) -> Content {
         // Sort for deterministic output, like serializing via BTreeMap.
-        let mut entries: Vec<(String, Content)> =
-            self.iter().map(|(k, v)| (k.clone(), v.to_content())).collect();
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_content()))
+            .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         Content::Map(entries)
     }
@@ -349,8 +356,11 @@ mod tests {
         assert_eq!(u64::from_content(&42u64.to_content()).unwrap(), 42);
         assert_eq!(i64::from_content(&(-3i64).to_content()).unwrap(), -3);
         assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
-        assert_eq!(bool::from_content(&true.to_content()).unwrap(), true);
-        assert_eq!(String::from_content(&"hi".to_string().to_content()).unwrap(), "hi");
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()).unwrap(),
+            "hi"
+        );
     }
 
     #[test]
@@ -379,7 +389,10 @@ mod tests {
         assert_eq!(Option::<u32>::from_content(&o.to_content()).unwrap(), o);
         let mut map = BTreeMap::new();
         map.insert("a".to_string(), 1u64);
-        assert_eq!(BTreeMap::<String, u64>::from_content(&map.to_content()).unwrap(), map);
+        assert_eq!(
+            BTreeMap::<String, u64>::from_content(&map.to_content()).unwrap(),
+            map
+        );
         let t = (1u32, "x".to_string());
         assert_eq!(<(u32, String)>::from_content(&t.to_content()).unwrap(), t);
     }

@@ -56,7 +56,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 fn serialize_struct(item: &Item, fields: &Fields) -> String {
     match fields {
         Fields::Named(named) => {
-            let mut out = String::from("let mut m: Vec<(String, ::serde::Content)> = Vec::new();\n");
+            let mut out =
+                String::from("let mut m: Vec<(String, ::serde::Content)> = Vec::new();\n");
             for f in named.iter().filter(|f| !f.skip) {
                 out.push_str(&format!(
                     "m.push((String::from(\"{n}\"), ::serde::Serialize::to_content(&self.{n})));\n",
@@ -73,7 +74,10 @@ fn serialize_struct(item: &Item, fields: &Fields) -> String {
                 .collect();
             format!("::serde::Content::Seq(vec![{}])", elems.join(", "))
         }
-        Fields::Unit => format!("let _ = self; ::serde::Content::Str(String::from(\"{}\"))", item.name),
+        Fields::Unit => format!(
+            "let _ = self; ::serde::Content::Str(String::from(\"{}\"))",
+            item.name
+        ),
     }
 }
 
@@ -84,7 +88,10 @@ fn deserialize_struct(item: &Item, fields: &Fields) -> String {
             let mut inits = String::new();
             for f in named {
                 if f.skip {
-                    inits.push_str(&format!("{}: ::core::default::Default::default(),\n", f.name));
+                    inits.push_str(&format!(
+                        "{}: ::core::default::Default::default(),\n",
+                        f.name
+                    ));
                 } else {
                     inits.push_str(&format!(
                         "{n}: ::serde::field(m, \"{n}\", \"{name}\")?,\n",
@@ -199,7 +206,10 @@ fn deserialize_enum(item: &Item, variants: &[Variant]) -> String {
                 let mut inits = String::new();
                 for f in named {
                     if f.skip {
-                        inits.push_str(&format!("{}: ::core::default::Default::default(),\n", f.name));
+                        inits.push_str(&format!(
+                            "{}: ::core::default::Default::default(),\n",
+                            f.name
+                        ));
                     } else {
                         inits.push_str(&format!(
                             "{n}: ::serde::field(mm, \"{n}\", \"{name}::{vn}\")?,\n",

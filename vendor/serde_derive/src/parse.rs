@@ -42,11 +42,15 @@ pub(crate) struct Item {
 fn take_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
     let mut skip = false;
     while i + 1 < tokens.len() {
-        let TokenTree::Punct(p) = &tokens[i] else { break };
+        let TokenTree::Punct(p) = &tokens[i] else {
+            break;
+        };
         if p.as_char() != '#' {
             break;
         }
-        let TokenTree::Group(g) = &tokens[i + 1] else { break };
+        let TokenTree::Group(g) = &tokens[i + 1] else {
+            break;
+        };
         if g.delimiter() != Delimiter::Bracket {
             break;
         }
@@ -119,12 +123,18 @@ fn parse_named_fields(group: TokenStream) -> Vec<Field> {
         let (j, skip) = take_attrs(&tokens, i);
         let j = take_vis(&tokens, j);
         let Some(TokenTree::Ident(name)) = tokens.get(j) else {
-            panic!("expected field name, got {:?}", tokens.get(j).map(|t| t.to_string()));
+            panic!(
+                "expected field name, got {:?}",
+                tokens.get(j).map(|t| t.to_string())
+            );
         };
         let name = name.to_string();
         match tokens.get(j + 1) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
-            other => panic!("expected `:` after field `{name}`, got {:?}", other.map(|t| t.to_string())),
+            other => panic!(
+                "expected `:` after field `{name}`, got {:?}",
+                other.map(|t| t.to_string())
+            ),
         }
         fields.push(Field { name, skip });
         i = skip_past_comma(&tokens, j + 2);
@@ -158,7 +168,10 @@ fn parse_variants(group: TokenStream) -> Vec<Variant> {
     while i < tokens.len() {
         let (j, _) = take_attrs(&tokens, i);
         let Some(TokenTree::Ident(name)) = tokens.get(j) else {
-            panic!("expected variant name, got {:?}", tokens.get(j).map(|t| t.to_string()));
+            panic!(
+                "expected variant name, got {:?}",
+                tokens.get(j).map(|t| t.to_string())
+            );
         };
         let name = name.to_string();
         let (fields, j) = match tokens.get(j + 1) {

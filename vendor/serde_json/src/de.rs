@@ -4,7 +4,10 @@ use crate::Error;
 use serde::Content;
 
 pub(crate) fn parse(s: &str) -> Result<Content, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -233,8 +236,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ascii");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ascii");
         if !is_float {
             if let Ok(v) = text.parse::<i64>() {
                 return Ok(if v >= 0 {

@@ -147,7 +147,10 @@ mod tests {
         assert_eq!(v.get("name").and_then(Value::as_str), Some("x"));
         assert_eq!(v.get("pi").and_then(Value::as_f64), Some(3.5));
         assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
-        assert_eq!(v.get("xs").and_then(Value::as_array).map(|a| a.len()), Some(2));
+        assert_eq!(
+            v.get("xs").and_then(Value::as_array).map(|a| a.len()),
+            Some(2)
+        );
         assert_eq!(v.get("missing"), None);
         let back = to_string(&v).unwrap();
         assert_eq!(from_str::<Value>(&back).unwrap(), v);

@@ -30,7 +30,9 @@ impl Value {
             Content::U64(v) => Value::Number(*v as f64),
             Content::F64(v) => Value::Number(*v),
             Content::Str(s) => Value::String(s.clone()),
-            Content::Seq(items) => Value::Array(items.iter().map(Value::from_content_tree).collect()),
+            Content::Seq(items) => {
+                Value::Array(items.iter().map(Value::from_content_tree).collect())
+            }
             Content::Map(entries) => Value::Object(
                 entries
                     .iter()
