@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use otune_core::{OnlineTuner, TunerOptions};
 use otune_forest::Fanova;
 use otune_gp::{FeatureKind, GaussianProcess, GpConfig};
+use otune_pool::Pool;
 use otune_space::{spark_space, ClusterScale};
 use otune_sparksim::{hibench_task, ClusterSpec, HibenchTask, SimJob};
 use rand::rngs::StdRng;
@@ -38,6 +39,37 @@ fn bench_gp(c: &mut Criterion) {
         let probe = vec![0.5; 31];
         group.bench_with_input(BenchmarkId::new("predict", n), &n, |b, _| {
             b.iter(|| black_box(gp.predict(black_box(&probe))))
+        });
+
+        // The acquisition hot path: hundreds of candidates per iteration.
+        let (candidates, _) = training_data(860, 31, 3);
+        group.bench_with_input(BenchmarkId::new("predict-scalar-loop", n), &n, |b, _| {
+            b.iter(|| {
+                let out: Vec<(f64, f64)> = candidates
+                    .iter()
+                    .map(|c| gp.predict(black_box(c)))
+                    .collect();
+                black_box(out)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("predict-batch", n), &n, |b, _| {
+            b.iter(|| black_box(gp.predict_batch(black_box(&candidates))))
+        });
+        let pool = Pool::new(4);
+        group.bench_with_input(BenchmarkId::new("predict-batch-pooled4", n), &n, |b, _| {
+            b.iter(|| black_box(gp.predict_batch_pooled(black_box(&candidates), &pool)))
+        });
+        group.bench_with_input(BenchmarkId::new("fit-pooled4", n), &n, |b, _| {
+            b.iter(|| {
+                GaussianProcess::fit_with_pool(
+                    kinds.clone(),
+                    x.clone(),
+                    &y,
+                    GpConfig::default(),
+                    &pool,
+                )
+                .unwrap()
+            })
         });
     }
     group.finish();

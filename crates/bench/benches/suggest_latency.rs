@@ -1,0 +1,159 @@
+//! Suggest-latency benchmark for the parallel + batched BO hot path.
+//!
+//! Measures the wall-clock latency of `ConfigGenerator::suggest` (surrogate
+//! fitting + safe-region screening + EIC maximization) on the full 30-d
+//! Spark space at several history sizes, comparing a sequential pool with a
+//! 4-thread pool, and asserts that both pick bitwise-identical
+//! configurations. Results land in `BENCH_suggest_latency.json` under the
+//! results directory.
+//!
+//! Scale knobs: `OTUNE_BENCH_QUICK=1` shrinks the repetition count for CI
+//! smoke runs; `OTUNE_RESULTS_DIR` moves the output.
+
+use otune_bench::{mean, percentile, results_dir, Table};
+use otune_bo::Observation;
+use otune_core::objective::resource_fn_for;
+use otune_core::{ConfigGenerator, Constraints, GeneratorOptions, SuggestionSource};
+use otune_pool::Pool;
+use otune_space::{spark_space, ClusterScale, ConfigSpace, Configuration};
+use otune_sparksim::{hibench_task, ClusterSpec, HibenchTask, SimJob};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Entry {
+    n_obs: usize,
+    threads: usize,
+    mean_s: f64,
+    p50_s: f64,
+    speedup_vs_seq: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    space_dims: usize,
+    reps: usize,
+    quick: bool,
+    host_parallelism: usize,
+    note: &'static str,
+    results: Vec<Entry>,
+}
+
+/// A runhistory of `n_obs` simulator executions on sampled configurations.
+fn history(space: &ConfigSpace, n_obs: usize, seed: u64) -> Vec<Observation> {
+    let job =
+        SimJob::new(ClusterSpec::hibench(), hibench_task(HibenchTask::WordCount)).with_seed(seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_obs)
+        .map(|t| {
+            let config = space.sample(&mut rng);
+            let r = job.run(&config, t as u64);
+            Observation {
+                objective: (r.runtime_s * r.resource).sqrt(),
+                runtime: r.runtime_s,
+                resource: r.resource,
+                context: vec![],
+                config,
+            }
+        })
+        .collect()
+}
+
+/// Run `reps` BO suggestions against a fixed history and return each call's
+/// latency in seconds plus the chosen configurations (for the determinism
+/// cross-check).
+fn timed_suggests(
+    space: &ConfigSpace,
+    hist: &[Observation],
+    pool: Pool,
+    reps: usize,
+) -> (Vec<f64>, Vec<Configuration>) {
+    let mut opts = GeneratorOptions::paper_defaults(space.len());
+    // Land every iteration on the BO path: no initial design, no AGD.
+    opts.n_init = 0;
+    opts.n_agd = 0;
+    // A runtime bound keeps the batched safe-region screening in the loop.
+    let worst = hist.iter().map(|o| o.runtime).fold(0.0, f64::max);
+    opts.constraints = Constraints {
+        t_max: Some(worst * 1.5),
+        r_max: None,
+    };
+    opts.seed = 7;
+    opts.pool = pool;
+    let ranking = (0..space.len()).collect();
+    let mut g = ConfigGenerator::new(space.clone(), opts, ranking, resource_fn_for(space));
+    // Warm-up call absorbs one-time ingest work (fANOVA forest refresh).
+    let _ = g.suggest(hist, &[], &[], None);
+    let mut latencies = Vec::with_capacity(reps);
+    let mut choices = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        let s = g.suggest(hist, &[], &[], None);
+        latencies.push(start.elapsed().as_secs_f64());
+        assert_eq!(s.source, SuggestionSource::Bo, "BO path exercised");
+        choices.push(s.config);
+    }
+    (latencies, choices)
+}
+
+fn main() {
+    let quick = std::env::var("OTUNE_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let reps = if quick { 2 } else { 6 };
+    let sizes: &[usize] = if quick { &[10, 30] } else { &[10, 30, 100] };
+    let host = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let space = spark_space(ClusterScale::hibench());
+
+    let mut table = Table::new(
+        "Suggest latency — sequential vs 4-thread pool",
+        &["n_obs", "threads", "mean (ms)", "p50 (ms)", "speedup"],
+    );
+    let mut entries = Vec::new();
+    for &n_obs in sizes {
+        let hist = history(&space, n_obs, 42);
+        let (seq, seq_choices) = timed_suggests(&space, &hist, Pool::sequential(), reps);
+        let (par, par_choices) = timed_suggests(&space, &hist, Pool::new(4), reps);
+        assert_eq!(
+            seq_choices, par_choices,
+            "suggestions must be identical across pool widths (n_obs {n_obs})"
+        );
+        let speedup = mean(&seq) / mean(&par);
+        for (threads, lat, sp) in [(1usize, &seq, None), (4, &par, Some(speedup))] {
+            table.row(vec![
+                n_obs.to_string(),
+                threads.to_string(),
+                format!("{:.2}", mean(lat) * 1e3),
+                format!("{:.2}", percentile(lat, 0.5) * 1e3),
+                sp.map_or("1.00x (baseline)".into(), |s| format!("{s:.2}x")),
+            ]);
+            entries.push(Entry {
+                n_obs,
+                threads,
+                mean_s: mean(lat),
+                p50_s: percentile(lat, 0.5),
+                speedup_vs_seq: sp.unwrap_or(1.0),
+            });
+        }
+    }
+    table.print();
+
+    let out = results_dir().join("BENCH_suggest_latency.json");
+    let doc = Report {
+        bench: "suggest_latency",
+        space_dims: space.len(),
+        reps,
+        quick,
+        host_parallelism: host,
+        note: "wall-clock speedup of threads=4 over threads=1 scales with \
+               host cores; suggestions are bitwise-identical across widths",
+        results: entries,
+    };
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&doc).expect("serializable"),
+    )
+    .expect("results dir is writable");
+    println!("json: {}", out.display());
+}

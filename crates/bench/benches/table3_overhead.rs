@@ -11,14 +11,15 @@ use otune_bench::experiments::production_sweep;
 use otune_bench::{mean, n_fig2_tasks, percentile, write_csv, Table};
 use otune_core::telemetry::{metric, Telemetry};
 use otune_core::{OnlineTuner, TunerOptions};
+use otune_pool::Pool;
 use otune_space::{spark_space, ClusterScale};
 use otune_sparksim::{hibench_task, ClusterSpec, HibenchTask, SimJob};
 use std::time::Instant;
 
 /// One full tuning session; returns the wall-clock seconds of each
-/// `suggest` call. Identical seeds give identical suggestion streams,
-/// so enabled-vs-disabled timings compare like for like.
-fn timed_session(telemetry: Telemetry, budget: usize, seed: u64) -> Vec<f64> {
+/// `suggest` call. Identical seeds give identical suggestion streams
+/// (for every pool width), so the timings compare like for like.
+fn timed_session(telemetry: Telemetry, budget: usize, seed: u64, pool: Pool) -> Vec<f64> {
     let space = spark_space(ClusterScale::hibench());
     let job =
         SimJob::new(ClusterSpec::hibench(), hibench_task(HibenchTask::WordCount)).with_seed(seed);
@@ -28,6 +29,7 @@ fn timed_session(telemetry: Telemetry, budget: usize, seed: u64) -> Vec<f64> {
             budget,
             enable_meta: false,
             seed,
+            pool,
             ..TunerOptions::default()
         },
     );
@@ -51,9 +53,19 @@ fn telemetry_overhead(budget: usize) {
     let mut disabled = Vec::new();
     let mut enabled = Vec::new();
     for seed in 1..=3u64 {
-        disabled.extend(timed_session(Telemetry::disabled(), budget, seed));
+        disabled.extend(timed_session(
+            Telemetry::disabled(),
+            budget,
+            seed,
+            Pool::sequential(),
+        ));
         let (telemetry, _sink) = Telemetry::ring(8192);
-        enabled.extend(timed_session(telemetry.clone(), budget, seed));
+        enabled.extend(timed_session(
+            telemetry.clone(),
+            budget,
+            seed,
+            Pool::sequential(),
+        ));
         // Sanity: the enabled run recorded its own latencies too.
         let snap = telemetry.snapshot().expect("enabled");
         assert_eq!(
@@ -79,6 +91,46 @@ fn telemetry_overhead(budget: usize) {
     }
     table.print();
     let p = write_csv("table3_telemetry_overhead.csv", &table);
+    println!("csv: {}", p.display());
+}
+
+/// Worker-pool impact on the tuner's own overhead: full sessions with a
+/// sequential pool vs a 4-thread pool. The suggestion streams are
+/// bitwise-identical, so the delta is pure scheduling + parallel speedup.
+fn pool_overhead(budget: usize) {
+    let mut seq = Vec::new();
+    let mut par = Vec::new();
+    for seed in 1..=3u64 {
+        seq.extend(timed_session(
+            Telemetry::disabled(),
+            budget,
+            seed,
+            Pool::sequential(),
+        ));
+        par.extend(timed_session(
+            Telemetry::disabled(),
+            budget,
+            seed,
+            Pool::new(4),
+        ));
+    }
+    let mut table = Table::new(
+        "Worker-pool impact — suggest() latency, 1 vs 4 threads",
+        &["pool", "mean (ms)", "p50 (ms)", "p95 (ms)", "speedup"],
+    );
+    let ms = 1e3;
+    let base = mean(&seq);
+    for (name, lat) in [("1 thread", &seq), ("4 threads", &par)] {
+        table.row(vec![
+            name.into(),
+            format!("{:.3}", mean(lat) * ms),
+            format!("{:.3}", percentile(lat, 0.5) * ms),
+            format!("{:.3}", percentile(lat, 0.95) * ms),
+            format!("{:.2}x", base / mean(lat)),
+        ]);
+    }
+    table.print();
+    let p = write_csv("table3_pool_overhead.csv", &table);
     println!("csv: {}", p.display());
 }
 
@@ -162,4 +214,5 @@ fn main() {
     // The tuning service's own observability must not add to the
     // overhead story: quantify it alongside the paper's Table 3.
     telemetry_overhead(15);
+    pool_overhead(15);
 }

@@ -13,8 +13,9 @@
 //! exactly `eta` encoded units; only numeric dimensions move (categorical
 //! dimensions have no derivative).
 
-use otune_gp::GaussianProcess;
+use otune_gp::{GaussianProcess, GpScratch};
 use otune_space::{ConfigSpace, Configuration, DimKind};
+use std::cell::RefCell;
 
 /// AGD settings.
 #[derive(Debug, Clone, Copy)]
@@ -58,10 +59,16 @@ impl Agd {
         let kinds = space.dim_kinds();
         let u0 = space.encode(best);
         let log_runtime = self.log_runtime;
+        // The central-difference loop calls the surrogate 2·dims + 1
+        // times; one scratch + one input buffer serve them all, so the
+        // loop allocates nothing per probe.
+        let buffers = RefCell::new((GpScratch::default(), Vec::<f64>::new()));
         let predict_t = |u: &[f64]| -> f64 {
-            let mut x = u.to_vec();
+            let (scratch, x) = &mut *buffers.borrow_mut();
+            x.clear();
+            x.extend_from_slice(u);
             x.extend_from_slice(context);
-            let m = runtime_gp.predict_mean(&x);
+            let m = runtime_gp.predict_with_scratch(x, scratch).0;
             if log_runtime {
                 m.clamp(-20.0, 25.0).exp()
             } else {

@@ -37,5 +37,6 @@ pub use optimizer::{
 pub use safe::SafeRegion;
 pub use subspace::{AdaptiveSubspace, SubspaceParams};
 pub use surrogate::{
-    fit_surrogate, fit_surrogate_with, surrogate_kinds, Predictor, SurrogateInput,
+    fit_surrogate, fit_surrogate_pooled, fit_surrogate_with, surrogate_kinds, Predictor,
+    SurrogateInput,
 };

@@ -5,6 +5,7 @@ use crate::acquisition::{eic, expected_improvement, prob_below};
 use crate::safe::SafeRegion;
 use crate::surrogate::Predictor;
 use otune_gp::GaussianProcess;
+use otune_pool::Pool;
 use otune_space::{Configuration, Subspace};
 use otune_telemetry::{metric, Telemetry};
 use rand::rngs::StdRng;
@@ -59,6 +60,32 @@ impl EicObjective<'_> {
             .collect();
         eic(ei, &probs)
     }
+
+    /// Evaluate EIC at many encoded points through the surrogates' batched
+    /// prediction paths. Per point this combines the same predictions with
+    /// the same arithmetic as [`EicObjective::eval`], so the scores match
+    /// the scalar path exactly for every pool width.
+    pub fn eval_batch(&self, xs: &[Vec<f64>], pool: &Pool) -> Vec<f64> {
+        let obj = self.objective_gp.predict_many(xs, pool);
+        let cons: Vec<Vec<(f64, f64)>> = self
+            .constraints
+            .iter()
+            .map(|(gp, _)| gp.predict_batch_pooled(xs, pool))
+            .collect();
+        let mut probs = Vec::with_capacity(self.constraints.len());
+        obj.into_iter()
+            .enumerate()
+            .map(|(j, (mean, var))| {
+                let ei = expected_improvement(mean, var, self.y_best);
+                probs.clear();
+                for (preds, (_, thr)) in cons.iter().zip(&self.constraints) {
+                    let (m, v) = preds[j];
+                    probs.push(prob_below(m, v, *thr));
+                }
+                eic(ei, &probs)
+            })
+            .collect()
+    }
 }
 
 /// Outcome of one acquisition maximization.
@@ -101,13 +128,20 @@ pub fn maximize_eic(
         params,
         rng,
         &Telemetry::disabled(),
+        Pool::global(),
     )
 }
 
-/// [`maximize_eic`] with instrumentation: records the number of EIC
-/// evaluations per call (`eic_evals_per_iter` histogram) and counts
-/// candidates rejected by the GP safe region
+/// [`maximize_eic`] with instrumentation and an explicit worker pool:
+/// records the number of EIC evaluations per call (`eic_evals_per_iter`
+/// histogram) and counts candidates rejected by the GP safe region
 /// (`safe_region_rejections` counter).
+///
+/// Safe-region screening and EIC scoring run through the surrogates'
+/// batched prediction paths in parallel chunks; winners are selected by
+/// folding scores in candidate order, which reproduces the sequential
+/// first-max (and first-min for the fallback) tie-breaking exactly. The
+/// returned choice is therefore identical for every pool width.
 #[allow(clippy::too_many_arguments)]
 pub fn maximize_eic_with(
     sub: &Subspace,
@@ -119,6 +153,7 @@ pub fn maximize_eic_with(
     params: CandidateParams,
     rng: &mut StdRng,
     telemetry: &Telemetry,
+    pool: &Pool,
 ) -> AcquisitionChoice {
     let mut candidates: Vec<Configuration> = sub.sample_n(params.n_random, rng);
     if let Some(inc) = incumbent {
@@ -152,25 +187,45 @@ pub fn maximize_eic_with(
         })
         .collect();
 
-    let mut best_safe: Option<(usize, f64)> = None;
-    let mut least_violation: Option<(usize, f64)> = None;
-    let mut n_evals = 0u64;
-    let mut n_rejected = 0u64;
-    for (i, x) in encoded.iter().enumerate() {
-        let violation: f64 = safe_regions.iter().map(|r| r.violation(x)).sum();
-        if violation <= 0.0 {
-            let v = objective.eval(x);
-            n_evals += 1;
-            if best_safe.is_none_or(|(_, b)| v > b) {
-                best_safe = Some((i, v));
-            }
-        } else {
-            n_rejected += 1;
-            if least_violation.is_none_or(|(_, b)| violation < b) {
-                least_violation = Some((i, violation));
+    // Safe-region screening: batched upper bounds per region, violations
+    // accumulated in region order (the same sum order as per-candidate
+    // `violation` calls).
+    let violations: Vec<f64> = if safe_regions.is_empty() {
+        vec![0.0; encoded.len()]
+    } else {
+        let mut total = vec![0.0; encoded.len()];
+        for region in safe_regions {
+            for (acc, v) in total.iter_mut().zip(region.violations(&encoded, pool)) {
+                *acc += v;
             }
         }
+        total
+    };
+
+    // EIC is scored only for the safe survivors, exactly as the scalar
+    // loop did — so `eic_evals_per_iter` keeps its meaning.
+    let safe_idx: Vec<usize> = (0..encoded.len())
+        .filter(|&i| violations[i] <= 0.0)
+        .collect();
+    let safe_xs: Vec<Vec<f64>> = safe_idx.iter().map(|&i| encoded[i].clone()).collect();
+    let scores = objective.eval_batch(&safe_xs, pool);
+
+    // Fold in candidate order: first-max among safe candidates, first-min
+    // violation among unsafe ones — the sequential tie-breaking.
+    let mut best_safe: Option<(usize, f64)> = None;
+    for (&i, &v) in safe_idx.iter().zip(&scores) {
+        if best_safe.is_none_or(|(_, b)| v > b) {
+            best_safe = Some((i, v));
+        }
     }
+    let mut least_violation: Option<(usize, f64)> = None;
+    for (i, &violation) in violations.iter().enumerate() {
+        if violation > 0.0 && least_violation.is_none_or(|(_, b)| violation < b) {
+            least_violation = Some((i, violation));
+        }
+    }
+    let n_evals = safe_idx.len() as u64;
+    let n_rejected = (encoded.len() - safe_idx.len()) as u64;
     telemetry.observe(metric::EIC_EVALS_PER_ITER, n_evals as f64);
     telemetry.add(metric::SAFE_REGION_REJECTIONS, n_rejected);
 
@@ -431,6 +486,7 @@ mod tests {
             CandidateParams::default(),
             &mut rng,
             &telemetry,
+            &Pool::new(4),
         );
         assert!(choice.from_safe_region);
         let snap = telemetry.snapshot().unwrap();
@@ -442,6 +498,46 @@ mod tests {
             (evals + rejections as f64) <= CandidateParams::default().n_random as f64 + 1.0,
             "evals + rejections bounded by the candidate count"
         );
+    }
+
+    #[test]
+    fn choice_is_pool_width_invariant() {
+        let s = space();
+        let sub = Subspace::full(&s, s.default_configuration()).unwrap();
+        let ogp = objective_gp();
+        let rgp = runtime_gp();
+        let incumbent = s.default_configuration();
+        let run = |pool: &Pool| {
+            // Same RNG seed per run: candidate generation stays on the
+            // caller thread, so the stream is identical by construction
+            // and any divergence comes from the pooled scoring paths.
+            let region = SafeRegion::new(&rgp, 400.0, 1.0);
+            let obj = EicObjective {
+                objective_gp: &ogp,
+                y_best: 0.3,
+                constraints: vec![(&rgp, 400.0)],
+            };
+            let mut rng = StdRng::seed_from_u64(13);
+            maximize_eic_with(
+                &sub,
+                &[],
+                &obj,
+                &[region],
+                None,
+                Some(&incumbent),
+                CandidateParams::default(),
+                &mut rng,
+                &Telemetry::disabled(),
+                pool,
+            )
+        };
+        let seq = run(&Pool::sequential());
+        for width in [2, 4, 8] {
+            let par = run(&Pool::new(width));
+            assert_eq!(seq.config, par.config, "width {width}");
+            assert_eq!(seq.eic.to_bits(), par.eic.to_bits(), "width {width}");
+            assert_eq!(seq.from_safe_region, par.from_safe_region);
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! over [`SafeRegion::is_safe`] checks.
 
 use otune_gp::GaussianProcess;
+use otune_pool::Pool;
 
 /// One constraint's safe region.
 #[derive(Debug)]
@@ -44,6 +45,19 @@ impl<'a> SafeRegion<'a> {
     /// least-unsafe candidate when the safe region is empty.
     pub fn violation(&self, x: &[f64]) -> f64 {
         (self.upper_bound(x) - self.threshold).max(0.0)
+    }
+
+    /// [`SafeRegion::violation`] over many points via the surrogate's
+    /// batched prediction path; identical to per-point calls.
+    pub fn violations(&self, xs: &[Vec<f64>], pool: &Pool) -> Vec<f64> {
+        self.surrogate
+            .predict_batch_pooled(xs, pool)
+            .into_iter()
+            .map(|(mean, var)| {
+                let ub = mean + self.gamma * var.max(0.0).sqrt();
+                (ub - self.threshold).max(0.0)
+            })
+            .collect()
     }
 
     /// The constraint threshold.

@@ -2,6 +2,7 @@
 
 use crate::observation::Observation;
 use otune_gp::{FeatureKind, GaussianProcess, GpConfig, GpError};
+use otune_pool::Pool;
 use otune_space::{ConfigSpace, Configuration, DimKind};
 use otune_telemetry::{metric, Telemetry};
 
@@ -10,11 +11,26 @@ use otune_telemetry::{metric, Telemetry};
 pub trait Predictor {
     /// Posterior predictive mean and variance at `x`.
     fn predict(&self, x: &[f64]) -> (f64, f64);
+
+    /// Posterior predictions at many points, free to use `pool`.
+    ///
+    /// Implementations must return exactly what per-point
+    /// [`Predictor::predict`] calls would — batching and parallelism are
+    /// layout optimizations, never semantic ones — so results cannot
+    /// depend on the pool width.
+    fn predict_many(&self, xs: &[Vec<f64>], pool: &Pool) -> Vec<(f64, f64)> {
+        let _ = pool;
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
 }
 
 impl Predictor for GaussianProcess {
     fn predict(&self, x: &[f64]) -> (f64, f64) {
         GaussianProcess::predict(self, x)
+    }
+
+    fn predict_many(&self, xs: &[Vec<f64>], pool: &Pool) -> Vec<(f64, f64)> {
+        self.predict_batch_pooled(xs, pool)
     }
 }
 
@@ -67,13 +83,27 @@ pub fn fit_surrogate(
 }
 
 /// [`fit_surrogate`] with instrumentation: the fit is wrapped in a
-/// `gp_fit_s` timing span.
+/// `gp_fit_s` timing span and the selected factor's jitter retries are
+/// counted. Uses the process-wide [`Pool::global`] for the
+/// hyperparameter search.
 pub fn fit_surrogate_with(
     space: &ConfigSpace,
     obs: &[Observation],
     input: SurrogateInput,
     seed: u64,
     telemetry: &Telemetry,
+) -> Result<GaussianProcess, GpError> {
+    fit_surrogate_pooled(space, obs, input, seed, telemetry, Pool::global())
+}
+
+/// [`fit_surrogate_with`] on an explicit worker pool.
+pub fn fit_surrogate_pooled(
+    space: &ConfigSpace,
+    obs: &[Observation],
+    input: SurrogateInput,
+    seed: u64,
+    telemetry: &Telemetry,
+    pool: &Pool,
 ) -> Result<GaussianProcess, GpError> {
     let _span = telemetry.span(metric::GP_FIT_S);
     if obs.is_empty() {
@@ -92,7 +122,7 @@ pub fn fit_surrogate_with(
             SurrogateInput::Runtime => o.runtime,
         })
         .collect();
-    GaussianProcess::fit(
+    let gp = GaussianProcess::fit_with_pool(
         kinds,
         x,
         &y,
@@ -100,7 +130,10 @@ pub fn fit_surrogate_with(
             seed,
             ..GpConfig::default()
         },
-    )
+        pool,
+    )?;
+    telemetry.add(metric::CHOL_JITTER_RETRIES, u64::from(gp.jitter_retries()));
+    Ok(gp)
 }
 
 #[cfg(test)]

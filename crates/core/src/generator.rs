@@ -17,6 +17,7 @@ use otune_bo::{
     best_observation, maximize_eic_with, AdaptiveSubspace, Agd, CandidateParams, EicObjective,
     Observation, Predictor, SafeRegion, SubspaceParams,
 };
+use otune_pool::Pool;
 use otune_space::{ConfigSpace, Configuration, Subspace};
 use otune_telemetry::{metric, EventKind, ResizeDirection, Telemetry};
 use rand::rngs::StdRng;
@@ -80,6 +81,9 @@ pub struct GeneratorOptions {
     pub fanova_period: usize,
     /// Seed for all stochastic components.
     pub seed: u64,
+    /// Worker pool for surrogate fitting and acquisition maximization.
+    /// Suggestions are bitwise-identical for every pool width.
+    pub pool: Pool,
 }
 
 impl GeneratorOptions {
@@ -97,6 +101,7 @@ impl GeneratorOptions {
             candidates: CandidateParams::default(),
             fanova_period: 5,
             seed: 0,
+            pool: Pool::from_env(),
         }
     }
 }
@@ -220,19 +225,21 @@ impl ConfigGenerator {
                 ..o.clone()
             })
             .collect();
-        let runtime_gp = otune_bo::fit_surrogate_with(
+        let runtime_gp = otune_bo::fit_surrogate_pooled(
             &self.space,
             &log_history,
             otune_bo::SurrogateInput::Runtime,
             self.opts.seed,
             &self.telemetry,
+            &self.opts.pool,
         );
-        let objective_gp = otune_bo::fit_surrogate_with(
+        let objective_gp = otune_bo::fit_surrogate_pooled(
             &self.space,
             &log_history,
             otune_bo::SurrogateInput::Objective,
             self.opts.seed,
             &self.telemetry,
+            &self.opts.pool,
         );
         let (Ok(runtime_gp), Ok(objective_gp)) = (runtime_gp, objective_gp) else {
             // Degenerate history (e.g. identical rows) — explore.
@@ -372,6 +379,7 @@ impl ConfigGenerator {
             self.opts.candidates,
             &mut self.rng,
             &self.telemetry,
+            &self.opts.pool,
         );
         Suggestion {
             config: choice.config,
@@ -533,8 +541,9 @@ mod tests {
         // step predicts descent at exactly iteration 14/19 hinges on which
         // BO candidates the RNG happened to draw earlier. This seed picks
         // a stream (under the vendored xoshiro-based StdRng) where the
-        // schedule is exercised rather than vetoed.
-        opts.seed = 4;
+        // schedule is exercised rather than vetoed; retune it with the
+        // ignored `scan_agd_seeds` helper below if suggestion streams move.
+        opts.seed = 7;
         let mut g = generator(opts);
         let space = toy_space();
         let mut history = Vec::new();
@@ -679,5 +688,34 @@ mod tests {
             history.push(o);
         }
         assert!(g.subspace_k() < 3, "K shrank: {}", g.subspace_k());
+    }
+
+    #[test]
+    #[ignore = "seed-scan helper, run manually when retuning stream-sensitive seeds"]
+    fn scan_agd_seeds() {
+        let space = toy_space();
+        for seed in 0..40u64 {
+            let mut opts = GeneratorOptions::paper_defaults(4);
+            opts.n_init = 3;
+            opts.n_agd = 5;
+            opts.seed = seed;
+            let mut g = generator(opts);
+            let mut history = Vec::new();
+            let mut sources = Vec::new();
+            for _ in 0..20 {
+                let s = g.suggest(&history, &[], &[], None);
+                sources.push(s.source);
+                history.push(evaluate(&space, &s.config, 0.5));
+            }
+            let fired = [14usize, 19]
+                .iter()
+                .filter(|&&i| sources[i] == SuggestionSource::Agd)
+                .count();
+            let early = [4usize, 9]
+                .iter()
+                .filter(|&&i| sources[i] == SuggestionSource::Agd)
+                .count();
+            println!("seed {seed}: fired={fired} early={early}");
+        }
     }
 }

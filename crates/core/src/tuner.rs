@@ -5,6 +5,7 @@ use crate::generator::{ConfigGenerator, GeneratorOptions, Suggestion, Suggestion
 use crate::objective::{Constraints, Objective};
 use otune_bo::{best_observation, CandidateParams, Observation, SubspaceParams};
 use otune_meta::{EnsembleSurrogate, TaskRecord};
+use otune_pool::Pool;
 use otune_space::{ConfigSpace, Configuration};
 use otune_telemetry::{metric, EventKind, StopReason, SuggestionKind, Telemetry};
 use std::sync::Arc;
@@ -67,6 +68,11 @@ pub struct TunerOptions {
     pub candidates: CandidateParams,
     /// Seed for all randomized components.
     pub seed: u64,
+    /// Worker pool shared by surrogate fitting, acquisition maximization,
+    /// and forest growing. Defaults to [`Pool::from_env`] (`OTUNE_THREADS`
+    /// or the machine's parallelism); suggestions are bitwise-identical
+    /// for every pool width.
+    pub pool: Pool,
 }
 
 impl Default for TunerOptions {
@@ -90,6 +96,7 @@ impl Default for TunerOptions {
             subspace: None,
             candidates: CandidateParams::default(),
             seed: 0,
+            pool: Pool::from_env(),
         }
     }
 }
@@ -205,6 +212,7 @@ impl OnlineTuner {
             candidates: opts.candidates,
             fanova_period: 5,
             seed: opts.seed,
+            pool: opts.pool.clone(),
         };
         let ranking = if space.len() == 30 {
             otune_bo::subspace::spark_expert_ranking()
@@ -297,6 +305,15 @@ impl OnlineTuner {
                 eic: suggestion.eic,
                 in_safe_region: suggestion.from_safe_region,
             },
+        );
+        let pool_stats = self.opts.pool.stats();
+        self.telemetry
+            .gauge(metric::POOL_THREADS, self.opts.pool.threads() as f64);
+        self.telemetry
+            .gauge(metric::POOL_PARALLEL_MAPS, pool_stats.parallel_maps as f64);
+        self.telemetry.gauge(
+            metric::POOL_PARALLEL_TASKS,
+            pool_stats.parallel_tasks as f64,
         );
 
         // Stopping criterion: negligible expected improvement (§3.3).

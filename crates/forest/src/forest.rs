@@ -2,6 +2,7 @@
 
 use crate::tree::{RegressionTree, TreeConfig};
 use crate::ForestError;
+use otune_pool::Pool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -54,8 +55,24 @@ pub struct RandomForest {
 }
 
 impl RandomForest {
-    /// Fit a forest on rows `x` and targets `y`.
+    /// Fit a forest on rows `x` and targets `y`, growing trees on the
+    /// process-wide [`Pool::global`].
     pub fn fit(x: &[Vec<f64>], y: &[f64], cfg: ForestConfig) -> Result<Self, ForestError> {
+        Self::fit_with_pool(x, y, cfg, Pool::global())
+    }
+
+    /// Fit a forest with one tree per pool task.
+    ///
+    /// Each tree draws its bootstrap sample and split randomness from its
+    /// own RNG, seeded from `(cfg.seed, tree index)` — so the forest is a
+    /// pure function of the config and data, identical for every pool
+    /// width.
+    pub fn fit_with_pool(
+        x: &[Vec<f64>],
+        y: &[f64],
+        cfg: ForestConfig,
+        pool: &Pool,
+    ) -> Result<Self, ForestError> {
         if x.is_empty() || y.is_empty() {
             return Err(ForestError::Empty);
         }
@@ -63,9 +80,12 @@ impl RandomForest {
         if x.len() != y.len() || x.iter().any(|r| r.len() != dim) || dim == 0 {
             return Err(ForestError::ShapeMismatch);
         }
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut trees = Vec::with_capacity(cfg.n_trees);
-        for _ in 0..cfg.n_trees.max(1) {
+        let idxs: Vec<u64> = (0..cfg.n_trees.max(1) as u64).collect();
+        let results = pool.map(&idxs, |_, &t| {
+            // SplitMix64-style mixing decorrelates per-tree streams even
+            // for adjacent tree indices and seeds.
+            let mut rng =
+                StdRng::seed_from_u64(cfg.seed ^ (t + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
             let (bx, by): (Vec<Vec<f64>>, Vec<f64>) = if cfg.bootstrap {
                 let n = x.len();
                 (0..n)
@@ -77,8 +97,11 @@ impl RandomForest {
             } else {
                 (x.to_vec(), y.to_vec())
             };
-            trees.push(RegressionTree::fit(&bx, &by, cfg.tree, &mut rng)?);
-        }
+            RegressionTree::fit(&bx, &by, cfg.tree, &mut rng)
+        });
+        let trees = results
+            .into_iter()
+            .collect::<Result<Vec<RegressionTree>, ForestError>>()?;
         Ok(RandomForest { trees, dim })
     }
 
@@ -162,6 +185,23 @@ mod tests {
         )
         .unwrap();
         assert_ne!(a.predict(&x[7]), c.predict(&x[7]));
+    }
+
+    #[test]
+    fn fit_is_pool_width_invariant() {
+        let (x, y) = friedman_like(60);
+        let cfg = ForestConfig::default();
+        let seq = RandomForest::fit_with_pool(&x, &y, cfg, &Pool::sequential()).unwrap();
+        for width in [2, 4, 8] {
+            let par = RandomForest::fit_with_pool(&x, &y, cfg, &Pool::new(width)).unwrap();
+            for xi in x.iter().take(10) {
+                assert_eq!(
+                    seq.predict(xi).to_bits(),
+                    par.predict(xi).to_bits(),
+                    "width {width}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -18,5 +18,5 @@ mod model;
 mod stats;
 
 pub use kernel::{FeatureKind, KernelHyper, MixedKernel};
-pub use model::{GaussianProcess, GpConfig, GpError};
+pub use model::{GaussianProcess, GpBatchScratch, GpConfig, GpError, GpScratch};
 pub use stats::{norm_cdf, norm_pdf};

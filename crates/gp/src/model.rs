@@ -2,8 +2,10 @@
 
 use crate::kernel::{FeatureKind, KernelHyper, MixedKernel};
 use otune_linalg::{Cholesky, LinalgError, Matrix};
+use otune_pool::Pool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
 
 /// Errors from GP fitting and prediction.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,12 +82,30 @@ pub struct GaussianProcess {
 
 impl GaussianProcess {
     /// Fit a GP on encoded inputs `x` (all rows the same length, matching
-    /// `kinds`) and targets `y`.
+    /// `kinds`) and targets `y`, using the process-wide [`Pool::global`]
+    /// for the hyperparameter search.
     pub fn fit(
         kinds: Vec<FeatureKind>,
         x: Vec<Vec<f64>>,
         y: &[f64],
         cfg: GpConfig,
+    ) -> Result<Self, GpError> {
+        Self::fit_with_pool(kinds, x, y, cfg, Pool::global())
+    }
+
+    /// Fit a GP, evaluating LML hyperparameter candidates on `pool`.
+    ///
+    /// Every candidate's LML is a pure function of the candidate, so the
+    /// evaluations run in parallel; the winner is then chosen by folding
+    /// the results in candidate order with a strict `>`, which replicates
+    /// the sequential first-max selection exactly. The fitted model is
+    /// therefore bitwise-identical for every pool width.
+    pub fn fit_with_pool(
+        kinds: Vec<FeatureKind>,
+        x: Vec<Vec<f64>>,
+        y: &[f64],
+        cfg: GpConfig,
+        pool: &Pool,
     ) -> Result<Self, GpError> {
         if x.is_empty() || y.is_empty() {
             return Err(GpError::Empty);
@@ -108,58 +128,84 @@ impl GaussianProcess {
         };
         let ys: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
 
+        let evaluate = |hypers: &[KernelHyper]| -> Vec<Option<(Cholesky, Vec<f64>, f64)>> {
+            pool.map(hypers, |_, &hyper| {
+                let kernel = MixedKernel::new(kinds.clone(), hyper);
+                Self::factor(&kernel, &x, &ys).ok()
+            })
+        };
+
         let mut best_hyper = KernelHyper::default();
         let mut best_lml = f64::NEG_INFINITY;
         let mut best_fit: Option<(Cholesky, Vec<f64>)> = None;
-
-        let consider = |hyper: KernelHyper,
-                        best_hyper: &mut KernelHyper,
-                        best_lml: &mut f64,
-                        best_fit: &mut Option<(Cholesky, Vec<f64>)>| {
-            let kernel = MixedKernel::new(kinds.clone(), hyper);
-            if let Ok((chol, alpha, lml)) = Self::factor(&kernel, &x, &ys) {
-                if lml > *best_lml {
-                    *best_lml = lml;
-                    *best_hyper = hyper;
-                    *best_fit = Some((chol, alpha));
+        let fold = |hypers: &[KernelHyper],
+                    evals: Vec<Option<(Cholesky, Vec<f64>, f64)>>,
+                    best_hyper: &mut KernelHyper,
+                    best_lml: &mut f64,
+                    best_fit: &mut Option<(Cholesky, Vec<f64>)>| {
+            for (&hyper, eval) in hypers.iter().zip(evals) {
+                if let Some((chol, alpha, lml)) = eval {
+                    if lml > *best_lml {
+                        *best_lml = lml;
+                        *best_hyper = hyper;
+                        *best_fit = Some((chol, alpha));
+                    }
                 }
             }
         };
 
-        consider(
-            KernelHyper::default(),
-            &mut best_hyper,
-            &mut best_lml,
-            &mut best_fit,
-        );
-
-        if cfg.optimize_hypers && x.len() >= 3 {
+        // The random-search draws do not depend on any candidate's score,
+        // so they are generated up front (in the same RNG order as a
+        // sequential search) and evaluated as one batch. The default
+        // hyperparameters lead the list so they are always considered.
+        let mut candidates = vec![KernelHyper::default()];
+        let optimize = cfg.optimize_hypers && x.len() >= 3;
+        if optimize {
             let mut rng = StdRng::seed_from_u64(cfg.seed);
             for _ in 0..cfg.n_candidates {
-                let hyper = KernelHyper::from_log([
+                candidates.push(KernelHyper::from_log([
                     rng.gen_range(-2.5..1.5),  // numeric lengthscale
                     rng.gen_range(-1.5..2.0),  // hamming decay
                     rng.gen_range(-2.5..1.5),  // datasize lengthscale
                     rng.gen_range(-1.0..1.5),  // signal variance
                     rng.gen_range(-9.0..-1.0), // noise variance
-                ]);
-                consider(hyper, &mut best_hyper, &mut best_lml, &mut best_fit);
+                ]));
             }
-            // Coordinate refinement around the incumbent.
+        }
+        let evals = evaluate(&candidates);
+        fold(
+            &candidates,
+            evals,
+            &mut best_hyper,
+            &mut best_lml,
+            &mut best_fit,
+        );
+
+        if optimize {
+            // Coordinate refinement around the incumbent. All ten
+            // perturbations of a sweep are taken from the sweep-start
+            // incumbent and evaluated as one parallel batch (Jacobi
+            // style), then folded in order — so the outcome does not
+            // depend on the pool width.
             for sweep in 0..cfg.n_refine {
                 let step = 0.5 / (sweep + 1) as f64;
+                let logs0 = best_hyper.to_log();
+                let mut sweep_cands = Vec::with_capacity(10);
                 for dim in 0..5 {
                     for dir in [-1.0, 1.0] {
-                        let mut logs = best_hyper.to_log();
+                        let mut logs = logs0;
                         logs[dim] += dir * step;
-                        consider(
-                            KernelHyper::from_log(logs),
-                            &mut best_hyper,
-                            &mut best_lml,
-                            &mut best_fit,
-                        );
+                        sweep_cands.push(KernelHyper::from_log(logs));
                     }
                 }
+                let evals = evaluate(&sweep_cands);
+                fold(
+                    &sweep_cands,
+                    evals,
+                    &mut best_hyper,
+                    &mut best_lml,
+                    &mut best_fit,
+                );
             }
         }
 
@@ -218,18 +264,39 @@ impl GaussianProcess {
         self.lml
     }
 
+    /// Number of jitter retries paid when factoring the selected
+    /// covariance matrix (0 when the jitter-free attempt succeeded).
+    pub fn jitter_retries(&self) -> u32 {
+        self.chol.jitter_retries()
+    }
+
     /// Posterior predictive mean and variance at `x` (original target scale).
+    ///
+    /// Allocation-free after warm-up: reuses a thread-local
+    /// [`GpScratch`]. Hot loops that want explicit control (e.g. the AGD
+    /// central-difference loop) can hold their own scratch and call
+    /// [`GaussianProcess::predict_with_scratch`] directly.
     pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        thread_local! {
+            static SCRATCH: RefCell<GpScratch> = RefCell::new(GpScratch::default());
+        }
+        SCRATCH.with(|s| self.predict_with_scratch(x, &mut s.borrow_mut()))
+    }
+
+    /// [`GaussianProcess::predict`] with a caller-provided scratch buffer.
+    pub fn predict_with_scratch(&self, x: &[f64], scratch: &mut GpScratch) -> (f64, f64) {
         debug_assert_eq!(x.len(), self.kernel.dim());
-        let kx: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, x)).collect();
-        let mean_std = otune_linalg::dot(&kx, &self.alpha);
+        scratch.kx.clear();
+        scratch
+            .kx
+            .extend(self.x.iter().map(|xi| self.kernel.eval(xi, x)));
+        let mean_std = otune_linalg::dot(&scratch.kx, &self.alpha);
         // v = L⁻¹ kx; σ² = k(x,x) − vᵀv.
-        let v = self
-            .chol
-            .solve_lower(&kx)
+        self.chol
+            .solve_lower_into(&scratch.kx, &mut scratch.v)
             .expect("dimension verified at fit time");
         let var_std = (self.kernel.diag() + self.kernel.hyper.noise_var
-            - otune_linalg::dot(&v, &v))
+            - otune_linalg::dot(&scratch.v, &scratch.v))
         .max(1e-12);
         (
             mean_std * self.y_std + self.y_mean,
@@ -242,9 +309,123 @@ impl GaussianProcess {
         self.predict(x).0
     }
 
-    /// Batch prediction.
+    /// Batch prediction over `xs`, sequential. Bitwise-identical to
+    /// calling [`GaussianProcess::predict`] per point (see
+    /// [`GaussianProcess::predict_batch_into`]).
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
-        xs.iter().map(|x| self.predict(x)).collect()
+        let mut out = Vec::new();
+        self.predict_batch_into(xs, &mut GpBatchScratch::default(), &mut out);
+        out
+    }
+
+    /// True batched prediction: build the cross-kernel matrix
+    /// `Kc = K(X, X_cand)` once, accumulate `μ = Kcᵀ α` row-by-row, then
+    /// run one multi-RHS forward substitution `V = L⁻¹ Kc` in place and
+    /// read `σ²_j = k(x,x) + τ² − Σᵢ V[i,j]²`.
+    ///
+    /// Per candidate `j` this performs the *same* floating-point
+    /// operations in the *same* order as the scalar path — the kernel
+    /// column, the α-dot, the forward-substitution recurrence, and the
+    /// squared-norm accumulation all walk training index `i` ascending —
+    /// so batched results are bitwise-identical to scalar `predict`.
+    /// The batched layout just replaces `m` strided triangular solves
+    /// with contiguous row operations, and `scratch` reuse makes the
+    /// per-candidate heap allocation zero.
+    pub fn predict_batch_into(
+        &self,
+        xs: &[Vec<f64>],
+        scratch: &mut GpBatchScratch,
+        out: &mut Vec<(f64, f64)>,
+    ) {
+        let n = self.x.len();
+        let m = xs.len();
+        out.clear();
+        if m == 0 {
+            return;
+        }
+        if scratch.kc.shape() != (n, m) {
+            scratch.kc = Matrix::zeros(n, m);
+        }
+        scratch.mean.clear();
+        scratch.mean.resize(m, 0.0);
+        for i in 0..n {
+            let xi = &self.x[i];
+            let alpha_i = self.alpha[i];
+            let row = scratch.kc.row_mut(i);
+            for (j, x) in xs.iter().enumerate() {
+                debug_assert_eq!(x.len(), self.kernel.dim());
+                let k = self.kernel.eval(xi, x);
+                row[j] = k;
+                scratch.mean[j] += k * alpha_i;
+            }
+        }
+        // Kc now holds the cross-kernel; overwrite it with V = L⁻¹ Kc.
+        self.chol
+            .solve_lower_batch_in_place(&mut scratch.kc)
+            .expect("dimension verified at fit time");
+        let prior = self.kernel.diag() + self.kernel.hyper.noise_var;
+        scratch.sq_norm.clear();
+        scratch.sq_norm.resize(m, 0.0);
+        for i in 0..n {
+            let row = scratch.kc.row(i);
+            for (acc, &v) in scratch.sq_norm.iter_mut().zip(row) {
+                *acc += v * v;
+            }
+        }
+        out.extend((0..m).map(|j| {
+            let var_std = (prior - scratch.sq_norm[j]).max(1e-12);
+            (
+                scratch.mean[j] * self.y_std + self.y_mean,
+                var_std * self.y_std * self.y_std,
+            )
+        }));
+    }
+
+    /// Batched prediction split into chunks evaluated on `pool`.
+    /// Chunking never changes any candidate's result (each is a pure
+    /// function of that candidate), so the output is identical for every
+    /// pool width.
+    pub fn predict_batch_pooled(&self, xs: &[Vec<f64>], pool: &Pool) -> Vec<(f64, f64)> {
+        // Below this many candidates per worker the scoped-spawn overhead
+        // outweighs the kernel/solve work.
+        const MIN_CHUNK: usize = 16;
+        let m = xs.len();
+        if pool.threads() <= 1 || m < 2 * MIN_CHUNK {
+            return self.predict_batch(xs);
+        }
+        let chunk = m.div_ceil(pool.threads() * 2).max(MIN_CHUNK);
+        let chunks: Vec<&[Vec<f64>]> = xs.chunks(chunk).collect();
+        let parts = pool.map(&chunks, |_, part| {
+            let mut out = Vec::with_capacity(part.len());
+            self.predict_batch_into(part, &mut GpBatchScratch::default(), &mut out);
+            out
+        });
+        parts.into_iter().flatten().collect()
+    }
+}
+
+/// Reusable buffers for scalar [`GaussianProcess::predict_with_scratch`].
+#[derive(Debug, Default, Clone)]
+pub struct GpScratch {
+    kx: Vec<f64>,
+    v: Vec<f64>,
+}
+
+/// Reusable buffers for [`GaussianProcess::predict_batch_into`].
+#[derive(Debug, Clone)]
+pub struct GpBatchScratch {
+    kc: Matrix,
+    mean: Vec<f64>,
+    sq_norm: Vec<f64>,
+}
+
+impl Default for GpBatchScratch {
+    fn default() -> Self {
+        GpBatchScratch {
+            kc: Matrix::zeros(0, 0),
+            mean: Vec::new(),
+            sq_norm: Vec::new(),
+        }
     }
 }
 

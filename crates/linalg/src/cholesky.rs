@@ -14,6 +14,8 @@ pub struct Cholesky {
     l: Matrix,
     /// Jitter that was added to the diagonal to achieve positive definiteness.
     jitter: f64,
+    /// Number of failed factorization attempts before success.
+    jitter_retries: u32,
 }
 
 impl Cholesky {
@@ -27,25 +29,64 @@ impl Cholesky {
             return Err(LinalgError::NotSquare { shape: a.shape() });
         }
         let scale = a.max_abs().max(1.0);
-        let mut jitter = 0.0;
-        // 0, 1e-10, 1e-9, ..., 1e-2 (relative to the matrix scale).
-        for attempt in 0..10 {
-            match Self::try_factor(a, jitter) {
-                Ok(l) => return Ok(Cholesky { l, jitter }),
-                Err(err) => {
-                    if attempt == 9 {
-                        return Err(err);
+        // Jitter ladder: level 0 is no jitter, levels 1..=9 are
+        // scale · 1e-10 … scale · 1e-2.
+        let ladder = |level: i32| {
+            if level == 0 {
+                0.0
+            } else {
+                scale * 1e-10 * 10f64.powi(level - 1)
+            }
+        };
+        let mut l = Matrix::zeros(a.rows(), a.rows());
+        let mut level = 0;
+        let mut retries = 0u32;
+        loop {
+            match Self::try_factor_into(a, ladder(level), &mut l) {
+                Ok(()) => {
+                    return Ok(Cholesky {
+                        l,
+                        jitter: ladder(level),
+                        jitter_retries: retries,
+                    })
+                }
+                Err((pivot, pivot_sum)) => {
+                    retries += 1;
+                    level += 1;
+                    // The failed pivot satisfied `sum + jitter ≤ 0`; any ladder
+                    // level whose jitter still leaves `pivot_sum + jitter ≤ 0`
+                    // is guaranteed to fail at least as early, so skip straight
+                    // past it instead of paying a doomed O(n³) refactor. (The
+                    // skip is conservative: larger jitter also perturbs earlier
+                    // rows, but only towards *more* positive pivots for the PSD
+                    // matrices this is used on.) Non-finite sums disable the
+                    // shortcut.
+                    if pivot_sum.is_finite() {
+                        while level <= 9 && ladder(level) + pivot_sum <= 0.0 {
+                            level += 1;
+                        }
                     }
-                    jitter = scale * 1e-10 * 10f64.powi(attempt);
+                    if level > 9 {
+                        return Err(LinalgError::NotPositiveDefinite { pivot });
+                    }
                 }
             }
         }
-        unreachable!("loop either returns Ok or the final Err")
     }
 
-    fn try_factor(a: &Matrix, jitter: f64) -> Result<Matrix> {
+    /// One factorization attempt, writing into `l` (reused across jitter
+    /// retries). On failure returns the failing pivot index and its
+    /// diagonal sum so the caller can skip jitter levels that cannot fix
+    /// it. Each attempt rewrites every lower-triangular entry in order
+    /// before reading it, so stale values from a failed attempt are never
+    /// observed; the upper triangle stays zero from the initial
+    /// allocation.
+    fn try_factor_into(
+        a: &Matrix,
+        jitter: f64,
+        l: &mut Matrix,
+    ) -> std::result::Result<(), (usize, f64)> {
         let n = a.rows();
-        let mut l = Matrix::zeros(n, n);
         for i in 0..n {
             for j in 0..=i {
                 let mut sum = a[(i, j)];
@@ -57,7 +98,7 @@ impl Cholesky {
                 }
                 if i == j {
                     if sum <= 0.0 || !sum.is_finite() {
-                        return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                        return Err((i, sum - jitter));
                     }
                     l[(i, j)] = sum.sqrt();
                 } else {
@@ -65,7 +106,7 @@ impl Cholesky {
                 }
             }
         }
-        Ok(l)
+        Ok(())
     }
 
     /// The lower-triangular factor `L`.
@@ -76,6 +117,12 @@ impl Cholesky {
     /// Jitter added to the diagonal during factorization (0 when none was needed).
     pub fn jitter(&self) -> f64 {
         self.jitter
+    }
+
+    /// Number of failed factorization attempts before this factor
+    /// succeeded (0 when the jitter-free attempt worked).
+    pub fn jitter_retries(&self) -> u32 {
+        self.jitter_retries
     }
 
     /// Solve `L y = b` (forward substitution).
@@ -96,6 +143,72 @@ impl Cholesky {
             }
             y[i] = sum / self.l[(i, i)];
         }
+        Ok(y)
+    }
+
+    /// Solve `L y = b` into a caller-provided buffer (resized as needed),
+    /// avoiding the per-call allocation of [`Cholesky::solve_lower`].
+    /// Performs the identical sequence of floating-point operations.
+    #[allow(clippy::needless_range_loop)] // triangular-solve indexing is clearest explicit
+    pub fn solve_lower_into(&self, b: &[f64], y: &mut Vec<f64>) -> Result<()> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        y.clear();
+        y.resize(n, 0.0);
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        Ok(())
+    }
+
+    /// Solve `L Y = B` for every column of `B` at once (multi-RHS forward
+    /// substitution), overwriting `b` with `Y`.
+    ///
+    /// Column `j` of the result is produced by the *same* sequence of
+    /// floating-point operations as `solve_lower(column j)` — the row
+    /// recurrence `yᵢ = (bᵢ − Σ_{k<i} L[i,k]·y_k) / L[i,i]` applied
+    /// element-wise — so batched and per-vector solves agree bitwise.
+    /// The batched layout just turns the inner loop into contiguous row
+    /// operations.
+    pub fn solve_lower_batch_in_place(&self, b: &mut Matrix) -> Result<()> {
+        let n = self.l.rows();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                left: (n, n),
+                right: b.shape(),
+            });
+        }
+        let m = b.cols();
+        for i in 0..n {
+            let (prev, row_i) = b.rows_split_mut(i);
+            for k in 0..i {
+                let lik = self.l[(i, k)];
+                let yk = &prev[k * m..(k + 1) * m];
+                for (o, &v) in row_i.iter_mut().zip(yk) {
+                    *o -= lik * v;
+                }
+            }
+            let d = self.l[(i, i)];
+            for o in row_i.iter_mut() {
+                *o /= d;
+            }
+        }
+        Ok(())
+    }
+
+    /// Solve `L Y = B` for every column of `B`, returning `Y`.
+    pub fn solve_lower_batch(&self, b: &Matrix) -> Result<Matrix> {
+        let mut y = b.clone();
+        self.solve_lower_batch_in_place(&mut y)?;
         Ok(y)
     }
 
@@ -245,6 +358,66 @@ mod tests {
                 assert!((id[(i, j)] - expect).abs() < 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn solve_lower_into_matches_allocating_solve() {
+        let ch = Cholesky::decompose(&spd3()).unwrap();
+        let b = [0.3, -1.2, 4.5];
+        let want = ch.solve_lower(&b).unwrap();
+        let mut got = vec![999.0; 1]; // wrong size on purpose
+        ch.solve_lower_into(&b, &mut got).unwrap();
+        assert_eq!(got, want);
+        assert!(ch.solve_lower_into(&[1.0], &mut got).is_err());
+    }
+
+    #[test]
+    fn batch_solve_matches_per_column_bitwise() {
+        let ch = Cholesky::decompose(&spd3()).unwrap();
+        let b = Matrix::from_rows(&[
+            vec![1.0, -0.5, 3.0, 0.0],
+            vec![2.0, 0.25, -7.0, 1.0],
+            vec![-1.0, 8.0, 0.5, -2.0],
+        ])
+        .unwrap();
+        let y = ch.solve_lower_batch(&b).unwrap();
+        for j in 0..b.cols() {
+            let col: Vec<f64> = (0..b.rows()).map(|i| b[(i, j)]).collect();
+            let want = ch.solve_lower(&col).unwrap();
+            for i in 0..b.rows() {
+                assert_eq!(y[(i, j)].to_bits(), want[i].to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_solve_shape_checked() {
+        let ch = Cholesky::decompose(&spd3()).unwrap();
+        assert!(ch.solve_lower_batch(&Matrix::zeros(2, 4)).is_err());
+        // Zero-column batch is fine.
+        assert_eq!(
+            ch.solve_lower_batch(&Matrix::zeros(3, 0)).unwrap().shape(),
+            (3, 0)
+        );
+    }
+
+    #[test]
+    fn jitter_retries_counted() {
+        assert_eq!(Cholesky::decompose(&spd3()).unwrap().jitter_retries(), 0);
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        let ch = Cholesky::decompose(&a).unwrap();
+        assert!(ch.jitter_retries() >= 1);
+        assert!(ch.jitter() > 0.0);
+    }
+
+    #[test]
+    fn ladder_skip_rejects_indefinite_without_full_sweep() {
+        // The failing pivot is -5 at scale 5: even the top of the jitter
+        // ladder (5e-2) cannot rescue it, so the skip heuristic must
+        // reject after the first attempt rather than nine more refactors.
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, -5.0]]).unwrap();
+        let err = Cholesky::decompose(&a).unwrap_err();
+        assert!(matches!(err, LinalgError::NotPositiveDefinite { pivot: 1 }));
     }
 
     #[test]

@@ -109,6 +109,16 @@ impl Matrix {
         &self.data
     }
 
+    /// Split the storage at row `i`: rows `0..i` as one flat row-major
+    /// slice plus row `i` mutably. Lets forward substitution read already
+    /// computed rows while writing the current one.
+    #[inline]
+    pub fn rows_split_mut(&mut self, i: usize) -> (&[f64], &mut [f64]) {
+        let cols = self.cols;
+        let (head, tail) = self.data.split_at_mut(i * cols);
+        (head, &mut tail[..cols])
+    }
+
     /// Transpose.
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);

@@ -63,6 +63,36 @@ proptest! {
     }
 
     #[test]
+    fn solve_lower_batch_matches_per_column(
+        a in spd_matrix(5),
+        b in proptest::collection::vec(-3.0f64..3.0, 5 * 7),
+    ) {
+        let ch = Cholesky::decompose(&a).unwrap();
+        let rhs = Matrix::from_vec(5, 7, b).unwrap();
+        let y = ch.solve_lower_batch(&rhs).unwrap();
+        for j in 0..7 {
+            let col: Vec<f64> = (0..5).map(|i| rhs[(i, j)]).collect();
+            let want = ch.solve_lower(&col).unwrap();
+            for i in 0..5 {
+                // Same op sequence per column ⇒ bitwise agreement.
+                prop_assert_eq!(y[(i, j)].to_bits(), want[i].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn solve_lower_into_matches_allocating(
+        a in spd_matrix(4),
+        b in proptest::collection::vec(-3.0f64..3.0, 4),
+    ) {
+        let ch = Cholesky::decompose(&a).unwrap();
+        let want = ch.solve_lower(&b).unwrap();
+        let mut got = Vec::new();
+        ch.solve_lower_into(&b, &mut got).unwrap();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
     fn log_det_positive_for_dominant_diagonal(mut a in spd_matrix(3)) {
         // Make eigenvalues > 1 so log-det must be positive.
         a.add_diagonal(1.0).unwrap();

@@ -142,6 +142,29 @@ impl otune_bo::Predictor for EnsembleSurrogate {
         let (mu_t, sd_t) = self.target_scale;
         (mean_z * sd_t + mu_t, (var_z * sd_t * sd_t).max(1e-12))
     }
+
+    /// Batched Eq. 12: each member predicts all points through its batched
+    /// GP path, and the mixture is accumulated per point in member order —
+    /// the same arithmetic sequence as the scalar path, so results match
+    /// per-point `predict` calls exactly for every pool width.
+    fn predict_many(&self, xs: &[Vec<f64>], pool: &otune_pool::Pool) -> Vec<(f64, f64)> {
+        let m = xs.len();
+        let mut mean_z = vec![0.0; m];
+        let mut var_z = vec![0.0; m];
+        for (gp, w, mu, sd) in &self.members {
+            let preds = gp.predict_batch_pooled(xs, pool);
+            for (j, (pm, pv)) in preds.into_iter().enumerate() {
+                mean_z[j] += w * (pm - mu) / sd;
+                var_z[j] += w * w * pv / (sd * sd);
+            }
+        }
+        let (mu_t, sd_t) = self.target_scale;
+        mean_z
+            .into_iter()
+            .zip(var_z)
+            .map(|(mz, vz)| (mz * sd_t + mu_t, (vz * sd_t * sd_t).max(1e-12)))
+            .collect()
+    }
 }
 
 fn otune_linalg_mean(v: &[f64]) -> f64 {
@@ -323,6 +346,26 @@ mod tests {
         let (at_opt, _) = ens.predict(&[0.3]);
         let (at_edge, _) = ens.predict(&[0.95]);
         assert!(at_opt < at_edge);
+    }
+
+    #[test]
+    fn batched_prediction_matches_scalar() {
+        let s = space();
+        let bases = vec![
+            record(&s, "b1", 20, 1, |a| target_fn(a) * 1.1),
+            record(&s, "b2", 20, 2, |a| target_fn(a) + 2.0),
+        ];
+        let target = record(&s, "t", 10, 3, target_fn).observations;
+        let ens = EnsembleSurrogate::build(&s, &bases, &target, 40, 0).unwrap();
+        let xs: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64 / 63.0]).collect();
+        for width in [1, 4] {
+            let batch = otune_bo::Predictor::predict_many(&ens, &xs, &otune_pool::Pool::new(width));
+            for (x, &(bm, bv)) in xs.iter().zip(&batch) {
+                let (sm, sv) = ens.predict(x);
+                assert_eq!(bm.to_bits(), sm.to_bits(), "width {width}");
+                assert_eq!(bv.to_bits(), sv.to_bits(), "width {width}");
+            }
+        }
     }
 
     #[test]

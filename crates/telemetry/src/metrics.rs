@@ -21,6 +21,14 @@ pub mod metric {
     pub const WARM_START_HITS: &str = "warm_start_hits";
     /// Gauge: current adaptive sub-space size `K`.
     pub const SUBSPACE_K: &str = "subspace_k";
+    /// Gauge: worker threads targeted by the tuner's pool.
+    pub const POOL_THREADS: &str = "pool_threads";
+    /// Gauge: cumulative parallel maps executed by the tuner's pool.
+    pub const POOL_PARALLEL_MAPS: &str = "pool_parallel_maps";
+    /// Gauge: cumulative items processed by parallel pool maps.
+    pub const POOL_PARALLEL_TASKS: &str = "pool_parallel_tasks";
+    /// Counter: Cholesky jitter retries paid by fitted surrogates.
+    pub const CHOL_JITTER_RETRIES: &str = "chol_jitter_retries";
 }
 
 /// Number of histogram buckets: 9 decades from 1e-7, 8 buckets per
