@@ -23,6 +23,7 @@ pub mod agd;
 pub mod observation;
 pub mod optimizer;
 pub mod safe;
+pub mod store;
 pub mod subspace;
 pub mod surrogate;
 
@@ -35,6 +36,7 @@ pub use optimizer::{
     maximize_eic, maximize_eic_with, AcquisitionChoice, CandidateParams, EicObjective,
 };
 pub use safe::SafeRegion;
+pub use store::{history_fingerprint, observation_fingerprint, SurrogateCache, SurrogateStore};
 pub use subspace::{AdaptiveSubspace, SubspaceParams};
 pub use surrogate::{
     fit_surrogate, fit_surrogate_pooled, fit_surrogate_with, surrogate_kinds, Predictor,

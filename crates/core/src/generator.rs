@@ -15,8 +15,9 @@
 use crate::objective::{Constraints, Objective};
 use otune_bo::{
     best_observation, maximize_eic_with, AdaptiveSubspace, Agd, CandidateParams, EicObjective,
-    Observation, Predictor, SafeRegion, SubspaceParams,
+    Observation, Predictor, SafeRegion, SubspaceParams, SurrogateStore,
 };
+use otune_gp::IncrementalPolicy;
 use otune_pool::Pool;
 use otune_space::{ConfigSpace, Configuration, Subspace};
 use otune_telemetry::{metric, EventKind, ResizeDirection, Telemetry};
@@ -79,6 +80,9 @@ pub struct GeneratorOptions {
     pub candidates: CandidateParams,
     /// Refresh the fANOVA importance ranking every this many observations.
     pub fanova_period: usize,
+    /// Surrogate maintenance across iterations: rank-one factor updates,
+    /// warm-started hyperparameter re-searches, and the fit cache.
+    pub incremental: IncrementalPolicy,
     /// Seed for all stochastic components.
     pub seed: u64,
     /// Worker pool for surrogate fitting and acquisition maximization.
@@ -100,6 +104,7 @@ impl GeneratorOptions {
             subspace: SubspaceParams::paper_defaults(n_params),
             candidates: CandidateParams::default(),
             fanova_period: 5,
+            incremental: IncrementalPolicy::from_env(),
             seed: 0,
             pool: Pool::from_env(),
         }
@@ -110,6 +115,8 @@ impl GeneratorOptions {
 pub struct ConfigGenerator {
     space: ConfigSpace,
     opts: GeneratorOptions,
+    /// Persistent fitted surrogates, reused while the history only grows.
+    store: SurrogateStore,
     subspace_mgr: AdaptiveSubspace,
     resource_fn: Arc<dyn Fn(&Configuration) -> f64 + Send + Sync>,
     rng: StdRng,
@@ -135,9 +142,11 @@ impl ConfigGenerator {
     ) -> Self {
         let subspace_mgr = AdaptiveSubspace::new(opts.subspace, expert_ranking);
         let rng = StdRng::seed_from_u64(opts.seed ^ 0xa5a5_5a5a_dead_beef);
+        let store = SurrogateStore::new(opts.incremental);
         ConfigGenerator {
             space,
             opts,
+            store,
             subspace_mgr,
             resource_fn,
             rng,
@@ -199,11 +208,10 @@ impl ConfigGenerator {
         let init_total = self.opts.n_init.max(warm_configs.len());
         if i < init_total || history.len() < 2 {
             let probe_idx = i.saturating_sub(warm_configs.len());
-            let probes = self
-                .space
-                .low_discrepancy(probe_idx + 1, self.opts.seed ^ 0x1234);
             return Suggestion {
-                config: probes[probe_idx].clone(),
+                config: self
+                    .space
+                    .low_discrepancy_nth(probe_idx, self.opts.seed ^ 0x1234),
                 source: SuggestionSource::InitialDesign,
                 eic: 0.0,
                 from_safe_region: true,
@@ -225,24 +233,21 @@ impl ConfigGenerator {
                 ..o.clone()
             })
             .collect();
-        let runtime_gp = otune_bo::fit_surrogate_pooled(
+        // The store reuses last iteration's fits whenever the (log-space)
+        // history only grew: new rows are absorbed by rank-one factor
+        // updates, and full hyperparameter searches run only on the
+        // store's re-search schedule. Editing history — or a transform
+        // change rewriting an old target — invalidates via fingerprints.
+        let fitted = self.store.prepare(
             &self.space,
             &log_history,
-            otune_bo::SurrogateInput::Runtime,
             self.opts.seed,
             &self.telemetry,
             &self.opts.pool,
         );
-        let objective_gp = otune_bo::fit_surrogate_pooled(
-            &self.space,
-            &log_history,
-            otune_bo::SurrogateInput::Objective,
-            self.opts.seed,
-            &self.telemetry,
-            &self.opts.pool,
-        );
-        let (Ok(runtime_gp), Ok(objective_gp)) = (runtime_gp, objective_gp) else {
+        let Ok((runtime_gp, objective_gp)) = fitted else {
             // Degenerate history (e.g. identical rows) — explore.
+            self.store.clear();
             self.telemetry.incr(metric::FALLBACK_SUGGESTIONS);
             return Suggestion {
                 config: self.space.sample(&mut self.rng),
@@ -352,7 +357,7 @@ impl ConfigGenerator {
         }
         let objective: &dyn Predictor = match meta_objective {
             Some(m) => m,
-            None => &objective_gp,
+            None => &*objective_gp,
         };
         let eic_obj = EicObjective {
             objective_gp: objective,

@@ -4,7 +4,8 @@
 use crate::generator::{ConfigGenerator, GeneratorOptions, Suggestion, SuggestionSource};
 use crate::objective::{Constraints, Objective};
 use otune_bo::{best_observation, CandidateParams, Observation, SubspaceParams};
-use otune_meta::{EnsembleSurrogate, TaskRecord};
+use otune_gp::IncrementalPolicy;
+use otune_meta::{EnsembleSurrogate, MetaCache, TaskRecord};
 use otune_pool::Pool;
 use otune_space::{ConfigSpace, Configuration};
 use otune_telemetry::{metric, EventKind, StopReason, SuggestionKind, Telemetry};
@@ -66,6 +67,10 @@ pub struct TunerOptions {
     pub subspace: Option<SubspaceParams>,
     /// Candidate-generation parameters.
     pub candidates: CandidateParams,
+    /// Surrogate maintenance across iterations (rank-one factor updates,
+    /// warm-started hyperparameter re-searches, fit caches). Defaults to
+    /// [`IncrementalPolicy::from_env`] (`OTUNE_INCREMENTAL`).
+    pub incremental: IncrementalPolicy,
     /// Seed for all randomized components.
     pub seed: u64,
     /// Worker pool shared by surrogate fitting, acquisition maximization,
@@ -95,6 +100,7 @@ impl Default for TunerOptions {
             degradation_factor: 1.5,
             subspace: None,
             candidates: CandidateParams::default(),
+            incremental: IncrementalPolicy::from_env(),
             seed: 0,
             pool: Pool::from_env(),
         }
@@ -147,6 +153,9 @@ pub struct OnlineTuner {
     own_records: Vec<TaskRecord>,
     /// Iterations consumed in the current tuning round.
     round_iterations: usize,
+    /// Cross-iteration caches for the meta ensemble (frozen base-task
+    /// surrogates, incremental target surrogate, weight-fold memo).
+    meta_cache: MetaCache,
     /// Observability handle (disabled by default).
     telemetry: Telemetry,
 }
@@ -171,6 +180,7 @@ impl OnlineTuner {
             objective: Objective::new(opts.beta),
             generator,
             space,
+            meta_cache: MetaCache::new(opts.incremental),
             opts,
             history: Vec::new(),
             pending: None,
@@ -211,6 +221,7 @@ impl OnlineTuner {
                 .unwrap_or_else(|| SubspaceParams::paper_defaults(space.len())),
             candidates: opts.candidates,
             fanova_period: 5,
+            incremental: opts.incremental,
             seed: opts.seed,
             pool: opts.pool.clone(),
         };
@@ -431,6 +442,9 @@ impl OnlineTuner {
         }
         self.stopped = false;
         self.round_iterations = 0;
+        // The round's history now lives under a new base-task id and the
+        // target history restarts empty — begin from a clean cache.
+        self.meta_cache.clear();
         let resource_fn = crate::objective::resource_fn_for(&self.space);
         self.generator = Self::make_generator(&self.space, &self.opts, resource_fn);
         self.generator.set_telemetry(self.telemetry.clone());
@@ -445,7 +459,7 @@ impl OnlineTuner {
         }
     }
 
-    fn build_ensemble(&self) -> Option<EnsembleSurrogate> {
+    fn build_ensemble(&mut self) -> Option<EnsembleSurrogate> {
         if !self.opts.enable_meta {
             return None;
         }
@@ -471,7 +485,15 @@ impl OnlineTuner {
                 ..t
             })
             .collect();
-        EnsembleSurrogate::build(&self.space, &bases, &log(&self.history), 50, self.opts.seed)
+        EnsembleSurrogate::build_cached(
+            &self.space,
+            &bases,
+            &log(&self.history),
+            50,
+            self.opts.seed,
+            &mut self.meta_cache,
+            &self.telemetry,
+        )
     }
 }
 

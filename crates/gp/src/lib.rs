@@ -18,5 +18,8 @@ mod model;
 mod stats;
 
 pub use kernel::{FeatureKind, KernelHyper, MixedKernel};
-pub use model::{GaussianProcess, GpBatchScratch, GpConfig, GpError, GpScratch};
+pub use model::{
+    GaussianProcess, GpBatchScratch, GpConfig, GpError, GpScratch, IncrementalPolicy,
+    SearchTrigger, UpdateOutcome,
+};
 pub use stats::{norm_cdf, norm_pdf};

@@ -50,6 +50,11 @@ pub struct GpConfig {
     pub n_refine: usize,
     /// Seed for the hyperparameter search.
     pub seed: u64,
+    /// Warm-start hyperparameters: a previous search winner that seeds
+    /// the candidate list. With `optimize_hypers`, it is evaluated first
+    /// (ahead of the defaults and the random draws); without, the fit
+    /// uses exactly these hyperparameters — a "same-hyper full refit".
+    pub warm_hyper: Option<KernelHyper>,
 }
 
 impl Default for GpConfig {
@@ -59,8 +64,103 @@ impl Default for GpConfig {
             n_candidates: 30,
             n_refine: 3,
             seed: 0,
+            warm_hyper: None,
         }
     }
+}
+
+/// Policy for incremental surrogate maintenance across online updates.
+///
+/// [`GaussianProcess::update`] keeps the fitted hyperparameters and
+/// extends the cached Cholesky factor in O(n²); a full pooled
+/// hyperparameter re-search runs only every [`refit_period`] updates or
+/// when the per-observation log marginal likelihood falls more than
+/// [`lml_degradation`] nats below the value recorded at the last full
+/// search. With `enabled == false` the same policy decisions are made
+/// (so both modes stay bitwise-identical) but the factor is rebuilt from
+/// scratch at the current hyperparameters — the `OTUNE_INCREMENTAL=0`
+/// baseline that isolates exactly the rank-one-update optimization.
+///
+/// [`refit_period`]: IncrementalPolicy::refit_period
+/// [`lml_degradation`]: IncrementalPolicy::lml_degradation
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IncrementalPolicy {
+    /// Reuse the cached factor via rank-one extension (`true`) or rebuild
+    /// it from scratch at the same hyperparameters (`false`).
+    pub enabled: bool,
+    /// Run a full hyperparameter re-search every this many updates
+    /// (0 disables scheduled re-searches).
+    pub refit_period: usize,
+    /// Per-observation LML drop (nats) below the last full-search value
+    /// that triggers an early re-search (`f64::INFINITY` disables).
+    pub lml_degradation: f64,
+}
+
+impl Default for IncrementalPolicy {
+    fn default() -> Self {
+        IncrementalPolicy {
+            enabled: true,
+            refit_period: 16,
+            lml_degradation: 1.0,
+        }
+    }
+}
+
+impl IncrementalPolicy {
+    /// Defaults, with `enabled` read from `OTUNE_INCREMENTAL` (any value
+    /// other than `0` — including unset — enables factor reuse).
+    pub fn from_env() -> Self {
+        let enabled = std::env::var("OTUNE_INCREMENTAL").map_or(true, |v| v != "0");
+        IncrementalPolicy {
+            enabled,
+            ..IncrementalPolicy::default()
+        }
+    }
+
+    /// The full-refit baseline: identical policy decisions, no factor
+    /// reuse.
+    pub fn full_refit() -> Self {
+        IncrementalPolicy {
+            enabled: false,
+            ..IncrementalPolicy::default()
+        }
+    }
+
+    /// Never re-search hyperparameters — for fixed-hyper models that are
+    /// extended point-by-point (e.g. progressive-validation fits).
+    pub fn never_research(enabled: bool) -> Self {
+        IncrementalPolicy {
+            enabled,
+            refit_period: 0,
+            lml_degradation: f64::INFINITY,
+        }
+    }
+}
+
+/// What one [`GaussianProcess::update`] call actually did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateOutcome {
+    /// O(n²) rank-one extension of the cached factor, hypers unchanged.
+    Incremental,
+    /// From-scratch refactorization at the current hyperparameters and
+    /// jitter (the `enabled == false` baseline) — bitwise-identical
+    /// model state to [`UpdateOutcome::Incremental`].
+    Refactored,
+    /// The cached jitter level could not absorb the new row; the factor
+    /// was rebuilt with a fresh jitter ladder (hypers unchanged).
+    JitterInvalidated,
+    /// A full pooled hyperparameter re-search ran (warm-started from the
+    /// previous winner).
+    HyperSearch(SearchTrigger),
+}
+
+/// Why a full hyperparameter re-search ran inside an update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchTrigger {
+    /// The scheduled every-`refit_period` re-search.
+    Scheduled,
+    /// The incremental LML degraded past the policy threshold.
+    LmlDegraded,
 }
 
 /// A fitted Gaussian process with standardized targets.
@@ -72,12 +172,20 @@ impl Default for GpConfig {
 pub struct GaussianProcess {
     kernel: MixedKernel,
     x: Vec<Vec<f64>>,
+    /// Raw (unstandardized) targets, kept so incremental updates can
+    /// recompute the standardization and re-search hyperparameters.
+    y: Vec<f64>,
     /// `(K + τ²I)⁻¹ ỹ` where ỹ is the standardized target.
     alpha: Vec<f64>,
     chol: Cholesky,
     y_mean: f64,
     y_std: f64,
     lml: f64,
+    /// Updates applied since the last full hyperparameter search.
+    updates_since_search: usize,
+    /// Per-observation LML recorded at the last full search — the
+    /// reference for the degradation trigger.
+    last_search_lml_per_obs: f64,
 }
 
 impl GaussianProcess {
@@ -156,10 +264,19 @@ impl GaussianProcess {
 
         // The random-search draws do not depend on any candidate's score,
         // so they are generated up front (in the same RNG order as a
-        // sequential search) and evaluated as one batch. The default
-        // hyperparameters lead the list so they are always considered.
-        let mut candidates = vec![KernelHyper::default()];
+        // sequential search) and evaluated as one batch. A warm-start
+        // winner from a previous search leads the list; without one the
+        // default hyperparameters do. When hyperparameters are held fixed
+        // and a warm start is supplied, it is the *only* candidate — the
+        // same-hyper full refit used to validate incremental updates.
         let optimize = cfg.optimize_hypers && x.len() >= 3;
+        let mut candidates = Vec::new();
+        if let Some(warm) = cfg.warm_hyper {
+            candidates.push(warm);
+        }
+        if optimize || cfg.warm_hyper.is_none() {
+            candidates.push(KernelHyper::default());
+        }
         if optimize {
             let mut rng = StdRng::seed_from_u64(cfg.seed);
             for _ in 0..cfg.n_candidates {
@@ -212,22 +329,23 @@ impl GaussianProcess {
         let (chol, alpha) = best_fit.ok_or(GpError::Linalg(LinalgError::NotPositiveDefinite {
             pivot: 0,
         }))?;
+        let n = x.len();
         Ok(GaussianProcess {
             kernel: MixedKernel::new(kinds, best_hyper),
             x,
+            y: y.to_vec(),
             alpha,
             chol,
             y_mean,
             y_std,
             lml: best_lml,
+            updates_since_search: 0,
+            last_search_lml_per_obs: best_lml / n as f64,
         })
     }
 
-    fn factor(
-        kernel: &MixedKernel,
-        x: &[Vec<f64>],
-        ys: &[f64],
-    ) -> Result<(Cholesky, Vec<f64>, f64), GpError> {
+    /// The noisy covariance `K + τ²I` over the training inputs.
+    fn build_cov(kernel: &MixedKernel, x: &[Vec<f64>]) -> Result<Matrix, GpError> {
         let n = x.len();
         let mut k = Matrix::zeros(n, n);
         for i in 0..n {
@@ -238,15 +356,176 @@ impl GaussianProcess {
             }
         }
         k.add_diagonal(kernel.hyper.noise_var)?;
+        Ok(k)
+    }
+
+    fn factor(
+        kernel: &MixedKernel,
+        x: &[Vec<f64>],
+        ys: &[f64],
+    ) -> Result<(Cholesky, Vec<f64>, f64), GpError> {
+        let k = Self::build_cov(kernel, x)?;
         let chol = Cholesky::decompose(&k)?;
         let alpha = chol.solve(ys)?;
         let lml = -0.5 * otune_linalg::dot(ys, &alpha)
             - 0.5 * chol.log_det()
-            - n as f64 / 2.0 * (2.0 * std::f64::consts::PI).ln();
+            - x.len() as f64 / 2.0 * (2.0 * std::f64::consts::PI).ln();
         if !lml.is_finite() {
             return Err(GpError::NonFiniteTarget);
         }
         Ok((chol, alpha, lml))
+    }
+
+    /// Absorb one new observation, reusing the fitted hyperparameters.
+    ///
+    /// The common path grows the cached Cholesky factor by one row in
+    /// O(n²) (`policy.enabled`) or rebuilds it from scratch at the stored
+    /// jitter level (`!policy.enabled`, the `OTUNE_INCREMENTAL=0`
+    /// baseline); both produce bitwise-identical model state, because the
+    /// extension replays exactly the floating-point operations of a
+    /// from-scratch factorization at the same jitter. A full pooled
+    /// hyperparameter re-search — warm-started from the current winner —
+    /// runs instead when `policy.refit_period` updates have accumulated,
+    /// or afterwards when the per-observation LML has degraded more than
+    /// `policy.lml_degradation` nats below the last full-search value.
+    ///
+    /// On error the new observation is rolled back and the model remains
+    /// the previous valid fit. A failed *degradation* re-search is not an
+    /// error: the fixed-hyper update already produced a valid model, which
+    /// is kept.
+    pub fn update(
+        &mut self,
+        x_new: Vec<f64>,
+        y_new: f64,
+        policy: &IncrementalPolicy,
+        cfg: GpConfig,
+        pool: &Pool,
+    ) -> Result<UpdateOutcome, GpError> {
+        if x_new.len() != self.kernel.dim() {
+            return Err(GpError::ShapeMismatch);
+        }
+        if !y_new.is_finite() {
+            return Err(GpError::NonFiniteTarget);
+        }
+        self.x.push(x_new);
+        self.y.push(y_new);
+
+        if policy.refit_period > 0 && self.updates_since_search + 1 >= policy.refit_period {
+            return match self.research(cfg, pool) {
+                Ok(()) => Ok(UpdateOutcome::HyperSearch(SearchTrigger::Scheduled)),
+                Err(e) => {
+                    self.x.pop();
+                    self.y.pop();
+                    Err(e)
+                }
+            };
+        }
+
+        let snapshot = self.chol.clone();
+        let outcome = match self.regrow_factor(policy.enabled) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                self.x.pop();
+                self.y.pop();
+                self.chol = snapshot;
+                return Err(e);
+            }
+        };
+        self.refresh_posterior()?;
+
+        let per_obs = self.lml / self.x.len() as f64;
+        // NaN comparisons are false, so a non-finite incremental LML also
+        // counts as degraded whenever the trigger is armed. (`<` would let
+        // a NaN LML slip through, hence the negated `>=`.)
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        let degraded = policy.lml_degradation.is_finite()
+            && !(per_obs >= self.last_search_lml_per_obs - policy.lml_degradation);
+        if degraded && self.research(cfg, pool).is_ok() {
+            return Ok(UpdateOutcome::HyperSearch(SearchTrigger::LmlDegraded));
+        }
+        self.updates_since_search += 1;
+        Ok(outcome)
+    }
+
+    /// Grow the factor for the just-appended observation at the current
+    /// hyperparameters. Both modes replay the stored jitter level; the
+    /// full jitter ladder runs only when that level no longer suffices,
+    /// and because appending a row leaves the leading pivots untouched,
+    /// the fixed-level attempt fails in both modes at the same point.
+    fn regrow_factor(&mut self, reuse_factor: bool) -> Result<UpdateOutcome, GpError> {
+        let n = self.x.len() - 1;
+        if reuse_factor {
+            // Row i = n of the covariance, in the same evaluation order
+            // (and argument order) as `build_cov`.
+            let x_new = &self.x[n];
+            let mut row: Vec<f64> = self.x[..n]
+                .iter()
+                .map(|xj| self.kernel.eval(x_new, xj))
+                .collect();
+            row.push(self.kernel.eval(x_new, x_new) + self.kernel.hyper.noise_var);
+            match self.chol.extend_with_row(&row) {
+                Ok(()) => return Ok(UpdateOutcome::Incremental),
+                Err(LinalgError::NotPositiveDefinite { .. }) => {}
+                Err(e) => return Err(e.into()),
+            }
+        } else {
+            let k = Self::build_cov(&self.kernel, &self.x)?;
+            match Cholesky::decompose_with_jitter(&k, self.chol.jitter()) {
+                Ok(chol) => {
+                    self.chol = chol;
+                    return Ok(UpdateOutcome::Refactored);
+                }
+                Err(LinalgError::NotPositiveDefinite { .. }) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        // Shared fallback: the stored jitter level is invalidated, rerun
+        // the full ladder (identical in both modes).
+        let k = Self::build_cov(&self.kernel, &self.x)?;
+        self.chol = Cholesky::decompose(&k)?;
+        Ok(UpdateOutcome::JitterInvalidated)
+    }
+
+    /// Recompute standardization, `alpha`, and the LML from the raw
+    /// targets and the current factor — the same expressions (and
+    /// floating-point operation order) as a full fit.
+    fn refresh_posterior(&mut self) -> Result<(), GpError> {
+        self.y_mean = otune_linalg::mean(&self.y);
+        self.y_std = {
+            let s = otune_linalg::std_dev(&self.y);
+            if s > 1e-12 {
+                s
+            } else {
+                1.0
+            }
+        };
+        let ys: Vec<f64> = self
+            .y
+            .iter()
+            .map(|v| (v - self.y_mean) / self.y_std)
+            .collect();
+        self.alpha = self.chol.solve(&ys)?;
+        self.lml = -0.5 * otune_linalg::dot(&ys, &self.alpha)
+            - 0.5 * self.chol.log_det()
+            - self.y.len() as f64 / 2.0 * (2.0 * std::f64::consts::PI).ln();
+        Ok(())
+    }
+
+    /// Full pooled hyperparameter re-search, warm-started from the
+    /// current winner.
+    fn research(&mut self, cfg: GpConfig, pool: &Pool) -> Result<(), GpError> {
+        let warm = GpConfig {
+            warm_hyper: Some(self.kernel.hyper),
+            ..cfg
+        };
+        *self = Self::fit_with_pool(
+            self.kernel.kinds().to_vec(),
+            self.x.clone(),
+            &self.y,
+            warm,
+            pool,
+        )?;
+        Ok(())
     }
 
     /// Number of observations.
@@ -268,6 +547,31 @@ impl GaussianProcess {
     /// covariance matrix (0 when the jitter-free attempt succeeded).
     pub fn jitter_retries(&self) -> u32 {
         self.chol.jitter_retries()
+    }
+
+    /// Jitter currently baked into the cached factor.
+    pub fn jitter(&self) -> f64 {
+        self.chol.jitter()
+    }
+
+    /// Updates absorbed since the last full hyperparameter search.
+    pub fn updates_since_search(&self) -> usize {
+        self.updates_since_search
+    }
+
+    /// Per-observation LML recorded at the last full search.
+    pub fn last_search_lml_per_obs(&self) -> f64 {
+        self.last_search_lml_per_obs
+    }
+
+    /// The encoded training inputs.
+    pub fn train_x(&self) -> &[Vec<f64>] {
+        &self.x
+    }
+
+    /// The raw training targets.
+    pub fn train_y(&self) -> &[f64] {
+        &self.y
     }
 
     /// Posterior predictive mean and variance at `x` (original target scale).

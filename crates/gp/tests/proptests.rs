@@ -93,3 +93,47 @@ proptest! {
         prop_assert!((p2 - (p1 * scale + shift)).abs() < 1e-6 * (1.0 + scale + shift.abs()));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// An incremental `update` produces the same posterior as a full refit
+    /// at the same hyperparameters — bitwise, because the rank-one factor
+    /// extension replays the exact op sequence of the from-scratch
+    /// factorization on the append-only path.
+    #[test]
+    fn incremental_update_matches_same_hyper_full_refit(seed in 0u64..200) {
+        use otune_gp::IncrementalPolicy;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 9;
+        let x: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.gen(), rng.gen()]).collect();
+        let y: Vec<f64> = x.iter().map(|v| (v[0] * 4.0).sin() + v[1] * v[1]).collect();
+        let kinds = vec![FeatureKind::Numeric, FeatureKind::Numeric];
+        let cfg = GpConfig { optimize_hypers: false, ..GpConfig::default() };
+
+        let mut inc = GaussianProcess::fit(kinds.clone(), x[..n - 1].to_vec(), &y[..n - 1], cfg)
+            .unwrap();
+        let policy = IncrementalPolicy::never_research(true);
+        inc.update(x[n - 1].clone(), y[n - 1], &policy, cfg, otune_pool::Pool::global())
+            .unwrap();
+
+        let full = GaussianProcess::fit_with_pool(
+            kinds,
+            x.clone(),
+            &y,
+            GpConfig { warm_hyper: Some(inc.kernel().hyper), ..cfg },
+            otune_pool::Pool::global(),
+        )
+        .unwrap();
+        let probe = vec![rng.gen::<f64>(), rng.gen::<f64>()];
+        let (mi, vi) = inc.predict(&probe);
+        let (mf, vf) = full.predict(&probe);
+        prop_assert_eq!(mi.to_bits(), mf.to_bits());
+        prop_assert_eq!(vi.to_bits(), vf.to_bits());
+        prop_assert_eq!(
+            inc.log_marginal_likelihood().to_bits(),
+            full.log_marginal_likelihood().to_bits()
+        );
+    }
+}

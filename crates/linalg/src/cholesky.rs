@@ -109,6 +109,79 @@ impl Cholesky {
         Ok(())
     }
 
+    /// Factor `a` at one *fixed* jitter level, without the retry ladder.
+    ///
+    /// This is the replay primitive behind incremental surrogate
+    /// maintenance: refactoring a grown covariance matrix at the jitter
+    /// the cached factor already carries performs the exact
+    /// floating-point operation sequence of the cached prefix rows plus
+    /// [`Cholesky::extend_with_row`] for the appended rows, so the two
+    /// paths agree bitwise. Fails with
+    /// [`LinalgError::NotPositiveDefinite`] instead of escalating the
+    /// jitter — the caller decides whether to fall back to the ladder.
+    pub fn decompose_with_jitter(a: &Matrix, jitter: f64) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let mut l = Matrix::zeros(a.rows(), a.rows());
+        match Self::try_factor_into(a, jitter, &mut l) {
+            Ok(()) => Ok(Cholesky {
+                l,
+                jitter,
+                jitter_retries: 0,
+            }),
+            Err((pivot, _)) => Err(LinalgError::NotPositiveDefinite { pivot }),
+        }
+    }
+
+    /// Rank-one *extension*: grow the factorization of an `n × n` matrix
+    /// to cover the `(n+1) × (n+1)` matrix obtained by appending one
+    /// symmetric row/column, in O(n²) instead of a fresh O(n³) factor.
+    ///
+    /// `row` is the appended row of the grown matrix: `row[j] = A[n, j]`
+    /// for `j < n` plus the new diagonal entry `row[n] = A[n, n]`
+    /// (including any observation noise, but *not* the jitter — the
+    /// factor's own jitter level is applied to the new diagonal exactly
+    /// as [`Cholesky::decompose`] would).
+    ///
+    /// The new factor row is `l₂₁ = L⁻¹ row[..n]` (forward substitution)
+    /// and `L[n,n] = √(row[n] + jitter − l₂₁ᵀl₂₁)`, which is the same
+    /// operation sequence as the last row of a from-scratch
+    /// factorization at this jitter level — the extension is therefore
+    /// bitwise-identical to [`Cholesky::decompose_with_jitter`] on the
+    /// grown matrix.
+    ///
+    /// Fails with [`LinalgError::NotPositiveDefinite`] (leaving the
+    /// factor untouched) when the new pivot is non-positive at the
+    /// current jitter level; there is no downdate — the caller must
+    /// refactor with a fresh jitter ladder.
+    pub fn extend_with_row(&mut self, row: &[f64]) -> Result<()> {
+        let n = self.l.rows();
+        if row.len() != n + 1 {
+            return Err(LinalgError::ShapeMismatch {
+                left: (n + 1, n + 1),
+                right: (row.len(), 1),
+            });
+        }
+        // l₂₁ via forward substitution against the existing factor. The
+        // multiply order (L[j,k] · l₂₁[k]) matches try_factor_into's
+        // (l[i,k] · l[j,k]) term-for-term; IEEE multiplication is
+        // commutative, so the sums agree bitwise.
+        let l21 = self.solve_lower(&row[..n])?;
+        let mut pivot = row[n] + self.jitter;
+        for v in &l21 {
+            pivot -= v * v;
+        }
+        if pivot <= 0.0 || !pivot.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite { pivot: n });
+        }
+        self.l.grow_square()?;
+        let new_row = self.l.row_mut(n);
+        new_row[..n].copy_from_slice(&l21);
+        new_row[n] = pivot.sqrt();
+        Ok(())
+    }
+
     /// The lower-triangular factor `L`.
     pub fn l(&self) -> &Matrix {
         &self.l
@@ -426,5 +499,65 @@ mod tests {
         let ch = Cholesky::decompose(&a).unwrap();
         assert_eq!(ch.log_det(), 0.0);
         assert_eq!(ch.solve(&[]).unwrap(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn decompose_with_jitter_replays_the_ladder_result() {
+        let a = spd3();
+        let ladder = Cholesky::decompose(&a).unwrap();
+        let fixed = Cholesky::decompose_with_jitter(&a, ladder.jitter()).unwrap();
+        for i in 0..3 {
+            for j in 0..=i {
+                assert_eq!(fixed.l()[(i, j)].to_bits(), ladder.l()[(i, j)].to_bits());
+            }
+        }
+        assert_eq!(fixed.jitter(), ladder.jitter());
+        assert_eq!(fixed.jitter_retries(), 0);
+    }
+
+    #[test]
+    fn decompose_with_jitter_rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, -5.0]]).unwrap();
+        let err = Cholesky::decompose_with_jitter(&a, 1e-10).unwrap_err();
+        assert!(matches!(err, LinalgError::NotPositiveDefinite { pivot: 1 }));
+    }
+
+    #[test]
+    fn extend_with_row_grows_the_factor_in_place() {
+        // Extend the 2x2 leading block of spd3 to the full 3x3 and compare
+        // against the from-scratch factorization at the same jitter.
+        let a = spd3();
+        let lead = Matrix::from_rows(&[vec![5.0, 2.0], vec![2.0, 6.0]]).unwrap();
+        let mut ch = Cholesky::decompose(&lead).unwrap();
+        ch.extend_with_row(&[1.0, 2.0, 4.0]).unwrap();
+        let full = Cholesky::decompose_with_jitter(&a, ch.jitter()).unwrap();
+        for i in 0..3 {
+            for j in 0..=i {
+                let (got, want) = (ch.l()[(i, j)], full.l()[(i, j)]);
+                assert!((got - want).abs() < 1e-12, "at ({i},{j}): {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn extend_with_row_rejects_wrong_arity() {
+        let mut ch = Cholesky::decompose(&spd3()).unwrap();
+        assert!(matches!(
+            ch.extend_with_row(&[1.0, 2.0]),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn extend_with_row_rejects_pivot_loss() {
+        // A row identical to an existing one makes the grown matrix
+        // singular: the new pivot collapses to ~jitter-scale and the
+        // strictly-positive check at the base jitter must fail.
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let mut ch = Cholesky::decompose_with_jitter(&a, 0.0).unwrap();
+        let err = ch.extend_with_row(&[1.0, 0.0, 1.0]).unwrap_err();
+        assert!(matches!(err, LinalgError::NotPositiveDefinite { pivot: 2 }));
+        // The factor is untouched on failure.
+        assert_eq!(ch.l().rows(), 2);
     }
 }

@@ -119,6 +119,41 @@ impl Matrix {
         (head, &mut tail[..cols])
     }
 
+    /// Grow a square `n × n` matrix in place to `(n+1) × (n+1)`, keeping
+    /// the existing block in the top-left corner and zero-filling the new
+    /// row and column. The row-major storage is re-laid-out back-to-front
+    /// so the O(n²) copy needs no scratch allocation beyond the resize.
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square matrices.
+    pub fn grow_square(&mut self) -> Result<()> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare {
+                shape: self.shape(),
+            });
+        }
+        let n = self.rows;
+        let m = n + 1;
+        self.data.resize(m * m, 0.0);
+        // Move rows from the last to the first; row i shifts from offset
+        // i·n to i·m, so back-to-front copies never overwrite unread data.
+        for i in (1..n).rev() {
+            self.data.copy_within(i * n..(i + 1) * n, i * m);
+            // Zero the new trailing column of the row just vacated below.
+            self.data[i * m + n] = 0.0;
+        }
+        if n > 0 {
+            self.data[n] = 0.0;
+        }
+        // The freshly resized tail (row n) is already zero from `resize`,
+        // except where old row data lingers after the shift of row n-1.
+        for j in 0..m {
+            self.data[n * m + j] = 0.0;
+        }
+        self.rows = m;
+        self.cols = m;
+        Ok(())
+    }
+
     /// Transpose.
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);

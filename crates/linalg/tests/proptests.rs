@@ -110,3 +110,70 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// Rank-one extension replays the exact FP op sequence of a from-scratch
+    /// factorization at the same jitter: the shared prefix is bitwise equal
+    /// and the new row agrees to tight tolerance.
+    #[test]
+    fn cholesky_extension_matches_from_scratch(a in spd_matrix(6)) {
+        let n = 5;
+        let lead = Matrix::from_vec(
+            n,
+            n,
+            (0..n).flat_map(|i| {
+                let a = &a;
+                (0..n).map(move |j| a[(i, j)])
+            }).collect(),
+        )
+        .unwrap();
+        let mut ext = Cholesky::decompose(&lead).unwrap();
+        let row: Vec<f64> = (0..=n).map(|j| a[(n, j)]).collect();
+        if ext.extend_with_row(&row).is_ok() {
+            let full = Cholesky::decompose_with_jitter(&a, ext.jitter()).unwrap();
+            for i in 0..n {
+                for j in 0..=i {
+                    prop_assert_eq!(ext.l()[(i, j)].to_bits(), full.l()[(i, j)].to_bits());
+                }
+            }
+            let scale = a.max_abs().max(1.0);
+            for j in 0..=n {
+                prop_assert!(
+                    (ext.l()[(n, j)] - full.l()[(n, j)]).abs() <= 1e-10 * scale,
+                    "row entry {}: {} vs {}", j, ext.l()[(n, j)], full.l()[(n, j)]
+                );
+            }
+        }
+    }
+
+    /// An extended factor solves like a from-scratch factor of the larger
+    /// system: (A + jitter I) x == b round-trips.
+    #[test]
+    fn extended_factor_solves_the_grown_system(
+        a in spd_matrix(5),
+        b in proptest::collection::vec(-3.0f64..3.0, 5),
+    ) {
+        let n = 4;
+        let lead = Matrix::from_vec(
+            n,
+            n,
+            (0..n).flat_map(|i| {
+                let a = &a;
+                (0..n).map(move |j| a[(i, j)])
+            }).collect(),
+        )
+        .unwrap();
+        let mut ch = Cholesky::decompose(&lead).unwrap();
+        let row: Vec<f64> = (0..=n).map(|j| a[(n, j)]).collect();
+        if ch.extend_with_row(&row).is_ok() {
+            let x = ch.solve(&b).unwrap();
+            let mut aj = a.clone();
+            aj.add_diagonal(ch.jitter()).unwrap();
+            let back = aj.matvec(&x).unwrap();
+            let scale = a.max_abs().max(1.0);
+            for (u, v) in back.iter().zip(&b) {
+                prop_assert!((u - v).abs() < 1e-6 * scale, "{u} vs {v}");
+            }
+        }
+    }
+}

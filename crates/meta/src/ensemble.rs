@@ -3,19 +3,24 @@
 //! `μ_meta(x) = Σᵢ wᵢ μᵢ(x)` and `σ²_meta(x) = Σᵢ wᵢ² σᵢ²(x)` over base
 //! surrogates from previous tasks plus the target task's own surrogate.
 //! Base weights are `1 − Dist(Mⁱ, Mᵗ)` (Kendall-τ distance); the target
-//! surrogate's weight comes from a leave-one-out cross-validation rank
-//! agreement (Feurer et al.'s strategy), so it grows as the target history
-//! becomes informative. All weights are normalized to sum to 1.
+//! surrogate's weight comes from a progressive-validation rank agreement
+//! (each point predicted by a model fitted on the points before it — the
+//! memoizable analogue of Feurer et al.'s leave-one-out strategy), so it
+//! grows as the target history becomes informative. All weights are
+//! normalized to sum to 1.
 //!
 //! Because predictions are combined across *tasks*, every member surrogate
 //! is fitted configuration-only (per-task targets are standardized by the
 //! GP, which puts different tasks' objective scales on common footing).
 
-use crate::distance::{kendall_tau, surrogate_distance};
+use crate::cache::MetaCache;
+use crate::distance::surrogate_distance;
 use crate::similarity::TaskRecord;
-use otune_bo::{fit_surrogate, Observation, SurrogateInput};
-use otune_gp::{FeatureKind, GaussianProcess, GpConfig};
+use otune_bo::Observation;
+use otune_gp::{GaussianProcess, IncrementalPolicy};
 use otune_space::ConfigSpace;
+use otune_telemetry::Telemetry;
+use std::sync::Arc;
 
 /// A weighted ensemble of task surrogates implementing Eq. 12.
 ///
@@ -27,7 +32,7 @@ use otune_space::ConfigSpace;
 #[derive(Debug)]
 pub struct EnsembleSurrogate {
     /// (surrogate, weight, member's target mean, member's target std).
-    members: Vec<(GaussianProcess, f64, f64, f64)>,
+    members: Vec<(Arc<GaussianProcess>, f64, f64, f64)>,
     /// Output scale: the target task's objective statistics.
     target_scale: (f64, f64),
 }
@@ -36,6 +41,9 @@ impl EnsembleSurrogate {
     /// Build the ensemble from previous-task records and the target task's
     /// runhistory. Returns `None` when neither any base task nor the target
     /// has enough history for a surrogate.
+    ///
+    /// Convenience wrapper over [`Self::build_cached`] with a throwaway
+    /// cache — every member is fitted from scratch.
     pub fn build(
         space: &ConfigSpace,
         base_tasks: &[TaskRecord],
@@ -43,23 +51,51 @@ impl EnsembleSurrogate {
         n_sample: usize,
         seed: u64,
     ) -> Option<Self> {
+        let mut cache = MetaCache::new(IncrementalPolicy::from_env());
+        Self::build_cached(
+            space,
+            base_tasks,
+            target_obs,
+            n_sample,
+            seed,
+            &mut cache,
+            &Telemetry::disabled(),
+        )
+    }
+
+    /// [`Self::build`] with persistent caches: frozen base-task surrogates
+    /// are fitted once per distinct history, the target surrogate is
+    /// extended incrementally while the runhistory only grows, and the
+    /// target-weight validation folds are memoized.
+    pub fn build_cached(
+        space: &ConfigSpace,
+        base_tasks: &[TaskRecord],
+        target_obs: &[Observation],
+        n_sample: usize,
+        seed: u64,
+        cache: &mut MetaCache,
+        telemetry: &Telemetry,
+    ) -> Option<Self> {
         let stats = |obs: &[Observation]| -> (f64, f64) {
             let ys: Vec<f64> = obs.iter().map(|o| o.objective).collect();
             let mean = otune_linalg_mean(&ys);
             let sd = otune_linalg_std(&ys).max(1e-9);
             (mean, sd)
         };
-        let bases: Vec<(GaussianProcess, f64, f64)> = base_tasks
+        let bases: Vec<(Arc<GaussianProcess>, f64, f64)> = base_tasks
             .iter()
-            .filter_map(|t| {
-                t.surrogate(space, seed).map(|s| {
-                    let (m, sd) = stats(&t.observations);
-                    (s, m, sd)
-                })
-            })
+            .filter_map(|t| cache.base_surrogate(space, t, seed, telemetry))
             .collect();
 
-        let target = fit_target_surrogate(space, target_obs, seed);
+        // Member surrogates are configuration-only, so strip contexts once.
+        let stripped: Vec<Observation> = target_obs
+            .iter()
+            .map(|o| Observation {
+                context: vec![],
+                ..o.clone()
+            })
+            .collect();
+        let target = cache.target_surrogate(space, &stripped, seed, telemetry);
         let target_scale = if target_obs.len() >= 2 {
             stats(target_obs)
         } else if let Some(t) = base_tasks.first() {
@@ -68,7 +104,7 @@ impl EnsembleSurrogate {
             (0.0, 1.0)
         };
 
-        let mut members: Vec<(GaussianProcess, f64, f64, f64)> = Vec::new();
+        let mut members: Vec<(Arc<GaussianProcess>, f64, f64, f64)> = Vec::new();
         match &target {
             Some(tgt) => {
                 for (base, m, sd) in bases {
@@ -89,7 +125,7 @@ impl EnsembleSurrogate {
         members.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         members.truncate(3);
         if let Some(tgt) = target {
-            let w = target_weight(space, target_obs, seed);
+            let w = cache.target_weight(space, &stripped, seed, telemetry);
             members.push((tgt, w, target_scale.0, target_scale.1));
         }
         if members.is_empty() {
@@ -167,7 +203,7 @@ impl otune_bo::Predictor for EnsembleSurrogate {
     }
 }
 
-fn otune_linalg_mean(v: &[f64]) -> f64 {
+pub(crate) fn otune_linalg_mean(v: &[f64]) -> f64 {
     if v.is_empty() {
         0.0
     } else {
@@ -175,69 +211,12 @@ fn otune_linalg_mean(v: &[f64]) -> f64 {
     }
 }
 
-fn otune_linalg_std(v: &[f64]) -> f64 {
+pub(crate) fn otune_linalg_std(v: &[f64]) -> f64 {
     if v.len() < 2 {
         return 1.0;
     }
     let m = otune_linalg_mean(v);
     (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64).sqrt()
-}
-
-fn fit_target_surrogate(
-    space: &ConfigSpace,
-    obs: &[Observation],
-    seed: u64,
-) -> Option<GaussianProcess> {
-    if obs.len() < 3 {
-        return None;
-    }
-    let stripped: Vec<Observation> = obs
-        .iter()
-        .map(|o| Observation {
-            context: vec![],
-            ..o.clone()
-        })
-        .collect();
-    fit_surrogate(space, &stripped, SurrogateInput::Objective, seed).ok()
-}
-
-/// Target weight from leave-one-out rank agreement: refit the target
-/// surrogate without each point (cheap fixed-hyper fits), predict the held
-/// out objective, and score the Kendall concordance between predictions
-/// and truth, mapped to `[0, 1]`.
-fn target_weight(space: &ConfigSpace, obs: &[Observation], seed: u64) -> f64 {
-    let n = obs.len();
-    if n < 4 {
-        return 0.3; // scarce history: modest default trust
-    }
-    let kinds: Vec<FeatureKind> = otune_bo::surrogate_kinds(space, 0);
-    let x: Vec<Vec<f64>> = obs.iter().map(|o| space.encode(&o.config)).collect();
-    let y: Vec<f64> = obs.iter().map(|o| o.objective).collect();
-    let folds = n.min(8);
-    let mut preds = Vec::with_capacity(folds);
-    let mut truth = Vec::with_capacity(folds);
-    for k in 0..folds {
-        let (mut xt, mut yt) = (Vec::new(), Vec::new());
-        for i in 0..n {
-            if i != k {
-                xt.push(x[i].clone());
-                yt.push(y[i]);
-            }
-        }
-        let cfg = GpConfig {
-            optimize_hypers: false,
-            seed,
-            ..GpConfig::default()
-        };
-        if let Ok(gp) = GaussianProcess::fit(kinds.clone(), xt, &yt, cfg) {
-            preds.push(gp.predict_mean(&x[k]));
-            truth.push(y[k]);
-        }
-    }
-    if preds.len() < 2 {
-        return 0.3;
-    }
-    ((kendall_tau(&preds, &truth) + 1.0) / 2.0).clamp(0.05, 1.0)
 }
 
 #[cfg(test)]

@@ -18,12 +18,14 @@
 //!   weights `1 − Dist(Mⁱ, Mᵗ)` and the target weight from a
 //!   cross-validation rank-agreement score.
 
+pub mod cache;
 pub mod distance;
 pub mod ensemble;
 pub mod features;
 pub mod similarity;
 pub mod warmstart;
 
+pub use cache::MetaCache;
 pub use distance::{kendall_tau, surrogate_distance};
 pub use ensemble::EnsembleSurrogate;
 pub use features::{extract_meta_features, META_FEATURE_COUNT};

@@ -61,6 +61,14 @@ impl HaltonSequence {
         self.perms.len()
     }
 
+    /// Advance past the next `n` points without computing them. Each
+    /// point is a pure function of its index, so skipping is O(1) and
+    /// `skip(n)` followed by `next_point()` yields exactly the point
+    /// `take_points(n + 1)` would return last.
+    pub fn skip(&mut self, n: u64) {
+        self.index += n;
+    }
+
     /// The next point in `[0, 1)^dim`.
     pub fn next_point(&mut self) -> Vec<f64> {
         let idx = self.index;

@@ -148,6 +148,15 @@ impl ConfigSpace {
         h.take_points(n).iter().map(|u| self.decode(u)).collect()
     }
 
+    /// The `idx`-th configuration of the low-discrepancy design — the
+    /// point `low_discrepancy(idx + 1, seed)` would return last, computed
+    /// in O(1) by skipping the prefix instead of generating it.
+    pub fn low_discrepancy_nth(&self, idx: usize, seed: u64) -> Configuration {
+        let mut h = HaltonSequence::new(self.params.len(), seed);
+        h.skip(idx as u64);
+        self.decode(&h.next_point())
+    }
+
     /// A local perturbation of `config`: each numeric dimension moves by a
     /// Gaussian step of standard deviation `scale` in encoded space; each
     /// discrete dimension resamples with probability `scale`.
@@ -266,6 +275,15 @@ mod tests {
         assert_eq!(a, b);
         for c in &a {
             s.validate(c).unwrap();
+        }
+    }
+
+    #[test]
+    fn low_discrepancy_nth_matches_full_sequence() {
+        let s = toy_space();
+        let all = s.low_discrepancy(10, 5);
+        for (i, expected) in all.iter().enumerate() {
+            assert_eq!(&s.low_discrepancy_nth(i, 5), expected, "point {i}");
         }
     }
 

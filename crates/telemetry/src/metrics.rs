@@ -29,6 +29,27 @@ pub mod metric {
     pub const POOL_PARALLEL_TASKS: &str = "pool_parallel_tasks";
     /// Counter: Cholesky jitter retries paid by fitted surrogates.
     pub const CHOL_JITTER_RETRIES: &str = "chol_jitter_retries";
+    /// Counter: surrogate reused as-is (history fingerprint unchanged).
+    pub const SURROGATE_CACHE_HITS: &str = "surrogate_cache_hits";
+    /// Counter: surrogate cache invalidated (history edited, transform
+    /// changed, or no cached fit) — a full fit ran.
+    pub const SURROGATE_CACHE_MISSES: &str = "surrogate_cache_misses";
+    /// Counter: observations absorbed by O(n²) incremental updates.
+    pub const SURROGATE_INCREMENTAL_UPDATES: &str = "surrogate_incremental_updates";
+    /// Counter: full refactorizations at fixed hyperparameters (the
+    /// `OTUNE_INCREMENTAL=0` baseline path plus jitter invalidations).
+    pub const SURROGATE_FULL_REFITS: &str = "surrogate_full_refits";
+    /// Counter: full hyperparameter re-searches (scheduled or
+    /// LML-degradation triggered).
+    pub const GP_HYPER_SEARCHES: &str = "gp_hyper_searches";
+    /// Counter: frozen base-task surrogates served from the meta cache.
+    pub const META_BASE_CACHE_HITS: &str = "meta_base_cache_hits";
+    /// Counter: frozen base-task surrogates fitted (first sight of a
+    /// task, or its observations changed).
+    pub const META_BASE_CACHE_MISSES: &str = "meta_base_cache_misses";
+    /// Counter: progressive-validation weight folds served from the
+    /// meta memo instead of being refitted.
+    pub const META_LOO_MEMO_HITS: &str = "meta_loo_memo_hits";
 }
 
 /// Number of histogram buckets: 9 decades from 1e-7, 8 buckets per
