@@ -103,6 +103,7 @@ mod tests {
         let a = c[0].as_float().unwrap();
         let obj = (a - 0.3) * (a - 0.3) * 100.0;
         Observation {
+            failed: false,
             config: c.clone(),
             objective: obj,
             runtime: obj + 10.0,
@@ -141,6 +142,7 @@ mod tests {
         let eval_rt = |c: &Configuration| {
             let a = c[0].as_float().unwrap();
             Observation {
+                failed: false,
                 config: c.clone(),
                 objective: a * 100.0, // optimum at a = 0 — but unsafe there
                 runtime: 500.0 - 400.0 * a,

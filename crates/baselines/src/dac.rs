@@ -136,6 +136,7 @@ mod tests {
         let n = c[0].as_int().unwrap() as f64;
         let obj = (n - ds * 40.0).powi(2);
         Observation {
+            failed: false,
             config: c.clone(),
             objective: obj,
             runtime: obj,

@@ -132,6 +132,7 @@ mod tests {
         let a = c[0].as_float().unwrap();
         let obj = (a - 0.4) * (a - 0.4) * 80.0 * ds;
         Observation {
+            failed: false,
             config: c.clone(),
             objective: obj,
             runtime: obj,

@@ -81,6 +81,7 @@ mod tests {
         let m = c[1].as_int().unwrap() as f64;
         let obj = (n - 30.0).powi(2) + (m - 4.0).powi(2);
         Observation {
+            failed: false,
             config: c.clone(),
             objective: obj,
             runtime: obj,

@@ -122,6 +122,7 @@ mod tests {
         let a = c[0].as_float().unwrap();
         let obj = (a - 0.6) * (a - 0.6) * 50.0;
         Observation {
+            failed: false,
             config: c.clone(),
             objective: obj,
             runtime: obj,

@@ -70,6 +70,7 @@ fn seed_history(space: &ConfigSpace, job: &SimJob, n: usize, seed: u64) -> Vec<O
 fn observe(job: &SimJob, config: Configuration, t: u64) -> Observation {
     let r = job.run(&config, t);
     Observation {
+        failed: false,
         objective: (r.runtime_s * r.resource).sqrt(),
         runtime: r.runtime_s,
         resource: r.resource,

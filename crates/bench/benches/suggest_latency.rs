@@ -52,6 +52,7 @@ fn history(space: &ConfigSpace, n_obs: usize, seed: u64) -> Vec<Observation> {
             let config = space.sample(&mut rng);
             let r = job.run(&config, t as u64);
             Observation {
+                failed: false,
                 objective: (r.runtime_s * r.resource).sqrt(),
                 runtime: r.runtime_s,
                 resource: r.resource,

@@ -54,6 +54,7 @@ fn main() {
         for (i, cfg) in probes.into_iter().enumerate() {
             let r = job.run(&cfg, 10_000 + i as u64);
             history.push(otune_bo::Observation {
+                failed: false,
                 config: cfg,
                 objective: otune_core::Objective::cost().eval(r.runtime_s, r.resource),
                 runtime: r.runtime_s,

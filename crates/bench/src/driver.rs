@@ -177,6 +177,7 @@ pub fn run_baseline(setup: &TuningSetup, tuner: &mut dyn Tuner, seed: u64) -> Ru
             &result,
         );
         history.push(Observation {
+            failed: false,
             config: cfg,
             objective: objective.eval(result.runtime_s, result.resource),
             runtime: result.runtime_s,

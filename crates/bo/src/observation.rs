@@ -18,13 +18,22 @@ pub struct Observation {
     /// Workload context at evaluation time (data size and/or calendar
     /// features), appended to the encoded configuration for the surrogate.
     pub context: Vec<f64>,
+    /// Whether the run behind this observation failed (OOM, `T_max` kill).
+    /// Failed runs are recorded *censored*: `runtime` holds the penalty
+    /// value, never the (unknowable) true runtime, and the observation is
+    /// unconditionally infeasible for the safe region and the incumbent.
+    #[serde(default)]
+    pub failed: bool,
 }
 
 impl Observation {
     /// Whether this observation satisfies `runtime ≤ t_max` and
-    /// `resource ≤ r_max` (`None` disables a bound).
+    /// `resource ≤ r_max` (`None` disables a bound). Failed runs are
+    /// never feasible, regardless of bounds.
     pub fn is_feasible(&self, t_max: Option<f64>, r_max: Option<f64>) -> bool {
-        t_max.is_none_or(|t| self.runtime <= t) && r_max.is_none_or(|r| self.resource <= r)
+        !self.failed
+            && t_max.is_none_or(|t| self.runtime <= t)
+            && r_max.is_none_or(|r| self.resource <= r)
     }
 }
 
@@ -59,6 +68,7 @@ mod tests {
 
     fn obs(objective: f64, runtime: f64, resource: f64) -> Observation {
         Observation {
+            failed: false,
             config: Configuration::new(vec![ParamValue::Int(1)]),
             objective,
             runtime,
@@ -74,6 +84,29 @@ mod tests {
         assert!(o.is_feasible(Some(100.0), Some(50.0)));
         assert!(!o.is_feasible(Some(99.0), None));
         assert!(!o.is_feasible(None, Some(49.0)));
+    }
+
+    #[test]
+    fn failed_runs_are_never_feasible() {
+        let mut o = obs(1.0, 10.0, 5.0);
+        o.failed = true;
+        assert!(!o.is_feasible(None, None), "failed beats missing bounds");
+        assert!(!o.is_feasible(Some(100.0), Some(100.0)));
+        // A failed incumbent never wins over a feasible one.
+        let all = vec![o, obs(9.0, 10.0, 5.0)];
+        let best = best_observation(&all, None, None).unwrap();
+        assert_eq!(best.objective, 9.0);
+    }
+
+    #[test]
+    fn failed_flag_defaults_to_false_in_old_json() {
+        let o = obs(1.0, 10.0, 5.0);
+        let mut json = serde_json::to_string(&o).unwrap();
+        assert!(json.contains("\"failed\""));
+        // Strip the field to emulate pre-fault-injection history files.
+        json = json.replace(",\"failed\":false", "");
+        let back: Observation = serde_json::from_str(&json).unwrap();
+        assert!(!back.failed);
     }
 
     #[test]

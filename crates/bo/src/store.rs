@@ -269,6 +269,7 @@ mod tests {
                 let a = config[0].as_int().unwrap() as f64;
                 let b = config[1].as_float().unwrap();
                 Observation {
+                    failed: false,
                     objective: (a - 4.0).powi(2) + b,
                     runtime: 50.0 + a * 3.0 - b,
                     resource: 1.0,

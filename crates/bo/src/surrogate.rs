@@ -156,6 +156,7 @@ mod tests {
                 let config = space.sample(&mut rng);
                 let a = config[0].as_int().unwrap() as f64;
                 Observation {
+                    failed: false,
                     objective: a * 2.0,
                     runtime: 100.0 - a,
                     resource: 5.0,

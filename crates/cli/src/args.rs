@@ -28,6 +28,9 @@ pub enum Command {
         /// Optional JSONL path for the telemetry event stream (a
         /// `<path>.metrics.json` snapshot is written alongside).
         events: Option<String>,
+        /// Optional fault-injection spec, e.g. `oom:0.1,straggler:0.05`
+        /// (see [`otune_sparksim::FaultProfile::parse`]).
+        fault_profile: Option<String>,
     },
     /// Compare strategies on one task.
     Compare {
@@ -84,7 +87,12 @@ USAGE:
   otune workloads
   otune tune --task <name> [--beta B] [--budget N] [--seed S]
              [--no-safety] [--no-subspace] [--no-agd] [--out FILE]
-             [--events FILE]
+             [--events FILE] [--fault-profile SPEC]
+
+  SPEC injects faults into the simulated runs, e.g.
+    --fault-profile oom:0.1,straggler:0.05,lost:0.02,tmax:120,seed:7
+  (rates per run; `tmax` in seconds kills runs over budget; omitted
+  keys default to 0 / off).
   otune compare --task <name> [--budget N] [--seeds K]
   otune importance --task <name> [--samples N]
   otune events --file FILE [--task ID] [--kind KIND]
@@ -126,6 +134,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                 no_agd: switches.contains(&"no-agd".to_string()),
                 out: get("out"),
                 events: get("events"),
+                fault_profile: get("fault-profile"),
             })
         }
         "compare" => Ok(Command::Compare {
@@ -202,6 +211,7 @@ mod tests {
                 no_agd: false,
                 out: None,
                 events: None,
+                fault_profile: None,
             }
         );
     }
@@ -209,7 +219,7 @@ mod tests {
     #[test]
     fn parses_tune_with_everything() {
         let cmd = parse_args(&argv(
-            "tune --task kmeans --beta 1 --budget 30 --seed 7 --no-agd --out h.json --events e.jsonl",
+            "tune --task kmeans --beta 1 --budget 30 --seed 7 --no-agd --out h.json --events e.jsonl --fault-profile oom:0.1,tmax:90",
         ))
         .unwrap();
         match cmd {
@@ -222,6 +232,7 @@ mod tests {
                 no_safety,
                 out,
                 events,
+                fault_profile,
                 ..
             } => {
                 assert_eq!(task, "kmeans");
@@ -232,6 +243,7 @@ mod tests {
                 assert!(!no_safety);
                 assert_eq!(out.as_deref(), Some("h.json"));
                 assert_eq!(events.as_deref(), Some("e.jsonl"));
+                assert_eq!(fault_profile.as_deref(), Some("oom:0.1,tmax:90"));
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -7,7 +7,7 @@ use otune_core::telemetry::{read_jsonl, EventKind, JsonlSink, MetricsSnapshot, T
 use otune_core::{Objective, OnlineTuner, TunerOptions};
 use otune_forest::Fanova;
 use otune_space::{spark_param_names, spark_space, ClusterScale, SparkParam};
-use otune_sparksim::{hibench_task, ClusterSpec, HibenchTask, SimJob};
+use otune_sparksim::{hibench_task, ClusterSpec, FaultProfile, HibenchTask, SimJob};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::Write;
@@ -46,10 +46,19 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> std::io::Result<i32> {
             no_agd,
             out: path,
             events,
+            fault_profile,
         } => {
             let Some(task) = find_task(&task) else {
                 writeln!(out, "unknown task {task:?}; run `otune workloads`")?;
                 return Ok(2);
+            };
+            let faults = match fault_profile.as_deref().map(FaultProfile::parse) {
+                None => None,
+                Some(Ok(p)) => Some(p),
+                Some(Err(e)) => {
+                    writeln!(out, "bad --fault-profile: {e}")?;
+                    return Ok(2);
+                }
             };
             tune(
                 task,
@@ -61,6 +70,7 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> std::io::Result<i32> {
                 no_agd,
                 path,
                 events,
+                faults,
                 out,
             )?;
             Ok(0)
@@ -107,6 +117,7 @@ fn tune(
     no_agd: bool,
     path: Option<String>,
     events: Option<String>,
+    faults: Option<FaultProfile>,
     out: &mut dyn Write,
 ) -> std::io::Result<()> {
     let telemetry = match &events {
@@ -122,13 +133,32 @@ fn tune(
     );
     let job = SimJob::new(ClusterSpec::hibench(), hibench_task(task)).with_seed(seed);
     let default_cfg = space.default_configuration();
+    // The baseline run is measured fault-free (it calibrates T_max); the
+    // tuning runs then execute with the fault schedule attached.
     let baseline = job.run(&default_cfg, 0);
+    let t_max = 2.0 * baseline.runtime_s;
     writeln!(
         out,
-        "tuning {} (β = {beta}, budget {budget}, T_max = 2x default = {:.0}s)",
+        "tuning {} (β = {beta}, budget {budget}, T_max = 2x default = {t_max:.0}s)",
         task.name(),
-        2.0 * baseline.runtime_s
     )?;
+    let job = match faults {
+        Some(mut p) => {
+            // An unset kill budget defaults to the tuner's T_max: runs the
+            // platform would abort are reported as TimeoutKilled.
+            p.t_max_s = p.t_max_s.or(Some(t_max));
+            writeln!(
+                out,
+                "fault injection: oom {:.0}%, straggler {:.0}%, lost {:.0}%, kill over {:.0}s",
+                100.0 * p.oom_rate,
+                100.0 * p.straggler_rate,
+                100.0 * p.lost_rate,
+                p.t_max_s.unwrap_or(f64::INFINITY),
+            )?;
+            job.with_faults(p)
+        }
+        None => job,
+    };
 
     let mut tuner = OnlineTuner::new(
         space,
@@ -150,16 +180,27 @@ fn tune(
     for t in 1..=budget as u64 {
         let cfg = tuner.suggest(&[]).expect("alternating protocol");
         let r = job.run(&cfg, t);
+        let status = if matches!(r.status, otune_sparksim::ExecutionStatus::Success) {
+            String::new()
+        } else {
+            format!("  [{}]", r.status.label())
+        };
         writeln!(
             out,
-            "  iter {t:>2}: runtime {:>9.1}s  resource {:>7.1}  objective {:>10.1}",
+            "  iter {t:>2}: runtime {:>9.1}s  resource {:>7.1}  objective {:>10.1}{status}",
             r.runtime_s,
             r.resource,
             Objective::new(beta).eval(r.runtime_s, r.resource)
         )?;
-        tuner
-            .observe(cfg, r.runtime_s, r.resource, &[])
-            .expect("pending");
+        if r.status.is_failure() {
+            tuner
+                .observe_failed(cfg, r.runtime_s, r.resource, &[])
+                .expect("pending");
+        } else {
+            tuner
+                .observe(cfg, r.runtime_s, r.resource, &[])
+                .expect("pending");
+        }
     }
 
     let best = tuner.best().expect("observed at least the baseline");
@@ -316,6 +357,7 @@ fn compare(
                 best = best.min(r.runtime_s * r.resource);
             }
             history.push(Observation {
+                failed: false,
                 config: cfg,
                 objective: objective.eval(r.runtime_s, r.resource),
                 runtime: r.runtime_s,
@@ -446,6 +488,7 @@ mod tests {
                 no_agd: false,
                 out: None,
                 events: None,
+                fault_profile: None,
             },
             &mut buf,
         )
@@ -471,6 +514,7 @@ mod tests {
                 no_agd: true,
                 out: Some(path.to_string_lossy().into_owned()),
                 events: None,
+                fault_profile: None,
             },
             &mut buf,
         )
@@ -501,6 +545,7 @@ mod tests {
                 no_agd: true,
                 out: None,
                 events: Some(events_path.clone()),
+                fault_profile: None,
             },
             &mut buf,
         )
@@ -547,6 +592,67 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("suggest_latency_s"), "{text}");
         assert!(text.contains("counters"), "{text}");
+    }
+
+    #[test]
+    fn tune_with_fault_profile_survives_and_counts_failures() {
+        let dir = std::env::temp_dir().join("otune_cli_fault_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let events_path = dir.join("run.jsonl").to_string_lossy().into_owned();
+        let mut buf = Vec::new();
+        let code = run(
+            Command::Tune {
+                task: "wordcount".into(),
+                beta: 0.5,
+                budget: 10,
+                seed: 1,
+                no_safety: false,
+                no_subspace: false,
+                no_agd: true,
+                out: None,
+                events: Some(events_path.clone()),
+                fault_profile: Some("oom:0.5,seed:3".into()),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("fault injection"), "{text}");
+        assert!(text.contains("oom_killed"), "no failure surfaced:\n{text}");
+        assert!(text.contains("best:"), "still reports an incumbent");
+
+        // The metrics sidecar counts the failures.
+        let mut buf = Vec::new();
+        let code = run(Command::Stats { file: events_path }, &mut buf).unwrap();
+        assert_eq!(code, 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("run_failures"), "{text}");
+    }
+
+    #[test]
+    fn bad_fault_profile_is_a_soft_error() {
+        let mut buf = Vec::new();
+        let code = run(
+            Command::Tune {
+                task: "wordcount".into(),
+                beta: 0.5,
+                budget: 2,
+                seed: 0,
+                no_safety: false,
+                no_subspace: false,
+                no_agd: false,
+                out: None,
+                events: None,
+                fault_profile: Some("oom:2.0".into()),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 2);
+        assert!(String::from_utf8(buf)
+            .unwrap()
+            .contains("bad --fault-profile"));
     }
 
     #[test]

@@ -23,10 +23,11 @@ use otune_space::{ConfigSpace, Configuration, Subspace};
 use otune_telemetry::{metric, EventKind, ResizeDirection, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Where a suggestion came from (diagnostics and the Figure 8/9 ablations).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SuggestionSource {
     /// Transferred from a similar task (§5.2).
     WarmStart,
@@ -479,6 +480,7 @@ mod tests {
         let rt = toy_runtime(cfg);
         let r = toy_resource()(cfg);
         Observation {
+            failed: false,
             config: cfg.clone(),
             objective: rt.powf(beta) * r.powf(1.0 - beta),
             runtime: rt,

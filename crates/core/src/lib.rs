@@ -50,13 +50,15 @@ pub mod controller;
 pub mod generator;
 pub mod objective;
 pub mod repository;
+pub mod snapshot;
 pub mod tuner;
 
 pub use context::{calendar_context, datasize_context};
 pub use controller::{OnlineTuneController, TaskHandle, TaskState};
 pub use generator::{ConfigGenerator, GeneratorOptions, Suggestion, SuggestionSource};
 pub use objective::{Constraints, Objective};
-pub use repository::DataRepository;
+pub use repository::{DataRepository, SnapshotLog};
+pub use snapshot::{PendingSuggestion, ResumeError, TunerSnapshot};
 pub use tuner::{OnlineTuner, TunerOptions};
 
 /// The observability layer, re-exported so applications can attach

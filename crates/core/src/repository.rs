@@ -5,15 +5,22 @@
 //! is the durable representation the Tencent deployment keeps in its
 //! storage service.
 
+use crate::snapshot::TunerSnapshot;
 use otune_bo::Observation;
 use otune_meta::TaskRecord;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 
 #[derive(Debug, Default, Serialize, Deserialize)]
 struct Repo {
     tasks: BTreeMap<String, TaskRecord>,
+    /// Latest crash-recovery snapshot per task (absent in repositories
+    /// exported before snapshots existed).
+    #[serde(default)]
+    snapshots: BTreeMap<String, TunerSnapshot>,
 }
 
 /// Thread-safe store of tuning history across tasks.
@@ -87,6 +94,20 @@ impl DataRepository {
             .collect()
     }
 
+    /// Store a task's latest crash-recovery snapshot (replacing any
+    /// previous one — only the newest is ever resumed).
+    pub fn record_snapshot(&self, snap: TunerSnapshot) {
+        self.inner
+            .write()
+            .snapshots
+            .insert(snap.task_id.clone(), snap);
+    }
+
+    /// A task's latest crash-recovery snapshot, if one was stored.
+    pub fn snapshot(&self, task_id: &str) -> Option<TunerSnapshot> {
+        self.inner.read().snapshots.get(task_id).cloned()
+    }
+
     /// Serialize the entire repository to JSON.
     pub fn export_json(&self) -> String {
         serde_json::to_string(&*self.inner.read()).expect("repository is always serializable")
@@ -101,6 +122,55 @@ impl DataRepository {
     }
 }
 
+/// Append-only JSONL log of tuner snapshots: one snapshot per line,
+/// appended after every observation, fsynced so a crash mid-run loses at
+/// most the in-flight line. [`SnapshotLog::load_last`] tolerates a torn
+/// trailing write — it returns the newest line that still parses.
+#[derive(Debug, Clone)]
+pub struct SnapshotLog {
+    path: PathBuf,
+}
+
+impl SnapshotLog {
+    /// A log at the given path (created on first append).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        SnapshotLog { path: path.into() }
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one snapshot as a JSON line and flush it to disk.
+    pub fn append(&self, snap: &TunerSnapshot) -> std::io::Result<()> {
+        let line = serde_json::to_string(snap)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        writeln!(file, "{line}")?;
+        file.sync_data()
+    }
+
+    /// The newest snapshot that parses, skipping a torn or corrupt tail.
+    /// A missing file is `Ok(None)` (nothing to resume); an unreadable
+    /// file is an error.
+    pub fn load_last(&self) -> std::io::Result<Option<TunerSnapshot>> {
+        let text = match std::fs::read_to_string(&self.path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        Ok(text
+            .lines()
+            .rev()
+            .filter(|l| !l.trim().is_empty())
+            .find_map(|l| serde_json::from_str::<TunerSnapshot>(l).ok()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +178,7 @@ mod tests {
 
     fn obs(v: f64) -> Observation {
         Observation {
+            failed: false,
             config: Configuration::new(vec![ParamValue::Int(v as i64)]),
             objective: v,
             runtime: v,
@@ -157,6 +228,202 @@ mod tests {
         let t = back.task("t").unwrap();
         assert_eq!(t.meta_features, vec![0.1, 0.2]);
         assert_eq!(t.observations.len(), 1);
+    }
+
+    fn snap(task_id: &str, n_obs: usize) -> TunerSnapshot {
+        TunerSnapshot {
+            task_id: task_id.to_string(),
+            seed: 7,
+            budget: 20,
+            history: (0..n_obs).map(|i| obs(i as f64)).collect(),
+            seeded_idx: vec![0],
+            pending: None,
+            stopped: false,
+            degraded_streak: 0,
+            failure_streak: 1,
+            restarts: 0,
+            round_iterations: n_obs.saturating_sub(1),
+            own_records: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn snapshots_survive_json_round_trip() {
+        let repo = DataRepository::new();
+        repo.record_observation("t", obs(1.0));
+        repo.record_snapshot(snap("t", 3));
+        repo.record_snapshot(snap("t", 5)); // newest wins
+        let back = DataRepository::import_json(&repo.export_json()).unwrap();
+        let s = back.snapshot("t").unwrap();
+        assert_eq!(s.history.len(), 5);
+        assert_eq!(s.failure_streak, 1);
+        assert!(back.snapshot("other").is_none());
+    }
+
+    #[test]
+    fn old_exports_without_snapshots_still_import() {
+        // A pre-snapshot export has no `snapshots` key at all.
+        let json = r#"{"tasks": {}}"#;
+        let repo = DataRepository::import_json(json).unwrap();
+        assert!(repo.snapshot("t").is_none());
+    }
+
+    #[test]
+    fn corrupt_json_is_an_error_not_a_panic() {
+        for bad in [
+            "",
+            "{",
+            "[]",
+            r#"{"tasks": 3}"#,
+            r#"{"tasks": {}, "snapshots": "nope"}"#,
+        ] {
+            assert!(DataRepository::import_json(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    mod roundtrip_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn any_obs() -> impl Strategy<Value = Observation> {
+            (
+                -50i64..50,
+                0.01f64..1e6,
+                0.01f64..1e5,
+                any::<bool>(),
+                proptest::collection::vec(-10.0f64..10.0, 0..3),
+            )
+                .prop_map(|(v, runtime, resource, failed, context)| Observation {
+                    failed,
+                    config: Configuration::new(vec![ParamValue::Int(v)]),
+                    objective: runtime * 0.5 + resource,
+                    runtime,
+                    resource,
+                    context,
+                })
+        }
+
+        fn any_task_id() -> impl Strategy<Value = String> {
+            proptest::collection::vec(0u8..26, 1..8)
+                .prop_map(|v| v.into_iter().map(|c| (b'a' + c) as char).collect())
+        }
+
+        fn any_snapshot() -> impl Strategy<Value = TunerSnapshot> {
+            (
+                any_task_id(),
+                any::<u64>(),
+                1usize..100,
+                proptest::collection::vec(any_obs(), 0..6),
+                any::<bool>(),
+                0usize..5,
+                0usize..5,
+                0usize..4,
+            )
+                .prop_map(
+                    |(
+                        task_id,
+                        seed,
+                        budget,
+                        history,
+                        stopped,
+                        degraded_streak,
+                        failure_streak,
+                        restarts,
+                    )| {
+                        let seeded_idx = if history.is_empty() { vec![] } else { vec![0] };
+                        let round_iterations = history.len().saturating_sub(seeded_idx.len());
+                        TunerSnapshot {
+                            task_id,
+                            seed,
+                            budget,
+                            history,
+                            seeded_idx,
+                            pending: None,
+                            stopped,
+                            degraded_streak,
+                            failure_streak,
+                            restarts,
+                            round_iterations,
+                            own_records: Vec::new(),
+                        }
+                    },
+                )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// `import_json(export_json())` is the identity on the whole
+            /// repository — observations with failure flags and snapshot
+            /// fields included — verified via a second export.
+            #[test]
+            fn export_import_is_identity(
+                observations in proptest::collection::vec(any_obs(), 1..8),
+                features in proptest::collection::vec(-5.0f64..5.0, 0..4),
+                snapshot in any_snapshot(),
+            ) {
+                let repo = DataRepository::new();
+                for o in &observations {
+                    repo.record_observation("t", o.clone());
+                }
+                repo.set_meta_features("t", features.clone());
+                repo.record_snapshot(snapshot.clone());
+
+                let json = repo.export_json();
+                let back = DataRepository::import_json(&json).unwrap();
+                prop_assert_eq!(back.export_json(), json, "round trip changed the payload");
+                let t = back.task("t").unwrap();
+                prop_assert_eq!(t.observations.len(), observations.len());
+                for (a, b) in t.observations.iter().zip(&observations) {
+                    prop_assert_eq!(a.failed, b.failed);
+                    prop_assert_eq!(a.runtime.to_bits(), b.runtime.to_bits());
+                }
+                let s = back.snapshot(&snapshot.task_id).unwrap();
+                prop_assert_eq!(s.history.len(), snapshot.history.len());
+                prop_assert_eq!(s.failure_streak, snapshot.failure_streak);
+                prop_assert_eq!(s.stopped, snapshot.stopped);
+            }
+
+            /// Corrupt inputs — truncations, wrong types, junk — are
+            /// rejected with `Err`, never a panic.
+            #[test]
+            fn corrupt_imports_error_gracefully(
+                snapshot in any_snapshot(),
+                cut in 1usize..40,
+                junk_bytes in proptest::collection::vec(32u8..127, 0..40),
+            ) {
+                let junk: String = junk_bytes.into_iter().map(char::from).collect();
+                let repo = DataRepository::new();
+                repo.record_snapshot(snapshot);
+                let json = repo.export_json();
+                // Truncation never parses (the document can't be complete).
+                let truncated = &json[..json.len().saturating_sub(cut)];
+                prop_assert!(DataRepository::import_json(truncated).is_err());
+                // Arbitrary junk either parses as a repo or errors; both
+                // are fine — the property is "no panic".
+                let _ = DataRepository::import_json(&junk);
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_log_appends_and_loads_last() {
+        let path = std::env::temp_dir().join(format!("otune-snaplog-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let log = SnapshotLog::new(&path);
+        assert!(log.load_last().unwrap().is_none(), "missing file is None");
+        log.append(&snap("t", 2)).unwrap();
+        log.append(&snap("t", 4)).unwrap();
+        assert_eq!(log.load_last().unwrap().unwrap().history.len(), 4);
+        // A torn trailing write is skipped, not fatal.
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        write!(file, "{{\"task_id\": \"t\", \"seed\"").unwrap();
+        drop(file);
+        assert_eq!(log.load_last().unwrap().unwrap().history.len(), 4);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

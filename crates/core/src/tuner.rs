@@ -3,6 +3,7 @@
 
 use crate::generator::{ConfigGenerator, GeneratorOptions, Suggestion, SuggestionSource};
 use crate::objective::{Constraints, Objective};
+use crate::snapshot::{PendingSuggestion, ResumeError, TunerSnapshot};
 use otune_bo::{best_observation, CandidateParams, Observation, SubspaceParams};
 use otune_gp::IncrementalPolicy;
 use otune_meta::{EnsembleSurrogate, MetaCache, TaskRecord};
@@ -62,6 +63,14 @@ pub struct TunerOptions {
     pub restart_after: usize,
     /// Degradation multiplier that counts a run as degraded.
     pub degradation_factor: f64,
+    /// After this many *consecutive* failed runs the tuner falls back to
+    /// the last known-safe configuration for one period (0 disables).
+    pub tau_consec: usize,
+    /// Censoring multiplier for failed runs: the recorded runtime is
+    /// `failure_penalty × T_max` (or the worst runtime seen when `T_max`
+    /// is unset), keeping the safe-region GP pessimistic about the
+    /// failing region without feeding it the unknowable true runtime.
+    pub failure_penalty: f64,
     /// Sub-space evolution parameters (`None` = paper defaults for the
     /// space's parameter count).
     pub subspace: Option<SubspaceParams>,
@@ -98,6 +107,8 @@ impl Default for TunerOptions {
             ei_stop_ratio: 0.0,
             restart_after: 3,
             degradation_factor: 1.5,
+            tau_consec: 3,
+            failure_penalty: 2.0,
             subspace: None,
             candidates: CandidateParams::default(),
             incremental: IncrementalPolicy::from_env(),
@@ -114,6 +125,10 @@ pub enum TunerError {
     PendingObservation,
     /// `observe` did not match a pending suggestion.
     NoPendingSuggestion,
+    /// `observe` reported a configuration that differs from the pending
+    /// suggestion. The pending suggestion stays pending; the report is
+    /// rejected instead of poisoning the runhistory (or panicking).
+    SuggestionMismatch,
 }
 
 impl std::fmt::Display for TunerError {
@@ -123,6 +138,12 @@ impl std::fmt::Display for TunerError {
                 write!(f, "a suggestion is pending; call observe() first")
             }
             TunerError::NoPendingSuggestion => write!(f, "no suggestion pending"),
+            TunerError::SuggestionMismatch => {
+                write!(
+                    f,
+                    "observed configuration does not match the pending suggestion"
+                )
+            }
         }
     }
 }
@@ -144,7 +165,15 @@ pub struct OnlineTuner {
     objective: Objective,
     history: Vec<Observation>,
     pending: Option<Suggestion>,
+    /// The context the pending suggestion was generated with (snapshots
+    /// need it to regenerate the suggestion on resume).
+    pending_context: Vec<f64>,
     stopped: bool,
+    /// Consecutive failed runs in the current tuning round.
+    failure_streak: usize,
+    /// Indices into `history` that were seeded (no budget consumed), in
+    /// insertion order — resume replays them without a suggest call.
+    seeded_idx: Vec<usize>,
     /// Consecutive degraded post-tuning runs.
     degraded_streak: usize,
     /// Number of restarts performed.
@@ -184,7 +213,10 @@ impl OnlineTuner {
             opts,
             history: Vec::new(),
             pending: None,
+            pending_context: Vec::new(),
             stopped: false,
+            failure_streak: 0,
+            seeded_idx: Vec::new(),
             degraded_streak: 0,
             restarts: 0,
             own_records: Vec::new(),
@@ -275,6 +307,7 @@ impl OnlineTuner {
         if self.pending.is_some() {
             return Err(TunerError::PendingObservation);
         }
+        self.pending_context = context.to_vec();
         if self.stopped || self.round_iterations >= self.opts.budget {
             if !self.stopped {
                 self.telemetry.emit(
@@ -296,6 +329,29 @@ impl OnlineTuner {
                 from_safe_region: true,
             });
             return Ok(best);
+        }
+
+        // Failure-streak fallback (§3.2's safety stance under failing
+        // production runs): after `τ_consec` consecutive failures, retreat
+        // to the last known-safe configuration for one period. The
+        // sub-space has already been shrunk by the failures themselves
+        // (each failed run counts as a TuRBO failure via infeasibility).
+        if self.opts.tau_consec > 0 && self.failure_streak >= self.opts.tau_consec {
+            let streak = self.failure_streak;
+            self.failure_streak = 0;
+            self.telemetry.incr(metric::FALLBACKS_TRIGGERED);
+            self.telemetry.emit(
+                self.round_iterations as u64,
+                EventKind::FallbackTriggered { streak },
+            );
+            let config = self.last_known_safe();
+            self.pending = Some(Suggestion {
+                config: config.clone(),
+                source: SuggestionSource::Fallback,
+                eic: 0.0,
+                from_safe_region: true,
+            });
+            return Ok(config);
         }
 
         let ensemble = self.build_ensemble();
@@ -376,10 +432,10 @@ impl OnlineTuner {
         context: &[f64],
     ) -> Result<(), TunerError> {
         let pending = self.pending.take().ok_or(TunerError::NoPendingSuggestion)?;
-        debug_assert_eq!(
-            pending.config, config,
-            "observed config must match suggestion"
-        );
+        if pending.config != config {
+            self.pending = Some(pending);
+            return Err(TunerError::SuggestionMismatch);
+        }
         let objective = self.objective.eval(runtime_s, resource);
 
         if self.stopped {
@@ -397,6 +453,7 @@ impl OnlineTuner {
         }
 
         self.history.push(Observation {
+            failed: false,
             config,
             objective,
             runtime: runtime_s,
@@ -404,7 +461,107 @@ impl OnlineTuner {
             context: context.to_vec(),
         });
         self.round_iterations += 1;
+        self.failure_streak = 0;
         Ok(())
+    }
+
+    /// Report that the pending suggestion's run *failed* (executor OOM,
+    /// `T_max` kill, crashed container). `partial_runtime_s` is the time
+    /// the run consumed before dying; it is *not* recorded as the
+    /// observed runtime. Instead the run enters the history censored —
+    /// runtime clamped to `failure_penalty × T_max` (worst-seen runtime
+    /// when `T_max` is unset) and flagged `failed` — which keeps the
+    /// runtime GP pessimistic there and makes the observation infeasible
+    /// for the safe region, the incumbent, and the sub-space success
+    /// counter (the EIC retreats instead of refitting on garbage).
+    pub fn observe_failed(
+        &mut self,
+        config: Configuration,
+        partial_runtime_s: f64,
+        resource: f64,
+        context: &[f64],
+    ) -> Result<(), TunerError> {
+        let pending = self.pending.take().ok_or(TunerError::NoPendingSuggestion)?;
+        if pending.config != config {
+            self.pending = Some(pending);
+            return Err(TunerError::SuggestionMismatch);
+        }
+        let censored = self.censored_runtime(partial_runtime_s);
+        self.telemetry.incr(metric::RUN_FAILURES);
+
+        if self.stopped {
+            // A failed production run is maximally degraded (§3.3's
+            // restart watch applies unchanged).
+            self.telemetry.emit(
+                self.round_iterations as u64,
+                EventKind::RunFailed {
+                    partial_runtime: partial_runtime_s,
+                    censored_runtime: censored,
+                    streak: self.degraded_streak + 1,
+                },
+            );
+            if self.opts.restart_after > 0 {
+                self.degraded_streak += 1;
+                if self.degraded_streak >= self.opts.restart_after {
+                    self.restart();
+                }
+            }
+            return Ok(());
+        }
+
+        let objective = self.objective.eval(censored, resource);
+        self.failure_streak += 1;
+        self.telemetry.emit(
+            self.round_iterations as u64,
+            EventKind::RunFailed {
+                partial_runtime: partial_runtime_s,
+                censored_runtime: censored,
+                streak: self.failure_streak,
+            },
+        );
+        self.history.push(Observation {
+            failed: true,
+            config,
+            objective,
+            runtime: censored,
+            resource,
+            context: context.to_vec(),
+        });
+        self.round_iterations += 1;
+        Ok(())
+    }
+
+    /// The censored runtime recorded for a failed run. Deterministic in
+    /// (options, history, partial runtime) so that resume replays it.
+    fn censored_runtime(&self, partial_runtime_s: f64) -> f64 {
+        let base = self.opts.t_max.unwrap_or_else(|| {
+            self.history
+                .iter()
+                .map(|o| o.runtime)
+                .fold(partial_runtime_s.max(1.0), f64::max)
+        });
+        (base * self.opts.failure_penalty.max(1.0)).max(partial_runtime_s)
+    }
+
+    /// Consecutive failed runs in the current tuning round.
+    pub fn failure_streak(&self) -> usize {
+        self.failure_streak
+    }
+
+    /// The last known-safe configuration: the best *feasible* observation,
+    /// falling back to the space default (the manual configuration, which
+    /// production ran safely before tuning began).
+    fn last_known_safe(&self) -> Configuration {
+        self.history
+            .iter()
+            .filter(|o| o.is_feasible(self.opts.t_max, self.opts.r_max))
+            .min_by(|a, b| {
+                a.objective
+                    .partial_cmp(&b.objective)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|o| o.config.clone())
+            .unwrap_or_else(|| self.space.default_configuration())
     }
 
     /// Seed the runhistory with an already-executed configuration (e.g.
@@ -418,7 +575,9 @@ impl OnlineTuner {
         context: &[f64],
     ) {
         let objective = self.objective.eval(runtime_s, resource);
+        self.seeded_idx.push(self.history.len());
         self.history.push(Observation {
+            failed: false,
             config,
             objective,
             runtime: runtime_s,
@@ -442,6 +601,8 @@ impl OnlineTuner {
         }
         self.stopped = false;
         self.round_iterations = 0;
+        self.failure_streak = 0;
+        self.seeded_idx.clear();
         // The round's history now lives under a new base-task id and the
         // target history restarts empty — begin from a clean cache.
         self.meta_cache.clear();
@@ -457,6 +618,131 @@ impl OnlineTuner {
             meta_features,
             observations: self.history.clone(),
         }
+    }
+
+    /// Freeze the tuner's replayable state into a [`TunerSnapshot`]
+    /// (crash recovery). Cheap — no surrogate or RNG internals are
+    /// serialized; [`OnlineTuner::resume`] rebuilds them by replay.
+    pub fn snapshot(&self, task_id: &str) -> TunerSnapshot {
+        TunerSnapshot {
+            task_id: task_id.to_string(),
+            seed: self.opts.seed,
+            budget: self.opts.budget,
+            history: self.history.clone(),
+            seeded_idx: self.seeded_idx.clone(),
+            pending: self.pending.as_ref().map(|p| PendingSuggestion {
+                config: p.config.clone(),
+                source: p.source,
+                eic: p.eic,
+                from_safe_region: p.from_safe_region,
+                context: self.pending_context.clone(),
+            }),
+            stopped: self.stopped,
+            degraded_streak: self.degraded_streak,
+            failure_streak: self.failure_streak,
+            restarts: self.restarts,
+            round_iterations: self.round_iterations,
+            own_records: self.own_records.clone(),
+        }
+    }
+
+    /// Reconstruct a tuner from a snapshot (crash recovery). The stack is
+    /// deterministic given `opts`, so resume re-drives the *real* suggest
+    /// path over the snapshotted history — seeded observations are pushed
+    /// directly, iterated ones must regenerate the exact configuration
+    /// that was recorded — yielding a tuner whose future suggestions are
+    /// bitwise-identical to an uninterrupted run's.
+    ///
+    /// `opts` must match the options the snapshot was taken under; the
+    /// fingerprint fields (`seed`, `budget`) are checked, the rest is the
+    /// caller's responsibility (they come from the same deployment
+    /// configuration in practice).
+    pub fn resume(
+        space: ConfigSpace,
+        opts: TunerOptions,
+        snap: &TunerSnapshot,
+        telemetry: Telemetry,
+    ) -> Result<Self, ResumeError> {
+        let resource_fn = crate::objective::resource_fn_for(&space);
+        Self::resume_with_resource_fn(space, opts, resource_fn, snap, telemetry)
+    }
+
+    /// [`OnlineTuner::resume`] with an explicit analytic resource function
+    /// (must match the one the snapshotted tuner was built with).
+    pub fn resume_with_resource_fn(
+        space: ConfigSpace,
+        opts: TunerOptions,
+        resource_fn: Arc<dyn Fn(&Configuration) -> f64 + Send + Sync>,
+        snap: &TunerSnapshot,
+        telemetry: Telemetry,
+    ) -> Result<Self, ResumeError> {
+        if opts.seed != snap.seed {
+            return Err(ResumeError::OptionsMismatch { field: "seed" });
+        }
+        if opts.budget != snap.budget {
+            return Err(ResumeError::OptionsMismatch { field: "budget" });
+        }
+        // Replay runs silent (disabled telemetry): the original already
+        // emitted these events; a resume must not double-count them.
+        let mut tuner = Self::with_resource_fn(space, opts, resource_fn);
+        tuner.own_records = snap.own_records.clone();
+        tuner.restarts = snap.restarts;
+        for (i, obs) in snap.history.iter().enumerate() {
+            if snap.seeded_idx.contains(&i) {
+                tuner.seeded_idx.push(tuner.history.len());
+                tuner.history.push(obs.clone());
+                continue;
+            }
+            let cfg = tuner.suggest(&obs.context)?;
+            if cfg != obs.config {
+                return Err(ResumeError::ReplayDivergence { at: i });
+            }
+            tuner.apply_replayed(obs.clone());
+        }
+        if tuner.round_iterations != snap.round_iterations {
+            return Err(ResumeError::ReplayDivergence {
+                at: snap.history.len(),
+            });
+        }
+        // Post-stop state is not replayable from the history (post-stop
+        // observations are never recorded); restore it from the snapshot
+        // *before* regenerating the pending suggestion, which may have
+        // come from the stopped (incumbent) branch.
+        tuner.stopped = snap.stopped;
+        tuner.degraded_streak = snap.degraded_streak;
+        if let Some(p) = &snap.pending {
+            // The replayed failure streak is the pre-suggest value, so
+            // the fallback branch (which resets it) replays faithfully.
+            let cfg = tuner.suggest(&p.context)?;
+            if cfg != p.config {
+                return Err(ResumeError::ReplayDivergence {
+                    at: snap.history.len(),
+                });
+            }
+        }
+        tuner.failure_streak = snap.failure_streak;
+        tuner.set_telemetry(telemetry);
+        tuner.telemetry.incr(metric::RESUMES);
+        tuner.telemetry.emit(
+            tuner.round_iterations as u64,
+            EventKind::TunerResumed {
+                observations: snap.history.len(),
+            },
+        );
+        Ok(tuner)
+    }
+
+    /// Apply one replayed iterated observation during resume: mirrors the
+    /// state effects of `observe`/`observe_failed` without telemetry.
+    fn apply_replayed(&mut self, obs: Observation) {
+        if obs.failed {
+            self.failure_streak += 1;
+        } else {
+            self.failure_streak = 0;
+        }
+        self.history.push(obs);
+        self.round_iterations += 1;
+        self.pending = None;
     }
 
     fn build_ensemble(&mut self) -> Option<EnsembleSurrogate> {
@@ -583,6 +869,128 @@ mod tests {
     }
 
     #[test]
+    fn mismatched_observation_errors_and_keeps_pending() {
+        let mut tuner = make_tuner(TunerOptions::default());
+        let cfg = tuner.suggest(&[]).unwrap();
+        let mut other = toy_space().default_configuration();
+        if other == cfg {
+            other.set(0, ParamValue::Int(49));
+        }
+        assert_eq!(
+            tuner.observe(other.clone(), 1.0, 1.0, &[]).unwrap_err(),
+            TunerError::SuggestionMismatch
+        );
+        assert_eq!(
+            tuner.observe_failed(other, 1.0, 1.0, &[]).unwrap_err(),
+            TunerError::SuggestionMismatch
+        );
+        // The pending suggestion survived the bad reports.
+        tuner.observe(cfg, 1.0, 1.0, &[]).unwrap();
+        assert_eq!(tuner.history().len(), 1);
+    }
+
+    #[test]
+    fn failed_runs_are_censored_and_infeasible() {
+        let t_max = 100.0;
+        let mut tuner = make_tuner(TunerOptions {
+            t_max: Some(t_max),
+            failure_penalty: 2.0,
+            ..Default::default()
+        });
+        let cfg = tuner.suggest(&[]).unwrap();
+        tuner.observe_failed(cfg, 40.0, 10.0, &[]).unwrap();
+        let o = &tuner.history()[0];
+        assert!(o.failed);
+        assert_eq!(o.runtime, 200.0, "censored to failure_penalty × T_max");
+        assert!(!o.is_feasible(Some(t_max), None));
+        assert_eq!(tuner.failure_streak(), 1);
+        // A clean run resets the streak.
+        let cfg = tuner.suggest(&[]).unwrap();
+        let (rt, r) = (toy_runtime(&cfg), toy_resource(&cfg));
+        tuner.observe(cfg, rt, r, &[]).unwrap();
+        assert_eq!(tuner.failure_streak(), 0);
+    }
+
+    #[test]
+    fn censoring_without_t_max_uses_worst_seen_runtime() {
+        let mut tuner = make_tuner(TunerOptions {
+            t_max: None,
+            failure_penalty: 2.0,
+            ..Default::default()
+        });
+        let d = toy_space().default_configuration();
+        tuner.seed_observation(d.clone(), 80.0, toy_resource(&d), &[]);
+        let cfg = tuner.suggest(&[]).unwrap();
+        tuner.observe_failed(cfg, 5.0, 1.0, &[]).unwrap();
+        assert_eq!(tuner.history()[1].runtime, 160.0);
+    }
+
+    #[test]
+    fn consecutive_failures_trigger_fallback_to_last_known_safe() {
+        let space = toy_space();
+        let d = space.default_configuration();
+        let mut tuner = make_tuner(TunerOptions {
+            t_max: Some(200.0),
+            tau_consec: 3,
+            budget: 20,
+            ..Default::default()
+        });
+        tuner.seed_observation(d.clone(), toy_runtime(&d), toy_resource(&d), &[]);
+        for _ in 0..3 {
+            let cfg = tuner.suggest(&[]).unwrap();
+            tuner.observe_failed(cfg, 50.0, 10.0, &[]).unwrap();
+        }
+        assert_eq!(tuner.failure_streak(), 3);
+        let fallback = tuner.suggest(&[]).unwrap();
+        assert_eq!(tuner.pending_source(), Some(SuggestionSource::Fallback));
+        assert_eq!(fallback, d, "retreats to the only feasible config");
+        assert_eq!(tuner.failure_streak(), 0, "streak cleared by the fallback");
+        let (rt, r) = (toy_runtime(&fallback), toy_resource(&fallback));
+        tuner.observe(fallback, rt, r, &[]).unwrap();
+        // Tuning continues normally afterwards.
+        let next = tuner.suggest(&[]).unwrap();
+        assert_ne!(tuner.pending_source(), Some(SuggestionSource::Fallback));
+        let (rt, r) = (toy_runtime(&next), toy_resource(&next));
+        tuner.observe(next, rt, r, &[]).unwrap();
+    }
+
+    #[test]
+    fn failed_incumbent_never_wins() {
+        let mut tuner = make_tuner(TunerOptions {
+            t_max: Some(100.0),
+            ..Default::default()
+        });
+        let cfg = tuner.suggest(&[]).unwrap();
+        // Tiny resource → censored objective could look attractive if the
+        // failure flag were ignored.
+        tuner.observe_failed(cfg, 1.0, 1e-6, &[]).unwrap();
+        let cfg = tuner.suggest(&[]).unwrap();
+        let (rt, r) = (toy_runtime(&cfg), toy_resource(&cfg));
+        tuner.observe(cfg.clone(), rt, r, &[]).unwrap();
+        let best = tuner.best().unwrap();
+        assert!(!best.failed, "incumbent is the feasible run");
+        assert_eq!(best.config, cfg);
+    }
+
+    #[test]
+    fn post_stop_failures_count_toward_restart() {
+        let mut tuner = make_tuner(TunerOptions {
+            budget: 4,
+            restart_after: 2,
+            t_max: Some(1e9),
+            ..Default::default()
+        });
+        drive(&mut tuner, 4);
+        for _ in 0..2 {
+            let cfg = tuner.suggest(&[]).unwrap();
+            assert!(tuner.is_stopped());
+            tuner.observe_failed(cfg, 10.0, 1.0, &[]).unwrap();
+        }
+        assert_eq!(tuner.restarts(), 1);
+        assert!(!tuner.is_stopped());
+    }
+
+    #[test]
     fn degradation_triggers_restart() {
         let mut tuner = make_tuner(TunerOptions {
             budget: 4,
@@ -646,6 +1054,167 @@ mod tests {
         assert_eq!(rec.task_id, "toy");
         assert_eq!(rec.observations.len(), 4);
         assert_eq!(rec.meta_features, vec![1.0, 2.0]);
+    }
+
+    /// Drive `rounds` iterations, failing every run whose index is in
+    /// `fail_on`, and return the full suggestion trace.
+    fn drive_mixed(
+        tuner: &mut OnlineTuner,
+        rounds: usize,
+        fail_on: &[usize],
+    ) -> Vec<Configuration> {
+        let mut trace = Vec::new();
+        for i in 0..rounds {
+            let cfg = tuner.suggest(&[]).unwrap();
+            trace.push(cfg.clone());
+            if fail_on.contains(&i) {
+                tuner.observe_failed(cfg, 50.0, 10.0, &[]).unwrap();
+            } else {
+                let (rt, r) = (toy_runtime(&cfg), toy_resource(&cfg));
+                tuner.observe(cfg, rt, r, &[]).unwrap();
+            }
+        }
+        trace
+    }
+
+    fn resume_opts() -> TunerOptions {
+        TunerOptions {
+            budget: 12,
+            t_max: Some(200.0),
+            tau_consec: 3,
+            seed: 3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn resume_reproduces_uninterrupted_suggestions() {
+        let d = toy_space().default_configuration();
+        // The uninterrupted reference run: failures at 2, 3, 4 exercise
+        // the fallback path mid-trace.
+        let mut reference = make_tuner(resume_opts());
+        reference.seed_observation(d.clone(), toy_runtime(&d), toy_resource(&d), &[]);
+        let full = drive_mixed(&mut reference, 10, &[2, 3, 4]);
+
+        // The interrupted run: same prefix, then "crash" and resume.
+        let mut tuner = make_tuner(resume_opts());
+        tuner.seed_observation(d.clone(), toy_runtime(&d), toy_resource(&d), &[]);
+        let prefix = drive_mixed(&mut tuner, 6, &[2, 3, 4]);
+        assert_eq!(prefix, full[..6].to_vec());
+        let snap = tuner.snapshot("toy");
+        drop(tuner);
+        let mut resumed = OnlineTuner::resume_with_resource_fn(
+            toy_space(),
+            resume_opts(),
+            Arc::new(toy_resource),
+            &snap,
+            Telemetry::disabled(),
+        )
+        .unwrap();
+        let tail = drive_mixed(&mut resumed, 4, &[]);
+        assert_eq!(tail, full[6..].to_vec(), "post-resume trace diverged");
+    }
+
+    #[test]
+    fn resume_regenerates_a_pending_suggestion() {
+        let mut tuner = make_tuner(resume_opts());
+        drive_mixed(&mut tuner, 4, &[]);
+        let cfg = tuner.suggest(&[]).unwrap();
+        let snap = tuner.snapshot("toy");
+        assert!(snap.pending.is_some());
+        let mut resumed = OnlineTuner::resume_with_resource_fn(
+            toy_space(),
+            resume_opts(),
+            Arc::new(toy_resource),
+            &snap,
+            Telemetry::disabled(),
+        )
+        .unwrap();
+        // The in-flight run's result can be reported to the resumed tuner.
+        assert_eq!(
+            resumed.suggest(&[]).unwrap_err(),
+            TunerError::PendingObservation
+        );
+        let (rt, r) = (toy_runtime(&cfg), toy_resource(&cfg));
+        resumed.observe(cfg, rt, r, &[]).unwrap();
+        assert_eq!(resumed.history().len(), 5);
+    }
+
+    #[test]
+    fn resume_restores_post_stop_state() {
+        let mut tuner = make_tuner(TunerOptions {
+            budget: 4,
+            restart_after: 3,
+            degradation_factor: 1.2,
+            seed: 3,
+            ..Default::default()
+        });
+        drive(&mut tuner, 4);
+        let cfg = tuner.suggest(&[]).unwrap(); // budget exhausted → stopped
+        tuner.observe(cfg, 1e6, 1e6, &[]).unwrap(); // degraded run 1
+        let snap = tuner.snapshot("toy");
+        assert!(snap.stopped);
+        assert_eq!(snap.degraded_streak, 1);
+        let mut resumed = OnlineTuner::resume_with_resource_fn(
+            toy_space(),
+            TunerOptions {
+                budget: 4,
+                restart_after: 3,
+                degradation_factor: 1.2,
+                seed: 3,
+                ..Default::default()
+            },
+            Arc::new(toy_resource),
+            &snap,
+            Telemetry::disabled(),
+        )
+        .unwrap();
+        assert!(resumed.is_stopped());
+        // Two more degraded runs complete the streak of 3 → restart.
+        for _ in 0..2 {
+            let cfg = resumed.suggest(&[]).unwrap();
+            resumed.observe(cfg, 1e6, 1e6, &[]).unwrap();
+        }
+        assert_eq!(resumed.restarts(), 1);
+        assert!(!resumed.is_stopped());
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_options_and_corrupt_history() {
+        let mut tuner = make_tuner(resume_opts());
+        drive_mixed(&mut tuner, 4, &[]);
+        let snap = tuner.snapshot("toy");
+
+        let wrong_seed = TunerOptions {
+            seed: 999,
+            ..resume_opts()
+        };
+        assert_eq!(
+            OnlineTuner::resume_with_resource_fn(
+                toy_space(),
+                wrong_seed,
+                Arc::new(toy_resource),
+                &snap,
+                Telemetry::disabled(),
+            )
+            .err(),
+            Some(ResumeError::OptionsMismatch { field: "seed" })
+        );
+
+        let mut corrupt = snap.clone();
+        corrupt.history[2].config.set(0, ParamValue::Int(50));
+        corrupt.history[2].config.set(1, ParamValue::Int(32));
+        assert_eq!(
+            OnlineTuner::resume_with_resource_fn(
+                toy_space(),
+                resume_opts(),
+                Arc::new(toy_resource),
+                &corrupt,
+                Telemetry::disabled(),
+            )
+            .err(),
+            Some(ResumeError::ReplayDivergence { at: 2 })
+        );
     }
 
     #[test]

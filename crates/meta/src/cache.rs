@@ -222,6 +222,7 @@ mod tests {
             .map(|config| {
                 let a = config[0].as_float().unwrap();
                 Observation {
+                    failed: false,
                     config,
                     objective: (a - 0.3) * (a - 0.3) * 20.0,
                     runtime: 1.0,

@@ -110,6 +110,7 @@ mod tests {
             .map(|config| {
                 let v = f(config[0].as_float().unwrap());
                 Observation {
+                    failed: false,
                     config,
                     objective: v,
                     runtime: v,

@@ -159,6 +159,7 @@ mod tests {
                 let b = config[1].as_float().unwrap();
                 let v = sign * 10.0 * a + b + bias;
                 Observation {
+                    failed: false,
                     config,
                     objective: v,
                     runtime: v.abs() + 1.0,

@@ -83,6 +83,7 @@ mod tests {
                 let a = config[0].as_float().unwrap();
                 let v = sign * 10.0 * a;
                 Observation {
+                    failed: false,
                     config,
                     objective: v,
                     runtime: 1.0,
@@ -145,6 +146,7 @@ mod tests {
         let mk = |id: &str| {
             let mut t = task(&s, id, 1.0, 11);
             t.observations.push(Observation {
+                failed: false,
                 config: shared.clone(),
                 objective: -100.0,
                 runtime: 1.0,

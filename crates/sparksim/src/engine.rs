@@ -7,6 +7,7 @@
 
 use crate::cluster::ClusterSpec;
 use crate::eventlog::{EventLog, StageEvent, TaskStats};
+use crate::fault::FaultProfile;
 use crate::metrics::{resource_amount, ExecutionResult};
 use crate::workload::WorkloadProfile;
 use otune_space::{Configuration, SparkParam};
@@ -151,6 +152,8 @@ pub struct SimJob {
     noise_sigma: f64,
     /// Base seed; combined with the run index for per-run noise.
     seed: u64,
+    /// Optional fault schedule applied after the clean simulation.
+    faults: Option<FaultProfile>,
 }
 
 impl SimJob {
@@ -162,6 +165,7 @@ impl SimJob {
             workload,
             noise_sigma: 0.04,
             seed: 0,
+            faults: None,
         }
     }
 
@@ -175,6 +179,19 @@ impl SimJob {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Attach a fault schedule. Faults rewrite the clean result per run
+    /// index (see [`FaultProfile::apply`]); the clean noise stream of
+    /// unaffected runs is untouched.
+    pub fn with_faults(mut self, faults: FaultProfile) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// The attached fault schedule, if any.
+    pub fn faults(&self) -> Option<&FaultProfile> {
+        self.faults.as_ref()
     }
 
     /// The workload profile.
@@ -201,14 +218,18 @@ impl SimJob {
     ) -> ExecutionResult {
         let mut rng =
             StdRng::seed_from_u64(self.seed ^ run_index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
-        simulate(
+        let result = simulate(
             &self.cluster,
             &self.workload,
             config,
             data_size_gb,
             self.noise_sigma,
             &mut rng,
-        )
+        );
+        match &self.faults {
+            Some(profile) => profile.apply(result, run_index),
+            None => result,
+        }
     }
 }
 
@@ -578,6 +599,7 @@ pub fn simulate(
         resource,
         granted_executors: res.granted,
         data_size_gb,
+        status: crate::fault::ExecutionStatus::Success,
         event_log: EventLog {
             app_name: workload.name.clone(),
             data_size_gb,

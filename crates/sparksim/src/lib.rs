@@ -31,6 +31,7 @@ pub mod cluster;
 pub mod datasize;
 pub mod engine;
 pub mod eventlog;
+pub mod fault;
 pub mod metrics;
 pub mod production;
 pub mod workload;
@@ -40,6 +41,7 @@ pub use cluster::ClusterSpec;
 pub use datasize::DataSizeModel;
 pub use engine::{simulate, SimJob};
 pub use eventlog::{EventLog, StageEvent, TaskStats};
+pub use fault::{ExecutionStatus, FaultKind, FaultProfile, ScriptedFault};
 pub use metrics::ExecutionResult;
 pub use production::{ProductionTask, ProductionTaskGenerator};
 pub use workload::{StageProfile, WorkloadProfile};

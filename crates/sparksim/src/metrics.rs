@@ -1,6 +1,7 @@
 //! Execution results and cost metrics.
 
 use crate::eventlog::EventLog;
+use crate::fault::ExecutionStatus;
 use serde::{Deserialize, Serialize};
 
 /// The outcome of one simulated job execution — everything the tuner and
@@ -23,6 +24,10 @@ pub struct ExecutionResult {
     pub data_size_gb: f64,
     /// Structured event log for meta-feature extraction.
     pub event_log: EventLog,
+    /// How the run ended (clean, degraded, or failed). Defaults to
+    /// `Success` for results recorded before fault injection existed.
+    #[serde(default)]
+    pub status: ExecutionStatus,
 }
 
 impl ExecutionResult {
@@ -103,6 +108,7 @@ mod tests {
             granted_executors: 2,
             data_size_gb: 1.0,
             event_log: EventLog::default(),
+            status: ExecutionStatus::Success,
         };
         assert_eq!(res.execution_cost(), 50.0);
         assert!((res.objective(0.5) - 50.0f64.sqrt()).abs() < 1e-12);

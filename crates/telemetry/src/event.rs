@@ -112,6 +112,27 @@ pub enum EventKind {
         /// Why it stopped.
         reason: StopReason,
     },
+    /// A production run failed (OOM, `T_max` kill) and was recorded as a
+    /// censored observation.
+    RunFailed {
+        /// Partial runtime reported by the platform, in seconds.
+        partial_runtime: f64,
+        /// The censored (penalty) runtime recorded in the history.
+        censored_runtime: f64,
+        /// Length of the current consecutive-failure streak.
+        streak: usize,
+    },
+    /// `τ_consec` consecutive failures: the tuner retreats to the last
+    /// known-safe configuration.
+    FallbackTriggered {
+        /// The streak length that tripped the fallback.
+        streak: usize,
+    },
+    /// Tuner state was reconstructed from a snapshot.
+    TunerResumed {
+        /// Observations replayed from the snapshot.
+        observations: usize,
+    },
 }
 
 impl EventKind {
@@ -126,6 +147,9 @@ impl EventKind {
             EventKind::AgdStep { .. } => "AgdStep",
             EventKind::SurrogateFitted { .. } => "SurrogateFitted",
             EventKind::TaskStopped { .. } => "TaskStopped",
+            EventKind::RunFailed { .. } => "RunFailed",
+            EventKind::FallbackTriggered { .. } => "FallbackTriggered",
+            EventKind::TunerResumed { .. } => "TunerResumed",
         }
     }
 }
@@ -204,6 +228,28 @@ mod tests {
                     reason: StopReason::BudgetExhausted,
                 },
             },
+            Event {
+                task: "t".into(),
+                seq: 8,
+                iteration: 11,
+                kind: EventKind::RunFailed {
+                    partial_runtime: 55.0,
+                    censored_runtime: 240.0,
+                    streak: 2,
+                },
+            },
+            Event {
+                task: "t".into(),
+                seq: 9,
+                iteration: 12,
+                kind: EventKind::FallbackTriggered { streak: 3 },
+            },
+            Event {
+                task: "t".into(),
+                seq: 10,
+                iteration: 13,
+                kind: EventKind::TunerResumed { observations: 13 },
+            },
         ]
     }
 
@@ -230,6 +276,9 @@ mod tests {
                 "AgdStep",
                 "SurrogateFitted",
                 "TaskStopped",
+                "RunFailed",
+                "FallbackTriggered",
+                "TunerResumed",
             ]
         );
     }

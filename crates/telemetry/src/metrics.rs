@@ -50,6 +50,14 @@ pub mod metric {
     /// Counter: progressive-validation weight folds served from the
     /// meta memo instead of being refitted.
     pub const META_LOO_MEMO_HITS: &str = "meta_loo_memo_hits";
+    /// Counter: production runs reported as failed (OOM, `T_max` kill)
+    /// and recorded as censored observations.
+    pub const RUN_FAILURES: &str = "run_failures";
+    /// Counter: failure-streak fallbacks to the last known-safe
+    /// configuration (`τ_consec` consecutive failed runs).
+    pub const FALLBACKS_TRIGGERED: &str = "fallbacks_triggered";
+    /// Counter: tuner state reconstructions from a snapshot.
+    pub const RESUMES: &str = "resumes";
 }
 
 /// Number of histogram buckets: 9 decades from 1e-7, 8 buckets per

@@ -16,6 +16,7 @@ fn run_baseline(tuner: &mut dyn Tuner, job: &SimJob, space: &ConfigSpace, budget
         let r = job.run(&cfg, t);
         best = best.min(r.execution_cost());
         history.push(Observation {
+            failed: false,
             config: cfg,
             objective: r.execution_cost().sqrt(),
             runtime: r.runtime_s,

@@ -86,6 +86,7 @@ proptest! {
     ) {
         let c = Constraints { t_max, r_max };
         let obs = otune_bo::Observation {
+            failed: false,
             config: spark_space(ClusterScale::hibench()).default_configuration(),
             objective: 1.0,
             runtime: rt,

@@ -379,6 +379,17 @@ impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2);
 impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
 impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
 impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5, S6 / 6);
+impl_tuple_strategy!(
+    S0 / 0,
+    S1 / 1,
+    S2 / 2,
+    S3 / 3,
+    S4 / 4,
+    S5 / 5,
+    S6 / 6,
+    S7 / 7
+);
 
 /// `prop_assert!`: assert inside a property test without panicking.
 #[macro_export]

@@ -111,6 +111,19 @@ pub fn field<T: Deserialize>(m: &[(String, Content)], key: &str, ty: &str) -> Re
     }
 }
 
+/// Look up a `#[serde(default)]` struct field in a deserialized map,
+/// falling back to `T::default()` when absent (used by derived code).
+pub fn field_or_default<T: Deserialize + Default>(
+    m: &[(String, Content)],
+    key: &str,
+    ty: &str,
+) -> Result<T, DeError> {
+    match m.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_content(v).map_err(|e| DeError(format!("{ty}.{key}: {e}"))),
+        None => Ok(T::default()),
+    }
+}
+
 // --- primitive impls ---
 
 macro_rules! impl_ser_int {

@@ -5,7 +5,8 @@
 //! directly from the `proc_macro` token stream. Supported shapes cover
 //! everything the workspace derives on:
 //!
-//! * structs with named fields (honoring `#[serde(skip)]`),
+//! * structs with named fields (honoring `#[serde(skip)]` and
+//!   `#[serde(default)]`),
 //! * tuple structs,
 //! * enums with unit, tuple, and struct variants (externally tagged,
 //!   matching upstream serde's JSON layout).
@@ -91,6 +92,11 @@ fn deserialize_struct(item: &Item, fields: &Fields) -> String {
                     inits.push_str(&format!(
                         "{}: ::core::default::Default::default(),\n",
                         f.name
+                    ));
+                } else if f.default {
+                    inits.push_str(&format!(
+                        "{n}: ::serde::field_or_default(m, \"{n}\", \"{name}\")?,\n",
+                        n = f.name
                     ));
                 } else {
                     inits.push_str(&format!(
@@ -209,6 +215,11 @@ fn deserialize_enum(item: &Item, variants: &[Variant]) -> String {
                         inits.push_str(&format!(
                             "{}: ::core::default::Default::default(),\n",
                             f.name
+                        ));
+                    } else if f.default {
+                        inits.push_str(&format!(
+                            "{n}: ::serde::field_or_default(mm, \"{n}\", \"{name}::{vn}\")?,\n",
+                            n = f.name
                         ));
                     } else {
                         inits.push_str(&format!(

@@ -3,10 +3,18 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// A named field with its `#[serde(skip)]` flag.
+/// A named field with its `#[serde(skip)]` / `#[serde(default)]` flags.
 pub(crate) struct Field {
     pub(crate) name: String,
     pub(crate) skip: bool,
+    pub(crate) default: bool,
+}
+
+/// Recognized `#[serde(...)]` flags on a field/variant/item.
+#[derive(Default, Clone, Copy)]
+pub(crate) struct Attrs {
+    pub(crate) skip: bool,
+    pub(crate) default: bool,
 }
 
 /// The fields of a struct or enum variant.
@@ -37,10 +45,10 @@ pub(crate) struct Item {
     pub(crate) kind: ItemKind,
 }
 
-/// Attributes preceding an item/field/variant; returns whether any was
-/// `#[serde(skip)]`.
-fn take_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
-    let mut skip = false;
+/// Attributes preceding an item/field/variant; returns the recognized
+/// `#[serde(...)]` flags (`skip`, `default`).
+fn take_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, Attrs) {
+    let mut attrs = Attrs::default();
     while i + 1 < tokens.len() {
         let TokenTree::Punct(p) = &tokens[i] else {
             break;
@@ -54,20 +62,31 @@ fn take_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
         if g.delimiter() != Delimiter::Bracket {
             break;
         }
-        // Inspect `#[serde(...)]` contents for `skip`.
+        // Inspect `#[serde(...)]` contents for `skip` / `default`.
         let inner: Vec<TokenTree> = g.stream().into_iter().collect();
         if let Some(TokenTree::Ident(id)) = inner.first() {
             if id.to_string() == "serde" {
                 if let Some(TokenTree::Group(args)) = inner.get(1) {
-                    let has_skip = args
-                        .stream()
-                        .into_iter()
-                        .any(|t| matches!(&t, TokenTree::Ident(a) if a.to_string() == "skip"));
-                    if has_skip {
-                        skip = true;
-                    } else {
+                    let mut recognized = false;
+                    for t in args.stream() {
+                        if let TokenTree::Ident(a) = &t {
+                            match a.to_string().as_str() {
+                                "skip" => {
+                                    attrs.skip = true;
+                                    recognized = true;
+                                }
+                                "default" => {
+                                    attrs.default = true;
+                                    recognized = true;
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                    if !recognized {
                         panic!(
-                            "vendored serde_derive supports only #[serde(skip)], got #[serde({})]",
+                            "vendored serde_derive supports only #[serde(skip)] and \
+                             #[serde(default)], got #[serde({})]",
                             args.stream()
                         );
                     }
@@ -76,7 +95,7 @@ fn take_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
         }
         i += 2;
     }
-    (i, skip)
+    (i, attrs)
 }
 
 /// Skip a visibility modifier (`pub`, `pub(crate)`, ...).
@@ -120,7 +139,7 @@ fn parse_named_fields(group: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let (j, skip) = take_attrs(&tokens, i);
+        let (j, attrs) = take_attrs(&tokens, i);
         let j = take_vis(&tokens, j);
         let Some(TokenTree::Ident(name)) = tokens.get(j) else {
             panic!(
@@ -136,7 +155,11 @@ fn parse_named_fields(group: TokenStream) -> Vec<Field> {
                 other.map(|t| t.to_string())
             ),
         }
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip: attrs.skip,
+            default: attrs.default,
+        });
         i = skip_past_comma(&tokens, j + 2);
     }
     fields
