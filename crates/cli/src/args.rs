@@ -32,6 +32,23 @@ pub enum Command {
         /// (see [`otune_sparksim::FaultProfile::parse`]).
         fault_profile: Option<String>,
     },
+    /// Drive a simulated fleet of periodic tasks through the batched
+    /// controller (sharded waves, shared meta store) and print throughput.
+    TuneFleet {
+        /// Number of simulated tasks (HiBench workloads, cycled).
+        tasks: usize,
+        /// Periodic executions per task.
+        budget: usize,
+        /// Shard count override (default: `OTUNE_SHARDS` or 8).
+        shards: Option<usize>,
+        /// Wave-pool width override (default: `OTUNE_THREADS`).
+        threads: Option<usize>,
+        /// RNG seed.
+        seed: u64,
+        /// Optional JSONL path for the telemetry event stream (a
+        /// `<path>.metrics.json` snapshot is written alongside).
+        events: Option<String>,
+    },
     /// Compare strategies on one task.
     Compare {
         /// Workload name.
@@ -93,6 +110,8 @@ USAGE:
     --fault-profile oom:0.1,straggler:0.05,lost:0.02,tmax:120,seed:7
   (rates per run; `tmax` in seconds kills runs over budget; omitted
   keys default to 0 / off).
+  otune tune-fleet [--tasks N] [--budget N] [--shards S] [--threads T]
+                   [--seed S] [--events FILE]
   otune compare --task <name> [--budget N] [--seeds K]
   otune importance --task <name> [--samples N]
   otune events --file FILE [--task ID] [--kind KIND]
@@ -135,6 +154,25 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                 out: get("out"),
                 events: get("events"),
                 fault_profile: get("fault-profile"),
+            })
+        }
+        "tune-fleet" => {
+            let opt_usize = |k: &str| -> Result<Option<usize>, ParseError> {
+                match get(k) {
+                    None => Ok(None),
+                    Some(v) => v
+                        .parse::<usize>()
+                        .map(Some)
+                        .map_err(|_| ParseError(format!("--{k} expects a count, got {v:?}"))),
+                }
+            };
+            Ok(Command::TuneFleet {
+                tasks: num("tasks", 50.0)? as usize,
+                budget: num("budget", 5.0)? as usize,
+                shards: opt_usize("shards")?,
+                threads: opt_usize("threads")?,
+                seed: num("seed", 0.0)? as u64,
+                events: get("events"),
             })
         }
         "compare" => Ok(Command::Compare {
@@ -299,6 +337,36 @@ mod tests {
         assert_eq!(parse_args(&argv("help")).unwrap(), Command::Help);
         assert_eq!(parse_args(&argv("--help")).unwrap(), Command::Help);
         assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_tune_fleet() {
+        assert_eq!(
+            parse_args(&argv("tune-fleet")).unwrap(),
+            Command::TuneFleet {
+                tasks: 50,
+                budget: 5,
+                shards: None,
+                threads: None,
+                seed: 0,
+                events: None,
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(
+                "tune-fleet --tasks 200 --budget 3 --shards 4 --threads 2 --seed 9 --events f.jsonl"
+            ))
+            .unwrap(),
+            Command::TuneFleet {
+                tasks: 200,
+                budget: 3,
+                shards: Some(4),
+                threads: Some(2),
+                seed: 9,
+                events: Some("f.jsonl".into()),
+            }
+        );
+        assert!(parse_args(&argv("tune-fleet --shards x")).is_err());
     }
 
     #[test]

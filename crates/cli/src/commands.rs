@@ -3,9 +3,12 @@
 use crate::args::Command;
 use otune_baselines::{CherryPick, Dac, Locat, RandomSearch, Rfhoc, Tuneful, Tuner};
 use otune_bo::Observation;
+use otune_core::fleet::{FleetOptions, FleetReport, FleetRequest};
 use otune_core::telemetry::{read_jsonl, EventKind, JsonlSink, MetricsSnapshot, Telemetry};
-use otune_core::{Objective, OnlineTuner, TunerOptions};
+use otune_core::{Objective, OnlineTuneController, OnlineTuner, TaskHandle, TunerOptions};
 use otune_forest::Fanova;
+use otune_meta::extract_meta_features;
+use otune_pool::Pool;
 use otune_space::{spark_param_names, spark_space, ClusterScale, SparkParam};
 use otune_sparksim::{hibench_task, ClusterSpec, FaultProfile, HibenchTask, SimJob};
 use rand::rngs::StdRng;
@@ -75,6 +78,14 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> std::io::Result<i32> {
             )?;
             Ok(0)
         }
+        Command::TuneFleet {
+            tasks,
+            budget,
+            shards,
+            threads,
+            seed,
+            events,
+        } => tune_fleet(tasks, budget, shards, threads, seed, events, out),
         Command::Events { file, task, kind } => {
             events_cmd(&file, task.as_deref(), kind.as_deref(), out)
         }
@@ -239,6 +250,139 @@ fn tune(
     Ok(())
 }
 
+/// `otune tune-fleet`: drive a simulated fleet of periodic HiBench tasks
+/// through the controller's batched wave API and report throughput.
+/// Every task reports its event-log meta-features on its first result, so
+/// the run exercises the full fleet path: sharded waves, the shared
+/// meta-knowledge store, scheduled similarity refits, and warm-start
+/// injection.
+fn tune_fleet(
+    tasks: usize,
+    budget: usize,
+    shards: Option<usize>,
+    threads: Option<usize>,
+    seed: u64,
+    events: Option<String>,
+    out: &mut dyn Write,
+) -> std::io::Result<i32> {
+    let mut fleet = FleetOptions::from_env();
+    if let Some(s) = shards {
+        fleet.shards = s.max(1);
+    }
+    if let Some(t) = threads {
+        fleet.pool = Pool::new(t.max(1));
+    }
+    let telemetry = match &events {
+        Some(p) => Telemetry::new(Box::new(JsonlSink::create(p)?)),
+        // No sink requested: keep metrics (for the summary) but drop events.
+        None => Telemetry::ring(1).0,
+    };
+    writeln!(
+        out,
+        "fleet tuning: {tasks} task(s), budget {budget}, {} shard(s), {} thread(s)",
+        fleet.shards,
+        fleet.pool.threads(),
+    )?;
+
+    let space = spark_space(ClusterScale::hibench());
+    let workloads = HibenchTask::all();
+    let mut ctl = OnlineTuneController::with_options(
+        std::sync::Arc::new(otune_core::DataRepository::new()),
+        fleet,
+    );
+    ctl.set_telemetry(telemetry.clone());
+    let mut handles: Vec<TaskHandle> = Vec::with_capacity(tasks);
+    let mut jobs: Vec<SimJob> = Vec::with_capacity(tasks);
+    for i in 0..tasks {
+        let workload = workloads[i % workloads.len()];
+        let job =
+            SimJob::new(ClusterSpec::hibench(), hibench_task(workload)).with_seed(seed + i as u64);
+        let handle = ctl.create_task(
+            &format!("{}-{i}", workload.name()),
+            space.clone(),
+            TunerOptions {
+                beta: 0.5,
+                budget,
+                enable_meta: true,
+                seed,
+                ..TunerOptions::default()
+            },
+        );
+        handles.push(handle);
+        jobs.push(job);
+    }
+
+    let mut suggest_s = 0.0f64;
+    let mut report_s = 0.0f64;
+    for wave in 0..budget as u64 {
+        let requests: Vec<FleetRequest> = handles
+            .iter()
+            .map(|h| FleetRequest {
+                handle: h,
+                context: &[],
+            })
+            .collect();
+        let start = std::time::Instant::now();
+        let configs = ctl.request_configs(&requests);
+        suggest_s += start.elapsed().as_secs_f64();
+        let reports: Vec<FleetReport> = configs
+            .into_iter()
+            .enumerate()
+            .map(|(i, cfg)| {
+                let cfg = cfg.expect("registered task");
+                let r = jobs[i].run(&cfg, wave);
+                let meta = (wave == 0).then(|| extract_meta_features(&r.event_log));
+                FleetReport {
+                    handle: &handles[i],
+                    config: cfg,
+                    runtime_s: r.runtime_s,
+                    resource: r.resource,
+                    context: &[],
+                    meta_features: meta,
+                }
+            })
+            .collect();
+        let start = std::time::Instant::now();
+        let results = ctl.report_results(&reports);
+        report_s += start.elapsed().as_secs_f64();
+        for res in results {
+            res.expect("pending suggestion");
+        }
+        writeln!(
+            out,
+            "  wave {:>3}: {tasks} suggestions, {tasks} reports",
+            wave + 1
+        )?;
+    }
+    let n_calls = (tasks * budget) as f64;
+    writeln!(
+        out,
+        "\nthroughput: {:.1} suggestions/sec, {:.1} reports/sec",
+        n_calls / suggest_s.max(1e-12),
+        n_calls / report_s.max(1e-12),
+    )?;
+    let best = handles
+        .iter()
+        .filter_map(|h| ctl.best_config(h).ok().flatten().map(|_| h))
+        .count();
+    writeln!(out, "{best}/{tasks} task(s) hold an incumbent")?;
+
+    telemetry.flush();
+    if let Some(snapshot) = telemetry.snapshot() {
+        if let Some(events_path) = &events {
+            let metrics_path = format!("{events_path}.metrics.json");
+            let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+            std::fs::write(&metrics_path, json)?;
+            writeln!(
+                out,
+                "events written to {events_path}, metrics to {metrics_path}"
+            )?;
+        }
+        write_snapshot(&snapshot, out)?;
+    }
+    Ok(0)
+}
+
 /// `otune events`: replay a JSONL event stream, optionally filtered by
 /// task id and event kind.
 fn events_cmd(
@@ -296,6 +440,16 @@ fn stats_cmd(file: &str, out: &mut dyn Write) -> std::io::Result<i32> {
         }
     };
     writeln!(out, "metrics from {path}")?;
+    write_snapshot(&snapshot, out)?;
+    Ok(0)
+}
+
+/// Print a metrics snapshot as a summary table. Fleet runs surface the
+/// sharding gauges (`fleet_shards`, `fleet_tasks`), wave spans
+/// (`fleet_wave_s`), shared-cache hit counters (`shared_meta_*`,
+/// `shared_dist_*`) and similarity refit counters here alongside the
+/// per-task tuning metrics.
+fn write_snapshot(snapshot: &MetricsSnapshot, out: &mut dyn Write) -> std::io::Result<()> {
     if !snapshot.counters.is_empty() {
         writeln!(out, "\ncounters:")?;
         for (name, value) in &snapshot.counters {
@@ -323,7 +477,7 @@ fn stats_cmd(file: &str, out: &mut dyn Write) -> std::io::Result<i32> {
             )?;
         }
     }
-    Ok(0)
+    Ok(())
 }
 
 fn compare(
@@ -653,6 +807,41 @@ mod tests {
         assert!(String::from_utf8(buf)
             .unwrap()
             .contains("bad --fault-profile"));
+    }
+
+    #[test]
+    fn tune_fleet_runs_waves_and_surfaces_fleet_metrics() {
+        let dir = std::env::temp_dir().join("otune_cli_fleet_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let events_path = dir.join("fleet.jsonl").to_string_lossy().into_owned();
+        let mut buf = Vec::new();
+        let code = run(
+            Command::TuneFleet {
+                tasks: 4,
+                budget: 2,
+                shards: Some(2),
+                threads: Some(2),
+                seed: 1,
+                events: Some(events_path.clone()),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("suggestions/sec"), "{text}");
+        assert!(text.contains("4/4 task(s) hold an incumbent"), "{text}");
+        // The fleet metrics surface in the printed snapshot...
+        assert!(text.contains("fleet_shards"), "{text}");
+        assert!(text.contains("fleet_waves"), "{text}");
+        assert!(text.contains("fleet_wave_s"), "{text}");
+        // ...and again through `otune stats` on the sidecar.
+        let mut buf = Vec::new();
+        let code = run(Command::Stats { file: events_path }, &mut buf).unwrap();
+        assert_eq!(code, 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("fleet_requests"), "{text}");
+        assert!(text.contains("fleet_reports"), "{text}");
     }
 
     #[test]

@@ -3,22 +3,45 @@
 //! The controller orchestrates the request/report workflow against the
 //! data platform, owns the shared [`DataRepository`], and wires the
 //! meta-knowledge learner into new tasks: when a task registers its first
-//! event-log meta-features, the controller trains the similarity model on
-//! the repository and injects warm-start configurations from the top-3
-//! most similar previous tasks (§5.2).
+//! event-log meta-features, the controller injects warm-start
+//! configurations from the top-3 most similar previous tasks (§5.2).
+//!
+//! At fleet scale the task map is hashed into [`FleetOptions::shards`]
+//! deterministic shards so batched waves (see [`crate::fleet`]) can fan
+//! per-task work across a worker pool, one shard per worker, without any
+//! cross-task locking. Cross-task meta-knowledge — base-task surrogates and
+//! pairwise distances — lives in a fleet-wide [`SharedMetaStore`], and the
+//! similarity model `M_reg` is refit on a schedule (every
+//! [`FleetOptions::n_refit`] reports, or when the eligible source-task set
+//! changes) instead of per report.
 
+use crate::fleet::{FleetOptions, FleetReport};
 use crate::repository::DataRepository;
 use crate::tuner::{OnlineTuner, TunerError, TunerOptions};
 use otune_bo::Observation;
-use otune_meta::{warm_start_configs_with, SimilarityLearner};
+use otune_meta::{warm_start_configs_with, SharedMetaStore, SimilarityLearner};
 use otune_space::{ConfigSpace, Configuration};
-use otune_telemetry::{EventKind, Telemetry};
+use otune_telemetry::{metric, EventKind, Telemetry};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
-/// Handle identifying a registered task.
+/// Handle identifying a registered task. Clones are reference-counted, so
+/// batched fleet waves never copy the underlying id string.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct TaskHandle(pub String);
+pub struct TaskHandle(pub Arc<str>);
+
+impl TaskHandle {
+    /// The task id.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for TaskHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
 
 /// Lifecycle state of a task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,37 +52,81 @@ pub enum TaskState {
     Stopped,
 }
 
-struct TaskEntry {
-    tuner: OnlineTuner,
+pub(crate) struct TaskEntry {
+    pub(crate) tuner: OnlineTuner,
     /// Whether warm-start injection was already attempted.
-    warm_injected: bool,
+    pub(crate) warm_injected: bool,
     /// Task-labeled telemetry handle.
-    telemetry: Telemetry,
+    pub(crate) telemetry: Telemetry,
+}
+
+/// Scheduled similarity-model state: the cached `M_reg` plus the staleness
+/// bookkeeping that decides when it is retrained.
+#[derive(Default)]
+pub(crate) struct SimilarityState {
+    pub(crate) model: Option<SimilarityLearner>,
+    /// Source-task ids the model was trained on (repository order).
+    trained_on: Vec<String>,
+    /// Reports absorbed since the last (re)fit.
+    pub(crate) reports_since_refit: usize,
 }
 
 /// The multi-task online tuning service.
 pub struct OnlineTuneController {
-    repository: Arc<DataRepository>,
-    tasks: HashMap<TaskHandle, TaskEntry>,
+    pub(crate) repository: Arc<DataRepository>,
+    /// Task map hashed into `fleet.shards` disjoint shards. Single-task
+    /// calls go through `Mutex::get_mut` (no locking); batched waves lock
+    /// each shard from exactly one pool worker.
+    pub(crate) shards: Vec<Mutex<HashMap<TaskHandle, TaskEntry>>>,
+    pub(crate) fleet: FleetOptions,
+    /// Fleet-wide read-only meta-knowledge, shared by every task's tuner.
+    pub(crate) shared_meta: Arc<SharedMetaStore>,
+    pub(crate) sim: SimilarityState,
     /// How many similar source tasks to transfer from.
     n_warm_sources: usize,
     /// Samples per Kendall-τ label when training the similarity model.
     n_similarity_samples: usize,
     /// Root telemetry handle; tasks get labeled clones of it.
-    telemetry: Telemetry,
+    pub(crate) telemetry: Telemetry,
+}
+
+/// FNV-1a over the task id: stable across processes, so a task always maps
+/// to the same shard regardless of registration order or platform.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+pub(crate) fn unpoison<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
 }
 
 impl OnlineTuneController {
-    /// A controller with a fresh repository.
+    /// A controller with a fresh repository and fleet options from the
+    /// environment (`OTUNE_SHARDS`, `OTUNE_THREADS`).
     pub fn new() -> Self {
         Self::with_repository(Arc::new(DataRepository::new()))
     }
 
     /// A controller over an existing (possibly shared) repository.
     pub fn with_repository(repository: Arc<DataRepository>) -> Self {
+        Self::with_options(repository, FleetOptions::from_env())
+    }
+
+    /// A controller with explicit fleet options (shard count, refit
+    /// schedule, wave pool).
+    pub fn with_options(repository: Arc<DataRepository>, fleet: FleetOptions) -> Self {
+        let n_shards = fleet.shards.max(1);
         OnlineTuneController {
             repository,
-            tasks: HashMap::new(),
+            shards: (0..n_shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            fleet,
+            shared_meta: Arc::new(SharedMetaStore::new()),
+            sim: SimilarityState::default(),
             n_warm_sources: 3,
             n_similarity_samples: 50,
             telemetry: Telemetry::disabled(),
@@ -69,6 +136,7 @@ impl OnlineTuneController {
     /// Attach a telemetry handle; tasks created afterwards emit their
     /// events through task-labeled clones of it.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        telemetry.gauge(metric::FLEET_SHARDS, self.shards.len() as f64);
         self.telemetry = telemetry;
     }
 
@@ -82,6 +150,32 @@ impl OnlineTuneController {
         &self.repository
     }
 
+    /// The fleet-wide shared meta-knowledge store.
+    pub fn shared_meta(&self) -> &Arc<SharedMetaStore> {
+        &self.shared_meta
+    }
+
+    /// The fleet options this controller runs under.
+    pub fn fleet_options(&self) -> &FleetOptions {
+        &self.fleet
+    }
+
+    /// The shard index a handle hashes to.
+    pub(crate) fn shard_of(&self, handle: &TaskHandle) -> usize {
+        (fnv1a(handle.as_str()) % self.shards.len() as u64) as usize
+    }
+
+    /// Lock-free (via `&mut`) access to a task's entry.
+    pub(crate) fn entry_mut(&mut self, handle: &TaskHandle) -> Option<&mut TaskEntry> {
+        let idx = self.shard_of(handle);
+        unpoison(self.shards[idx].get_mut()).get_mut(handle)
+    }
+
+    /// Lock a shard (batched waves: exactly one worker per shard).
+    pub(crate) fn lock_shard(&self, idx: usize) -> MutexGuard<'_, HashMap<TaskHandle, TaskEntry>> {
+        unpoison(self.shards[idx].lock())
+    }
+
     /// Register a tuning task. Returns its handle.
     pub fn create_task(
         &mut self,
@@ -89,7 +183,7 @@ impl OnlineTuneController {
         space: ConfigSpace,
         options: TunerOptions,
     ) -> TaskHandle {
-        let handle = TaskHandle(task_id.to_string());
+        let handle = TaskHandle(Arc::from(task_id));
         let telemetry = self.telemetry.for_task(task_id);
         telemetry.emit(
             0,
@@ -99,7 +193,9 @@ impl OnlineTuneController {
         );
         let mut tuner = OnlineTuner::new(space, options);
         tuner.set_telemetry(telemetry.clone());
-        self.tasks.insert(
+        tuner.set_shared_meta(Arc::clone(&self.shared_meta));
+        let idx = self.shard_of(&handle);
+        unpoison(self.shards[idx].get_mut()).insert(
             handle.clone(),
             TaskEntry {
                 tuner,
@@ -107,18 +203,20 @@ impl OnlineTuneController {
                 telemetry,
             },
         );
+        self.telemetry
+            .gauge(metric::FLEET_TASKS, self.n_tasks() as f64);
         handle
     }
 
     /// Number of registered tasks.
     pub fn n_tasks(&self) -> usize {
-        self.tasks.len()
+        self.shards.iter().map(|s| unpoison(s.lock()).len()).sum()
     }
 
     /// A task's lifecycle state.
-    pub fn state(&self, handle: &TaskHandle) -> Option<TaskState> {
-        self.tasks.get(handle).map(|t| {
-            if t.tuner.is_stopped() {
+    pub fn state(&self, handle: &TaskHandle) -> Result<TaskState, ControllerError> {
+        self.with_entry(handle, |e| {
+            if e.tuner.is_stopped() {
                 TaskState::Stopped
             } else {
                 TaskState::Tuning
@@ -133,10 +231,7 @@ impl OnlineTuneController {
         handle: &TaskHandle,
         context: &[f64],
     ) -> Result<Configuration, ControllerError> {
-        let entry = self
-            .tasks
-            .get_mut(handle)
-            .ok_or(ControllerError::UnknownTask)?;
+        let entry = self.entry_mut(handle).ok_or(ControllerError::UnknownTask)?;
         entry.tuner.suggest(context).map_err(ControllerError::Tuner)
     }
 
@@ -153,82 +248,154 @@ impl OnlineTuneController {
         context: &[f64],
         meta_features: Option<Vec<f64>>,
     ) -> Result<(), ControllerError> {
-        let entry = self
-            .tasks
+        let report = FleetReport {
+            handle,
+            config,
+            runtime_s,
+            resource,
+            context,
+            meta_features,
+        };
+        let repository = Arc::clone(&self.repository);
+        let idx = self.shard_of(handle);
+        let entry = unpoison(self.shards[idx].get_mut())
             .get_mut(handle)
             .ok_or(ControllerError::UnknownTask)?;
+        let inject = Self::absorb_report(&repository, entry, &report)?;
+        self.sim.reports_since_refit += 1;
+        if let Some(features) = inject {
+            self.maybe_inject(handle, &features);
+        }
+        Ok(())
+    }
+
+    /// The per-task half of a result report: feed the tuner, emit
+    /// telemetry, and mirror into the repository. Returns the meta-features
+    /// when this report should trigger warm-start injection (handled by the
+    /// caller in a deterministic sequential phase).
+    pub(crate) fn absorb_report(
+        repository: &DataRepository,
+        entry: &mut TaskEntry,
+        report: &FleetReport<'_>,
+    ) -> Result<Option<Vec<f64>>, ControllerError> {
         entry
             .tuner
-            .observe(config.clone(), runtime_s, resource, context)
+            .observe(
+                report.config.clone(),
+                report.runtime_s,
+                report.resource,
+                report.context,
+            )
             .map_err(ControllerError::Tuner)?;
         let opts = entry.tuner.options();
-        let constraint_violated =
-            opts.t_max.is_some_and(|t| runtime_s > t) || opts.r_max.is_some_and(|r| resource > r);
+        let constraint_violated = opts.t_max.is_some_and(|t| report.runtime_s > t)
+            || opts.r_max.is_some_and(|r| report.resource > r);
         entry.telemetry.emit(
             entry.tuner.history().len() as u64,
             EventKind::ObservationReported {
-                runtime: runtime_s,
-                resource,
-                objective: entry.tuner.objective().eval(runtime_s, resource),
+                runtime: report.runtime_s,
+                resource: report.resource,
+                objective: entry
+                    .tuner
+                    .objective()
+                    .eval(report.runtime_s, report.resource),
                 constraint_violated,
             },
         );
         if let Some(obs) = entry.tuner.history().last() {
             // Mirror into the repository (post-stop runs are not recorded
             // by the tuner, so guard on matching config).
-            if obs.config == config {
-                self.repository
-                    .record_observation(&handle.0, Observation::clone(obs));
+            if obs.config == report.config {
+                repository.record_observation(report.handle.as_str(), Observation::clone(obs));
             }
         }
-        if let Some(features) = meta_features {
-            self.repository
-                .set_meta_features(&handle.0, features.clone());
+        if let Some(features) = &report.meta_features {
+            repository.set_meta_features(report.handle.as_str(), features.clone());
             if !entry.warm_injected {
                 entry.warm_injected = true;
-                Self::inject_warm_start(
-                    &self.repository,
-                    entry,
-                    &handle.0,
-                    &features,
-                    self.n_warm_sources,
-                    self.n_similarity_samples,
-                );
+                return Ok(Some(features.clone()));
             }
         }
-        Ok(())
+        Ok(None)
     }
 
-    /// The best configuration found for a task so far.
-    pub fn best_config(&self, handle: &TaskHandle) -> Option<Configuration> {
-        self.tasks
-            .get(handle)
-            .and_then(|t| t.tuner.best().map(|o| o.config.clone()))
+    /// The best configuration found for a task so far (`None` before the
+    /// first observation).
+    pub fn best_config(
+        &self,
+        handle: &TaskHandle,
+    ) -> Result<Option<Configuration>, ControllerError> {
+        self.with_entry(handle, |e| e.tuner.best().map(|o| o.config.clone()))
     }
 
     /// Direct access to a task's tuner (diagnostics and tests).
-    pub fn tuner(&self, handle: &TaskHandle) -> Option<&OnlineTuner> {
-        self.tasks.get(handle).map(|t| &t.tuner)
+    pub fn tuner(&mut self, handle: &TaskHandle) -> Result<&OnlineTuner, ControllerError> {
+        self.entry_mut(handle)
+            .map(|e| &e.tuner)
+            .ok_or(ControllerError::UnknownTask)
     }
 
-    fn inject_warm_start(
-        repository: &DataRepository,
-        entry: &mut TaskEntry,
-        task_id: &str,
-        features: &[f64],
-        n_sources: usize,
-        n_samples: usize,
-    ) {
-        let sources = repository.source_tasks(task_id);
+    fn with_entry<R>(
+        &self,
+        handle: &TaskHandle,
+        f: impl FnOnce(&TaskEntry) -> R,
+    ) -> Result<R, ControllerError> {
+        let idx = self.shard_of(handle);
+        unpoison(self.shards[idx].lock())
+            .get(handle)
+            .map(f)
+            .ok_or(ControllerError::UnknownTask)
+    }
+
+    /// Retrain the similarity model if it is stale: missing, the eligible
+    /// source-task set changed, or `n_refit` reports have accumulated since
+    /// the last fit. Base surrogates and pairwise labels come from the
+    /// shared meta store, so refits only pay for new tasks and new pairs.
+    pub(crate) fn refresh_similarity(&mut self, space: &ConfigSpace) {
+        let sources = self.repository.source_tasks("");
+        let ids: Vec<String> = sources.iter().map(|t| t.task_id.clone()).collect();
+        let fresh = self.sim.model.is_some()
+            && ids == self.sim.trained_on
+            && self.sim.reports_since_refit < self.fleet.n_refit;
+        if fresh {
+            self.telemetry.incr(metric::SIMILARITY_REUSES);
+            return;
+        }
+        self.telemetry.incr(metric::SIMILARITY_REFITS);
+        self.sim.model = SimilarityLearner::train_with_store(
+            space,
+            &sources,
+            self.n_similarity_samples,
+            0,
+            &self.shared_meta,
+            &self.telemetry,
+        );
+        self.sim.trained_on = ids;
+        self.sim.reports_since_refit = 0;
+    }
+
+    /// Warm-start injection for a task that just reported its first
+    /// meta-features: rank similar sources with the scheduled similarity
+    /// model and rebuild the tuner with transferred knowledge.
+    pub(crate) fn maybe_inject(&mut self, handle: &TaskHandle, features: &[f64]) {
+        let sources = self.repository.source_tasks(handle.as_str());
         if sources.len() < 2 {
             return;
         }
-        let space = entry.tuner.space().clone();
-        let Some(learner) = SimilarityLearner::train(&space, &sources, n_samples, 0) else {
+        let Some(space) = self.entry_mut(handle).map(|e| e.tuner.space().clone()) else {
             return;
         };
-        let warm =
-            warm_start_configs_with(&learner, features, &sources, n_sources, &entry.telemetry);
+        self.refresh_similarity(&space);
+        let shared_meta = Arc::clone(&self.shared_meta);
+        let n_sources = self.n_warm_sources;
+        let Some(model) = self.sim.model.as_ref() else {
+            return;
+        };
+        let idx = self.shard_of(handle);
+        let Some(entry) = unpoison(self.shards[idx].get_mut()).get_mut(handle) else {
+            return;
+        };
+        let warm = warm_start_configs_with(model, features, &sources, n_sources, &entry.telemetry);
         if warm.is_empty() {
             return;
         }
@@ -246,6 +413,7 @@ impl OnlineTuneController {
         opts.options.base_tasks = sources;
         let mut tuner = OnlineTuner::new(space, opts.options);
         tuner.set_telemetry(entry.telemetry.clone());
+        tuner.set_shared_meta(shared_meta);
         for o in opts.history {
             tuner.seed_observation(o.config, o.runtime, o.resource, &o.context);
         }
@@ -324,7 +492,7 @@ mod tests {
             },
         );
         assert_eq!(ctl.n_tasks(), 1);
-        assert_eq!(ctl.state(&h), Some(TaskState::Tuning));
+        assert_eq!(ctl.state(&h), Ok(TaskState::Tuning));
         for _ in 0..5 {
             let cfg = ctl.request_config(&h, &[]).unwrap();
             let (rt, r) = toy_eval(&cfg);
@@ -332,8 +500,8 @@ mod tests {
         }
         // Budget spent: next request flips to Stopped and serves the best.
         let best_served = ctl.request_config(&h, &[]).unwrap();
-        assert_eq!(ctl.state(&h), Some(TaskState::Stopped));
-        assert_eq!(Some(best_served), ctl.best_config(&h));
+        assert_eq!(ctl.state(&h), Ok(TaskState::Stopped));
+        assert_eq!(Some(best_served), ctl.best_config(&h).unwrap());
         assert_eq!(ctl.repository().task("t1").unwrap().observations.len(), 5);
     }
 
@@ -345,6 +513,12 @@ mod tests {
             ctl.request_config(&bogus, &[]).unwrap_err(),
             ControllerError::UnknownTask
         );
+        assert_eq!(ctl.state(&bogus), Err(ControllerError::UnknownTask));
+        assert_eq!(ctl.best_config(&bogus), Err(ControllerError::UnknownTask));
+        assert!(matches!(
+            ctl.tuner(&bogus),
+            Err(ControllerError::UnknownTask)
+        ));
     }
 
     #[test]
@@ -390,7 +564,7 @@ mod tests {
             let (rt, r) = toy_eval(&cfg);
             ctl.report_result(&h, cfg, rt, r, &[], None).unwrap();
         }
-        assert!(ctl.best_config(&h).is_some());
+        assert!(ctl.best_config(&h).unwrap().is_some());
         let rec = ctl.repository().task("new").unwrap();
         assert_eq!(rec.meta_features, vec![1.0, 2.0, 3.1]);
     }
@@ -422,5 +596,40 @@ mod tests {
         ctl.report_result(&h2, c2, rt2, r2, &[], None).unwrap();
         assert_eq!(ctl.repository().task("a").unwrap().observations.len(), 1);
         assert_eq!(ctl.repository().task("b").unwrap().observations.len(), 1);
+    }
+
+    #[test]
+    fn shard_assignment_is_deterministic() {
+        let repo = Arc::new(DataRepository::new());
+        let mut ctl = OnlineTuneController::with_options(
+            repo,
+            FleetOptions {
+                shards: 4,
+                ..FleetOptions::default()
+            },
+        );
+        let handles: Vec<TaskHandle> = (0..16)
+            .map(|i| {
+                ctl.create_task(
+                    &format!("task-{i}"),
+                    toy_space(),
+                    TunerOptions {
+                        budget: 2,
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect();
+        assert_eq!(ctl.n_tasks(), 16);
+        // Same id, same shard — and every task is findable.
+        for h in &handles {
+            let a = ctl.shard_of(h);
+            let b = ctl.shard_of(&TaskHandle(Arc::from(h.as_str())));
+            assert_eq!(a, b);
+            assert!(ctl.state(h).is_ok());
+        }
+        // Shards partition the fleet.
+        let total: usize = (0..4).map(|i| ctl.lock_shard(i).len()).sum();
+        assert_eq!(total, 16);
     }
 }

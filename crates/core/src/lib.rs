@@ -47,6 +47,7 @@
 
 pub mod context;
 pub mod controller;
+pub mod fleet;
 pub mod generator;
 pub mod objective;
 pub mod repository;
@@ -54,7 +55,8 @@ pub mod snapshot;
 pub mod tuner;
 
 pub use context::{calendar_context, datasize_context};
-pub use controller::{OnlineTuneController, TaskHandle, TaskState};
+pub use controller::{ControllerError, OnlineTuneController, TaskHandle, TaskState};
+pub use fleet::{FleetOptions, FleetReport, FleetRequest, SHARDS_ENV};
 pub use generator::{ConfigGenerator, GeneratorOptions, Suggestion, SuggestionSource};
 pub use objective::{Constraints, Objective};
 pub use repository::{DataRepository, SnapshotLog};

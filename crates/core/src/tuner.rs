@@ -232,6 +232,13 @@ impl OnlineTuner {
         self.telemetry = telemetry;
     }
 
+    /// Attach a fleet-wide [`SharedMetaStore`]: base-task surrogate fits
+    /// are deduped across all tasks sharing the store, without changing any
+    /// suggestion (fits are pure functions of their cache key).
+    pub fn set_shared_meta(&mut self, store: Arc<otune_meta::SharedMetaStore>) {
+        self.meta_cache.set_shared(store);
+    }
+
     fn make_generator(
         space: &ConfigSpace,
         opts: &TunerOptions,

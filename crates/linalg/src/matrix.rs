@@ -3,6 +3,10 @@
 use crate::{LinalgError, Result};
 use serde::{Deserialize, Serialize};
 
+/// Tile edge of the cache-blocked [`Matrix::matmul`] kernel: a 64×64 `f64`
+/// output tile plus the matching A and Bᵀ panels fit comfortably in L2.
+const MATMUL_BLOCK: usize = 64;
+
 /// A row-major dense `f64` matrix.
 ///
 /// Covariance matrices in `otune` rarely exceed a few hundred rows, so the
@@ -166,6 +170,13 @@ impl Matrix {
     }
 
     /// Matrix product `self * other`.
+    ///
+    /// Uses a transposed-B, cache-blocked kernel: `other` is transposed once
+    /// so every inner product streams two contiguous rows, and the output is
+    /// walked in [`MATMUL_BLOCK`]² tiles so the active A/Bᵀ panels stay cache
+    /// resident. Each output element accumulates its `k` terms in ascending
+    /// order from `0.0`, so the result is bitwise identical to the naive
+    /// triple loop (and to [`Matrix::matmul_into`]).
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols != other.rows {
             return Err(LinalgError::ShapeMismatch {
@@ -174,20 +185,59 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = other.row(k);
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(orow) {
-                    *o += a * b;
+        let bt = other.transpose();
+        for i0 in (0..self.rows).step_by(MATMUL_BLOCK) {
+            let i_end = (i0 + MATMUL_BLOCK).min(self.rows);
+            for j0 in (0..bt.rows).step_by(MATMUL_BLOCK) {
+                let j_end = (j0 + MATMUL_BLOCK).min(bt.rows);
+                for i in i0..i_end {
+                    let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+                    let orow = &mut out.data[i * bt.rows..(i + 1) * bt.rows];
+                    for (o, j) in orow[j0..j_end].iter_mut().zip(j0..) {
+                        // Explicit 0.0 seed: `Sum<f64>` seeds differently on
+                        // signed zeros, which would break bitwise equality
+                        // with the accumulate-in-place kernels.
+                        *o = arow
+                            .iter()
+                            .zip(bt.row(j))
+                            .fold(0.0, |acc, (&x, &y)| acc + x * y);
+                    }
                 }
             }
         }
         Ok(out)
+    }
+
+    /// Matrix product `self * other` written into `out`, reusing its
+    /// storage: no scratch allocation, and `out`'s buffer is only grown when
+    /// its capacity is too small for `rows × other.cols`. The accumulation
+    /// order per output element (ascending `k` from `0.0`) matches
+    /// [`Matrix::matmul`] bit for bit.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<()> {
+        if self.cols != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        out.rows = self.rows;
+        out.cols = other.cols;
+        out.data.clear();
+        out.data.resize(self.rows * other.cols, 0.0);
+        // Alloc-free i-k-j sweep: B is streamed row by row (no transposed
+        // scratch), and each out[i][j] still receives its k terms in
+        // ascending order.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                let brow = other.row(k);
+                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Matrix-vector product `self * v`.
@@ -312,6 +362,46 @@ mod tests {
     fn matmul_shape_mismatch() {
         let a = sample(); // 3x2
         assert!(a.matmul(&sample()).is_err());
+    }
+
+    #[test]
+    fn matmul_into_matches_and_reshapes() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        // Start from a stale, wrongly-shaped output to prove it is reshaped.
+        let mut out = Matrix::from_rows(&[vec![9.0; 5]]).unwrap();
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap());
+        assert!(a.matmul_into(&sample(), &mut out).is_err());
+    }
+
+    #[test]
+    fn matmul_blocked_matches_naive_beyond_one_tile() {
+        // 70×70 exceeds the 64-wide tile, so the blocked kernel crosses
+        // tile boundaries in both i and j.
+        let n = 70;
+        let gen = |i: usize, j: usize| ((i * 31 + j * 17) % 13) as f64 - 6.0;
+        let mut a = Matrix::zeros(n, n);
+        let mut b = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = gen(i, j);
+                b[(i, j)] = gen(j, i + 3);
+            }
+        }
+        let fast = a.matmul(&b).unwrap();
+        let mut into = Matrix::zeros(0, 0);
+        a.matmul_into(&b, &mut into).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += a[(i, k)] * b[(k, j)];
+                }
+                assert_eq!(fast[(i, j)].to_bits(), acc.to_bits());
+                assert_eq!(into[(i, j)].to_bits(), acc.to_bits());
+            }
+        }
     }
 
     #[test]

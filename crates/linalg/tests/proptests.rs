@@ -8,6 +8,49 @@ fn small_matrix(n: usize) -> impl Strategy<Value = Matrix> {
         .prop_map(move |data| Matrix::from_vec(n, n, data).unwrap())
 }
 
+/// Entries including exact signed zeros, which the historical zero-skipping
+/// kernel treated specially (`-0.0 + 0.0` flips sign bits).
+fn entry() -> impl Strategy<Value = f64> {
+    (0u8..6, -5.0f64..5.0).prop_map(|(tag, v)| match tag {
+        0 => 0.0,
+        1 => -0.0,
+        _ => v,
+    })
+}
+
+/// A pair of multiplicable rectangular matrices `(r×k, k×c)`.
+fn matmul_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (
+        1usize..9,
+        1usize..9,
+        1usize..9,
+        proptest::collection::vec(entry(), 64),
+        proptest::collection::vec(entry(), 64),
+    )
+        .prop_map(|(r, k, c, a, b)| {
+            (
+                Matrix::from_vec(r, k, a[..r * k].to_vec()).unwrap(),
+                Matrix::from_vec(k, c, b[..k * c].to_vec()).unwrap(),
+            )
+        })
+}
+
+/// Reference product: the naive triple loop, accumulating `k` terms in
+/// ascending order from `0.0` with no special cases.
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0;
+            for k in 0..a.cols() {
+                acc += a[(i, k)] * b[(k, j)];
+            }
+            out[(i, j)] = acc;
+        }
+    }
+    out
+}
+
 /// Build an SPD matrix as B Bᵀ + εI from an arbitrary B.
 fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
     small_matrix(n).prop_map(move |b| {
@@ -21,6 +64,22 @@ proptest! {
     #[test]
     fn transpose_involution(m in small_matrix(4)) {
         prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_matches_naive_bitwise((a, b) in matmul_pair()) {
+        let want = naive_matmul(&a, &b);
+        let blocked = a.matmul(&b).unwrap();
+        let mut into = Matrix::zeros(0, 0);
+        a.matmul_into(&b, &mut into).unwrap();
+        prop_assert_eq!(blocked.shape(), want.shape());
+        prop_assert_eq!(into.shape(), want.shape());
+        for i in 0..want.rows() {
+            for j in 0..want.cols() {
+                prop_assert_eq!(blocked[(i, j)].to_bits(), want[(i, j)].to_bits());
+                prop_assert_eq!(into[(i, j)].to_bits(), want[(i, j)].to_bits());
+            }
+        }
     }
 
     #[test]

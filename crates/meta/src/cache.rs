@@ -18,7 +18,7 @@
 //!    extension) and every earlier fold is memoized.
 
 use crate::distance::kendall_tau;
-use crate::ensemble::{otune_linalg_mean, otune_linalg_std};
+use crate::shared::{fit_base_entry, SharedMetaStore};
 use crate::similarity::TaskRecord;
 use otune_bo::{
     history_fingerprint, observation_fingerprint, surrogate_kinds, Observation, SurrogateCache,
@@ -65,6 +65,9 @@ pub struct MetaCache {
     bases: HashMap<String, (u64, BaseEntry)>,
     target: SurrogateCache,
     weight: WeightMemo,
+    /// Optional fleet-wide store consulted on local base-surrogate misses,
+    /// so identical fits are shared across tasks.
+    shared: Option<Arc<SharedMetaStore>>,
 }
 
 impl MetaCache {
@@ -75,7 +78,15 @@ impl MetaCache {
             bases: HashMap::new(),
             target: SurrogateCache::new(SurrogateInput::Objective, policy),
             weight: WeightMemo::default(),
+            shared: None,
         }
+    }
+
+    /// Attach a fleet-wide [`SharedMetaStore`]. Base-surrogate fits are a
+    /// pure function of `(space, history, seed)`, so serving them from the
+    /// shared store leaves every prediction bitwise unchanged.
+    pub fn set_shared(&mut self, store: Arc<SharedMetaStore>) {
+        self.shared = Some(store);
     }
 
     /// The maintenance policy these caches apply.
@@ -88,7 +99,8 @@ impl MetaCache {
         self.bases.len()
     }
 
-    /// Drop all cached state.
+    /// Drop all locally cached state. An attached [`SharedMetaStore`] is
+    /// kept: it is fleet-lifetime and append-only.
     pub fn clear(&mut self) {
         self.bases.clear();
         self.target.clear();
@@ -113,14 +125,10 @@ impl MetaCache {
             }
         }
         telemetry.incr(metric::META_BASE_CACHE_MISSES);
-        let entry = task.surrogate(space, seed).map(|s| {
-            let ys: Vec<f64> = task.observations.iter().map(|o| o.objective).collect();
-            (
-                Arc::new(s),
-                otune_linalg_mean(&ys),
-                otune_linalg_std(&ys).max(1e-9),
-            )
-        });
+        let entry = match &self.shared {
+            Some(store) => store.base_surrogate_at(space, task, fp, seed, telemetry),
+            None => fit_base_entry(space, task, seed),
+        };
         self.bases.insert(task.task_id.clone(), (fp, entry.clone()));
         entry
     }
@@ -253,6 +261,38 @@ mod tests {
         let snap = tm.snapshot().unwrap();
         assert_eq!(snap.counters[metric::META_BASE_CACHE_HITS], 1);
         assert_eq!(snap.counters[metric::META_BASE_CACHE_MISSES], 1);
+    }
+
+    #[test]
+    fn shared_store_serves_private_cache_misses() {
+        let s = space();
+        let t = TaskRecord {
+            task_id: "b1".into(),
+            meta_features: vec![0.0],
+            observations: obs(&s, 12, 7),
+        };
+        let tm = telemetry();
+        let store = Arc::new(crate::SharedMetaStore::new());
+        let mut c1 = MetaCache::new(IncrementalPolicy::default());
+        let mut c2 = MetaCache::new(IncrementalPolicy::default());
+        c1.set_shared(Arc::clone(&store));
+        c2.set_shared(Arc::clone(&store));
+        let a = c1.base_surrogate(&s, &t, 0, &tm).unwrap();
+        let b = c2.base_surrogate(&s, &t, 0, &tm).unwrap();
+        // Both private caches hold the same shared fit.
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+        assert_eq!(store.n_bases(), 1);
+        let snap = tm.snapshot().unwrap();
+        assert_eq!(snap.counters[metric::SHARED_META_MISSES], 1);
+        assert_eq!(snap.counters[metric::SHARED_META_HITS], 1);
+        // Values match a private, storeless fit bitwise.
+        let mut lone = MetaCache::new(IncrementalPolicy::default());
+        let c = lone.base_surrogate(&s, &t, 0, &tm).unwrap();
+        let x = vec![0.37];
+        assert_eq!(
+            a.0.predict_mean(&x).to_bits(),
+            c.0.predict_mean(&x).to_bits()
+        );
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod cache;
 pub mod distance;
 pub mod ensemble;
 pub mod features;
+pub mod shared;
 pub mod similarity;
 pub mod warmstart;
 
@@ -29,5 +30,6 @@ pub use cache::MetaCache;
 pub use distance::{kendall_tau, surrogate_distance};
 pub use ensemble::EnsembleSurrogate;
 pub use features::{extract_meta_features, META_FEATURE_COUNT};
+pub use shared::SharedMetaStore;
 pub use similarity::{SimilarityLearner, TaskRecord};
 pub use warmstart::{warm_start_configs, warm_start_configs_with};

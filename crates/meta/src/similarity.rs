@@ -8,11 +8,14 @@
 //! tasks.
 
 use crate::distance::surrogate_distance;
-use otune_bo::{fit_surrogate, Observation, SurrogateInput};
+use crate::shared::SharedMetaStore;
+use otune_bo::{fit_surrogate, history_fingerprint, Observation, SurrogateInput};
 use otune_gbdt::{GbdtConfig, GbdtRegressor};
 use otune_gp::GaussianProcess;
 use otune_space::ConfigSpace;
+use otune_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A previous tuning task stored in the data repository.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -74,19 +77,67 @@ impl SimilarityLearner {
         n_sample: usize,
         seed: u64,
     ) -> Option<Self> {
-        let fitted: Vec<(&TaskRecord, GaussianProcess)> = tasks
+        let fitted: Vec<(&TaskRecord, Arc<GaussianProcess>)> = tasks
             .iter()
-            .filter_map(|t| t.surrogate(space, seed).map(|s| (t, s)))
+            .filter_map(|t| t.surrogate(space, seed).map(|s| (t, Arc::new(s))))
             .collect();
+        Self::train_fitted(&fitted, seed, |a, b| {
+            surrogate_distance(space, &fitted[a].1, &fitted[b].1, n_sample, seed)
+        })
+    }
+
+    /// [`SimilarityLearner::train`] backed by a fleet-wide
+    /// [`SharedMetaStore`]: base surrogates come from the store (fitted at
+    /// most once per task history) and pairwise distances are memoized by
+    /// history fingerprint, so a scheduled refit only pays for pairs it has
+    /// never labeled. Produces a model bitwise identical to [`Self::train`]
+    /// on the same task set: fits and labels are pure functions of their
+    /// keyed inputs.
+    pub fn train_with_store(
+        space: &ConfigSpace,
+        tasks: &[TaskRecord],
+        n_sample: usize,
+        seed: u64,
+        store: &SharedMetaStore,
+        telemetry: &Telemetry,
+    ) -> Option<Self> {
+        let fitted: Vec<(&TaskRecord, u64, Arc<GaussianProcess>)> = tasks
+            .iter()
+            .filter_map(|t| {
+                let fp = history_fingerprint(space, &t.observations, SurrogateInput::Objective);
+                store
+                    .base_surrogate_at(space, t, fp, seed, telemetry)
+                    .map(|(gp, _, _)| (t, fp, gp))
+            })
+            .collect();
+        let pairs: Vec<(&TaskRecord, Arc<GaussianProcess>)> = fitted
+            .iter()
+            .map(|(t, _, gp)| (*t, Arc::clone(gp)))
+            .collect();
+        Self::train_fitted(&pairs, seed, |a, b| {
+            let (_, fa, sa) = &fitted[a];
+            let (_, fb, sb) = &fitted[b];
+            store.memo_distance(space, (*fa, sa), (*fb, sb), n_sample, seed, telemetry)
+        })
+    }
+
+    /// Shared trainer core: builds the symmetric pairwise design matrix from
+    /// already-fitted task surrogates, labeling pair `(a, b)` (indices into
+    /// `fitted`) via `dist`.
+    fn train_fitted(
+        fitted: &[(&TaskRecord, Arc<GaussianProcess>)],
+        seed: u64,
+        mut dist: impl FnMut(usize, usize) -> f64,
+    ) -> Option<Self> {
         if fitted.len() < 2 {
             return None;
         }
         let feature_dim = fitted[0].0.meta_features.len();
         let mut x = Vec::new();
         let mut y = Vec::new();
-        for (a_idx, (ta, sa)) in fitted.iter().enumerate() {
-            for (tb, sb) in fitted.iter().skip(a_idx + 1) {
-                let d = surrogate_distance(space, sa, sb, n_sample, seed);
+        for (a_idx, (ta, _)) in fitted.iter().enumerate() {
+            for (b_off, (tb, _)) in fitted.iter().enumerate().skip(a_idx + 1) {
+                let d = dist(a_idx, b_off);
                 // Symmetric pair: train on both orderings.
                 let mut fwd = ta.meta_features.clone();
                 fwd.extend_from_slice(&tb.meta_features);
@@ -200,6 +251,36 @@ mod tests {
             top3.iter().all(|id| id.starts_with("up")),
             "top-3 are ascending tasks: {top3:?}"
         );
+    }
+
+    #[test]
+    fn store_backed_training_matches_direct_training_bitwise() {
+        let s = space();
+        let tasks = vec![
+            task(&s, "a", 1.0, 0.0, 1),
+            task(&s, "b", 1.0, 0.5, 2),
+            task(&s, "c", -1.0, 0.0, 3),
+        ];
+        let direct = SimilarityLearner::train(&s, &tasks, 30, 0).unwrap();
+        let store = crate::SharedMetaStore::new();
+        let tm = otune_telemetry::Telemetry::disabled();
+        let shared = SimilarityLearner::train_with_store(&s, &tasks, 30, 0, &store, &tm).unwrap();
+        // Same fits, same labels ⇒ same model ⇒ identical predictions.
+        let probe = [
+            (vec![1.0, 0.2, 0.2, 1.0], vec![-1.0, 0.3, -0.3, 1.0]),
+            (vec![0.5, 0.5, 0.25, 1.0], vec![1.0, 0.0, 0.0, 1.0]),
+        ];
+        for (u, v) in &probe {
+            assert_eq!(
+                direct.predict(u, v).to_bits(),
+                shared.predict(u, v).to_bits()
+            );
+        }
+        // A second refit over the same tasks is served from the memo.
+        assert_eq!(store.n_distances(), 3);
+        SimilarityLearner::train_with_store(&s, &tasks, 30, 0, &store, &tm).unwrap();
+        assert_eq!(store.n_distances(), 3);
+        assert_eq!(store.n_bases(), 3);
     }
 
     #[test]

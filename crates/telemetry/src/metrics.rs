@@ -58,6 +58,35 @@ pub mod metric {
     pub const FALLBACKS_TRIGGERED: &str = "fallbacks_triggered";
     /// Counter: tuner state reconstructions from a snapshot.
     pub const RESUMES: &str = "resumes";
+    /// Gauge: shards the fleet controller hashes its task map into
+    /// (`OTUNE_SHARDS`).
+    pub const FLEET_SHARDS: &str = "fleet_shards";
+    /// Gauge: tasks currently registered with the fleet controller.
+    pub const FLEET_TASKS: &str = "fleet_tasks";
+    /// Counter: batched request/report waves executed.
+    pub const FLEET_WAVES: &str = "fleet_waves";
+    /// Counter: per-task suggestions served through batched waves.
+    pub const FLEET_REQUESTS: &str = "fleet_requests";
+    /// Counter: per-task results absorbed through batched waves.
+    pub const FLEET_REPORTS: &str = "fleet_reports";
+    /// Histogram: wall-clock seconds per batched fleet wave.
+    pub const FLEET_WAVE_S: &str = "fleet_wave_s";
+    /// Counter: base-task surrogates served from the fleet-wide shared
+    /// meta store (fitted once by some task, reused by the rest).
+    pub const SHARED_META_HITS: &str = "shared_meta_hits";
+    /// Counter: base-task surrogates the shared meta store had to fit.
+    pub const SHARED_META_MISSES: &str = "shared_meta_misses";
+    /// Counter: pairwise surrogate distances served from the shared
+    /// meta store's fingerprint-keyed memo.
+    pub const SHARED_DIST_HITS: &str = "shared_dist_hits";
+    /// Counter: pairwise surrogate distances computed and memoized.
+    pub const SHARED_DIST_MISSES: &str = "shared_dist_misses";
+    /// Counter: scheduled similarity-model refits executed by the
+    /// fleet controller.
+    pub const SIMILARITY_REFITS: &str = "similarity_refits";
+    /// Counter: warm-start injections served from the cached similarity
+    /// model without retraining.
+    pub const SIMILARITY_REUSES: &str = "similarity_reuses";
 }
 
 /// Number of histogram buckets: 9 decades from 1e-7, 8 buckets per

@@ -54,9 +54,9 @@ fn full_service_lifecycle_with_two_tasks() {
     for h in &handles {
         // Budget exhausted: the next request flips to Stopped.
         let _ = ctl.request_config(h, &[]).unwrap();
-        assert_eq!(ctl.state(h), Some(TaskState::Stopped));
-        assert!(ctl.best_config(h).is_some());
-        let rec = ctl.repository().task(&h.0).unwrap();
+        assert_eq!(ctl.state(h), Ok(TaskState::Stopped));
+        assert!(ctl.best_config(h).unwrap().is_some());
+        let rec = ctl.repository().task(h.as_str()).unwrap();
         assert_eq!(rec.observations.len(), 6);
         assert!(!rec.meta_features.is_empty(), "meta features recorded");
     }

@@ -44,7 +44,7 @@ fn drive_task(telemetry: Telemetry, budget: usize) -> Telemetry {
     }
     // One more request flips the task to Stopped.
     let _ = ctl.request_config(&h, &[]).unwrap();
-    assert_eq!(ctl.state(&h), Some(TaskState::Stopped));
+    assert_eq!(ctl.state(&h), Ok(TaskState::Stopped));
     telemetry
 }
 
