@@ -13,7 +13,10 @@
 use otune_bench::{mean, percentile, results_dir, Table};
 use otune_bo::Observation;
 use otune_core::objective::resource_fn_for;
-use otune_core::{ConfigGenerator, Constraints, GeneratorOptions, SuggestionSource};
+use otune_core::telemetry::{attribute, chrome_trace_json, structural_key, SpanRecord, Telemetry};
+use otune_core::{
+    ConfigGenerator, Constraints, GeneratorOptions, OnlineTuner, SuggestionSource, TunerOptions,
+};
 use otune_pool::Pool;
 use otune_space::{spark_space, ClusterScale, ConfigSpace, Configuration};
 use otune_sparksim::{hibench_task, ClusterSpec, HibenchTask, SimJob};
@@ -31,6 +34,27 @@ struct Entry {
     speedup_vs_seq: f64,
 }
 
+/// Summary of one fully-traced suggest call (largest history size).
+/// Exclusive per-phase times must cover the measured wall-clock: the
+/// trace runs on a sequential pool, so exclusive times sum (up to
+/// clamping) to the root span and the root must track the timer.
+#[derive(Serialize)]
+struct TraceSummary {
+    n_obs: usize,
+    n_spans: usize,
+    /// Timer-measured wall-clock of the traced suggest call, seconds.
+    wall_s: f64,
+    /// Root-span ("suggest") wall from the trace, seconds.
+    root_wall_s: f64,
+    /// Sum of per-phase exclusive times, seconds.
+    exclusive_sum_s: f64,
+    /// `exclusive_sum_s / wall_s` — asserted within 5% of 1.0.
+    exclusive_over_wall: f64,
+    /// Whether traces at threads=1 and threads=4 are structurally
+    /// identical (same span ids/names/hierarchy, timing fields aside).
+    structurally_identical_across_threads: bool,
+}
+
 #[derive(Serialize)]
 struct Report {
     bench: &'static str,
@@ -40,6 +64,38 @@ struct Report {
     host_parallelism: usize,
     note: &'static str,
     results: Vec<Entry>,
+    trace: TraceSummary,
+}
+
+/// Run one traced suggest over a pre-seeded history and return the spans
+/// plus the call's measured wall-clock seconds.
+fn traced_suggest(
+    space: &otune_space::ConfigSpace,
+    hist: &[Observation],
+    threads: usize,
+) -> (Vec<SpanRecord>, f64) {
+    let (telemetry, _sink) = Telemetry::ring_traced(1, 7);
+    let mut tuner = OnlineTuner::new(
+        space.clone(),
+        TunerOptions {
+            budget: hist.len() + 10,
+            n_init: 0,
+            n_agd: 0,
+            enable_meta: false,
+            seed: 7,
+            pool: Pool::new(threads),
+            ..TunerOptions::default()
+        },
+    );
+    tuner.set_telemetry(telemetry.clone());
+    for o in hist {
+        tuner.seed_observation(o.config.clone(), o.runtime, o.resource, &[]);
+    }
+    let start = Instant::now();
+    let s = tuner.suggest(&[]).expect("protocol");
+    let wall = start.elapsed().as_secs_f64();
+    drop(s);
+    (telemetry.traces(), wall)
 }
 
 /// A runhistory of `n_obs` simulator executions on sampled configurations.
@@ -140,6 +196,53 @@ fn main() {
     }
     table.print();
 
+    // --- Traced arm: hierarchical latency attribution on the largest
+    // history. Sequential pool for the coverage check (exclusive times
+    // sum to the root wall only when children never overlap), threads=4
+    // for the structural-determinism cross-check.
+    let n_obs = *sizes.last().expect("non-empty size list");
+    let hist = history(&space, n_obs, 42);
+    let (spans_seq, wall_s) = traced_suggest(&space, &hist, 1);
+    let (spans_par, _) = traced_suggest(&space, &hist, 4);
+    let structurally_identical = structural_key(&spans_seq) == structural_key(&spans_par);
+    assert!(
+        structurally_identical,
+        "trace structure must not depend on the pool width"
+    );
+    let report = attribute(&spans_seq);
+    let root_wall_s = report.wall_ns as f64 / 1e9;
+    let exclusive_sum_s = report.exclusive_sum_ns() as f64 / 1e9;
+    let exclusive_over_wall = exclusive_sum_s / wall_s.max(1e-12);
+    assert!(
+        (exclusive_over_wall - 1.0).abs() <= 0.05,
+        "per-phase exclusive times must sum to within 5% of the suggest \
+         wall-clock; got {exclusive_sum_s:.6}s of {wall_s:.6}s"
+    );
+    let trace_path = results_dir().join("BENCH_suggest_trace.json");
+    std::fs::write(&trace_path, chrome_trace_json(&spans_seq)).expect("results dir is writable");
+    let mut trace_table = Table::new(
+        "Traced suggest — per-phase exclusive latency",
+        &["phase", "count", "total (ms)", "exclusive (ms)"],
+    );
+    for row in &report.rows {
+        trace_table.row(vec![
+            row.name.clone(),
+            row.count.to_string(),
+            format!("{:.3}", row.total_ns as f64 / 1e6),
+            format!("{:.3}", row.exclusive_ns as f64 / 1e6),
+        ]);
+    }
+    trace_table.print();
+    println!(
+        "trace: {} span(s), exclusive sum {:.2} ms of {:.2} ms wall ({:.1}% coverage), \
+         perfetto json: {}",
+        spans_seq.len(),
+        exclusive_sum_s * 1e3,
+        wall_s * 1e3,
+        exclusive_over_wall * 100.0,
+        trace_path.display()
+    );
+
     let out = results_dir().join("BENCH_suggest_latency.json");
     let doc = Report {
         bench: "suggest_latency",
@@ -150,6 +253,15 @@ fn main() {
         note: "wall-clock speedup of threads=4 over threads=1 scales with \
                host cores; suggestions are bitwise-identical across widths",
         results: entries,
+        trace: TraceSummary {
+            n_obs,
+            n_spans: spans_seq.len(),
+            wall_s,
+            root_wall_s,
+            exclusive_sum_s,
+            exclusive_over_wall,
+            structurally_identical_across_threads: structurally_identical,
+        },
     };
     std::fs::write(
         &out,

@@ -53,12 +53,28 @@ fn telemetry_overhead(budget: usize) {
     let mut disabled = Vec::new();
     let mut enabled = Vec::new();
     for seed in 1..=3u64 {
+        let disabled_handle = Telemetry::disabled();
         disabled.extend(timed_session(
-            Telemetry::disabled(),
+            disabled_handle.clone(),
             budget,
             seed,
             Pool::sequential(),
         ));
+        // Zero-overhead contract: a full tuning session through the
+        // disabled handle must record nothing — no metrics snapshot, no
+        // spans, and `trace_span` must hand back a non-recording guard
+        // (one Option check, no clock read, no allocation).
+        assert!(
+            disabled_handle.snapshot().is_none(),
+            "disabled records no metrics"
+        );
+        assert!(
+            disabled_handle.traces().is_empty(),
+            "disabled records no spans"
+        );
+        assert!(!disabled_handle.is_tracing());
+        assert!(!disabled_handle.trace_span("probe").is_recording());
+
         let (telemetry, _sink) = Telemetry::ring(8192);
         enabled.extend(timed_session(
             telemetry.clone(),
@@ -66,12 +82,19 @@ fn telemetry_overhead(budget: usize) {
             seed,
             Pool::sequential(),
         ));
-        // Sanity: the enabled run recorded its own latencies too.
+        // Sanity: the enabled run recorded its own latencies too...
         let snap = telemetry.snapshot().expect("enabled");
         assert_eq!(
             snap.histograms[metric::SUGGEST_LATENCY_S].count,
             budget as u64
         );
+        // ...but an enabled-yet-untraced handle still records no spans:
+        // tracing is opt-in on top of metrics, not a side effect of them.
+        assert!(
+            telemetry.traces().is_empty(),
+            "untraced handle records no spans"
+        );
+        assert!(!telemetry.is_tracing());
     }
 
     let mut table = Table::new(
@@ -137,8 +160,15 @@ fn pool_overhead(budget: usize) {
 fn main() {
     // Table 3 shares Figure 2's protocol; reuse its scale knob at half
     // size to keep `cargo bench` turnaround reasonable.
-    let n_tasks = (n_fig2_tasks() / 2).max(50);
-    let budget = 20;
+    // `OTUNE_BENCH_QUICK=1` shrinks everything for CI smoke runs while
+    // keeping the telemetry zero-overhead assertions live.
+    let quick = std::env::var("OTUNE_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let n_tasks = if quick {
+        8
+    } else {
+        (n_fig2_tasks() / 2).max(50)
+    };
+    let budget = if quick { 6 } else { 20 };
     let outcomes = production_sweep(n_tasks, budget, 31337);
 
     let reductions = |pick: fn(&(f64, f64, f64, f64)) -> f64| {
@@ -213,6 +243,7 @@ fn main() {
 
     // The tuning service's own observability must not add to the
     // overhead story: quantify it alongside the paper's Table 3.
-    telemetry_overhead(15);
-    pool_overhead(15);
+    let session_budget = if quick { 5 } else { 15 };
+    telemetry_overhead(session_budget);
+    pool_overhead(session_budget);
 }

@@ -155,6 +155,8 @@ pub fn maximize_eic_with(
     telemetry: &Telemetry,
     pool: &Pool,
 ) -> AcquisitionChoice {
+    let _trace = telemetry.trace_span("eic_maximize");
+    let gen_span = telemetry.trace_span("candidate_gen");
     let mut candidates: Vec<Configuration> = sub.sample_n(params.n_random, rng);
     if let Some(inc) = incumbent {
         for i in 0..params.n_local {
@@ -162,6 +164,7 @@ pub fn maximize_eic_with(
             candidates.push(sub.neighbor(inc, scale, rng));
         }
     }
+    gen_span.finish();
 
     // Dedup and apply analytic constraints.
     let mut seen = HashSet::new();
@@ -189,7 +192,9 @@ pub fn maximize_eic_with(
 
     // Safe-region screening: batched upper bounds per region, violations
     // accumulated in region order (the same sum order as per-candidate
-    // `violation` calls).
+    // `violation` calls). The span covers the whole batched screen, not
+    // per-chunk work, so traces stay invariant to pool width.
+    let screen_span = telemetry.trace_span("safe_screen");
     let violations: Vec<f64> = if safe_regions.is_empty() {
         vec![0.0; encoded.len()]
     } else {
@@ -202,13 +207,17 @@ pub fn maximize_eic_with(
         total
     };
 
+    screen_span.finish();
+
     // EIC is scored only for the safe survivors, exactly as the scalar
     // loop did — so `eic_evals_per_iter` keeps its meaning.
     let safe_idx: Vec<usize> = (0..encoded.len())
         .filter(|&i| violations[i] <= 0.0)
         .collect();
     let safe_xs: Vec<Vec<f64>> = safe_idx.iter().map(|&i| encoded[i].clone()).collect();
+    let score_span = telemetry.trace_span("eic_score");
     let scores = objective.eval_batch(&safe_xs, pool);
+    score_span.finish();
 
     // Fold in candidate order: first-max among safe candidates, first-min
     // violation among unsafe ones — the sequential tie-breaking.

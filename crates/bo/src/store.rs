@@ -131,6 +131,7 @@ impl SurrogateCache {
                 }
                 // Append-only extension: absorb the new rows one by one.
                 let _span = telemetry.span(metric::GP_FIT_S);
+                let _trace = telemetry.trace_span("gp_update");
                 let model = Arc::make_mut(gp);
                 let cfg = GpConfig {
                     seed,
@@ -143,7 +144,7 @@ impl SurrogateCache {
                         SurrogateInput::Objective => o.objective,
                         SurrogateInput::Runtime => o.runtime,
                     };
-                    match model.update(x, y, &policy, cfg, pool) {
+                    match model.update_traced(x, y, &policy, cfg, pool, telemetry) {
                         Ok(outcome) => {
                             telemetry.incr(match outcome {
                                 UpdateOutcome::Incremental => metric::SURROGATE_INCREMENTAL_UPDATES,
@@ -174,13 +175,14 @@ impl SurrogateCache {
         let warm_hyper = self.gp.as_ref().map(|g| g.kernel().hyper);
         self.clear();
         let _span = telemetry.span(metric::GP_FIT_S);
+        let _trace = telemetry.trace_span("gp_full_fit");
         let kinds = surrogate_kinds(space, obs[0].context.len());
         let x: Vec<Vec<f64>> = obs
             .iter()
             .map(|o| encode_with_context(space, &o.config, &o.context))
             .collect();
         let y: Vec<f64> = obs.iter().map(|o| self.target(o)).collect();
-        let gp = GaussianProcess::fit_with_pool(
+        let gp = GaussianProcess::fit_traced(
             kinds,
             x,
             &y,
@@ -190,6 +192,7 @@ impl SurrogateCache {
                 ..GpConfig::default()
             },
             pool,
+            telemetry,
         )?;
         telemetry.incr(metric::GP_HYPER_SEARCHES);
         telemetry.add(metric::CHOL_JITTER_RETRIES, u64::from(gp.jitter_retries()));

@@ -106,6 +106,7 @@ pub fn fit_surrogate_pooled(
     pool: &Pool,
 ) -> Result<GaussianProcess, GpError> {
     let _span = telemetry.span(metric::GP_FIT_S);
+    let _trace = telemetry.trace_span("gp_full_fit");
     if obs.is_empty() {
         return Err(GpError::Empty);
     }
@@ -122,7 +123,7 @@ pub fn fit_surrogate_pooled(
             SurrogateInput::Runtime => o.runtime,
         })
         .collect();
-    let gp = GaussianProcess::fit_with_pool(
+    let gp = GaussianProcess::fit_traced(
         kinds,
         x,
         &y,
@@ -131,6 +132,7 @@ pub fn fit_surrogate_pooled(
             ..GpConfig::default()
         },
         pool,
+        telemetry,
     )?;
     telemetry.add(metric::CHOL_JITTER_RETRIES, u64::from(gp.jitter_retries()));
     Ok(gp)

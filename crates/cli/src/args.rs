@@ -31,6 +31,9 @@ pub enum Command {
         /// Optional fault-injection spec, e.g. `oom:0.1,straggler:0.05`
         /// (see [`otune_sparksim::FaultProfile::parse`]).
         fault_profile: Option<String>,
+        /// Optional Chrome-trace/Perfetto JSON output path; enables
+        /// hierarchical tracing for the run.
+        trace: Option<String>,
     },
     /// Drive a simulated fleet of periodic tasks through the batched
     /// controller (sharded waves, shared meta store) and print throughput.
@@ -48,6 +51,12 @@ pub enum Command {
         /// Optional JSONL path for the telemetry event stream (a
         /// `<path>.metrics.json` snapshot is written alongside).
         events: Option<String>,
+        /// Optional Chrome-trace/Perfetto JSON output path; enables
+        /// hierarchical tracing of the waves.
+        trace: Option<String>,
+        /// Optional Prometheus text-format sidecar path for the final
+        /// metrics snapshot.
+        prom: Option<String>,
     },
     /// Compare strategies on one task.
     Compare {
@@ -79,6 +88,26 @@ pub enum Command {
         /// Metrics JSON path (or the events path, whose
         /// `<path>.metrics.json` sidecar is used).
         file: String,
+        /// Emit the snapshot as machine-readable JSON (stable key order).
+        json: bool,
+        /// Emit the snapshot in Prometheus text exposition format.
+        prom: bool,
+    },
+    /// Convert the trace spans of a JSONL event stream into a
+    /// Chrome-trace/Perfetto JSON file and print latency attribution.
+    Trace {
+        /// JSONL event-stream path.
+        file: String,
+        /// Optional Chrome-trace JSON output path.
+        out: Option<String>,
+    },
+    /// Live fleet introspection over a JSONL event stream.
+    Top {
+        /// JSONL event-stream path.
+        file: String,
+        /// Refresh every S seconds until interrupted (default: render
+        /// once and exit).
+        watch: Option<f64>,
     },
     /// Print usage.
     Help,
@@ -104,19 +133,29 @@ USAGE:
   otune workloads
   otune tune --task <name> [--beta B] [--budget N] [--seed S]
              [--no-safety] [--no-subspace] [--no-agd] [--out FILE]
-             [--events FILE] [--fault-profile SPEC]
+             [--events FILE] [--fault-profile SPEC] [--trace FILE]
 
   SPEC injects faults into the simulated runs, e.g.
     --fault-profile oom:0.1,straggler:0.05,lost:0.02,tmax:120,seed:7
   (rates per run; `tmax` in seconds kills runs over budget; omitted
   keys default to 0 / off).
   otune tune-fleet [--tasks N] [--budget N] [--shards S] [--threads T]
-                   [--seed S] [--events FILE]
+                   [--seed S] [--events FILE] [--trace FILE]
+                   [--prom FILE]
   otune compare --task <name> [--budget N] [--seeds K]
   otune importance --task <name> [--samples N]
   otune events --file FILE [--task ID] [--kind KIND]
-  otune stats --file FILE
+  otune stats --file FILE [--json | --prom]
+  otune trace --file FILE [--out TRACE.json]
+  otune top --file FILE [--watch S]
   otune help
+
+  --trace enables hierarchical tracing (deterministic span ids, seeded
+  by --seed) and writes a Chrome-trace/Perfetto JSON file loadable at
+  ui.perfetto.dev; `otune trace` converts the spans embedded in a
+  JSONL event stream instead, and prints per-phase latency
+  attribution (exclusive time). `otune top` summarizes a fleet event
+  stream: per-task incumbents, wave latency, failures, cache hits.
 ";
 
 /// Parse a full argv (excluding the program name).
@@ -124,7 +163,14 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
     let Some(cmd) = argv.first() else {
         return Ok(Command::Help);
     };
-    let (flags, switches) = split_flags(&argv[1..])?;
+    // Boolean switches are per-subcommand: `--prom` takes a file for
+    // `tune-fleet` but is a mode switch for `stats`.
+    let switch_names: &[&str] = match cmd.as_str() {
+        "tune" => &["no-safety", "no-subspace", "no-agd"],
+        "stats" => &["json", "prom"],
+        _ => &[],
+    };
+    let (flags, switches) = split_flags(&argv[1..], switch_names)?;
     let get = |k: &str| flags.get(k).cloned();
     let req_task =
         || get("task").ok_or_else(|| ParseError("missing required --task <name>".into()));
@@ -154,6 +200,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                 out: get("out"),
                 events: get("events"),
                 fault_profile: get("fault-profile"),
+                trace: get("trace"),
             })
         }
         "tune-fleet" => {
@@ -173,6 +220,8 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                 threads: opt_usize("threads")?,
                 seed: num("seed", 0.0)? as u64,
                 events: get("events"),
+                trace: get("trace"),
+                prom: get("prom"),
             })
         }
         "compare" => Ok(Command::Compare {
@@ -189,8 +238,34 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
             task: get("task"),
             kind: get("kind"),
         }),
-        "stats" => Ok(Command::Stats {
+        "stats" => {
+            let json = switches.contains(&"json".to_string());
+            let prom = switches.contains(&"prom".to_string());
+            if json && prom {
+                return Err(ParseError(
+                    "--json and --prom are mutually exclusive".into(),
+                ));
+            }
+            Ok(Command::Stats {
+                file: get("file")
+                    .ok_or_else(|| ParseError("missing required --file FILE".into()))?,
+                json,
+                prom,
+            })
+        }
+        "trace" => Ok(Command::Trace {
             file: get("file").ok_or_else(|| ParseError("missing required --file FILE".into()))?,
+            out: get("out"),
+        }),
+        "top" => Ok(Command::Top {
+            file: get("file").ok_or_else(|| ParseError("missing required --file FILE".into()))?,
+            watch: match get("watch") {
+                None => None,
+                Some(v) => Some(
+                    v.parse::<f64>()
+                        .map_err(|_| ParseError(format!("--watch expects seconds, got {v:?}")))?,
+                ),
+            },
         }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(ParseError(format!(
@@ -200,8 +275,10 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
 }
 
 /// Split `--key value` pairs and boolean `--switch` flags.
-fn split_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>), ParseError> {
-    const SWITCHES: [&str; 3] = ["no-safety", "no-subspace", "no-agd"];
+fn split_flags(
+    args: &[String],
+    switch_names: &[&str],
+) -> Result<(HashMap<String, String>, Vec<String>), ParseError> {
     let mut flags = HashMap::new();
     let mut switches = Vec::new();
     let mut i = 0;
@@ -212,7 +289,7 @@ fn split_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>)
                 "unexpected positional argument {arg:?}"
             )));
         };
-        if SWITCHES.contains(&key) {
+        if switch_names.contains(&key) {
             switches.push(key.to_string());
             i += 1;
         } else {
@@ -250,6 +327,7 @@ mod tests {
                 out: None,
                 events: None,
                 fault_profile: None,
+                trace: None,
             }
         );
     }
@@ -257,7 +335,7 @@ mod tests {
     #[test]
     fn parses_tune_with_everything() {
         let cmd = parse_args(&argv(
-            "tune --task kmeans --beta 1 --budget 30 --seed 7 --no-agd --out h.json --events e.jsonl --fault-profile oom:0.1,tmax:90",
+            "tune --task kmeans --beta 1 --budget 30 --seed 7 --no-agd --out h.json --events e.jsonl --fault-profile oom:0.1,tmax:90 --trace t.json",
         ))
         .unwrap();
         match cmd {
@@ -271,6 +349,7 @@ mod tests {
                 out,
                 events,
                 fault_profile,
+                trace,
                 ..
             } => {
                 assert_eq!(task, "kmeans");
@@ -282,6 +361,7 @@ mod tests {
                 assert_eq!(out.as_deref(), Some("h.json"));
                 assert_eq!(events.as_deref(), Some("e.jsonl"));
                 assert_eq!(fault_profile.as_deref(), Some("oom:0.1,tmax:90"));
+                assert_eq!(trace.as_deref(), Some("t.json"));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -311,11 +391,57 @@ mod tests {
         assert_eq!(
             parse_args(&argv("stats --file run.jsonl")).unwrap(),
             Command::Stats {
-                file: "run.jsonl".into()
+                file: "run.jsonl".into(),
+                json: false,
+                prom: false,
             }
         );
         assert!(parse_args(&argv("events")).is_err());
         assert!(parse_args(&argv("stats")).is_err());
+    }
+
+    #[test]
+    fn stats_modes_trace_and_top_parse() {
+        assert_eq!(
+            parse_args(&argv("stats --file m.json --json")).unwrap(),
+            Command::Stats {
+                file: "m.json".into(),
+                json: true,
+                prom: false,
+            }
+        );
+        assert_eq!(
+            parse_args(&argv("stats --file m.json --prom")).unwrap(),
+            Command::Stats {
+                file: "m.json".into(),
+                json: false,
+                prom: true,
+            }
+        );
+        assert!(parse_args(&argv("stats --file m.json --json --prom")).is_err());
+        assert_eq!(
+            parse_args(&argv("trace --file run.jsonl --out t.json")).unwrap(),
+            Command::Trace {
+                file: "run.jsonl".into(),
+                out: Some("t.json".into()),
+            }
+        );
+        assert_eq!(
+            parse_args(&argv("top --file run.jsonl")).unwrap(),
+            Command::Top {
+                file: "run.jsonl".into(),
+                watch: None,
+            }
+        );
+        assert_eq!(
+            parse_args(&argv("top --file run.jsonl --watch 2")).unwrap(),
+            Command::Top {
+                file: "run.jsonl".into(),
+                watch: Some(2.0),
+            }
+        );
+        assert!(parse_args(&argv("trace")).is_err());
+        assert!(parse_args(&argv("top --file x --watch soon")).is_err());
     }
 
     #[test]
@@ -350,11 +476,13 @@ mod tests {
                 threads: None,
                 seed: 0,
                 events: None,
+                trace: None,
+                prom: None,
             }
         );
         assert_eq!(
             parse_args(&argv(
-                "tune-fleet --tasks 200 --budget 3 --shards 4 --threads 2 --seed 9 --events f.jsonl"
+                "tune-fleet --tasks 200 --budget 3 --shards 4 --threads 2 --seed 9 --events f.jsonl --trace t.json --prom m.prom"
             ))
             .unwrap(),
             Command::TuneFleet {
@@ -364,6 +492,8 @@ mod tests {
                 threads: Some(2),
                 seed: 9,
                 events: Some("f.jsonl".into()),
+                trace: Some("t.json".into()),
+                prom: Some("m.prom".into()),
             }
         );
         assert!(parse_args(&argv("tune-fleet --shards x")).is_err());

@@ -4,7 +4,10 @@ use crate::args::Command;
 use otune_baselines::{CherryPick, Dac, Locat, RandomSearch, Rfhoc, Tuneful, Tuner};
 use otune_bo::Observation;
 use otune_core::fleet::{FleetOptions, FleetReport, FleetRequest};
-use otune_core::telemetry::{read_jsonl, EventKind, JsonlSink, MetricsSnapshot, Telemetry};
+use otune_core::telemetry::{
+    attribute, chrome_trace_json, prometheus_text, read_jsonl, read_jsonl_lossy, spans_from_events,
+    AttributionReport, EventKind, JsonlSink, MetricsSnapshot, Telemetry,
+};
 use otune_core::{Objective, OnlineTuneController, OnlineTuner, TaskHandle, TunerOptions};
 use otune_forest::Fanova;
 use otune_meta::extract_meta_features;
@@ -50,6 +53,7 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> std::io::Result<i32> {
             out: path,
             events,
             fault_profile,
+            trace,
         } => {
             let Some(task) = find_task(&task) else {
                 writeln!(out, "unknown task {task:?}; run `otune workloads`")?;
@@ -74,6 +78,7 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> std::io::Result<i32> {
                 path,
                 events,
                 faults,
+                trace,
                 out,
             )?;
             Ok(0)
@@ -85,11 +90,17 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> std::io::Result<i32> {
             threads,
             seed,
             events,
-        } => tune_fleet(tasks, budget, shards, threads, seed, events, out),
+            trace,
+            prom,
+        } => tune_fleet(
+            tasks, budget, shards, threads, seed, events, trace, prom, out,
+        ),
         Command::Events { file, task, kind } => {
             events_cmd(&file, task.as_deref(), kind.as_deref(), out)
         }
-        Command::Stats { file } => stats_cmd(&file, out),
+        Command::Stats { file, json, prom } => stats_cmd(&file, json, prom, out),
+        Command::Trace { file, out: path } => trace_cmd(&file, path.as_deref(), out),
+        Command::Top { file, watch } => top_cmd(&file, watch, out),
         Command::Compare {
             task,
             budget,
@@ -129,12 +140,19 @@ fn tune(
     path: Option<String>,
     events: Option<String>,
     faults: Option<FaultProfile>,
+    trace: Option<String>,
     out: &mut dyn Write,
 ) -> std::io::Result<()> {
-    let telemetry = match &events {
-        Some(p) => Telemetry::new(Box::new(JsonlSink::create(p)?)).for_task(task.name()),
-        None => Telemetry::disabled(),
-    };
+    // `--trace` turns on hierarchical tracing seeded by the run seed, so
+    // span identities are reproducible run-to-run. Spans still land in the
+    // JSONL stream (as SpanClosed events) when `--events` is also given.
+    let telemetry = match (&events, &trace) {
+        (Some(p), Some(_)) => Telemetry::new_traced(Box::new(JsonlSink::create(p)?), seed),
+        (Some(p), None) => Telemetry::new(Box::new(JsonlSink::create(p)?)),
+        (None, Some(_)) => Telemetry::ring_traced(1, seed).0,
+        (None, None) => Telemetry::disabled(),
+    }
+    .for_task(task.name());
     let space = spark_space(ClusterScale::hibench());
     telemetry.emit(
         0,
@@ -247,6 +265,16 @@ fn tune(
             )?;
         }
     }
+    if let Some(trace_path) = trace {
+        let spans = telemetry.traces();
+        std::fs::write(&trace_path, chrome_trace_json(&spans))?;
+        writeln!(
+            out,
+            "\ntrace written to {trace_path} ({} span(s); load at ui.perfetto.dev)",
+            spans.len()
+        )?;
+        write_attribution(&attribute(&spans), out)?;
+    }
     Ok(())
 }
 
@@ -256,6 +284,7 @@ fn tune(
 /// the run exercises the full fleet path: sharded waves, the shared
 /// meta-knowledge store, scheduled similarity refits, and warm-start
 /// injection.
+#[allow(clippy::too_many_arguments)]
 fn tune_fleet(
     tasks: usize,
     budget: usize,
@@ -263,6 +292,8 @@ fn tune_fleet(
     threads: Option<usize>,
     seed: u64,
     events: Option<String>,
+    trace: Option<String>,
+    prom: Option<String>,
     out: &mut dyn Write,
 ) -> std::io::Result<i32> {
     let mut fleet = FleetOptions::from_env();
@@ -272,10 +303,12 @@ fn tune_fleet(
     if let Some(t) = threads {
         fleet.pool = Pool::new(t.max(1));
     }
-    let telemetry = match &events {
-        Some(p) => Telemetry::new(Box::new(JsonlSink::create(p)?)),
+    let telemetry = match (&events, &trace) {
+        (Some(p), Some(_)) => Telemetry::new_traced(Box::new(JsonlSink::create(p)?), seed),
+        (Some(p), None) => Telemetry::new(Box::new(JsonlSink::create(p)?)),
+        (None, Some(_)) => Telemetry::ring_traced(1, seed).0,
         // No sink requested: keep metrics (for the summary) but drop events.
-        None => Telemetry::ring(1).0,
+        (None, None) => Telemetry::ring(1).0,
     };
     writeln!(
         out,
@@ -378,7 +411,21 @@ fn tune_fleet(
                 "events written to {events_path}, metrics to {metrics_path}"
             )?;
         }
+        if let Some(prom_path) = &prom {
+            std::fs::write(prom_path, prometheus_text(&snapshot))?;
+            writeln!(out, "prometheus metrics written to {prom_path}")?;
+        }
         write_snapshot(&snapshot, out)?;
+    }
+    if let Some(trace_path) = trace {
+        let spans = telemetry.traces();
+        std::fs::write(&trace_path, chrome_trace_json(&spans))?;
+        writeln!(
+            out,
+            "\ntrace written to {trace_path} ({} span(s); load at ui.perfetto.dev)",
+            spans.len()
+        )?;
+        write_attribution(&attribute(&spans), out)?;
     }
     Ok(0)
 }
@@ -418,7 +465,7 @@ fn events_cmd(
 /// `otune stats`: print the metrics snapshot of a tuning session as a
 /// summary table. Accepts the metrics JSON directly, or the events path
 /// when a `<path>.metrics.json` sidecar exists.
-fn stats_cmd(file: &str, out: &mut dyn Write) -> std::io::Result<i32> {
+fn stats_cmd(file: &str, json: bool, prom: bool, out: &mut dyn Write) -> std::io::Result<i32> {
     let sidecar = format!("{file}.metrics.json");
     let path = if std::path::Path::new(&sidecar).exists() {
         &sidecar
@@ -439,8 +486,285 @@ fn stats_cmd(file: &str, out: &mut dyn Write) -> std::io::Result<i32> {
             return Ok(2);
         }
     };
+    if json {
+        // Machine-readable mode: the snapshot re-serialized with stable
+        // (sorted) key order, no human framing.
+        let text = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+        writeln!(out, "{text}")?;
+        return Ok(0);
+    }
+    if prom {
+        write!(out, "{}", prometheus_text(&snapshot))?;
+        return Ok(0);
+    }
     writeln!(out, "metrics from {path}")?;
     write_snapshot(&snapshot, out)?;
+    Ok(0)
+}
+
+/// `otune trace`: extract the `SpanClosed` spans of a JSONL event stream,
+/// optionally write them as a Chrome-trace/Perfetto JSON file, and print
+/// per-phase latency attribution.
+fn trace_cmd(file: &str, out_path: Option<&str>, out: &mut dyn Write) -> std::io::Result<i32> {
+    let (events, torn) = match read_jsonl_lossy(file) {
+        Ok(r) => r,
+        Err(e) => {
+            writeln!(out, "cannot read {file}: {e}")?;
+            return Ok(2);
+        }
+    };
+    let spans = spans_from_events(&events);
+    if spans.is_empty() {
+        writeln!(
+            out,
+            "{file} carries no trace spans; re-run `otune tune`/`tune-fleet` with --trace and --events"
+        )?;
+        return Ok(2);
+    }
+    writeln!(
+        out,
+        "{} span(s) from {} event(s) in {file}{}",
+        spans.len(),
+        events.len(),
+        if torn > 0 {
+            format!(" ({torn} torn line(s) skipped)")
+        } else {
+            String::new()
+        }
+    )?;
+    if let Some(path) = out_path {
+        std::fs::write(path, chrome_trace_json(&spans))?;
+        writeln!(out, "trace written to {path} (load at ui.perfetto.dev)")?;
+    }
+    write_attribution(&attribute(&spans), out)?;
+    Ok(0)
+}
+
+/// Print an attribution report as a flamegraph-style rollup: per-phase
+/// counts, inclusive and exclusive milliseconds, and each phase's share
+/// of the root wall-clock.
+fn write_attribution(report: &AttributionReport, out: &mut dyn Write) -> std::io::Result<()> {
+    let ms = |ns: u64| ns as f64 / 1e6;
+    writeln!(
+        out,
+        "\nlatency attribution: {} trace(s), wall {:.3} ms, exclusive sum {:.3} ms",
+        report.traces,
+        ms(report.wall_ns),
+        ms(report.exclusive_sum_ns()),
+    )?;
+    writeln!(
+        out,
+        "  {:<20} {:>7} {:>12} {:>12} {:>7}",
+        "phase", "count", "total ms", "excl ms", "excl %"
+    )?;
+    for row in &report.rows {
+        let share = if report.wall_ns > 0 {
+            100.0 * row.exclusive_ns as f64 / report.wall_ns as f64
+        } else {
+            0.0
+        };
+        writeln!(
+            out,
+            "  {:<20} {:>7} {:>12.3} {:>12.3} {:>6.1}%",
+            row.name,
+            row.count,
+            ms(row.total_ns),
+            ms(row.exclusive_ns),
+            share,
+        )?;
+    }
+    Ok(())
+}
+
+/// `otune top`: one rendered frame of fleet state from a JSONL event
+/// stream — per-task incumbents, wave latency percentiles, failure and
+/// fallback counts, cache hit rates from the metrics sidecar.
+fn top_cmd(file: &str, watch: Option<f64>, out: &mut dyn Write) -> std::io::Result<i32> {
+    let Some(interval) = watch else {
+        return render_top(file, out);
+    };
+    loop {
+        // ANSI clear + home, like top(1); the stream is re-read each frame
+        // so a live `tune-fleet --events` run can be watched from another
+        // terminal.
+        write!(out, "\x1b[2J\x1b[H")?;
+        let code = render_top(file, out)?;
+        if code != 0 {
+            return Ok(code);
+        }
+        out.flush()?;
+        std::thread::sleep(std::time::Duration::from_secs_f64(interval.max(0.1)));
+    }
+}
+
+fn render_top(file: &str, out: &mut dyn Write) -> std::io::Result<i32> {
+    let (events, torn) = match read_jsonl_lossy(file) {
+        Ok(r) => r,
+        Err(e) => {
+            writeln!(out, "cannot read {file}: {e}")?;
+            return Ok(2);
+        }
+    };
+    writeln!(
+        out,
+        "fleet status from {file}: {} event(s){}",
+        events.len(),
+        if torn > 0 {
+            format!(", {torn} torn line(s) skipped")
+        } else {
+            String::new()
+        }
+    )?;
+
+    // Per-task rollup, in first-seen order.
+    struct TaskRow {
+        iters: u64,
+        incumbent: Option<(f64, f64)>, // (objective, runtime)
+        failures: u64,
+        stopped: bool,
+    }
+    let mut order: Vec<&str> = Vec::new();
+    let mut rows: std::collections::HashMap<&str, TaskRow> = std::collections::HashMap::new();
+    let mut fallbacks = 0u64;
+    let mut run_failures = 0u64;
+    for e in &events {
+        if !e.task.is_empty() && !rows.contains_key(e.task.as_str()) {
+            order.push(&e.task);
+            rows.insert(
+                &e.task,
+                TaskRow {
+                    iters: 0,
+                    incumbent: None,
+                    failures: 0,
+                    stopped: false,
+                },
+            );
+        }
+        let row = rows.get_mut(e.task.as_str());
+        match &e.kind {
+            EventKind::ObservationReported {
+                objective,
+                runtime,
+                constraint_violated,
+                ..
+            } => {
+                if let Some(row) = row {
+                    row.iters += 1;
+                    if !constraint_violated
+                        && row.incumbent.is_none_or(|(best, _)| *objective < best)
+                    {
+                        row.incumbent = Some((*objective, *runtime));
+                    }
+                }
+            }
+            EventKind::RunFailed { .. } => {
+                run_failures += 1;
+                if let Some(row) = row {
+                    row.iters += 1;
+                    row.failures += 1;
+                }
+            }
+            EventKind::FallbackTriggered { .. } => fallbacks += 1,
+            EventKind::TaskStopped { .. } => {
+                if let Some(row) = row {
+                    row.stopped = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    if !order.is_empty() {
+        writeln!(
+            out,
+            "\n  {:<20} {:>6} {:>12} {:>10} {:>6} {:>8}",
+            "task", "iters", "incumbent", "runtime", "fails", "state"
+        )?;
+        for task in &order {
+            let row = &rows[task];
+            let (obj, rt) = match row.incumbent {
+                Some((o, r)) => (format!("{o:.1}"), format!("{r:.1}s")),
+                None => ("-".into(), "-".into()),
+            };
+            writeln!(
+                out,
+                "  {:<20} {:>6} {:>12} {:>10} {:>6} {:>8}",
+                task,
+                row.iters,
+                obj,
+                rt,
+                row.failures,
+                if row.stopped { "stopped" } else { "tuning" },
+            )?;
+        }
+    }
+
+    // Wave latency from the fleet wave spans embedded in the stream.
+    let mut wave_ns: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::SpanClosed { name, dur_ns, .. } if name.starts_with("fleet_wave") => {
+                Some(*dur_ns)
+            }
+            _ => None,
+        })
+        .collect();
+    if !wave_ns.is_empty() {
+        wave_ns.sort_unstable();
+        let pct = |q: f64| {
+            let idx = ((wave_ns.len() - 1) as f64 * q).round() as usize;
+            wave_ns[idx] as f64 / 1e6
+        };
+        writeln!(
+            out,
+            "\nwave latency: p50 {:.3} ms, p95 {:.3} ms ({} wave(s))",
+            pct(0.50),
+            pct(0.95),
+            wave_ns.len(),
+        )?;
+    }
+    writeln!(
+        out,
+        "failures: {run_failures} run(s) failed, {fallbacks} fallback(s)"
+    )?;
+
+    // Cache hit rates from the metrics sidecar, when present.
+    let sidecar = format!("{file}.metrics.json");
+    if let Ok(text) = std::fs::read_to_string(&sidecar) {
+        if let Ok(snapshot) = serde_json::from_str::<MetricsSnapshot>(&text) {
+            let counter = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
+            let mut line = String::new();
+            for (label, hits, misses) in [
+                (
+                    "surrogate",
+                    "surrogate_cache_hits",
+                    "surrogate_cache_misses",
+                ),
+                ("shared-meta", "shared_meta_hits", "shared_meta_misses"),
+                ("shared-dist", "shared_dist_hits", "shared_dist_misses"),
+                ("base-gp", "meta_base_cache_hits", "meta_base_cache_misses"),
+            ] {
+                let (h, m) = (counter(hits), counter(misses));
+                if h + m > 0 {
+                    line.push_str(&format!(
+                        "{}{label} {:.0}% ({h}/{})",
+                        if line.is_empty() { "" } else { ", " },
+                        100.0 * h as f64 / (h + m) as f64,
+                        h + m,
+                    ));
+                }
+            }
+            if !line.is_empty() {
+                writeln!(out, "cache hit rates: {line}")?;
+            }
+            let dropped = counter("events_dropped") + counter("spans_dropped");
+            if dropped > 0 {
+                writeln!(
+                    out,
+                    "WARNING: {dropped} event(s)/span(s) dropped at capture"
+                )?;
+            }
+        }
+    }
     Ok(0)
 }
 
@@ -466,14 +790,14 @@ fn write_snapshot(snapshot: &MetricsSnapshot, out: &mut dyn Write) -> std::io::R
         writeln!(out, "\nhistograms:")?;
         writeln!(
             out,
-            "  {:<28} {:>8} {:>12} {:>12} {:>12} {:>12}",
-            "name", "count", "mean", "p50", "p95", "max"
+            "  {:<28} {:>8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "name", "count", "mean", "min", "p50", "p95", "p99", "max"
         )?;
         for (name, h) in &snapshot.histograms {
             writeln!(
                 out,
-                "  {:<28} {:>8} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
-                name, h.count, h.mean, h.p50, h.p95, h.max
+                "  {:<28} {:>8} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
+                name, h.count, h.mean, h.min, h.p50, h.p95, h.p99, h.max
             )?;
         }
     }
@@ -643,6 +967,7 @@ mod tests {
                 out: None,
                 events: None,
                 fault_profile: None,
+                trace: None,
             },
             &mut buf,
         )
@@ -669,6 +994,7 @@ mod tests {
                 out: Some(path.to_string_lossy().into_owned()),
                 events: None,
                 fault_profile: None,
+                trace: None,
             },
             &mut buf,
         )
@@ -700,6 +1026,7 @@ mod tests {
                 out: None,
                 events: Some(events_path.clone()),
                 fault_profile: None,
+                trace: None,
             },
             &mut buf,
         )
@@ -739,9 +1066,32 @@ mod tests {
         assert!(!text.contains("TaskRegistered"), "{text}");
         assert!(text.contains("SuggestionMade"), "{text}");
 
+        // A stream recorded without --trace carries no spans: `otune
+        // trace` refuses with a pointer at the flag instead of writing an
+        // empty Perfetto file.
+        let mut buf = Vec::new();
+        let code = run(
+            Command::Trace {
+                file: events_path.clone(),
+                out: None,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 2);
+        assert!(String::from_utf8(buf).unwrap().contains("no trace spans"));
+
         // Stats resolves the metrics sidecar from the events path.
         let mut buf = Vec::new();
-        let code = run(Command::Stats { file: events_path }, &mut buf).unwrap();
+        let code = run(
+            Command::Stats {
+                file: events_path,
+                json: false,
+                prom: false,
+            },
+            &mut buf,
+        )
+        .unwrap();
         assert_eq!(code, 0);
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("suggest_latency_s"), "{text}");
@@ -766,6 +1116,7 @@ mod tests {
                 out: None,
                 events: Some(events_path.clone()),
                 fault_profile: Some("oom:0.5,seed:3".into()),
+                trace: None,
             },
             &mut buf,
         )
@@ -778,7 +1129,15 @@ mod tests {
 
         // The metrics sidecar counts the failures.
         let mut buf = Vec::new();
-        let code = run(Command::Stats { file: events_path }, &mut buf).unwrap();
+        let code = run(
+            Command::Stats {
+                file: events_path,
+                json: false,
+                prom: false,
+            },
+            &mut buf,
+        )
+        .unwrap();
         assert_eq!(code, 0);
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("run_failures"), "{text}");
@@ -799,6 +1158,7 @@ mod tests {
                 out: None,
                 events: None,
                 fault_profile: Some("oom:2.0".into()),
+                trace: None,
             },
             &mut buf,
         )
@@ -814,6 +1174,8 @@ mod tests {
         let dir = std::env::temp_dir().join("otune_cli_fleet_test");
         std::fs::create_dir_all(&dir).unwrap();
         let events_path = dir.join("fleet.jsonl").to_string_lossy().into_owned();
+        let trace_path = dir.join("fleet_trace.json").to_string_lossy().into_owned();
+        let prom_path = dir.join("fleet.prom").to_string_lossy().into_owned();
         let mut buf = Vec::new();
         let code = run(
             Command::TuneFleet {
@@ -823,6 +1185,8 @@ mod tests {
                 threads: Some(2),
                 seed: 1,
                 events: Some(events_path.clone()),
+                trace: Some(trace_path.clone()),
+                prom: Some(prom_path.clone()),
             },
             &mut buf,
         )
@@ -835,9 +1199,107 @@ mod tests {
         assert!(text.contains("fleet_shards"), "{text}");
         assert!(text.contains("fleet_waves"), "{text}");
         assert!(text.contains("fleet_wave_s"), "{text}");
+        // The trace side outputs exist and parse: Perfetto JSON with the
+        // wave hierarchy, Prometheus text with the otune metric prefix.
+        assert!(text.contains("latency attribution"), "{text}");
+        let trace_json: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+        let trace_events = trace_json.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(!trace_events.is_empty());
+        let names: Vec<&str> = trace_events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+            .collect();
+        assert!(names.contains(&"fleet_wave_suggest"), "{names:?}");
+        assert!(names.contains(&"shard"), "{names:?}");
+        assert!(names.contains(&"task"), "{names:?}");
+        assert!(names.contains(&"suggest"), "{names:?}");
+        let prom_text = std::fs::read_to_string(&prom_path).unwrap();
+        assert!(
+            prom_text.contains("# TYPE otune_fleet_waves counter"),
+            "{prom_text}"
+        );
+        assert!(prom_text.contains("otune_fleet_wave_s"), "{prom_text}");
+        // `otune top` summarizes the stream: per-task incumbents and the
+        // wave latency percentiles recovered from SpanClosed events.
+        let mut buf = Vec::new();
+        let code = run(
+            Command::Top {
+                file: events_path.clone(),
+                watch: None,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("fleet status"), "{text}");
+        assert!(text.contains("-0"), "one task per workload suffix: {text}");
+        assert!(text.contains("incumbent"), "{text}");
+        assert!(text.contains("wave latency: p50"), "{text}");
+        assert!(text.contains("failures:"), "{text}");
+        // `otune trace` rebuilds the Perfetto file from the JSONL stream.
+        let trace2_path = dir.join("fleet_trace2.json").to_string_lossy().into_owned();
+        let mut buf = Vec::new();
+        let code = run(
+            Command::Trace {
+                file: events_path.clone(),
+                out: Some(trace2_path.clone()),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("latency attribution"), "{text}");
+        let rebuilt: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&trace2_path).unwrap()).unwrap();
+        assert!(!rebuilt
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+        // `otune stats --json` / `--prom` machine-readable modes.
+        let mut buf = Vec::new();
+        let code = run(
+            Command::Stats {
+                file: events_path.clone(),
+                json: true,
+                prom: false,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        let parsed: serde_json::Value =
+            serde_json::from_str(&String::from_utf8(buf).unwrap()).unwrap();
+        assert!(parsed.get("counters").is_some());
+        let mut buf = Vec::new();
+        let code = run(
+            Command::Stats {
+                file: events_path.clone(),
+                json: false,
+                prom: true,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        assert!(String::from_utf8(buf)
+            .unwrap()
+            .contains("# TYPE otune_fleet_requests counter"));
         // ...and again through `otune stats` on the sidecar.
         let mut buf = Vec::new();
-        let code = run(Command::Stats { file: events_path }, &mut buf).unwrap();
+        let code = run(
+            Command::Stats {
+                file: events_path,
+                json: false,
+                prom: false,
+            },
+            &mut buf,
+        )
+        .unwrap();
         assert_eq!(code, 0);
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("fleet_requests"), "{text}");
@@ -860,6 +1322,8 @@ mod tests {
         let code = run(
             Command::Stats {
                 file: "/nonexistent/x.jsonl".into(),
+                json: false,
+                prom: false,
             },
             &mut buf,
         )

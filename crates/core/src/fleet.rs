@@ -29,7 +29,7 @@
 use crate::controller::{ControllerError, OnlineTuneController, TaskHandle};
 use otune_pool::Pool;
 use otune_space::Configuration;
-use otune_telemetry::metric;
+use otune_telemetry::{metric, trace_key};
 
 /// Environment variable selecting the shard count.
 pub const SHARDS_ENV: &str = "OTUNE_SHARDS";
@@ -131,6 +131,8 @@ impl OnlineTuneController {
         requests: &[FleetRequest<'_>],
     ) -> Vec<Result<Configuration, ControllerError>> {
         let span = self.telemetry.span(metric::FLEET_WAVE_S);
+        let wave_trace = self.telemetry.trace_span("fleet_wave_suggest");
+        let ctx = self.telemetry.trace_ctx();
         self.telemetry.incr(metric::FLEET_WAVES);
         self.telemetry
             .add(metric::FLEET_REQUESTS, requests.len() as u64);
@@ -139,10 +141,15 @@ impl OnlineTuneController {
         let this = &*self;
         let per_group: Vec<Vec<(usize, Result<Configuration, ControllerError>)>> =
             pool.map(&groups, |_, (shard_idx, idxs)| {
+                let _adopted = this.telemetry.trace_adopt(ctx.clone());
+                let _shard_trace = this.telemetry.trace_span_keyed("shard", *shard_idx as u64);
                 let mut shard = this.lock_shard(*shard_idx);
                 idxs.iter()
                     .map(|&i| {
                         let req = &requests[i];
+                        let _task_trace = this
+                            .telemetry
+                            .trace_span_keyed("task", trace_key(req.handle.as_str()));
                         let res = match shard.get_mut(req.handle) {
                             Some(entry) => entry
                                 .tuner
@@ -154,6 +161,7 @@ impl OnlineTuneController {
                     })
                     .collect()
             });
+        wave_trace.finish();
         drop(span);
         scatter(requests.len(), per_group)
     }
@@ -167,6 +175,8 @@ impl OnlineTuneController {
         reports: &[FleetReport<'_>],
     ) -> Vec<Result<(), ControllerError>> {
         let span = self.telemetry.span(metric::FLEET_WAVE_S);
+        let wave_trace = self.telemetry.trace_span("fleet_wave_report");
+        let ctx = self.telemetry.trace_ctx();
         self.telemetry.incr(metric::FLEET_WAVES);
         self.telemetry
             .add(metric::FLEET_REPORTS, reports.len() as u64);
@@ -175,10 +185,15 @@ impl OnlineTuneController {
         let this = &*self;
         type Absorbed = Vec<(usize, Result<Option<Vec<f64>>, ControllerError>)>;
         let per_group: Vec<Absorbed> = pool.map(&groups, |_, (shard_idx, idxs)| {
+            let _adopted = this.telemetry.trace_adopt(ctx.clone());
+            let _shard_trace = this.telemetry.trace_span_keyed("shard", *shard_idx as u64);
             let mut shard = this.lock_shard(*shard_idx);
             idxs.iter()
                 .map(|&i| {
                     let rep = &reports[i];
+                    let _task_trace = this
+                        .telemetry
+                        .trace_span_keyed("task", trace_key(rep.handle.as_str()));
                     let res = match shard.get_mut(rep.handle) {
                         Some(entry) => Self::absorb_report(&this.repository, entry, rep),
                         None => Err(ControllerError::UnknownTask),
@@ -187,6 +202,7 @@ impl OnlineTuneController {
                 })
                 .collect()
         });
+        wave_trace.finish();
         drop(span);
         let absorbed = scatter(reports.len(), per_group);
         // Deterministic post-wave phase: refit bookkeeping and warm-start

@@ -272,6 +272,7 @@ impl ConfigGenerator {
         // approximate the objective function": with a thin history the
         // surrogate gradient is noise and the step wastes an online run.
         if self.opts.n_agd > 0 && history.len() >= 12 && (i + 1).is_multiple_of(self.opts.n_agd) {
+            let _trace = self.telemetry.trace_span("agd");
             let agd = Agd {
                 beta: self.opts.objective.beta,
                 eta: 0.04,
@@ -325,6 +326,7 @@ impl ConfigGenerator {
         }
 
         // --- Sub-space (Algorithm 2, line 6) ---
+        let subspace_span = self.telemetry.trace_span("subspace");
         let sub = if self.opts.enable_subspace {
             self.subspace_mgr
                 .build(&self.space, incumbent.config.clone())
@@ -332,6 +334,7 @@ impl ConfigGenerator {
             Subspace::full(&self.space, incumbent.config.clone())
                 .expect("full subspace is always valid")
         };
+        subspace_span.finish();
         self.telemetry
             .gauge(metric::SUBSPACE_K, self.subspace_mgr.k() as f64);
 
@@ -430,6 +433,7 @@ impl ConfigGenerator {
                 && self.processed >= 2 * self.opts.fanova_period
                 && self.processed.is_multiple_of(self.opts.fanova_period)
             {
+                let _trace = self.telemetry.trace_span("fanova_refresh");
                 let x: Vec<Vec<f64>> = history[..self.processed]
                     .iter()
                     .map(|o| self.space.encode(&o.config))

@@ -361,6 +361,7 @@ impl OnlineTuner {
             return Ok(config);
         }
 
+        let trace = self.telemetry.trace_span("suggest");
         let ensemble = self.build_ensemble();
         let warm = self.opts.warm_configs.clone();
         let suggestion = {
@@ -372,6 +373,7 @@ impl OnlineTuner {
                 ensemble.as_ref().map(|e| e as &dyn otune_bo::Predictor),
             )
         };
+        trace.finish();
         self.telemetry.emit(
             self.round_iterations as u64,
             EventKind::SuggestionMade {
@@ -443,6 +445,7 @@ impl OnlineTuner {
             self.pending = Some(pending);
             return Err(TunerError::SuggestionMismatch);
         }
+        let _trace = self.telemetry.trace_span("observe");
         let objective = self.objective.eval(runtime_s, resource);
 
         if self.stopped {

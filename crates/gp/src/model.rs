@@ -3,6 +3,7 @@
 use crate::kernel::{FeatureKind, KernelHyper, MixedKernel};
 use otune_linalg::{Cholesky, LinalgError, Matrix};
 use otune_pool::Pool;
+use otune_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
@@ -215,6 +216,24 @@ impl GaussianProcess {
         cfg: GpConfig,
         pool: &Pool,
     ) -> Result<Self, GpError> {
+        Self::fit_traced(kinds, x, y, cfg, pool, &Telemetry::disabled())
+    }
+
+    /// [`GaussianProcess::fit_with_pool`] with hierarchical tracing: the
+    /// hyperparameter search is wrapped in a `hyper_search` span, each
+    /// candidate evaluation in a keyed `hyper_candidate` span (adopted
+    /// onto pool worker threads), and the O(n²)/O(n³) kernels in
+    /// `kernel_assembly`/`chol_factor` spans. Tracing never perturbs the
+    /// RNG stream or candidate fold, so the fitted model is bitwise
+    /// identical with tracing on or off, at any pool width.
+    pub fn fit_traced(
+        kinds: Vec<FeatureKind>,
+        x: Vec<Vec<f64>>,
+        y: &[f64],
+        cfg: GpConfig,
+        pool: &Pool,
+        telemetry: &Telemetry,
+    ) -> Result<Self, GpError> {
         if x.is_empty() || y.is_empty() {
             return Err(GpError::Empty);
         }
@@ -237,9 +256,15 @@ impl GaussianProcess {
         let ys: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
 
         let evaluate = |hypers: &[KernelHyper]| -> Vec<Option<(Cholesky, Vec<f64>, f64)>> {
-            pool.map(hypers, |_, &hyper| {
+            // Capture the caller's span (the `hyper_search` span) so
+            // worker threads parent their candidate spans under it; ids
+            // are keyed by candidate index, not scheduling order.
+            let ctx = telemetry.trace_ctx();
+            pool.map(hypers, |i, &hyper| {
+                let _adopted = telemetry.trace_adopt(ctx.clone());
+                let _span = telemetry.trace_span_keyed("hyper_candidate", i as u64);
                 let kernel = MixedKernel::new(kinds.clone(), hyper);
-                Self::factor(&kernel, &x, &ys).ok()
+                Self::factor_traced(&kernel, &x, &ys, telemetry).ok()
             })
         };
 
@@ -289,6 +314,7 @@ impl GaussianProcess {
                 ]));
             }
         }
+        let search_span = telemetry.trace_span("hyper_search");
         let evals = evaluate(&candidates);
         fold(
             &candidates,
@@ -325,6 +351,7 @@ impl GaussianProcess {
                 );
             }
         }
+        search_span.finish();
 
         let (chol, alpha) = best_fit.ok_or(GpError::Linalg(LinalgError::NotPositiveDefinite {
             pivot: 0,
@@ -359,13 +386,17 @@ impl GaussianProcess {
         Ok(k)
     }
 
-    fn factor(
+    fn factor_traced(
         kernel: &MixedKernel,
         x: &[Vec<f64>],
         ys: &[f64],
+        telemetry: &Telemetry,
     ) -> Result<(Cholesky, Vec<f64>, f64), GpError> {
-        let k = Self::build_cov(kernel, x)?;
-        let chol = Cholesky::decompose(&k)?;
+        let k = {
+            let _span = telemetry.trace_span("kernel_assembly");
+            Self::build_cov(kernel, x)?
+        };
+        let chol = Cholesky::decompose_traced(&k, telemetry)?;
         let alpha = chol.solve(ys)?;
         let lml = -0.5 * otune_linalg::dot(ys, &alpha)
             - 0.5 * chol.log_det()
@@ -401,6 +432,22 @@ impl GaussianProcess {
         cfg: GpConfig,
         pool: &Pool,
     ) -> Result<UpdateOutcome, GpError> {
+        self.update_traced(x_new, y_new, policy, cfg, pool, &Telemetry::disabled())
+    }
+
+    /// [`GaussianProcess::update`] with hierarchical tracing: the factor
+    /// growth runs under a `chol_extend` span, the posterior refresh
+    /// under `posterior_refresh`, and any triggered hyperparameter
+    /// re-search inherits the traced fit path.
+    pub fn update_traced(
+        &mut self,
+        x_new: Vec<f64>,
+        y_new: f64,
+        policy: &IncrementalPolicy,
+        cfg: GpConfig,
+        pool: &Pool,
+        telemetry: &Telemetry,
+    ) -> Result<UpdateOutcome, GpError> {
         if x_new.len() != self.kernel.dim() {
             return Err(GpError::ShapeMismatch);
         }
@@ -411,7 +458,7 @@ impl GaussianProcess {
         self.y.push(y_new);
 
         if policy.refit_period > 0 && self.updates_since_search + 1 >= policy.refit_period {
-            return match self.research(cfg, pool) {
+            return match self.research(cfg, pool, telemetry) {
                 Ok(()) => Ok(UpdateOutcome::HyperSearch(SearchTrigger::Scheduled)),
                 Err(e) => {
                     self.x.pop();
@@ -422,6 +469,7 @@ impl GaussianProcess {
         }
 
         let snapshot = self.chol.clone();
+        let extend_span = telemetry.trace_span("chol_extend");
         let outcome = match self.regrow_factor(policy.enabled) {
             Ok(outcome) => outcome,
             Err(e) => {
@@ -431,7 +479,11 @@ impl GaussianProcess {
                 return Err(e);
             }
         };
-        self.refresh_posterior()?;
+        extend_span.finish();
+        {
+            let _span = telemetry.trace_span("posterior_refresh");
+            self.refresh_posterior()?;
+        }
 
         let per_obs = self.lml / self.x.len() as f64;
         // NaN comparisons are false, so a non-finite incremental LML also
@@ -440,7 +492,7 @@ impl GaussianProcess {
         #[allow(clippy::neg_cmp_op_on_partial_ord)]
         let degraded = policy.lml_degradation.is_finite()
             && !(per_obs >= self.last_search_lml_per_obs - policy.lml_degradation);
-        if degraded && self.research(cfg, pool).is_ok() {
+        if degraded && self.research(cfg, pool, telemetry).is_ok() {
             return Ok(UpdateOutcome::HyperSearch(SearchTrigger::LmlDegraded));
         }
         self.updates_since_search += 1;
@@ -513,17 +565,23 @@ impl GaussianProcess {
 
     /// Full pooled hyperparameter re-search, warm-started from the
     /// current winner.
-    fn research(&mut self, cfg: GpConfig, pool: &Pool) -> Result<(), GpError> {
+    fn research(
+        &mut self,
+        cfg: GpConfig,
+        pool: &Pool,
+        telemetry: &Telemetry,
+    ) -> Result<(), GpError> {
         let warm = GpConfig {
             warm_hyper: Some(self.kernel.hyper),
             ..cfg
         };
-        *self = Self::fit_with_pool(
+        *self = Self::fit_traced(
             self.kernel.kinds().to_vec(),
             self.x.clone(),
             &self.y,
             warm,
             pool,
+            telemetry,
         )?;
         Ok(())
     }

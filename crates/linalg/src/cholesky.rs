@@ -19,6 +19,14 @@ pub struct Cholesky {
 }
 
 impl Cholesky {
+    /// [`Cholesky::decompose`] under a `chol_factor` trace span, so GP
+    /// fit traces attribute O(n³) factorization time separately from
+    /// kernel assembly. Non-tracing handles pay one branch.
+    pub fn decompose_traced(a: &Matrix, telemetry: &otune_telemetry::Telemetry) -> Result<Self> {
+        let _span = telemetry.trace_span("chol_factor");
+        Self::decompose(a)
+    }
+
     /// Factor `a`, adding diagonal jitter if needed.
     ///
     /// Returns [`LinalgError::NotSquare`] for non-square inputs and
@@ -283,6 +291,18 @@ impl Cholesky {
         let mut y = b.clone();
         self.solve_lower_batch_in_place(&mut y)?;
         Ok(y)
+    }
+
+    /// [`Cholesky::solve_lower_batch_in_place`] under a
+    /// `chol_solve_batch` trace span (the O(n²·m) posterior-refresh hot
+    /// path).
+    pub fn solve_lower_batch_in_place_traced(
+        &self,
+        b: &mut Matrix,
+        telemetry: &otune_telemetry::Telemetry,
+    ) -> Result<()> {
+        let _span = telemetry.trace_span("chol_solve_batch");
+        self.solve_lower_batch_in_place(b)
     }
 
     /// Solve `Lᵀ x = y` (backward substitution).

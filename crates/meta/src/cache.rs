@@ -125,6 +125,7 @@ impl MetaCache {
             }
         }
         telemetry.incr(metric::META_BASE_CACHE_MISSES);
+        let _trace = telemetry.trace_span("base_fit");
         let entry = match &self.shared {
             Some(store) => store.base_surrogate_at(space, task, fp, seed, telemetry),
             None => fit_base_entry(space, task, seed),
@@ -161,6 +162,7 @@ impl MetaCache {
         seed: u64,
         telemetry: &Telemetry,
     ) -> f64 {
+        let _trace = telemetry.trace_span("target_weight");
         let n = stripped.len();
         let fps: Vec<u64> = stripped
             .iter()

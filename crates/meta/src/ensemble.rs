@@ -76,6 +76,7 @@ impl EnsembleSurrogate {
         cache: &mut MetaCache,
         telemetry: &Telemetry,
     ) -> Option<Self> {
+        let _trace = telemetry.trace_span("meta_ensemble");
         let stats = |obs: &[Observation]| -> (f64, f64) {
             let ys: Vec<f64> = obs.iter().map(|o| o.objective).collect();
             let mean = otune_linalg_mean(&ys);

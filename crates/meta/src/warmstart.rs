@@ -36,6 +36,7 @@ pub fn warm_start_configs_with(
     n_sources: usize,
     telemetry: &Telemetry,
 ) -> Vec<Configuration> {
+    let _trace = telemetry.trace_span("warm_start");
     let ranking = learner.rank_tasks(target_meta, tasks);
     let mut out: Vec<Configuration> = Vec::new();
     let mut seen = std::collections::HashSet::new();

@@ -133,6 +133,25 @@ pub enum EventKind {
         /// Observations replayed from the snapshot.
         observations: usize,
     },
+    /// A hierarchical trace span closed. Identity fields are
+    /// deterministic (seeded, never wall-clock-derived); `worker`,
+    /// `start_ns`, and `dur_ns` are measurements.
+    SpanClosed {
+        /// Trace the span belongs to.
+        trace_id: u64,
+        /// This span's deterministic id.
+        span_id: u64,
+        /// Parent span id (0 for trace roots).
+        parent_id: u64,
+        /// Phase name (e.g. `suggest`, `chol_factor`).
+        name: String,
+        /// Dense id of the thread that ran the span.
+        worker: u64,
+        /// Start, nanoseconds since the pipeline's trace epoch.
+        start_ns: u64,
+        /// Duration in nanoseconds.
+        dur_ns: u64,
+    },
 }
 
 impl EventKind {
@@ -150,6 +169,7 @@ impl EventKind {
             EventKind::RunFailed { .. } => "RunFailed",
             EventKind::FallbackTriggered { .. } => "FallbackTriggered",
             EventKind::TunerResumed { .. } => "TunerResumed",
+            EventKind::SpanClosed { .. } => "SpanClosed",
         }
     }
 }
@@ -250,6 +270,20 @@ mod tests {
                 iteration: 13,
                 kind: EventKind::TunerResumed { observations: 13 },
             },
+            Event {
+                task: "t".into(),
+                seq: 11,
+                iteration: 14,
+                kind: EventKind::SpanClosed {
+                    trace_id: 0xdead_beef,
+                    span_id: 42,
+                    parent_id: 0,
+                    name: "suggest".into(),
+                    worker: 1,
+                    start_ns: 1_000,
+                    dur_ns: 110_000_000,
+                },
+            },
         ]
     }
 
@@ -279,6 +313,7 @@ mod tests {
                 "RunFailed",
                 "FallbackTriggered",
                 "TunerResumed",
+                "SpanClosed",
             ]
         );
     }

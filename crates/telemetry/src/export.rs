@@ -1,0 +1,222 @@
+//! Exporters: Chrome trace-event / Perfetto JSON for span trees, and
+//! Prometheus text format for metrics snapshots.
+//!
+//! Both are pure functions over already-frozen data — no locks, no
+//! clocks — so they can run after a campaign against recorded files
+//! (`otune trace`, `otune stats --prom`) or inline at shutdown.
+
+use crate::metrics::MetricsSnapshot;
+use crate::trace::SpanRecord;
+use serde::Content;
+use std::fmt::Write as _;
+
+fn map(entries: Vec<(&str, Content)>) -> Content {
+    Content::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Adapter: serialize a hand-built [`Content`] tree (the vendored serde
+/// has no blanket `Serialize for Content`).
+struct Raw(Content);
+
+impl serde::Serialize for Raw {
+    fn to_content(&self) -> Content {
+        self.0.clone()
+    }
+}
+
+/// Render spans as Chrome trace-event JSON (the "JSON Array Format"
+/// with a `traceEvents` wrapper), loadable by `chrome://tracing`,
+/// Perfetto, and Speedscope.
+///
+/// Each span becomes one complete (`"ph":"X"`) event; timestamps and
+/// durations are microseconds per the format. The deterministic ids
+/// travel in `args` so a trace stays joinable back to the JSONL stream.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let events: Vec<Content> = spans
+        .iter()
+        .map(|s| {
+            map(vec![
+                ("name", Content::Str(s.name.clone())),
+                ("cat", Content::Str("otune".to_string())),
+                ("ph", Content::Str("X".to_string())),
+                ("ts", Content::F64(s.start_ns as f64 / 1e3)),
+                ("dur", Content::F64(s.dur_ns as f64 / 1e3)),
+                ("pid", Content::U64(1)),
+                ("tid", Content::U64(s.worker)),
+                (
+                    "args",
+                    map(vec![
+                        ("trace_id", Content::U64(s.trace_id)),
+                        ("span_id", Content::U64(s.span_id)),
+                        ("parent_id", Content::U64(s.parent_id)),
+                        ("task", Content::Str(s.task.clone())),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    let file = map(vec![
+        ("traceEvents", Content::Seq(events)),
+        ("displayTimeUnit", Content::Str("ms".to_string())),
+    ]);
+    serde_json::to_string_pretty(&Raw(file)).expect("trace events serialize")
+}
+
+/// Sanitize a metric name into the Prometheus charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn prom_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Format a float the way Prometheus expects (plain decimal, `+Inf`).
+fn prom_f64(v: f64) -> String {
+    if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render a metrics snapshot in the Prometheus text exposition format.
+///
+/// Counters and gauges map directly; histograms are exposed as
+/// summaries (`quantile` labels plus `_sum`/`_count`) with the exact
+/// extremes as companion `_min`/`_max` gauges. Names are prefixed
+/// `otune_` and emitted in sorted order, so output is stable and
+/// diffable.
+pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let n = format!("otune_{}", prom_name(name));
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let n = format!("otune_{}", prom_name(name));
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {}", prom_f64(*value));
+    }
+    for (name, h) in &snapshot.histograms {
+        let n = format!("otune_{}", prom_name(name));
+        let _ = writeln!(out, "# TYPE {n} summary");
+        for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+            let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {}", prom_f64(v));
+        }
+        let _ = writeln!(out, "{n}_sum {}", prom_f64(h.sum));
+        let _ = writeln!(out, "{n}_count {}", h.count);
+        let _ = writeln!(out, "# TYPE {n}_min gauge");
+        let _ = writeln!(out, "{n}_min {}", prom_f64(h.min));
+        let _ = writeln!(out, "# TYPE {n}_max gauge");
+        let _ = writeln!(out, "{n}_max {}", prom_f64(h.max));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn spans() -> Vec<SpanRecord> {
+        vec![
+            SpanRecord {
+                trace_id: 1,
+                span_id: 10,
+                parent_id: 0,
+                name: "suggest".into(),
+                task: "job-a".into(),
+                worker: 0,
+                start_ns: 0,
+                dur_ns: 110_000_000,
+            },
+            SpanRecord {
+                trace_id: 1,
+                span_id: 11,
+                parent_id: 10,
+                name: "gp_fit".into(),
+                task: "job-a".into(),
+                worker: 2,
+                start_ns: 5_000,
+                dur_ns: 60_000_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_complete_events() {
+        let out = chrome_trace_json(&spans());
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        for e in events {
+            assert_eq!(e.get("ph").unwrap().as_str(), Some("X"));
+            assert_eq!(e.get("pid").unwrap().as_u64(), Some(1));
+            assert!(e.get("ts").unwrap().as_f64().is_some());
+            assert!(e.get("dur").unwrap().as_f64().is_some());
+        }
+        assert_eq!(events[0].get("name").unwrap().as_str(), Some("suggest"));
+        assert_eq!(events[0].get("dur").unwrap().as_f64(), Some(110_000.0)); // µs
+        assert_eq!(events[1].get("tid").unwrap().as_u64(), Some(2));
+        let args = events[1].get("args").unwrap();
+        assert_eq!(args.get("parent_id").unwrap().as_u64(), Some(10));
+        assert_eq!(args.get("task").unwrap().as_str(), Some("job-a"));
+    }
+
+    #[test]
+    fn prometheus_text_covers_all_metric_types() {
+        let reg = MetricsRegistry::new();
+        reg.add("run_failures", 3);
+        reg.set_gauge("subspace_k", 12.0);
+        for v in [0.1, 0.2, 0.4] {
+            reg.observe("suggest_latency_s", v);
+        }
+        let text = prometheus_text(&reg.snapshot());
+        assert!(text.contains("# TYPE otune_run_failures counter"));
+        assert!(text.contains("otune_run_failures 3"));
+        assert!(text.contains("# TYPE otune_subspace_k gauge"));
+        assert!(text.contains("otune_subspace_k 12"));
+        assert!(text.contains("# TYPE otune_suggest_latency_s summary"));
+        assert!(text.contains("otune_suggest_latency_s{quantile=\"0.5\"}"));
+        assert!(text.contains("otune_suggest_latency_s{quantile=\"0.99\"}"));
+        assert!(text.contains("otune_suggest_latency_s_count 3"));
+        assert!(text.contains("otune_suggest_latency_s_min 0.1"));
+        assert!(text.contains("otune_suggest_latency_s_max 0.4"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(
+                value == "+Inf" || value.parse::<f64>().is_ok(),
+                "bad value in line: {line}"
+            );
+            assert!(parts.next().unwrap().starts_with("otune_"), "{line}");
+        }
+    }
+
+    #[test]
+    fn prom_names_are_sanitized() {
+        assert_eq!(prom_name("suggest_latency_s"), "suggest_latency_s");
+        assert_eq!(prom_name("bad-name.v2"), "bad_name_v2");
+        assert_eq!(prom_name("9lives"), "_9lives");
+    }
+}

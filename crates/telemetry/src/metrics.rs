@@ -87,6 +87,11 @@ pub mod metric {
     /// Counter: warm-start injections served from the cached similarity
     /// model without retraining.
     pub const SIMILARITY_REUSES: &str = "similarity_reuses";
+    /// Counter: events lost by the sink (ring overwrites, I/O failures).
+    /// Folded into every snapshot so losses are reported, never silent.
+    pub const EVENTS_DROPPED: &str = "events_dropped";
+    /// Counter: trace spans lost to the bounded trace buffer.
+    pub const SPANS_DROPPED: &str = "spans_dropped";
 }
 
 /// Number of histogram buckets: 9 decades from 1e-7, 8 buckets per
@@ -129,6 +134,15 @@ fn bucket_edge(i: usize) -> f64 {
     FIRST_EDGE * 10f64.powf((i + 1) as f64 / 8.0)
 }
 
+/// Lower edge of bucket `i` (bucket 0 is open below).
+fn bucket_lower(i: usize) -> f64 {
+    if i == 0 {
+        0.0
+    } else {
+        FIRST_EDGE * 10f64.powf(i as f64 / 8.0)
+    }
+}
+
 fn bucket_index(value: f64) -> usize {
     if value <= FIRST_EDGE {
         return 0;
@@ -161,8 +175,14 @@ impl Histogram {
         self.count
     }
 
-    /// Approximate quantile `q` in `[0, 1]` from the bucket boundaries;
-    /// exact min/max anchor the ends. Returns 0 for an empty histogram.
+    /// Approximate quantile `q` in `[0, 1]`, linearly interpolated
+    /// within the covering bucket; exact min/max anchor the ends.
+    /// Returns 0 for an empty histogram.
+    ///
+    /// Interpolation matters at bucket boundaries: a rank that lands as
+    /// the first value of a bucket no longer jumps to the bucket's upper
+    /// edge — it sits near the lower edge, proportional to how deep into
+    /// the bucket the rank falls.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -176,12 +196,25 @@ impl Histogram {
         let rank = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                // Clamp the bucket edge into the observed range so a
-                // single-bucket histogram reports sane quantiles.
-                return bucket_edge(i).clamp(self.min, self.max);
+            if c == 0 {
+                continue;
             }
+            if seen + c >= rank {
+                // Interpolate within bucket `i`: the rank is the
+                // `(rank - seen)`-th of its `c` values.
+                let frac = (rank - seen) as f64 / c as f64;
+                let lo = bucket_lower(i);
+                let hi = if i == N_BUCKETS - 1 {
+                    // The overflow bucket is unbounded; anchor on max.
+                    self.max
+                } else {
+                    bucket_edge(i)
+                };
+                // Clamp into the observed range so single-bucket
+                // histograms report sane quantiles.
+                return (lo + frac * (hi - lo)).clamp(self.min, self.max);
+            }
+            seen += c;
         }
         self.max
     }
@@ -196,14 +229,19 @@ impl Histogram {
             } else {
                 0.0
             },
+            min: if self.count > 0 { self.min } else { 0.0 },
             p50: self.quantile(0.5),
             p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
             max: if self.count > 0 { self.max } else { 0.0 },
         }
     }
 }
 
 /// Serializable summary of one histogram.
+///
+/// `min` and `p99` default to 0 on deserialization so snapshots written
+/// before they existed (older `.metrics.json` sidecars) still load.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HistogramSnapshot {
     /// Number of recorded values.
@@ -212,10 +250,16 @@ pub struct HistogramSnapshot {
     pub sum: f64,
     /// Arithmetic mean.
     pub mean: f64,
+    /// Exact minimum.
+    #[serde(default)]
+    pub min: f64,
     /// Approximate median.
     pub p50: f64,
     /// Approximate 95th percentile.
     pub p95: f64,
+    /// Approximate 99th percentile.
+    #[serde(default)]
+    pub p99: f64,
     /// Exact maximum.
     pub max: f64,
 }
@@ -302,6 +346,46 @@ mod tests {
         assert!((p95 / 0.95 - 1.0).abs() < 0.35, "p95 = {p95}");
         assert_eq!(h.quantile(1.0), 1.0);
         assert_eq!(h.quantile(0.0), 0.001);
+    }
+
+    #[test]
+    fn interpolated_quantiles_beat_bucket_edges() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64 / 1000.0);
+        }
+        // With in-bucket interpolation the error budget shrinks well
+        // below the old clamp-to-upper-edge behaviour (~9% bucket width).
+        for (q, expect) in [(0.25, 0.25), (0.5, 0.5), (0.9, 0.9), (0.99, 0.99)] {
+            let got = h.quantile(q);
+            assert!(
+                (got / expect - 1.0).abs() < 0.10,
+                "q={q}: got {got}, expect ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_reports_exact_min_and_p99() {
+        let mut h = Histogram::new();
+        for i in 1..=200 {
+            h.record(i as f64);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 200.0);
+        assert!(s.p99 >= s.p95, "p99 {} < p95 {}", s.p99, s.p95);
+        assert!((s.p99 / 198.0 - 1.0).abs() < 0.15, "p99 = {}", s.p99);
+    }
+
+    #[test]
+    fn old_snapshots_without_min_p99_still_deserialize() {
+        // A sidecar written before min/p99 existed.
+        let old = r#"{"count":3,"sum":0.6,"mean":0.2,"p50":0.2,"p95":0.3,"max":0.3}"#;
+        let s: HistogramSnapshot = serde_json::from_str(old).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 0.0, "missing min defaults");
+        assert_eq!(s.p99, 0.0, "missing p99 defaults");
     }
 
     #[test]

@@ -6,6 +6,7 @@ use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Destination for emitted events. Implementations must be safe to
@@ -17,6 +18,14 @@ pub trait EventSink: Send + Sync {
 
     /// Flush any buffered events (no-op by default).
     fn flush(&self) {}
+
+    /// Events this sink has lost — overwritten by a full ring, or
+    /// swallowed on I/O failure. Telemetry never takes down the tuning
+    /// path, so losses are counted instead of raised; the handle folds
+    /// this into its metrics snapshot as `events_dropped`.
+    fn dropped(&self) -> u64 {
+        0
+    }
 }
 
 impl<S: EventSink + ?Sized> EventSink for Arc<S> {
@@ -26,6 +35,10 @@ impl<S: EventSink + ?Sized> EventSink for Arc<S> {
 
     fn flush(&self) {
         (**self).flush();
+    }
+
+    fn dropped(&self) -> u64 {
+        (**self).dropped()
     }
 }
 
@@ -43,6 +56,7 @@ impl EventSink for NullSink {
 pub struct RingBufferSink {
     capacity: usize,
     buf: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
 }
 
 impl RingBufferSink {
@@ -52,6 +66,7 @@ impl RingBufferSink {
         RingBufferSink {
             capacity,
             buf: Mutex::new(VecDeque::with_capacity(capacity)),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -76,8 +91,13 @@ impl EventSink for RingBufferSink {
         let mut buf = self.buf.lock();
         if buf.len() == self.capacity {
             buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         buf.push_back(event.clone());
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -86,6 +106,7 @@ impl EventSink for RingBufferSink {
 /// or `otune events`.
 pub struct JsonlSink {
     writer: Mutex<BufWriter<File>>,
+    dropped: AtomicU64,
 }
 
 impl JsonlSink {
@@ -94,6 +115,7 @@ impl JsonlSink {
         let file = File::create(path)?;
         Ok(JsonlSink {
             writer: Mutex::new(BufWriter::new(file)),
+            dropped: AtomicU64::new(0),
         })
     }
 }
@@ -102,15 +124,26 @@ impl EventSink for JsonlSink {
     fn record(&self, event: &Event) {
         // Serialization of the event model cannot fail; I/O errors are
         // deliberately swallowed — telemetry must never take down the
-        // tuning path.
-        if let Ok(line) = serde_json::to_string(event) {
-            let mut w = self.writer.lock();
-            let _ = writeln!(w, "{line}");
+        // tuning path — but every swallowed event is counted.
+        match serde_json::to_string(event) {
+            Ok(line) => {
+                let mut w = self.writer.lock();
+                if writeln!(w, "{line}").is_err() {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
     fn flush(&self) {
         let _ = self.writer.lock().flush();
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -139,6 +172,28 @@ pub fn read_jsonl<P: AsRef<Path>>(path: P) -> io::Result<Vec<Event>> {
         events.push(event);
     }
     Ok(events)
+}
+
+/// Read an event stream tolerating torn or corrupt lines (a crash
+/// mid-write leaves a truncated tail; concurrent writers can interleave
+/// garbage). Parseable events are returned oldest first together with
+/// the number of skipped lines — mirrors `SnapshotLog`'s crash-recovery
+/// contract: damage is reported, never silently swallowed.
+pub fn read_jsonl_lossy<P: AsRef<Path>>(path: P) -> io::Result<(Vec<Event>, u64)> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut events = Vec::new();
+    let mut skipped = 0u64;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<Event>(&line) {
+            Ok(event) => events.push(event),
+            Err(_) => skipped += 1,
+        }
+    }
+    Ok((events, skipped))
 }
 
 #[cfg(test)]
@@ -191,6 +246,27 @@ mod tests {
         }
         let back = read_jsonl(&path).unwrap();
         assert_eq!(back, written);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ring_buffer_counts_overwrites_as_dropped() {
+        let sink = RingBufferSink::new(3);
+        for seq in 0..5 {
+            sink.record(&ev(seq));
+        }
+        assert_eq!(sink.dropped(), 2);
+    }
+
+    #[test]
+    fn lossy_reader_skips_torn_lines_and_counts_them() {
+        let path = std::env::temp_dir().join("otune-telemetry-torn.jsonl");
+        let good = serde_json::to_string(&ev(0)).unwrap();
+        let torn = &good[..good.len() / 2]; // crash mid-write
+        std::fs::write(&path, format!("{good}\nnot json\n{good}\n{torn}")).unwrap();
+        let (events, skipped) = read_jsonl_lossy(&path).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(skipped, 2, "garbage line + torn tail");
         std::fs::remove_file(&path).ok();
     }
 

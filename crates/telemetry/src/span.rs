@@ -26,6 +26,13 @@ impl Span {
         }
     }
 
+    /// Whether this guard holds a start timestamp (false on disabled
+    /// handles, which never read the clock) — the zero-overhead
+    /// contract hook for benches.
+    pub fn is_recording(&self) -> bool {
+        self.start.is_some()
+    }
+
     /// End the span explicitly (equivalent to dropping it).
     pub fn finish(self) {}
 }
