@@ -66,11 +66,28 @@ impl EicObjective<'_> {
     /// the same arithmetic as [`EicObjective::eval`], so the scores match
     /// the scalar path exactly for every pool width.
     pub fn eval_batch(&self, xs: &[Vec<f64>], pool: &Pool) -> Vec<f64> {
+        self.eval_batch_reusing(xs, Vec::new(), pool)
+    }
+
+    /// [`EicObjective::eval_batch`] with optional precomputed constraint
+    /// posteriors. `reuse[k]`, when present, must hold `(mean, var)` for
+    /// constraint `k` at exactly `xs` — per-point predictions are pure
+    /// functions of the surrogate and the point, so substituting them is
+    /// bitwise-identical to re-predicting. Missing or `None` entries are
+    /// predicted here as usual.
+    pub fn eval_batch_reusing(
+        &self,
+        xs: &[Vec<f64>],
+        mut reuse: Vec<Option<Vec<(f64, f64)>>>,
+        pool: &Pool,
+    ) -> Vec<f64> {
         let obj = self.objective_gp.predict_many(xs, pool);
+        reuse.resize(self.constraints.len(), None);
         let cons: Vec<Vec<(f64, f64)>> = self
             .constraints
             .iter()
-            .map(|(gp, _)| gp.predict_batch_pooled(xs, pool))
+            .zip(reuse)
+            .map(|((gp, _), pre)| pre.unwrap_or_else(|| gp.predict_batch_pooled(xs, pool)))
             .collect();
         let mut probs = Vec::with_capacity(self.constraints.len());
         obj.into_iter()
@@ -168,7 +185,8 @@ pub fn maximize_eic_with(
 
     // Dedup and apply analytic constraints.
     let mut seen = HashSet::new();
-    candidates.retain(|c| seen.insert(c.dedup_key()) && analytic_feasible.is_none_or(|f| f(c)));
+    candidates
+        .retain(|c| seen.insert(c.dedup_key_fast()) && analytic_feasible.is_none_or(|f| f(c)));
     if candidates.is_empty() {
         // Analytic constraints rejected everything — fall back to the
         // incumbent or the sub-space base.
@@ -194,15 +212,22 @@ pub fn maximize_eic_with(
     // accumulated in region order (the same sum order as per-candidate
     // `violation` calls). The span covers the whole batched screen, not
     // per-chunk work, so traces stay invariant to pool width.
+    // The raw posteriors behind each region are kept: when an EIC
+    // constraint shares its surrogate with a region (the common runtime
+    // GP), its predictions over the safe survivors are a subset of what
+    // the screen already computed and are reused instead of re-predicted.
     let screen_span = telemetry.trace_span("safe_screen");
+    let mut region_preds: Vec<Vec<(f64, f64)>> = Vec::with_capacity(safe_regions.len());
     let violations: Vec<f64> = if safe_regions.is_empty() {
         vec![0.0; encoded.len()]
     } else {
         let mut total = vec![0.0; encoded.len()];
         for region in safe_regions {
-            for (acc, v) in total.iter_mut().zip(region.violations(&encoded, pool)) {
-                *acc += v;
+            let preds = region.surrogate().predict_batch_pooled(&encoded, pool);
+            for (acc, &(m, v)) in total.iter_mut().zip(&preds) {
+                *acc += region.violation_from(m, v);
             }
+            region_preds.push(preds);
         }
         total
     };
@@ -215,8 +240,18 @@ pub fn maximize_eic_with(
         .filter(|&i| violations[i] <= 0.0)
         .collect();
     let safe_xs: Vec<Vec<f64>> = safe_idx.iter().map(|&i| encoded[i].clone()).collect();
+    let reuse: Vec<Option<Vec<(f64, f64)>>> = objective
+        .constraints
+        .iter()
+        .map(|&(gp, _)| {
+            safe_regions
+                .iter()
+                .position(|r| std::ptr::eq(gp, r.surrogate()))
+                .map(|ri| safe_idx.iter().map(|&i| region_preds[ri][i]).collect())
+        })
+        .collect();
     let score_span = telemetry.trace_span("eic_score");
-    let scores = objective.eval_batch(&safe_xs, pool);
+    let scores = objective.eval_batch_reusing(&safe_xs, reuse, pool);
     score_span.finish();
 
     // Fold in candidate order: first-max among safe candidates, first-min
@@ -547,6 +582,44 @@ mod tests {
             assert_eq!(seq.eic.to_bits(), par.eic.to_bits(), "width {width}");
             assert_eq!(seq.from_safe_region, par.from_safe_region);
         }
+    }
+
+    #[test]
+    fn constraint_sharing_region_surrogate_reuses_predictions_bitwise() {
+        let s = space();
+        let sub = Subspace::full(&s, s.default_configuration()).unwrap();
+        let ogp = objective_gp();
+        let rgp = runtime_gp();
+        // A clone has identical posteriors but a distinct address, so it
+        // forces the no-reuse path; the shared reference takes the reuse
+        // path. The choices must match bit-for-bit.
+        let rgp_clone = rgp.clone();
+        let run = |constraint_gp: &GaussianProcess| {
+            let region = SafeRegion::new(&rgp, 400.0, 1.0);
+            let obj = EicObjective {
+                objective_gp: &ogp,
+                y_best: 0.3,
+                constraints: vec![(constraint_gp, 400.0)],
+            };
+            let mut rng = StdRng::seed_from_u64(21);
+            maximize_eic_with(
+                &sub,
+                &[],
+                &obj,
+                &[region],
+                None,
+                None,
+                CandidateParams::default(),
+                &mut rng,
+                &Telemetry::disabled(),
+                Pool::global(),
+            )
+        };
+        let shared = run(&rgp);
+        let distinct = run(&rgp_clone);
+        assert_eq!(shared.config, distinct.config);
+        assert_eq!(shared.eic.to_bits(), distinct.eic.to_bits());
+        assert_eq!(shared.from_safe_region, distinct.from_safe_region);
     }
 
     #[test]

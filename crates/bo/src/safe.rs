@@ -53,11 +53,21 @@ impl<'a> SafeRegion<'a> {
         self.surrogate
             .predict_batch_pooled(xs, pool)
             .into_iter()
-            .map(|(mean, var)| {
-                let ub = mean + self.gamma * var.max(0.0).sqrt();
-                (ub - self.threshold).max(0.0)
-            })
+            .map(|(mean, var)| self.violation_from(mean, var))
             .collect()
+    }
+
+    /// [`SafeRegion::violation`] from an already computed posterior —
+    /// lets callers that batched the surrogate's predictions themselves
+    /// (to reuse them elsewhere) apply the same bound arithmetic.
+    pub fn violation_from(&self, mean: f64, var: f64) -> f64 {
+        let ub = mean + self.gamma * var.max(0.0).sqrt();
+        (ub - self.threshold).max(0.0)
+    }
+
+    /// The constraint surrogate backing this region.
+    pub fn surrogate(&self) -> &'a GaussianProcess {
+        self.surrogate
     }
 
     /// The constraint threshold.

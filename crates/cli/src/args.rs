@@ -23,6 +23,8 @@ pub enum Command {
         no_subspace: bool,
         /// Disable approximate gradient descent.
         no_agd: bool,
+        /// Enable the local-subset sparse GP for large histories.
+        sparse_gp: bool,
         /// Optional JSON output path for the runhistory.
         out: Option<String>,
         /// Optional JSONL path for the telemetry event stream (a
@@ -48,6 +50,8 @@ pub enum Command {
         threads: Option<usize>,
         /// RNG seed.
         seed: u64,
+        /// Enable the local-subset sparse GP for large histories.
+        sparse_gp: bool,
         /// Optional JSONL path for the telemetry event stream (a
         /// `<path>.metrics.json` snapshot is written alongside).
         events: Option<String>,
@@ -132,16 +136,21 @@ otune — online Spark tuning against the built-in simulator
 USAGE:
   otune workloads
   otune tune --task <name> [--beta B] [--budget N] [--seed S]
-             [--no-safety] [--no-subspace] [--no-agd] [--out FILE]
-             [--events FILE] [--fault-profile SPEC] [--trace FILE]
+             [--no-safety] [--no-subspace] [--no-agd] [--sparse-gp]
+             [--out FILE] [--events FILE] [--fault-profile SPEC]
+             [--trace FILE]
 
   SPEC injects faults into the simulated runs, e.g.
     --fault-profile oom:0.1,straggler:0.05,lost:0.02,tmax:120,seed:7
   (rates per run; `tmax` in seconds kills runs over budget; omitted
   keys default to 0 / off).
   otune tune-fleet [--tasks N] [--budget N] [--shards S] [--threads T]
-                   [--seed S] [--events FILE] [--trace FILE]
-                   [--prom FILE]
+                   [--seed S] [--sparse-gp] [--events FILE]
+                   [--trace FILE] [--prom FILE]
+
+  --sparse-gp caps surrogate fits for long histories to the local
+  subset nearest the incumbent (also via OTUNE_SPARSE_GP=1),
+  bounding suggest latency as observations accumulate.
   otune compare --task <name> [--budget N] [--seeds K]
   otune importance --task <name> [--samples N]
   otune events --file FILE [--task ID] [--kind KIND]
@@ -166,7 +175,8 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
     // Boolean switches are per-subcommand: `--prom` takes a file for
     // `tune-fleet` but is a mode switch for `stats`.
     let switch_names: &[&str] = match cmd.as_str() {
-        "tune" => &["no-safety", "no-subspace", "no-agd"],
+        "tune" => &["no-safety", "no-subspace", "no-agd", "sparse-gp"],
+        "tune-fleet" => &["sparse-gp"],
         "stats" => &["json", "prom"],
         _ => &[],
     };
@@ -197,6 +207,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                 no_safety: switches.contains(&"no-safety".to_string()),
                 no_subspace: switches.contains(&"no-subspace".to_string()),
                 no_agd: switches.contains(&"no-agd".to_string()),
+                sparse_gp: switches.contains(&"sparse-gp".to_string()),
                 out: get("out"),
                 events: get("events"),
                 fault_profile: get("fault-profile"),
@@ -219,6 +230,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                 shards: opt_usize("shards")?,
                 threads: opt_usize("threads")?,
                 seed: num("seed", 0.0)? as u64,
+                sparse_gp: switches.contains(&"sparse-gp".to_string()),
                 events: get("events"),
                 trace: get("trace"),
                 prom: get("prom"),
@@ -324,12 +336,30 @@ mod tests {
                 no_safety: false,
                 no_subspace: false,
                 no_agd: false,
+                sparse_gp: false,
                 out: None,
                 events: None,
                 fault_profile: None,
                 trace: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_sparse_gp_switch() {
+        match parse_args(&argv("tune --task terasort --sparse-gp")).unwrap() {
+            Command::Tune { sparse_gp, .. } => assert!(sparse_gp),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_args(&argv("tune-fleet --sparse-gp --tasks 4")).unwrap() {
+            Command::TuneFleet {
+                sparse_gp, tasks, ..
+            } => {
+                assert!(sparse_gp);
+                assert_eq!(tasks, 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]
@@ -475,6 +505,7 @@ mod tests {
                 shards: None,
                 threads: None,
                 seed: 0,
+                sparse_gp: false,
                 events: None,
                 trace: None,
                 prom: None,
@@ -491,6 +522,7 @@ mod tests {
                 shards: Some(4),
                 threads: Some(2),
                 seed: 9,
+                sparse_gp: false,
                 events: Some("f.jsonl".into()),
                 trace: Some("t.json".into()),
                 prom: Some("m.prom".into()),

@@ -50,6 +50,7 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> std::io::Result<i32> {
             no_safety,
             no_subspace,
             no_agd,
+            sparse_gp,
             out: path,
             events,
             fault_profile,
@@ -75,6 +76,7 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> std::io::Result<i32> {
                 no_safety,
                 no_subspace,
                 no_agd,
+                sparse_gp,
                 path,
                 events,
                 faults,
@@ -89,11 +91,12 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> std::io::Result<i32> {
             shards,
             threads,
             seed,
+            sparse_gp,
             events,
             trace,
             prom,
         } => tune_fleet(
-            tasks, budget, shards, threads, seed, events, trace, prom, out,
+            tasks, budget, shards, threads, seed, sparse_gp, events, trace, prom, out,
         ),
         Command::Events { file, task, kind } => {
             events_cmd(&file, task.as_deref(), kind.as_deref(), out)
@@ -137,6 +140,7 @@ fn tune(
     no_safety: bool,
     no_subspace: bool,
     no_agd: bool,
+    sparse_gp: bool,
     path: Option<String>,
     events: Option<String>,
     faults: Option<FaultProfile>,
@@ -200,6 +204,11 @@ fn tune(
             n_agd: if no_agd { 0 } else { 5 },
             enable_meta: false,
             seed,
+            sparse_gp: if sparse_gp {
+                Some(otune_core::SparseGpConfig::default())
+            } else {
+                TunerOptions::default().sparse_gp
+            },
             ..TunerOptions::default()
         },
     );
@@ -291,6 +300,7 @@ fn tune_fleet(
     shards: Option<usize>,
     threads: Option<usize>,
     seed: u64,
+    sparse_gp: bool,
     events: Option<String>,
     trace: Option<String>,
     prom: Option<String>,
@@ -338,6 +348,11 @@ fn tune_fleet(
                 budget,
                 enable_meta: true,
                 seed,
+                sparse_gp: if sparse_gp {
+                    Some(otune_core::SparseGpConfig::default())
+                } else {
+                    TunerOptions::default().sparse_gp
+                },
                 ..TunerOptions::default()
             },
         );
@@ -964,6 +979,7 @@ mod tests {
                 no_safety: false,
                 no_subspace: false,
                 no_agd: false,
+                sparse_gp: false,
                 out: None,
                 events: None,
                 fault_profile: None,
@@ -991,6 +1007,7 @@ mod tests {
                 no_safety: false,
                 no_subspace: false,
                 no_agd: true,
+                sparse_gp: false,
                 out: Some(path.to_string_lossy().into_owned()),
                 events: None,
                 fault_profile: None,
@@ -1023,6 +1040,7 @@ mod tests {
                 no_safety: false,
                 no_subspace: false,
                 no_agd: true,
+                sparse_gp: false,
                 out: None,
                 events: Some(events_path.clone()),
                 fault_profile: None,
@@ -1113,6 +1131,7 @@ mod tests {
                 no_safety: false,
                 no_subspace: false,
                 no_agd: true,
+                sparse_gp: false,
                 out: None,
                 events: Some(events_path.clone()),
                 fault_profile: Some("oom:0.5,seed:3".into()),
@@ -1155,6 +1174,7 @@ mod tests {
                 no_safety: false,
                 no_subspace: false,
                 no_agd: false,
+                sparse_gp: false,
                 out: None,
                 events: None,
                 fault_profile: Some("oom:2.0".into()),
@@ -1184,6 +1204,7 @@ mod tests {
                 shards: Some(2),
                 threads: Some(2),
                 seed: 1,
+                sparse_gp: false,
                 events: Some(events_path.clone()),
                 trace: Some(trace_path.clone()),
                 prom: Some(prom_path.clone()),

@@ -17,7 +17,7 @@ use otune_bo::{
     best_observation, maximize_eic_with, AdaptiveSubspace, Agd, CandidateParams, EicObjective,
     Observation, Predictor, SafeRegion, SubspaceParams, SurrogateStore,
 };
-use otune_gp::IncrementalPolicy;
+use otune_gp::{IncrementalPolicy, SparseGpConfig};
 use otune_pool::Pool;
 use otune_space::{ConfigSpace, Configuration, Subspace};
 use otune_telemetry::{metric, EventKind, ResizeDirection, Telemetry};
@@ -84,6 +84,10 @@ pub struct GeneratorOptions {
     /// Surrogate maintenance across iterations: rank-one factor updates,
     /// warm-started hyperparameter re-searches, and the fit cache.
     pub incremental: IncrementalPolicy,
+    /// Local-subset sparse GP for histories past its threshold: surrogates
+    /// are fitted on the `subset_size` observations nearest the incumbent
+    /// instead of the full history. `None` keeps every fit exact.
+    pub sparse: Option<SparseGpConfig>,
     /// Seed for all stochastic components.
     pub seed: u64,
     /// Worker pool for surrogate fitting and acquisition maximization.
@@ -106,6 +110,7 @@ impl GeneratorOptions {
             candidates: CandidateParams::default(),
             fanova_period: 5,
             incremental: IncrementalPolicy::from_env(),
+            sparse: SparseGpConfig::from_env(),
             seed: 0,
             pool: Pool::from_env(),
         }
@@ -143,7 +148,8 @@ impl ConfigGenerator {
     ) -> Self {
         let subspace_mgr = AdaptiveSubspace::new(opts.subspace, expert_ranking);
         let rng = StdRng::seed_from_u64(opts.seed ^ 0xa5a5_5a5a_dead_beef);
-        let store = SurrogateStore::new(opts.incremental);
+        let mut store = SurrogateStore::new(opts.incremental);
+        store.set_sparse(opts.sparse);
         ConfigGenerator {
             space,
             opts,
@@ -239,10 +245,17 @@ impl ConfigGenerator {
         // updates, and full hyperparameter searches run only on the
         // store's re-search schedule. Editing history — or a transform
         // change rewriting an old target — invalidates via fingerprints.
-        let fitted = self.store.prepare(
+        // With the sparse GP enabled, the selection centers on the
+        // incumbent under the *current* context — the neighbourhood the
+        // acquisition search explores.
+        let center = self.opts.sparse.map(|_| {
+            otune_bo::surrogate::encode_with_context(&self.space, &incumbent.config, context)
+        });
+        let fitted = self.store.prepare_with_center(
             &self.space,
             &log_history,
             self.opts.seed,
+            center.as_deref(),
             &self.telemetry,
             &self.opts.pool,
         );

@@ -5,7 +5,7 @@ use crate::generator::{ConfigGenerator, GeneratorOptions, Suggestion, Suggestion
 use crate::objective::{Constraints, Objective};
 use crate::snapshot::{PendingSuggestion, ResumeError, TunerSnapshot};
 use otune_bo::{best_observation, CandidateParams, Observation, SubspaceParams};
-use otune_gp::IncrementalPolicy;
+use otune_gp::{IncrementalPolicy, SparseGpConfig};
 use otune_meta::{EnsembleSurrogate, MetaCache, TaskRecord};
 use otune_pool::Pool;
 use otune_space::{ConfigSpace, Configuration};
@@ -80,6 +80,9 @@ pub struct TunerOptions {
     /// warm-started hyperparameter re-searches, fit caches). Defaults to
     /// [`IncrementalPolicy::from_env`] (`OTUNE_INCREMENTAL`).
     pub incremental: IncrementalPolicy,
+    /// Local-subset sparse GP for large histories (`None` = always exact).
+    /// Defaults to [`SparseGpConfig::from_env`] (`OTUNE_SPARSE_GP`).
+    pub sparse_gp: Option<SparseGpConfig>,
     /// Seed for all randomized components.
     pub seed: u64,
     /// Worker pool shared by surrogate fitting, acquisition maximization,
@@ -112,6 +115,7 @@ impl Default for TunerOptions {
             subspace: None,
             candidates: CandidateParams::default(),
             incremental: IncrementalPolicy::from_env(),
+            sparse_gp: SparseGpConfig::from_env(),
             seed: 0,
             pool: Pool::from_env(),
         }
@@ -261,6 +265,7 @@ impl OnlineTuner {
             candidates: opts.candidates,
             fanova_period: 5,
             incremental: opts.incremental,
+            sparse: opts.sparse_gp,
             seed: opts.seed,
             pool: opts.pool.clone(),
         };
@@ -391,6 +396,8 @@ impl OnlineTuner {
             metric::POOL_PARALLEL_TASKS,
             pool_stats.parallel_tasks as f64,
         );
+        self.telemetry
+            .gauge(metric::SIMD_BLOCKS, otune_linalg::simd::blocks() as f64);
 
         // Stopping criterion: negligible expected improvement (§3.3).
         if self.opts.ei_stop_ratio > 0.0

@@ -132,6 +132,277 @@ impl MixedKernel {
     pub fn diag(&self) -> f64 {
         self.hyper.signal_var
     }
+
+    /// Dimension counts per feature group: `(numeric, categorical, datasize)`.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let (mut n_num, mut n_cat, mut n_ds) = (0, 0, 0);
+        for kind in &self.kinds {
+            match kind {
+                FeatureKind::Numeric => n_num += 1,
+                FeatureKind::Categorical => n_cat += 1,
+                FeatureKind::DataSize => n_ds += 1,
+            }
+        }
+        (n_num, n_cat, n_ds)
+    }
+
+    /// Group a set of encoded points by feature kind into `set` (reusing
+    /// its storage): each point becomes one `[numeric.. | categorical.. |
+    /// datasize..]` row, with each group keeping the dimensions' original
+    /// relative order. [`MixedKernel::eval`] accumulates each of its three
+    /// sums over exactly one group, in dimension order — so evaluating on
+    /// the packed layout performs the identical per-accumulator operation
+    /// sequence and produces bitwise-identical results, while the blocked
+    /// row evaluator gets branch-free contiguous segments to stream.
+    pub fn pack_rows<'a, I>(&self, xs: I, set: &mut PackedSet)
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        let (n_num, n_cat, n_ds) = self.counts();
+        set.n_num = n_num;
+        set.n_cat = n_cat;
+        set.n_ds = n_ds;
+        set.data.clear();
+        set.len = 0;
+        for x in xs {
+            debug_assert_eq!(x.len(), self.kinds.len());
+            for (kind, &v) in self.kinds.iter().zip(x) {
+                if matches!(kind, FeatureKind::Numeric) {
+                    set.data.push(v);
+                }
+            }
+            for (kind, &v) in self.kinds.iter().zip(x) {
+                if matches!(kind, FeatureKind::Categorical) {
+                    set.data.push(v);
+                }
+            }
+            for (kind, &v) in self.kinds.iter().zip(x) {
+                if matches!(kind, FeatureKind::DataSize) {
+                    set.data.push(v);
+                }
+            }
+            set.len += 1;
+        }
+        // When every row carries the bit-identical datasize segment (the
+        // common case: one task's fixed workload context), the SE factor
+        // against any probe point is shared — the row evaluator hoists it
+        // out of the candidate loop.
+        set.uniform_ds = (1..set.len).all(|r| {
+            let r0 = set.row(0).ds;
+            set.row(r)
+                .ds
+                .iter()
+                .zip(r0)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+        });
+    }
+
+    /// Hamming factors for *exact* mismatch counts: `out[c] =
+    /// exp(-c / len_categorical)` for `c = 0..=n_cat`. `eval` accumulates
+    /// mismatches by `+= 1.0`, which is exact integer arithmetic in f64,
+    /// so indexing this table with the integer count reproduces the exp
+    /// call bit for bit while removing it from the inner loop.
+    pub fn hamming_table_into(&self, n_cat: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..=n_cat).map(|c| (-(c as f64) / self.hyper.len_categorical).exp()));
+    }
+
+    /// Evaluate `k(a, set[j])` for `j < count` into `out[..count]`, four
+    /// candidates per pass.
+    ///
+    /// The four lanes are four *independent* candidates: each lane's
+    /// squared-distance and mismatch sums accumulate over the packed
+    /// dimensions in the same ascending order as [`MixedKernel::eval`],
+    /// so every output is bitwise identical to a scalar `eval` call —
+    /// the lockstep layout only lets one load of `a`'s dimension feed
+    /// four FMA chains. `hamming` must come from
+    /// [`MixedKernel::hamming_table_into`] at the current
+    /// hyperparameters. When the set's datasize segments are uniform the
+    /// SE factor is computed once against row 0 and shared (identical
+    /// inputs ⇒ identical bits).
+    pub fn eval_rows_packed(
+        &self,
+        a: PackedRow<'_>,
+        set: &PackedSet,
+        count: usize,
+        hamming: &[f64],
+        out: &mut [f64],
+    ) {
+        const LANES: usize = otune_linalg::simd::LANES;
+        debug_assert!(count <= set.len);
+        debug_assert!(hamming.len() > set.n_cat);
+        let h = &self.hyper;
+        if count == 0 {
+            return;
+        }
+        let hoisted_se = if set.uniform_ds {
+            Some(Self::se_factor(a.ds, set.row(0).ds, h))
+        } else {
+            None
+        };
+        let mut blocks = 0u64;
+        let mut j0 = 0;
+        while j0 + LANES <= count {
+            let b0 = set.row(j0);
+            let b1 = set.row(j0 + 1);
+            let b2 = set.row(j0 + 2);
+            let b3 = set.row(j0 + 3);
+            let mut sq = [0.0f64; LANES];
+            for (d, &x) in a.num.iter().enumerate() {
+                let d0 = x - b0.num[d];
+                let d1 = x - b1.num[d];
+                let d2 = x - b2.num[d];
+                let d3 = x - b3.num[d];
+                sq[0] += d0 * d0;
+                sq[1] += d1 * d1;
+                sq[2] += d2 * d2;
+                sq[3] += d3 * d3;
+            }
+            let mut mm = [0usize; LANES];
+            for (d, &x) in a.cat.iter().enumerate() {
+                mm[0] += ((x - b0.cat[d]).abs() > 1e-9) as usize;
+                mm[1] += ((x - b1.cat[d]).abs() > 1e-9) as usize;
+                mm[2] += ((x - b2.cat[d]).abs() > 1e-9) as usize;
+                mm[3] += ((x - b3.cat[d]).abs() > 1e-9) as usize;
+            }
+            let se = match hoisted_se {
+                Some(se) => [se; LANES],
+                None => {
+                    let mut sq_ds = [0.0f64; LANES];
+                    for (d, &x) in a.ds.iter().enumerate() {
+                        let d0 = x - b0.ds[d];
+                        let d1 = x - b1.ds[d];
+                        let d2 = x - b2.ds[d];
+                        let d3 = x - b3.ds[d];
+                        sq_ds[0] += d0 * d0;
+                        sq_ds[1] += d1 * d1;
+                        sq_ds[2] += d2 * d2;
+                        sq_ds[3] += d3 * d3;
+                    }
+                    let denom = h.len_datasize * h.len_datasize;
+                    [
+                        (-0.5 * sq_ds[0] / denom).exp(),
+                        (-0.5 * sq_ds[1] / denom).exp(),
+                        (-0.5 * sq_ds[2] / denom).exp(),
+                        (-0.5 * sq_ds[3] / denom).exp(),
+                    ]
+                }
+            };
+            for t in 0..LANES {
+                let r = sq[t].sqrt() / h.len_numeric;
+                let s5r = 5f64.sqrt() * r;
+                let matern = (1.0 + s5r + 5.0 * r * r / 3.0) * (-s5r).exp();
+                out[j0 + t] = h.signal_var * matern * hamming[mm[t]] * se[t];
+            }
+            blocks += 1;
+            j0 += LANES;
+        }
+        for (j, o) in out.iter_mut().enumerate().take(count).skip(j0) {
+            *o = Self::eval_packed_pair(a, set.row(j), h, hamming, hoisted_se);
+        }
+        otune_linalg::simd::record_blocks(blocks);
+    }
+
+    /// One packed-pair evaluation — the scalar tail of
+    /// [`MixedKernel::eval_rows_packed`], bitwise-matching
+    /// [`MixedKernel::eval`].
+    fn eval_packed_pair(
+        a: PackedRow<'_>,
+        b: PackedRow<'_>,
+        h: &KernelHyper,
+        hamming: &[f64],
+        hoisted_se: Option<f64>,
+    ) -> f64 {
+        let mut sq_num = 0.0;
+        for (x, y) in a.num.iter().zip(b.num) {
+            let d = x - y;
+            sq_num += d * d;
+        }
+        let mut mm = 0usize;
+        for (x, y) in a.cat.iter().zip(b.cat) {
+            mm += ((x - y).abs() > 1e-9) as usize;
+        }
+        let se = match hoisted_se {
+            Some(se) => se,
+            None => Self::se_factor(a.ds, b.ds, h),
+        };
+        let r = sq_num.sqrt() / h.len_numeric;
+        let s5r = 5f64.sqrt() * r;
+        let matern = (1.0 + s5r + 5.0 * r * r / 3.0) * (-s5r).exp();
+        h.signal_var * matern * hamming[mm] * se
+    }
+
+    /// The SE factor over packed datasize segments, in `eval`'s exact
+    /// expression order.
+    fn se_factor(ads: &[f64], bds: &[f64], h: &KernelHyper) -> f64 {
+        let mut sq_ds = 0.0;
+        for (x, y) in ads.iter().zip(bds) {
+            let d = x - y;
+            sq_ds += d * d;
+        }
+        (-0.5 * sq_ds / (h.len_datasize * h.len_datasize)).exp()
+    }
+}
+
+/// One point's kind-grouped segments inside a [`PackedSet`].
+#[derive(Debug, Clone, Copy)]
+pub struct PackedRow<'a> {
+    /// Numeric dimensions, original relative order.
+    pub num: &'a [f64],
+    /// Categorical dimensions, original relative order.
+    pub cat: &'a [f64],
+    /// Data-size dimensions, original relative order.
+    pub ds: &'a [f64],
+}
+
+/// A set of encoded points re-laid-out by feature kind (see
+/// [`MixedKernel::pack_rows`]): one contiguous `[num | cat | ds]` row per
+/// point, so the blocked kernel evaluator streams homogeneous segments
+/// instead of branching on [`FeatureKind`] per dimension. Reused across
+/// calls as scratch — packing never allocates once warm.
+#[derive(Debug, Clone, Default)]
+pub struct PackedSet {
+    n_num: usize,
+    n_cat: usize,
+    n_ds: usize,
+    len: usize,
+    data: Vec<f64>,
+    uniform_ds: bool,
+}
+
+impl PackedSet {
+    /// Number of packed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of categorical dimensions per row.
+    pub fn n_cat(&self) -> usize {
+        self.n_cat
+    }
+
+    /// Whether every row's datasize segment is bit-identical (enables SE
+    /// hoisting in the row evaluator).
+    pub fn uniform_ds(&self) -> bool {
+        self.uniform_ds
+    }
+
+    /// Borrow row `i` as its three kind segments.
+    #[inline]
+    pub fn row(&self, i: usize) -> PackedRow<'_> {
+        let stride = self.n_num + self.n_cat + self.n_ds;
+        let base = i * stride;
+        PackedRow {
+            num: &self.data[base..base + self.n_num],
+            cat: &self.data[base + self.n_num..base + self.n_num + self.n_cat],
+            ds: &self.data[base + self.n_num + self.n_cat..base + stride],
+        }
+    }
 }
 
 #[cfg(test)]

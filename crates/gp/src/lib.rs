@@ -15,11 +15,13 @@
 
 mod kernel;
 mod model;
+pub mod sparse;
 mod stats;
 
-pub use kernel::{FeatureKind, KernelHyper, MixedKernel};
+pub use kernel::{FeatureKind, KernelHyper, MixedKernel, PackedRow, PackedSet};
 pub use model::{
     GaussianProcess, GpBatchScratch, GpConfig, GpError, GpScratch, IncrementalPolicy,
     SearchTrigger, UpdateOutcome,
 };
+pub use sparse::{select_local_subset, SparseGpConfig};
 pub use stats::{norm_cdf, norm_pdf};

@@ -1,6 +1,7 @@
 //! Gaussian-process regression with LML-based hyperparameter fitting.
 
-use crate::kernel::{FeatureKind, KernelHyper, MixedKernel};
+use crate::kernel::{FeatureKind, KernelHyper, MixedKernel, PackedSet};
+use crate::sparse::{select_local_subset, SparseGpConfig};
 use otune_linalg::{Cholesky, LinalgError, Matrix};
 use otune_pool::Pool;
 use otune_telemetry::Telemetry;
@@ -56,6 +57,12 @@ pub struct GpConfig {
     /// (ahead of the defaults and the random draws); without, the fit
     /// uses exactly these hyperparameters — a "same-hyper full refit".
     pub warm_hyper: Option<KernelHyper>,
+    /// Local-subset sparse approximation: when set and the history
+    /// exceeds the threshold, [`GaussianProcess::fit_sparse_traced`]
+    /// fits on the `subset_size` nearest neighbours of the query center
+    /// instead of the full history. `None` keeps the exact GP (and the
+    /// bitwise determinism contract).
+    pub sparse: Option<SparseGpConfig>,
 }
 
 impl Default for GpConfig {
@@ -66,6 +73,7 @@ impl Default for GpConfig {
             n_refine: 3,
             seed: 0,
             warm_hyper: None,
+            sparse: None,
         }
     }
 }
@@ -255,12 +263,20 @@ impl GaussianProcess {
         };
         let ys: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
 
+        // Rough per-candidate cost model for the adaptive serial cutoff:
+        // O(n²·d) kernel assembly plus O(n³) factorization, in
+        // nanoseconds. Only gates worker dispatch — never results.
+        let per_candidate_ns = {
+            let n = x.len() as u64;
+            let d = (kinds.len() as u64).max(1);
+            n * n / 2 * d * 4 + n * n * n / 6 * 2
+        };
         let evaluate = |hypers: &[KernelHyper]| -> Vec<Option<(Cholesky, Vec<f64>, f64)>> {
             // Capture the caller's span (the `hyper_search` span) so
             // worker threads parent their candidate spans under it; ids
             // are keyed by candidate index, not scheduling order.
             let ctx = telemetry.trace_ctx();
-            pool.map(hypers, |i, &hyper| {
+            pool.map_adaptive(hypers, per_candidate_ns, |i, &hyper| {
                 let _adopted = telemetry.trace_adopt(ctx.clone());
                 let _span = telemetry.trace_span_keyed("hyper_candidate", i as u64);
                 let kernel = MixedKernel::new(kinds.clone(), hyper);
@@ -371,15 +387,69 @@ impl GaussianProcess {
         })
     }
 
+    /// Sparse-aware fit: when `cfg.sparse` is set and the history
+    /// exceeds its threshold, fit an exact GP on the `subset_size`
+    /// training points nearest `center` under the default-hyper kernel
+    /// (see [`select_local_subset`]); otherwise fall through to the
+    /// exact [`GaussianProcess::fit_traced`]. Returns the fitted model
+    /// plus the selected indices (`None` when the fit stayed exact) so
+    /// callers can cache by subset identity and count activations.
+    pub fn fit_sparse_traced(
+        kinds: Vec<FeatureKind>,
+        x: &[Vec<f64>],
+        y: &[f64],
+        center: &[f64],
+        cfg: GpConfig,
+        pool: &Pool,
+        telemetry: &Telemetry,
+    ) -> Result<(Self, Option<Vec<usize>>), GpError> {
+        if let Some(sparse) = cfg.sparse {
+            if sparse.activates(x.len()) {
+                let idx = select_local_subset(&kinds, x, center, sparse.subset_size);
+                let sub_x: Vec<Vec<f64>> = idx.iter().map(|&i| x[i].clone()).collect();
+                let sub_y: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
+                let gp = Self::fit_traced(kinds, sub_x, &sub_y, cfg, pool, telemetry)?;
+                return Ok((gp, Some(idx)));
+            }
+        }
+        let gp = Self::fit_traced(kinds, x.to_vec(), y, cfg, pool, telemetry)?;
+        Ok((gp, None))
+    }
+
     /// The noisy covariance `K + τ²I` over the training inputs.
+    ///
+    /// With blocked kernels enabled (the default), the lower triangle is
+    /// assembled row-by-row on the packed kind-grouped layout, four
+    /// entries per pass; each entry performs the identical operation
+    /// sequence as [`MixedKernel::eval`], so both paths produce
+    /// bitwise-identical matrices (pinned by proptests).
     fn build_cov(kernel: &MixedKernel, x: &[Vec<f64>]) -> Result<Matrix, GpError> {
         let n = x.len();
         let mut k = Matrix::zeros(n, n);
-        for i in 0..n {
-            for j in 0..=i {
-                let v = kernel.eval(&x[i], &x[j]);
-                k[(i, j)] = v;
-                k[(j, i)] = v;
+        if otune_linalg::simd::enabled() {
+            thread_local! {
+                static SCRATCH: RefCell<(PackedSet, Vec<f64>)> = RefCell::new(Default::default());
+            }
+            SCRATCH.with(|s| {
+                let (packed, hamming) = &mut *s.borrow_mut();
+                kernel.pack_rows(x.iter().map(Vec::as_slice), packed);
+                kernel.hamming_table_into(packed.n_cat(), hamming);
+                for i in 0..n {
+                    kernel.eval_rows_packed(packed.row(i), packed, i + 1, hamming, k.row_mut(i));
+                }
+            });
+            for i in 0..n {
+                for j in 0..i {
+                    k[(j, i)] = k[(i, j)];
+                }
+            }
+        } else {
+            for i in 0..n {
+                for j in 0..=i {
+                    let v = kernel.eval(&x[i], &x[j]);
+                    k[(i, j)] = v;
+                    k[(j, i)] = v;
+                }
             }
         }
         k.add_diagonal(kernel.hyper.noise_var)?;
@@ -710,15 +780,44 @@ impl GaussianProcess {
         }
         scratch.mean.clear();
         scratch.mean.resize(m, 0.0);
-        for i in 0..n {
-            let xi = &self.x[i];
-            let alpha_i = self.alpha[i];
-            let row = scratch.kc.row_mut(i);
-            for (j, x) in xs.iter().enumerate() {
-                debug_assert_eq!(x.len(), self.kernel.dim());
-                let k = self.kernel.eval(xi, x);
-                row[j] = k;
-                scratch.mean[j] += k * alpha_i;
+        if otune_linalg::simd::enabled() {
+            // Blocked cross-kernel assembly: pack both sides by feature
+            // kind, then stream each train row against four candidates at
+            // a time. Per (i, j) pair the operation sequence matches the
+            // scalar `eval` loop exactly, and the mean accumulates its
+            // `i` terms in the same ascending order — bitwise-identical
+            // output, one branch-free pass per row.
+            self.kernel
+                .pack_rows(self.x.iter().map(Vec::as_slice), &mut scratch.train_packed);
+            self.kernel
+                .pack_rows(xs.iter().map(Vec::as_slice), &mut scratch.cand_packed);
+            self.kernel
+                .hamming_table_into(scratch.cand_packed.n_cat(), &mut scratch.hamming);
+            for i in 0..n {
+                let alpha_i = self.alpha[i];
+                let row = scratch.kc.row_mut(i);
+                self.kernel.eval_rows_packed(
+                    scratch.train_packed.row(i),
+                    &scratch.cand_packed,
+                    m,
+                    &scratch.hamming,
+                    row,
+                );
+                for (mj, &k) in scratch.mean.iter_mut().zip(row.iter()) {
+                    *mj += k * alpha_i;
+                }
+            }
+        } else {
+            for i in 0..n {
+                let xi = &self.x[i];
+                let alpha_i = self.alpha[i];
+                let row = scratch.kc.row_mut(i);
+                for (j, x) in xs.iter().enumerate() {
+                    debug_assert_eq!(x.len(), self.kernel.dim());
+                    let k = self.kernel.eval(xi, x);
+                    row[j] = k;
+                    scratch.mean[j] += k * alpha_i;
+                }
             }
         }
         // Kc now holds the cross-kernel; overwrite it with V = L⁻¹ Kc.
@@ -779,6 +878,9 @@ pub struct GpBatchScratch {
     kc: Matrix,
     mean: Vec<f64>,
     sq_norm: Vec<f64>,
+    train_packed: PackedSet,
+    cand_packed: PackedSet,
+    hamming: Vec<f64>,
 }
 
 impl Default for GpBatchScratch {
@@ -787,6 +889,9 @@ impl Default for GpBatchScratch {
             kc: Matrix::zeros(0, 0),
             mean: Vec::new(),
             sq_norm: Vec::new(),
+            train_packed: PackedSet::default(),
+            cand_packed: PackedSet::default(),
+            hamming: Vec::new(),
         }
     }
 }

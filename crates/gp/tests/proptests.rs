@@ -1,7 +1,15 @@
 //! Property-based tests for Gaussian-process regression.
 
-use otune_gp::{FeatureKind, GaussianProcess, GpConfig, KernelHyper, MixedKernel};
+use otune_gp::{FeatureKind, GaussianProcess, GpConfig, KernelHyper, MixedKernel, PackedSet};
 use proptest::prelude::*;
+
+fn kind() -> impl Strategy<Value = FeatureKind> {
+    (0u8..3).prop_map(|t| match t {
+        0 => FeatureKind::Numeric,
+        1 => FeatureKind::Categorical,
+        _ => FeatureKind::DataSize,
+    })
+}
 
 fn rows(n: usize, d: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
     proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, d), n)
@@ -91,6 +99,60 @@ proptest! {
         let p1 = g1.predict_mean(&[0.33]);
         let p2 = g2.predict_mean(&[0.33]);
         prop_assert!((p2 - (p1 * scale + shift)).abs() < 1e-6 * (1.0 + scale + shift.abs()));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The blocked packed-row kernel evaluator is bitwise-identical to the
+    /// scalar `eval` loop, across random kind interleavings, hyper draws,
+    /// and candidate counts covering lane tails (including counts < 4).
+    #[test]
+    fn packed_row_eval_matches_plain_bitwise(
+        kinds in proptest::collection::vec(kind(), 1..9),
+        count in 1usize..14,
+        seed in 0u64..10_000,
+        logs in proptest::collection::vec(-1.5f64..1.5, 5),
+        snap_cats in any::<bool>(),
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let d = kinds.len();
+        let hyper = KernelHyper::from_log([logs[0], logs[1], logs[2], logs[3], logs[4]]);
+        let kernel = MixedKernel::new(kinds.clone(), hyper);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let draw_row = |rng: &mut StdRng| -> Vec<f64> {
+            kinds.iter().map(|k| {
+                let v: f64 = rng.gen();
+                // Snapping categoricals to {0, 1} exercises the exact-match
+                // (zero-mismatch) branch; unsnapped values exercise the
+                // 1e-9 tolerance comparison.
+                if snap_cats && matches!(k, FeatureKind::Categorical) {
+                    v.round()
+                } else {
+                    v
+                }
+            }).collect()
+        };
+        let a: Vec<f64> = draw_row(&mut rng);
+        let bs: Vec<Vec<f64>> = (0..count).map(|_| draw_row(&mut rng)).collect();
+
+        let mut set = PackedSet::default();
+        kernel.pack_rows(bs.iter().map(Vec::as_slice), &mut set);
+        let mut a_set = PackedSet::default();
+        kernel.pack_rows(std::iter::once(a.as_slice()), &mut a_set);
+        let mut hamming = Vec::new();
+        kernel.hamming_table_into(set.n_cat(), &mut hamming);
+        let mut out = vec![0.0; count];
+        kernel.eval_rows_packed(a_set.row(0), &set, count, &hamming, &mut out);
+
+        for (j, b) in bs.iter().enumerate() {
+            let want = kernel.eval(&a, b);
+            prop_assert_eq!(
+                out[j].to_bits(), want.to_bits(),
+                "candidate {} of {} (d={})", j, count, d
+            );
+        }
     }
 }
 

@@ -10,6 +10,7 @@
 
 mod cholesky;
 mod matrix;
+pub mod simd;
 
 pub use cholesky::Cholesky;
 pub use matrix::Matrix;

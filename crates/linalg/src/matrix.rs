@@ -178,6 +178,18 @@ impl Matrix {
     /// order from `0.0`, so the result is bitwise identical to the naive
     /// triple loop (and to [`Matrix::matmul_into`]).
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if crate::simd::enabled() {
+            self.matmul_blocked(other)
+        } else {
+            self.matmul_scalar(other)
+        }
+    }
+
+    /// Scalar reference product: transposed-B tiles with one fold per
+    /// output. Kept verbatim as the bitwise ground truth for the 4-wide
+    /// microkernel.
+    #[doc(hidden)]
+    pub fn matmul_scalar(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols != other.rows {
             return Err(LinalgError::ShapeMismatch {
                 left: self.shape(),
@@ -205,6 +217,60 @@ impl Matrix {
                 }
             }
         }
+        Ok(out)
+    }
+
+    /// 4-wide microkernel product: inside each tile, four output columns
+    /// share one streaming pass over the A row, each accumulating its own
+    /// ascending-`k` sum from `0.0` — the same per-output operation order
+    /// as [`Matrix::matmul_scalar`], so results are bitwise identical
+    /// while one A-row load feeds four independent FMA chains.
+    #[doc(hidden)]
+    pub fn matmul_blocked(&self, other: &Matrix) -> Result<Matrix> {
+        const LANES: usize = crate::simd::LANES;
+        if self.cols != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let bt = other.transpose();
+        let mut blocks = 0u64;
+        for i0 in (0..self.rows).step_by(MATMUL_BLOCK) {
+            let i_end = (i0 + MATMUL_BLOCK).min(self.rows);
+            for j0 in (0..bt.rows).step_by(MATMUL_BLOCK) {
+                let j_end = (j0 + MATMUL_BLOCK).min(bt.rows);
+                for i in i0..i_end {
+                    let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+                    let orow = &mut out.data[i * bt.rows..(i + 1) * bt.rows];
+                    let mut j = j0;
+                    while j + LANES <= j_end {
+                        let b0 = bt.row(j);
+                        let b1 = bt.row(j + 1);
+                        let b2 = bt.row(j + 2);
+                        let b3 = bt.row(j + 3);
+                        let mut acc = [0.0f64; LANES];
+                        for (k, &x) in arow.iter().enumerate() {
+                            acc[0] += x * b0[k];
+                            acc[1] += x * b1[k];
+                            acc[2] += x * b2[k];
+                            acc[3] += x * b3[k];
+                        }
+                        orow[j..j + LANES].copy_from_slice(&acc);
+                        blocks += 1;
+                        j += LANES;
+                    }
+                    for (o, j) in orow[j..j_end].iter_mut().zip(j..) {
+                        *o = arow
+                            .iter()
+                            .zip(bt.row(j))
+                            .fold(0.0, |acc, (&x, &y)| acc + x * y);
+                    }
+                }
+            }
+        }
+        crate::simd::record_blocks(blocks);
         Ok(out)
     }
 

@@ -1,0 +1,87 @@
+//! Runtime dispatch and accounting for the SIMD-style blocked kernels.
+//!
+//! The blocked kernels in this crate ([`Cholesky`] factorization panels,
+//! multi-RHS triangular solves, [`Matrix::matmul`] microkernels, and the
+//! kernel-row assembly in `otune-gp`) widen their inner loops to
+//! [`LANES`] independent f64 accumulators. The lanes always map to
+//! *independent outputs* (distinct matrix entries, distinct columns,
+//! distinct candidates) — never to partial sums of one output — so every
+//! output element still accumulates its terms in the exact scalar order
+//! and the blocked results are bitwise identical to the scalar reference
+//! loops. What the blocking buys is instruction-level parallelism: four
+//! dependent FMA chains run in lockstep instead of one, which is where
+//! the serial-math-bound suggest path spends its time.
+//!
+//! Dispatch is process-wide: `OTUNE_SIMD=0` forces every kernel onto its
+//! scalar reference loop (the blocked path is the default). Because the
+//! two paths are bitwise identical by construction — and pinned by
+//! `to_bits` proptests — the switch only exists for benchmarking and for
+//! bisecting miscompiles, not for correctness.
+//!
+//! [`Cholesky`]: crate::Cholesky
+//! [`Matrix::matmul`]: crate::Matrix::matmul
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable controlling blocked-kernel dispatch. Any value
+/// other than `0`/`false`/`off` (case-insensitive) leaves blocking on.
+pub const SIMD_ENV: &str = "OTUNE_SIMD";
+
+/// Lane width of the blocked kernels: 4 independent f64 accumulators,
+/// matching one AVX2 register (and two NEON registers) so the lockstep
+/// loops vectorize cleanly, while keeping tail handling cheap for the
+/// small matrices the suggest path works with.
+pub const LANES: usize = 4;
+
+/// Process-wide count of 4-lane blocks executed by blocked kernels.
+static SIMD_BLOCKS: AtomicU64 = AtomicU64::new(0);
+
+/// Whether the blocked kernels are enabled (decided once per process
+/// from [`SIMD_ENV`]; defaults to enabled).
+pub fn enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        std::env::var(SIMD_ENV)
+            .map(|v| {
+                let v = v.trim().to_ascii_lowercase();
+                !(v == "0" || v == "false" || v == "off")
+            })
+            .unwrap_or(true)
+    })
+}
+
+/// Add `n` executed lane blocks to the process-wide counter. Kernels
+/// batch their counts locally and call this once per invocation, so the
+/// atomic never sits on a hot inner loop.
+#[inline]
+pub fn record_blocks(n: u64) {
+    if n > 0 {
+        SIMD_BLOCKS.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Total 4-lane blocks executed by blocked kernels so far in this
+/// process. Surfaced as the `simd_blocks` telemetry gauge.
+pub fn blocks() -> u64 {
+    SIMD_BLOCKS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let before = blocks();
+        record_blocks(3);
+        record_blocks(0); // no-op, must not panic
+        assert!(blocks() >= before + 3);
+    }
+
+    #[test]
+    fn enabled_is_stable() {
+        // Whatever the environment says, repeated calls agree.
+        assert_eq!(enabled(), enabled());
+    }
+}

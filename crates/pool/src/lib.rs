@@ -31,6 +31,16 @@ pub const THREADS_ENV: &str = "OTUNE_THREADS";
 /// Upper bound on workers; guards against absurd env values.
 const MAX_THREADS: usize = 256;
 
+/// Environment variable overriding the adaptive serial cutoff
+/// (estimated nanoseconds of total map work below which
+/// [`Pool::map_adaptive`] stays on the caller thread).
+pub const SERIAL_CUTOFF_ENV: &str = "OTUNE_POOL_CUTOFF_NS";
+
+/// Default adaptive serial cutoff: scoped spawning costs a few tens of
+/// microseconds per map, so maps estimated under ~400µs of total work
+/// lose more to dispatch than they gain from width.
+const DEFAULT_SERIAL_CUTOFF_NS: u64 = 400_000;
+
 /// Monotonic usage counters, shared by all clones of a [`Pool`].
 #[derive(Debug, Default)]
 struct PoolStats {
@@ -40,6 +50,9 @@ struct PoolStats {
     parallel_tasks: AtomicU64,
     /// `map` invocations served on the caller thread.
     sequential_maps: AtomicU64,
+    /// `map_adaptive` invocations inlined by the work-estimate cutoff
+    /// (maps that would otherwise have dispatched workers).
+    serial_cutoff_maps: AtomicU64,
 }
 
 /// Snapshot of a pool's usage counters.
@@ -51,6 +64,20 @@ pub struct PoolStatsSnapshot {
     pub parallel_tasks: u64,
     /// `map` invocations served on the caller thread.
     pub sequential_maps: u64,
+    /// `map_adaptive` invocations inlined by the work-estimate cutoff.
+    pub serial_cutoff_maps: u64,
+}
+
+/// The adaptive serial cutoff in estimated nanoseconds, read once per
+/// process from [`SERIAL_CUTOFF_ENV`].
+fn serial_cutoff_ns() -> u64 {
+    static CUTOFF: OnceLock<u64> = OnceLock::new();
+    *CUTOFF.get_or_init(|| {
+        std::env::var(SERIAL_CUTOFF_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(DEFAULT_SERIAL_CUTOFF_NS)
+    })
 }
 
 /// A deterministic scoped worker pool.
@@ -116,7 +143,37 @@ impl Pool {
             parallel_maps: self.stats.parallel_maps.load(Ordering::Relaxed),
             parallel_tasks: self.stats.parallel_tasks.load(Ordering::Relaxed),
             sequential_maps: self.stats.sequential_maps.load(Ordering::Relaxed),
+            serial_cutoff_maps: self.stats.serial_cutoff_maps.load(Ordering::Relaxed),
         }
+    }
+
+    /// [`Pool::map`] with an adaptive serial cutoff: when the estimated
+    /// total work (`per_item_cost_ns × items`) is below the cutoff
+    /// (`OTUNE_POOL_CUTOFF_NS`, default 400µs), run inline on the caller
+    /// thread instead of dispatching workers — at that scale the scoped
+    /// spawn costs more than the parallelism recovers, which is why
+    /// width-4 pools historically *lost* to width-1 on small GP fits.
+    ///
+    /// The inline path evaluates the same pure `f(i, &items[i])` in index
+    /// order, so results are bitwise-identical to the dispatched path and
+    /// the width-invariance contract is untouched; only wall-clock
+    /// changes. The cost estimate only gates dispatch — it never alters
+    /// values.
+    pub fn map_adaptive<T, R, F>(&self, items: &[T], per_item_cost_ns: u64, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let total = per_item_cost_ns.saturating_mul(items.len() as u64);
+        if self.threads > 1 && items.len() > 1 && total < serial_cutoff_ns() {
+            self.stats
+                .serial_cutoff_maps
+                .fetch_add(1, Ordering::Relaxed);
+            self.stats.sequential_maps.fetch_add(1, Ordering::Relaxed);
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        self.map(items, f)
     }
 
     /// Apply `f` to every item and return the results in item order.
@@ -222,6 +279,35 @@ mod tests {
         assert_eq!(s.parallel_maps, 2);
         assert_eq!(s.parallel_tasks, 20);
         assert_eq!(s.sequential_maps, 1);
+    }
+
+    #[test]
+    fn map_adaptive_inlines_small_work_and_dispatches_large() {
+        let pool = Pool::new(4);
+        let items: Vec<u64> = (0..32).collect();
+        // Tiny per-item cost: inlined, counted as a cutoff map.
+        let small = pool.map_adaptive(&items, 10, |i, &v| v + i as u64);
+        // Huge per-item cost: dispatched to workers.
+        let large = pool.map_adaptive(&items, 10_000_000, |i, &v| v + i as u64);
+        assert_eq!(small, large);
+        let s = pool.stats();
+        assert_eq!(s.serial_cutoff_maps, 1);
+        assert_eq!(s.parallel_maps, 1);
+    }
+
+    #[test]
+    fn map_adaptive_matches_map_bitwise() {
+        let items: Vec<f64> = (0..57).map(|i| i as f64 * 0.73).collect();
+        let f = |i: usize, v: &f64| (v.cos() * 1e5 + i as f64).sin();
+        let want = Pool::sequential().map(&items, f);
+        for width in [1, 2, 4, 8] {
+            for cost in [1u64, 1_000_000_000] {
+                let got = Pool::new(width).map_adaptive(&items, cost, f);
+                for (a, b) in want.iter().zip(&got) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "width {width} cost {cost}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -68,6 +68,24 @@ impl Configuration {
         }
         s
     }
+
+    /// Integer dedup key: a `(tag, payload)` pair per value, equal exactly
+    /// when [`dedup_key`](Self::dedup_key) strings are equal (floats compare
+    /// by bit pattern, which coincides with their full-precision rendering
+    /// for every finite value the decoders produce). Hashing machine words
+    /// instead of formatting floats keeps deduplication off the
+    /// per-suggest critical path.
+    pub fn dedup_key_fast(&self) -> Vec<(u8, u64)> {
+        self.values
+            .iter()
+            .map(|v| match v {
+                ParamValue::Int(x) => (0u8, *x as u64),
+                ParamValue::Float(x) => (1u8, x.to_bits()),
+                ParamValue::Categorical(x) => (2u8, *x as u64),
+                ParamValue::Bool(x) => (3u8, u64::from(*x)),
+            })
+            .collect()
+    }
 }
 
 impl std::ops::Index<usize> for Configuration {
@@ -101,6 +119,28 @@ mod tests {
         assert_ne!(a.dedup_key(), b.dedup_key());
         assert_ne!(a.dedup_key(), c.dedup_key());
         assert_eq!(a.dedup_key(), a.clone().dedup_key());
+    }
+
+    #[test]
+    fn fast_key_matches_string_key_equality() {
+        let configs = [
+            Configuration::new(vec![ParamValue::Int(3), ParamValue::Bool(true)]),
+            Configuration::new(vec![ParamValue::Int(3), ParamValue::Bool(false)]),
+            Configuration::new(vec![ParamValue::Float(3.0), ParamValue::Bool(true)]),
+            Configuration::new(vec![ParamValue::Float(3.0 + 1e-15), ParamValue::Bool(true)]),
+            Configuration::new(vec![ParamValue::Float(-0.0), ParamValue::Bool(true)]),
+            Configuration::new(vec![ParamValue::Float(0.0), ParamValue::Bool(true)]),
+            Configuration::new(vec![ParamValue::Categorical(2), ParamValue::Bool(true)]),
+        ];
+        for a in &configs {
+            for b in &configs {
+                assert_eq!(
+                    a.dedup_key() == b.dedup_key(),
+                    a.dedup_key_fast() == b.dedup_key_fast(),
+                    "key equivalence diverged for {a:?} vs {b:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -87,6 +87,12 @@ pub mod metric {
     /// Counter: warm-start injections served from the cached similarity
     /// model without retraining.
     pub const SIMILARITY_REUSES: &str = "similarity_reuses";
+    /// Counter: suggest iterations where the local-subset sparse GP
+    /// replaced the exact surrogate (history past the sparse threshold).
+    pub const SUBSET_GP_ACTIVATIONS: &str = "subset_gp_activations";
+    /// Gauge: cumulative 4-lane blocks executed by the SIMD-style
+    /// linalg/kernel paths (0 when `OTUNE_SIMD=0` forces scalar).
+    pub const SIMD_BLOCKS: &str = "simd_blocks";
     /// Counter: events lost by the sink (ring overwrites, I/O failures).
     /// Folded into every snapshot so losses are reported, never silent.
     pub const EVENTS_DROPPED: &str = "events_dropped";

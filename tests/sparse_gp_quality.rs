@@ -1,0 +1,101 @@
+//! Suggestion-quality regression gate for the local-subset sparse GP.
+//!
+//! The sparse surrogate is an approximation — unlike the SIMD-blocked
+//! kernels it is *not* bitwise-equal to the exact path — so it is gated
+//! behaviorally instead: across full 30-iteration online campaigns on
+//! several seeds, tuning with the sparse GP active (threshold lowered so
+//! it actually engages) must reach a final incumbent within a small
+//! tolerance of the exact GP's, and must actually have taken the sparse
+//! path.
+
+use otune_core::prelude::*;
+use otune_core::telemetry::metric;
+use otune_core::SparseGpConfig;
+use std::sync::Arc;
+
+fn toy_space() -> ConfigSpace {
+    use otune_space::Parameter;
+    ConfigSpace::new(vec![
+        Parameter::int("n", 1, 50, 10),
+        Parameter::int("m", 1, 32, 8),
+    ])
+}
+
+fn toy_eval(c: &Configuration) -> (f64, f64) {
+    let n = c[0].as_int().unwrap() as f64;
+    let m = c[1].as_int().unwrap() as f64;
+    (400.0 / n + 30.0 / m + 10.0, n * (1.0 + 0.5 * m))
+}
+
+fn toy_resource(c: &Configuration) -> f64 {
+    toy_eval(c).1
+}
+
+/// Run one full campaign; returns the best objective and the number of
+/// sparse activations recorded.
+fn campaign(seed: u64, sparse: Option<SparseGpConfig>) -> (f64, u64) {
+    let iterations = 30;
+    let opts = TunerOptions {
+        budget: iterations,
+        seed,
+        sparse_gp: sparse,
+        ..TunerOptions::default()
+    };
+    let mut tuner = OnlineTuner::with_resource_fn(toy_space(), opts, Arc::new(toy_resource));
+    let telemetry = Telemetry::new(Box::new(otune_core::telemetry::NullSink));
+    tuner.set_telemetry(telemetry.clone());
+    for _ in 0..iterations {
+        let cfg = tuner.suggest(&[]).unwrap();
+        let (rt, r) = toy_eval(&cfg);
+        tuner.observe(cfg, rt, r, &[]).unwrap();
+    }
+    let best = tuner.best().expect("campaign produced observations");
+    let snap = telemetry.snapshot().unwrap();
+    let activations = snap
+        .counters
+        .get(metric::SUBSET_GP_ACTIVATIONS)
+        .copied()
+        .unwrap_or(0);
+    (best.objective, activations)
+}
+
+#[test]
+fn sparse_campaigns_match_exact_incumbent_within_tolerance() {
+    // Threshold low enough that a 30-iteration history activates the
+    // subset selection for roughly the second half of the campaign.
+    let sparse = SparseGpConfig {
+        threshold: 16,
+        subset_size: 12,
+    };
+    let mut ratios = Vec::new();
+    for seed in [3, 11, 42] {
+        let (exact_best, exact_act) = campaign(seed, None);
+        let (sparse_best, sparse_act) = campaign(seed, Some(sparse));
+        assert_eq!(exact_act, 0, "exact arm must never take the sparse path");
+        assert!(
+            sparse_act > 0,
+            "sparse arm never activated at seed {seed} — threshold misconfigured?"
+        );
+        // Per-seed: the sparse incumbent may differ but not collapse.
+        assert!(
+            sparse_best <= exact_best * 1.30,
+            "seed {seed}: sparse incumbent {sparse_best:.2} vs exact {exact_best:.2}"
+        );
+        ratios.push(sparse_best / exact_best);
+    }
+    // In aggregate the approximation must be close to free.
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    assert!(
+        mean <= 1.10,
+        "mean sparse/exact incumbent ratio too high: {mean:.3} ({ratios:?})"
+    );
+}
+
+#[test]
+fn sparse_flag_off_is_default() {
+    // Guard against the env flag silently flipping defaults in tests.
+    let opts = TunerOptions::default();
+    if std::env::var("OTUNE_SPARSE_GP").is_err() {
+        assert!(opts.sparse_gp.is_none());
+    }
+}
