@@ -13,6 +13,12 @@
 //!   1-thread pool (the sharding overhead floor).
 //! * `fleet-sharded` — batched waves over 8 shards on a 4-thread pool.
 //!
+//! A fifth arm, `cold-retrieval`, registers every task with pre-known
+//! meta-features against a tuning corpus mirroring the base runhistories:
+//! burn-in suggestions come from k-NN retrieval (no ensemble build), so
+//! its traces intentionally differ from the other arms and are excluded
+//! from the identity assert.
+//!
 //! The acceptance bar: at 200 tasks the shared meta store must lift
 //! single-threaded suggestions/sec by ≥ 2× over cold private caches.
 //! Results land in `BENCH_fleet_throughput.json` under the results
@@ -23,7 +29,7 @@ use otune_bench::{results_dir, Table};
 use otune_bo::Observation;
 use otune_core::fleet::{FleetOptions, FleetReport, FleetRequest};
 use otune_core::{DataRepository, OnlineTuneController, OnlineTuner, TaskHandle, TunerOptions};
-use otune_meta::{SharedMetaStore, TaskRecord};
+use otune_meta::{CorpusRecord, SharedMetaStore, TaskRecord, TuningCorpus};
 use otune_pool::Pool;
 use otune_space::{ConfigSpace, Configuration, Parameter};
 use rand::rngs::StdRng;
@@ -150,8 +156,39 @@ fn run_tuners(n_tasks: usize, bases: &[TaskRecord], shared: bool) -> ArmResult {
     }
 }
 
-/// Drive `n_tasks` through the controller's batched wave API.
-fn run_fleet(n_tasks: usize, bases: &[TaskRecord], shards: usize, threads: usize) -> ArmResult {
+/// A tuning corpus mirroring the base tasks' runhistories, queried by the
+/// `cold-retrieval` arm for zero-execution bootstraps.
+fn base_corpus(bases: &[TaskRecord]) -> TuningCorpus {
+    let mut corpus = TuningCorpus::in_memory();
+    for base in bases {
+        for obs in base.observations.iter().take(25) {
+            corpus
+                .append(CorpusRecord {
+                    task_id: base.task_id.clone(),
+                    meta_features: base.meta_features.clone(),
+                    config: obs.config.clone(),
+                    objective: obs.objective,
+                    runtime: obs.runtime,
+                    resource: obs.resource,
+                    failed: false,
+                })
+                .expect("in-memory append");
+        }
+    }
+    corpus
+}
+
+/// Drive `n_tasks` through the controller's batched wave API. With
+/// `retrieval`, tasks register with pre-known meta-features against a
+/// corpus built from the base records, so burn-in comes from k-NN
+/// retrieval instead of low-discrepancy sampling.
+fn run_fleet_with(
+    n_tasks: usize,
+    bases: &[TaskRecord],
+    shards: usize,
+    threads: usize,
+    retrieval: bool,
+) -> ArmResult {
     let space = toy_space();
     let mut ctl = OnlineTuneController::with_options(
         Arc::new(DataRepository::new()),
@@ -161,13 +198,22 @@ fn run_fleet(n_tasks: usize, bases: &[TaskRecord], shards: usize, threads: usize
             pool: Pool::new(threads),
         },
     );
+    if retrieval {
+        ctl.set_corpus(base_corpus(bases));
+    }
     let handles: Vec<TaskHandle> = (0..n_tasks)
         .map(|t| {
-            ctl.create_task(
-                &format!("fleet-task-{t}"),
-                toy_space(),
-                task_options(t, bases),
-            )
+            let task_id = format!("fleet-task-{t}");
+            if retrieval {
+                ctl.create_task_with_features(
+                    &task_id,
+                    toy_space(),
+                    task_options(t, bases),
+                    vec![(t % N_BASES) as f64, 1.0, 2.0],
+                )
+            } else {
+                ctl.create_task(&task_id, toy_space(), task_options(t, bases))
+            }
         })
         .collect();
     let mut traces: Vec<Trace> = vec![Vec::new(); n_tasks];
@@ -254,7 +300,7 @@ fn main() {
     let mut warm_speedup_at_largest = 0.0;
     for &n_tasks in fleet_sizes {
         let n_calls = (n_tasks * BUDGET) as f64;
-        let arms: [(&'static str, usize, usize, bool, ArmResult); 4] = [
+        let arms: [(&'static str, usize, usize, bool, ArmResult); 5] = [
             (
                 "tuner-cold",
                 1,
@@ -269,23 +315,41 @@ fn main() {
                 true,
                 run_tuners(n_tasks, &bases, true),
             ),
-            ("fleet-seq", 1, 1, true, run_fleet(n_tasks, &bases, 1, 1)),
+            (
+                "fleet-seq",
+                1,
+                1,
+                true,
+                run_fleet_with(n_tasks, &bases, 1, 1, false),
+            ),
             (
                 "fleet-sharded",
                 8,
                 4,
                 true,
-                run_fleet(n_tasks, &bases, 8, 4),
+                run_fleet_with(n_tasks, &bases, 8, 4, false),
+            ),
+            (
+                "cold-retrieval",
+                1,
+                1,
+                true,
+                run_fleet_with(n_tasks, &bases, 1, 1, true),
             ),
         ];
         // Determinism cross-check: sharing caches and batching waves must
-        // not change a single suggestion.
-        for (arm, _, _, _, res) in &arms[1..] {
+        // not change a single suggestion. The cold-retrieval arm is
+        // excluded by design — retrieval replaces its burn-in prefix.
+        for (arm, _, _, _, res) in &arms[1..4] {
             assert_eq!(
                 res.traces, arms[0].4.traces,
                 "arm {arm} changed a task trace at {n_tasks} tasks"
             );
         }
+        assert_ne!(
+            arms[4].4.traces, arms[0].4.traces,
+            "cold-retrieval arm did not engage retrieval at {n_tasks} tasks"
+        );
         let cold_rate = n_calls / arms[0].4.suggest_s;
         let warm_rate = n_calls / arms[1].4.suggest_s;
         warm_speedup_at_largest = warm_rate / cold_rate;

@@ -36,6 +36,10 @@ pub enum Command {
         /// Optional Chrome-trace/Perfetto JSON output path; enables
         /// hierarchical tracing for the run.
         trace: Option<String>,
+        /// Optional tuning-corpus JSONL path: the calibration run's
+        /// meta-features retrieve a zero-execution bootstrap, and every
+        /// completed observation is appended back.
+        corpus: Option<String>,
     },
     /// Drive a simulated fleet of periodic tasks through the batched
     /// controller (sharded waves, shared meta store) and print throughput.
@@ -61,6 +65,10 @@ pub enum Command {
         /// Optional Prometheus text-format sidecar path for the final
         /// metrics snapshot.
         prom: Option<String>,
+        /// Optional tuning-corpus JSONL path: cold tasks bootstrap from
+        /// k-NN retrieval over it, and every completed observation is
+        /// appended back.
+        corpus: Option<String>,
     },
     /// Compare strategies on one task.
     Compare {
@@ -113,8 +121,39 @@ pub enum Command {
         /// once and exit).
         watch: Option<f64>,
     },
+    /// Inspect, build, or query a persistent tuning corpus.
+    Corpus {
+        /// What to do with the corpus.
+        action: CorpusAction,
+        /// Corpus JSONL path.
+        file: String,
+    },
     /// Print usage.
     Help,
+}
+
+/// Sub-action of `otune corpus`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CorpusAction {
+    /// Simulate a fleet, append its outcomes, and persist the
+    /// standardization statistics.
+    Build {
+        /// Number of simulated tasks.
+        tasks: usize,
+        /// Periodic executions per task.
+        budget: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Print record/task/torn counts and standardization state.
+    Stats,
+    /// k-NN query using a workload's default-run meta-features.
+    Query {
+        /// Workload name whose features form the query.
+        task: String,
+        /// Neighbors to retrieve.
+        k: usize,
+    },
 }
 
 /// Argument-parsing failures, with a user-facing message.
@@ -138,7 +177,7 @@ USAGE:
   otune tune --task <name> [--beta B] [--budget N] [--seed S]
              [--no-safety] [--no-subspace] [--no-agd] [--sparse-gp]
              [--out FILE] [--events FILE] [--fault-profile SPEC]
-             [--trace FILE]
+             [--trace FILE] [--corpus FILE]
 
   SPEC injects faults into the simulated runs, e.g.
     --fault-profile oom:0.1,straggler:0.05,lost:0.02,tmax:120,seed:7
@@ -146,11 +185,19 @@ USAGE:
   keys default to 0 / off).
   otune tune-fleet [--tasks N] [--budget N] [--shards S] [--threads T]
                    [--seed S] [--sparse-gp] [--events FILE]
-                   [--trace FILE] [--prom FILE]
+                   [--trace FILE] [--prom FILE] [--corpus FILE]
 
   --sparse-gp caps surrogate fits for long histories to the local
   subset nearest the incumbent (also via OTUNE_SPARSE_GP=1),
   bounding suggest latency as observations accumulate.
+  --corpus attaches a persistent tuning corpus (append-only JSONL):
+  cold tasks bootstrap their first suggestions from k-NN retrieval
+  over past (meta-features, config, outcome) records instead of
+  low-discrepancy burn-in, and every completed observation is
+  appended back for future fleets.
+  otune corpus build --file FILE [--tasks N] [--budget N] [--seed S]
+  otune corpus stats --file FILE
+  otune corpus query --file FILE --task <name> [--k K]
   otune compare --task <name> [--budget N] [--seeds K]
   otune importance --task <name> [--samples N]
   otune events --file FILE [--task ID] [--kind KIND]
@@ -172,6 +219,20 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
     let Some(cmd) = argv.first() else {
         return Ok(Command::Help);
     };
+    // `corpus` takes a positional sub-action before its flags.
+    let (action, flag_args) = if cmd == "corpus" {
+        match argv.get(1).map(String::as_str) {
+            Some(a @ ("build" | "stats" | "query")) => (Some(a), &argv[2..]),
+            other => {
+                return Err(ParseError(format!(
+                    "corpus expects build|stats|query, got {:?}",
+                    other.unwrap_or("")
+                )))
+            }
+        }
+    } else {
+        (None, &argv[1..])
+    };
     // Boolean switches are per-subcommand: `--prom` takes a file for
     // `tune-fleet` but is a mode switch for `stats`.
     let switch_names: &[&str] = match cmd.as_str() {
@@ -180,7 +241,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
         "stats" => &["json", "prom"],
         _ => &[],
     };
-    let (flags, switches) = split_flags(&argv[1..], switch_names)?;
+    let (flags, switches) = split_flags(flag_args, switch_names)?;
     let get = |k: &str| flags.get(k).cloned();
     let req_task =
         || get("task").ok_or_else(|| ParseError("missing required --task <name>".into()));
@@ -212,6 +273,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                 events: get("events"),
                 fault_profile: get("fault-profile"),
                 trace: get("trace"),
+                corpus: get("corpus"),
             })
         }
         "tune-fleet" => {
@@ -234,7 +296,25 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                 events: get("events"),
                 trace: get("trace"),
                 prom: get("prom"),
+                corpus: get("corpus"),
             })
+        }
+        "corpus" => {
+            let file =
+                get("file").ok_or_else(|| ParseError("missing required --file FILE".into()))?;
+            let action = match action.expect("corpus action parsed above") {
+                "build" => CorpusAction::Build {
+                    tasks: num("tasks", 16.0)? as usize,
+                    budget: num("budget", 5.0)? as usize,
+                    seed: num("seed", 0.0)? as u64,
+                },
+                "stats" => CorpusAction::Stats,
+                _ => CorpusAction::Query {
+                    task: req_task()?,
+                    k: num("k", 3.0)? as usize,
+                },
+            };
+            Ok(Command::Corpus { action, file })
         }
         "compare" => Ok(Command::Compare {
             task: req_task()?,
@@ -341,6 +421,7 @@ mod tests {
                 events: None,
                 fault_profile: None,
                 trace: None,
+                corpus: None,
             }
         );
     }
@@ -509,6 +590,7 @@ mod tests {
                 events: None,
                 trace: None,
                 prom: None,
+                corpus: None,
             }
         );
         assert_eq!(
@@ -526,9 +608,57 @@ mod tests {
                 events: Some("f.jsonl".into()),
                 trace: Some("t.json".into()),
                 prom: Some("m.prom".into()),
+                corpus: None,
             }
         );
         assert!(parse_args(&argv("tune-fleet --shards x")).is_err());
+    }
+
+    #[test]
+    fn parses_corpus_flag_and_subcommand() {
+        match parse_args(&argv("tune --task terasort --corpus c.jsonl")).unwrap() {
+            Command::Tune { corpus, .. } => assert_eq!(corpus.as_deref(), Some("c.jsonl")),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_args(&argv("tune-fleet --tasks 8 --corpus c.jsonl")).unwrap() {
+            Command::TuneFleet { corpus, .. } => assert_eq!(corpus.as_deref(), Some("c.jsonl")),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            parse_args(&argv(
+                "corpus build --file c.jsonl --tasks 8 --budget 3 --seed 5"
+            ))
+            .unwrap(),
+            Command::Corpus {
+                action: CorpusAction::Build {
+                    tasks: 8,
+                    budget: 3,
+                    seed: 5,
+                },
+                file: "c.jsonl".into(),
+            }
+        );
+        assert_eq!(
+            parse_args(&argv("corpus stats --file c.jsonl")).unwrap(),
+            Command::Corpus {
+                action: CorpusAction::Stats,
+                file: "c.jsonl".into(),
+            }
+        );
+        assert_eq!(
+            parse_args(&argv("corpus query --file c.jsonl --task terasort --k 5")).unwrap(),
+            Command::Corpus {
+                action: CorpusAction::Query {
+                    task: "terasort".into(),
+                    k: 5,
+                },
+                file: "c.jsonl".into(),
+            }
+        );
+        assert!(parse_args(&argv("corpus")).is_err());
+        assert!(parse_args(&argv("corpus frobnicate --file c.jsonl")).is_err());
+        assert!(parse_args(&argv("corpus build")).is_err());
+        assert!(parse_args(&argv("corpus query --file c.jsonl")).is_err());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Command implementations for the `otune` binary.
 
-use crate::args::Command;
+use crate::args::{Command, CorpusAction};
 use otune_baselines::{CherryPick, Dac, Locat, RandomSearch, Rfhoc, Tuneful, Tuner};
 use otune_bo::Observation;
 use otune_core::fleet::{FleetOptions, FleetReport, FleetRequest};
@@ -10,7 +10,9 @@ use otune_core::telemetry::{
 };
 use otune_core::{Objective, OnlineTuneController, OnlineTuner, TaskHandle, TunerOptions};
 use otune_forest::Fanova;
-use otune_meta::extract_meta_features;
+use otune_meta::{
+    extract_meta_features, CorpusRecord, TuningCorpus, DEFAULT_MAX_DISTANCE, DEFAULT_RETRIEVAL_K,
+};
 use otune_pool::Pool;
 use otune_space::{spark_param_names, spark_space, ClusterScale, SparkParam};
 use otune_sparksim::{hibench_task, ClusterSpec, FaultProfile, HibenchTask, SimJob};
@@ -55,6 +57,7 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> std::io::Result<i32> {
             events,
             fault_profile,
             trace,
+            corpus,
         } => {
             let Some(task) = find_task(&task) else {
                 writeln!(out, "unknown task {task:?}; run `otune workloads`")?;
@@ -81,6 +84,7 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> std::io::Result<i32> {
                 events,
                 faults,
                 trace,
+                corpus,
                 out,
             )?;
             Ok(0)
@@ -95,9 +99,11 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> std::io::Result<i32> {
             events,
             trace,
             prom,
+            corpus,
         } => tune_fleet(
-            tasks, budget, shards, threads, seed, sparse_gp, events, trace, prom, out,
+            tasks, budget, shards, threads, seed, sparse_gp, events, trace, prom, corpus, out,
         ),
+        Command::Corpus { action, file } => corpus_cmd(action, &file, out),
         Command::Events { file, task, kind } => {
             events_cmd(&file, task.as_deref(), kind.as_deref(), out)
         }
@@ -145,6 +151,7 @@ fn tune(
     events: Option<String>,
     faults: Option<FaultProfile>,
     trace: Option<String>,
+    corpus: Option<String>,
     out: &mut dyn Write,
 ) -> std::io::Result<()> {
     // `--trace` turns on hierarchical tracing seeded by the run seed, so
@@ -175,6 +182,33 @@ fn tune(
         "tuning {} (β = {beta}, budget {budget}, T_max = 2x default = {t_max:.0}s)",
         task.name(),
     )?;
+    // The calibration run's event log is a pre-existing manual execution:
+    // its meta-features query the corpus for a zero-execution bootstrap
+    // before any tuned run happens.
+    let mut corpus_store = match &corpus {
+        Some(p) => Some(TuningCorpus::open(p.as_str())?),
+        None => None,
+    };
+    let query = extract_meta_features(&baseline.event_log);
+    let retrieval_configs = match &corpus_store {
+        Some(c) => c.index_for(query.len()).bootstrap_with(
+            &space,
+            &query,
+            DEFAULT_RETRIEVAL_K,
+            DEFAULT_MAX_DISTANCE,
+            &telemetry,
+        ),
+        None => Vec::new(),
+    };
+    if let Some(c) = &corpus_store {
+        writeln!(
+            out,
+            "corpus: {} record(s) over {} task(s); retrieval bootstrap: {} config(s)",
+            c.len(),
+            c.n_tasks(),
+            retrieval_configs.len(),
+        )?;
+    }
     let job = match faults {
         Some(mut p) => {
             // An unset kill budget defaults to the tuner's T_max: runs the
@@ -209,15 +243,35 @@ fn tune(
             } else {
                 TunerOptions::default().sparse_gp
             },
+            retrieval_configs,
             ..TunerOptions::default()
         },
     );
     tuner.set_telemetry(telemetry.clone());
+    let record_outcome =
+        |c: &mut TuningCorpus, cfg: &otune_space::Configuration, rt: f64, res: f64, ok: bool| {
+            c.append(CorpusRecord {
+                task_id: task.name().to_string(),
+                meta_features: query.clone(),
+                config: cfg.clone(),
+                objective: Objective::new(beta).eval(rt, res),
+                runtime: rt,
+                resource: res,
+                failed: !ok || rt > t_max,
+            })
+        };
+    if let Some(c) = corpus_store.as_mut() {
+        // The manual-default calibration run is itself a corpus record.
+        record_outcome(c, &default_cfg, baseline.runtime_s, baseline.resource, true)?;
+    }
     tuner.seed_observation(default_cfg, baseline.runtime_s, baseline.resource, &[]);
 
     for t in 1..=budget as u64 {
         let cfg = tuner.suggest(&[]).expect("alternating protocol");
         let r = job.run(&cfg, t);
+        if let Some(c) = corpus_store.as_mut() {
+            record_outcome(c, &cfg, r.runtime_s, r.resource, !r.status.is_failure())?;
+        }
         let status = if matches!(r.status, otune_sparksim::ExecutionStatus::Success) {
             String::new()
         } else {
@@ -255,6 +309,9 @@ fn tune(
         best.config[SparkParam::ExecutorMemory.index()],
         best.config[SparkParam::DefaultParallelism.index()],
     )?;
+    if let Some(c) = &corpus_store {
+        writeln!(out, "corpus now holds {} record(s)", c.len())?;
+    }
     if let Some(path) = path {
         let json = serde_json::to_string_pretty(tuner.history()).expect("runhistory serializes");
         std::fs::write(&path, json)?;
@@ -304,6 +361,7 @@ fn tune_fleet(
     events: Option<String>,
     trace: Option<String>,
     prom: Option<String>,
+    corpus: Option<String>,
     out: &mut dyn Write,
 ) -> std::io::Result<i32> {
     let mut fleet = FleetOptions::from_env();
@@ -334,28 +392,55 @@ fn tune_fleet(
         fleet,
     );
     ctl.set_telemetry(telemetry.clone());
+    // With a corpus attached, each task's manual-default calibration run
+    // (the run that exists before tuning starts) supplies the meta-feature
+    // query for a zero-execution retrieval bootstrap, and every completed
+    // observation is appended back for future fleets.
+    let retrieve = match &corpus {
+        Some(p) => {
+            let c = TuningCorpus::open(p.as_str())?;
+            writeln!(
+                out,
+                "corpus: {} record(s) over {} task(s) from {p}",
+                c.len(),
+                c.n_tasks(),
+            )?;
+            let usable = !c.is_empty();
+            ctl.set_corpus(c);
+            usable
+        }
+        None => false,
+    };
     let mut handles: Vec<TaskHandle> = Vec::with_capacity(tasks);
     let mut jobs: Vec<SimJob> = Vec::with_capacity(tasks);
     for i in 0..tasks {
         let workload = workloads[i % workloads.len()];
         let job =
             SimJob::new(ClusterSpec::hibench(), hibench_task(workload)).with_seed(seed + i as u64);
-        let handle = ctl.create_task(
-            &format!("{}-{i}", workload.name()),
-            space.clone(),
-            TunerOptions {
-                beta: 0.5,
-                budget,
-                enable_meta: true,
-                seed,
-                sparse_gp: if sparse_gp {
-                    Some(otune_core::SparseGpConfig::default())
-                } else {
-                    TunerOptions::default().sparse_gp
-                },
-                ..TunerOptions::default()
+        let options = TunerOptions {
+            beta: 0.5,
+            budget,
+            enable_meta: true,
+            seed,
+            sparse_gp: if sparse_gp {
+                Some(otune_core::SparseGpConfig::default())
+            } else {
+                TunerOptions::default().sparse_gp
             },
-        );
+            ..TunerOptions::default()
+        };
+        let task_id = format!("{}-{i}", workload.name());
+        let handle = if retrieve {
+            let calibration = job.run(&space.default_configuration(), 0);
+            ctl.create_task_with_features(
+                &task_id,
+                space.clone(),
+                options,
+                extract_meta_features(&calibration.event_log),
+            )
+        } else {
+            ctl.create_task(&task_id, space.clone(), options)
+        };
         handles.push(handle);
         jobs.push(job);
     }
@@ -414,6 +499,13 @@ fn tune_fleet(
         .filter_map(|h| ctl.best_config(h).ok().flatten().map(|_| h))
         .count();
     writeln!(out, "{best}/{tasks} task(s) hold an incumbent")?;
+    if corpus.is_some() {
+        writeln!(
+            out,
+            "corpus now holds {} record(s)",
+            ctl.shared_meta().corpus_len()
+        )?;
+    }
 
     telemetry.flush();
     if let Some(snapshot) = telemetry.snapshot() {
@@ -443,6 +535,125 @@ fn tune_fleet(
         write_attribution(&attribute(&spans), out)?;
     }
     Ok(0)
+}
+
+/// `otune corpus build|stats|query`: manage a persistent tuning corpus.
+fn corpus_cmd(action: CorpusAction, file: &str, out: &mut dyn Write) -> std::io::Result<i32> {
+    match action {
+        CorpusAction::Build {
+            tasks,
+            budget,
+            seed,
+        } => {
+            // A fleet run with the corpus attached appends every completed
+            // observation; persisting the standardization statistics
+            // afterwards makes retrieval distances scale-invariant for
+            // whoever loads the file next.
+            let code = tune_fleet(
+                tasks,
+                budget,
+                None,
+                None,
+                seed,
+                false,
+                None,
+                None,
+                None,
+                Some(file.to_string()),
+                out,
+            )?;
+            if code != 0 {
+                return Ok(code);
+            }
+            let mut c = TuningCorpus::open(file)?;
+            match c.persist_stats()? {
+                Some(stats) => writeln!(
+                    out,
+                    "standardization stats persisted over {} record(s)",
+                    stats.n
+                )?,
+                None => writeln!(out, "corpus is empty; no stats persisted")?,
+            }
+            Ok(0)
+        }
+        CorpusAction::Stats => {
+            let c = TuningCorpus::open(file)?;
+            writeln!(
+                out,
+                "corpus {file}: {} record(s), {} task(s), {} torn line(s)",
+                c.len(),
+                c.n_tasks(),
+                c.torn_lines(),
+            )?;
+            if let Some(width) = c.dominant_width() {
+                writeln!(out, "meta-feature width: {width} (dominant)")?;
+                match c.stats_for(width) {
+                    Some(s) => writeln!(
+                        out,
+                        "standardization stats: over {} record(s) at width {width}",
+                        s.n
+                    )?,
+                    None => writeln!(out, "standardization stats: none")?,
+                }
+            }
+            let failed = c.records().iter().filter(|r| r.failed).count();
+            writeln!(out, "failed (never retrieved): {failed} record(s)")?;
+            Ok(0)
+        }
+        CorpusAction::Query { task, k } => {
+            let Some(workload) = find_task(&task) else {
+                writeln!(out, "unknown task {task:?}; run `otune workloads`")?;
+                return Ok(2);
+            };
+            let c = TuningCorpus::open(file)?;
+            let space = spark_space(ClusterScale::hibench());
+            let job = SimJob::new(ClusterSpec::hibench(), hibench_task(workload));
+            let query =
+                extract_meta_features(&job.run(&space.default_configuration(), 0).event_log);
+            let index = c.index_for(query.len());
+            if index.is_empty() {
+                writeln!(
+                    out,
+                    "corpus {file} holds no usable record at width {} ({} record(s) total)",
+                    query.len(),
+                    c.len(),
+                )?;
+                return Ok(2);
+            }
+            writeln!(
+                out,
+                "top-{k} neighbors of {} in {file} ({} task(s) indexed):",
+                workload.name(),
+                index.len(),
+            )?;
+            for r in index.nearest(&query, k) {
+                writeln!(
+                    out,
+                    "  {:<24} distance {:>8.4}  objective {:>12.1}",
+                    r.point.task_id, r.distance, r.point.objective,
+                )?;
+            }
+            match index.bootstrap(&space, &query, k, DEFAULT_MAX_DISTANCE) {
+                Some(configs) => {
+                    let blend = &configs[0];
+                    writeln!(
+                        out,
+                        "blended bootstrap: executors {} x {}c x {}g, parallelism {} ({} config(s))",
+                        blend[SparkParam::ExecutorInstances.index()],
+                        blend[SparkParam::ExecutorCores.index()],
+                        blend[SparkParam::ExecutorMemory.index()],
+                        blend[SparkParam::DefaultParallelism.index()],
+                        configs.len(),
+                    )?;
+                }
+                None => writeln!(
+                    out,
+                    "no neighbor within distance {DEFAULT_MAX_DISTANCE}; tuning would fall back to low-discrepancy burn-in"
+                )?,
+            }
+            Ok(0)
+        }
+    }
 }
 
 /// `otune events`: replay a JSONL event stream, optionally filtered by
@@ -757,6 +968,7 @@ fn render_top(file: &str, out: &mut dyn Write) -> std::io::Result<i32> {
                 ("shared-meta", "shared_meta_hits", "shared_meta_misses"),
                 ("shared-dist", "shared_dist_hits", "shared_dist_misses"),
                 ("base-gp", "meta_base_cache_hits", "meta_base_cache_misses"),
+                ("retrieval", "retrieval_hits", "retrieval_misses"),
             ] {
                 let (h, m) = (counter(hits), counter(misses));
                 if h + m > 0 {
@@ -984,6 +1196,7 @@ mod tests {
                 events: None,
                 fault_profile: None,
                 trace: None,
+                corpus: None,
             },
             &mut buf,
         )
@@ -1012,6 +1225,7 @@ mod tests {
                 events: None,
                 fault_profile: None,
                 trace: None,
+                corpus: None,
             },
             &mut buf,
         )
@@ -1045,6 +1259,7 @@ mod tests {
                 events: Some(events_path.clone()),
                 fault_profile: None,
                 trace: None,
+                corpus: None,
             },
             &mut buf,
         )
@@ -1136,6 +1351,7 @@ mod tests {
                 events: Some(events_path.clone()),
                 fault_profile: Some("oom:0.5,seed:3".into()),
                 trace: None,
+                corpus: None,
             },
             &mut buf,
         )
@@ -1179,6 +1395,7 @@ mod tests {
                 events: None,
                 fault_profile: Some("oom:2.0".into()),
                 trace: None,
+                corpus: None,
             },
             &mut buf,
         )
@@ -1208,6 +1425,7 @@ mod tests {
                 events: Some(events_path.clone()),
                 trace: Some(trace_path.clone()),
                 prom: Some(prom_path.clone()),
+                corpus: None,
             },
             &mut buf,
         )
@@ -1325,6 +1543,101 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("fleet_requests"), "{text}");
         assert!(text.contains("fleet_reports"), "{text}");
+    }
+
+    #[test]
+    fn corpus_build_stats_query_and_cold_start_tune() {
+        let dir = std::env::temp_dir().join("otune_cli_corpus_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let corpus_path = dir.join("corpus.jsonl").to_string_lossy().into_owned();
+
+        // Build: a small fleet seeds the corpus, then stats are persisted.
+        let mut buf = Vec::new();
+        let code = run(
+            Command::Corpus {
+                action: CorpusAction::Build {
+                    tasks: 3,
+                    budget: 3,
+                    seed: 1,
+                },
+                file: corpus_path.clone(),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("corpus now holds"), "{text}");
+        assert!(text.contains("standardization stats persisted"), "{text}");
+
+        // Stats reports the record/task counts and the persisted stats.
+        let mut buf = Vec::new();
+        let code = run(
+            Command::Corpus {
+                action: CorpusAction::Stats,
+                file: corpus_path.clone(),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("3 task(s)"), "{text}");
+        assert!(text.contains("meta-feature width: 75"), "{text}");
+        assert!(text.contains("standardization stats: over"), "{text}");
+
+        // Query retrieves neighbors for a workload's default-run features.
+        let mut buf = Vec::new();
+        let code = run(
+            Command::Corpus {
+                action: CorpusAction::Query {
+                    task: "wordcount".into(),
+                    k: 2,
+                },
+                file: corpus_path.clone(),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("top-2 neighbors"), "{text}");
+        assert!(
+            text.contains("blended bootstrap") || text.contains("fall back"),
+            "{text}"
+        );
+
+        // A cold tune with --corpus bootstraps from retrieval and appends
+        // its own outcomes back.
+        let before = TuningCorpus::open(corpus_path.as_str()).unwrap().len();
+        let mut buf = Vec::new();
+        let code = run(
+            Command::Tune {
+                task: "terasort".into(),
+                beta: 0.5,
+                budget: 3,
+                seed: 2,
+                no_safety: false,
+                no_subspace: false,
+                no_agd: true,
+                sparse_gp: false,
+                out: None,
+                events: None,
+                fault_profile: None,
+                trace: None,
+                corpus: Some(corpus_path.clone()),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("retrieval bootstrap"), "{text}");
+        let after = TuningCorpus::open(corpus_path.as_str()).unwrap();
+        // Calibration record + 3 tuned iterations land on top.
+        assert_eq!(after.len(), before + 4, "{text}");
+        assert_eq!(after.torn_lines(), 0);
     }
 
     #[test]

@@ -19,7 +19,10 @@ use crate::fleet::{FleetOptions, FleetReport};
 use crate::repository::DataRepository;
 use crate::tuner::{OnlineTuner, TunerError, TunerOptions};
 use otune_bo::Observation;
-use otune_meta::{warm_start_configs_with, SharedMetaStore, SimilarityLearner};
+use otune_meta::{
+    warm_start_configs_with, CorpusRecord, SharedMetaStore, SimilarityLearner, TuningCorpus,
+    DEFAULT_MAX_DISTANCE, DEFAULT_RETRIEVAL_K,
+};
 use otune_space::{ConfigSpace, Configuration};
 use otune_telemetry::{metric, EventKind, Telemetry};
 use std::collections::HashMap;
@@ -160,6 +163,16 @@ impl OnlineTuneController {
         &self.fleet
     }
 
+    /// Attach a tuning corpus: every completed observation reported to the
+    /// controller is appended to it, and
+    /// [`OnlineTuneController::create_task_with_features`] retrieves its
+    /// zero-execution bootstrap configurations from it.
+    pub fn set_corpus(&self, corpus: TuningCorpus) {
+        self.telemetry
+            .gauge(metric::CORPUS_RECORDS, corpus.len() as f64);
+        self.shared_meta.set_corpus(corpus);
+    }
+
     /// The shard index a handle hashes to.
     pub(crate) fn shard_of(&self, handle: &TaskHandle) -> usize {
         (fnv1a(handle.as_str()) % self.shards.len() as u64) as usize
@@ -206,6 +219,33 @@ impl OnlineTuneController {
         self.telemetry
             .gauge(metric::FLEET_TASKS, self.n_tasks() as f64);
         handle
+    }
+
+    /// Register a tuning task whose meta-features are already known from a
+    /// pre-existing run's event log (the manual-default calibration run),
+    /// enabling a **zero-execution cold start**: before any tuned run, the
+    /// attached corpus is queried by k-NN over the standardized features
+    /// and the retrieved configurations replace the leading burn-in
+    /// suggestions. Without a corpus (or when no neighbor clears the
+    /// similarity threshold) this is exactly
+    /// [`OnlineTuneController::create_task`].
+    pub fn create_task_with_features(
+        &mut self,
+        task_id: &str,
+        space: ConfigSpace,
+        mut options: TunerOptions,
+        meta_features: Vec<f64>,
+    ) -> TaskHandle {
+        let telemetry = self.telemetry.for_task(task_id);
+        options.retrieval_configs = self.shared_meta.retrieval_bootstrap(
+            &space,
+            &meta_features,
+            DEFAULT_RETRIEVAL_K,
+            DEFAULT_MAX_DISTANCE,
+            &telemetry,
+        );
+        self.repository.set_meta_features(task_id, meta_features);
+        self.create_task(task_id, space, options)
     }
 
     /// Number of registered tasks.
@@ -257,11 +297,12 @@ impl OnlineTuneController {
             meta_features,
         };
         let repository = Arc::clone(&self.repository);
+        let shared = Arc::clone(&self.shared_meta);
         let idx = self.shard_of(handle);
         let entry = unpoison(self.shards[idx].get_mut())
             .get_mut(handle)
             .ok_or(ControllerError::UnknownTask)?;
-        let inject = Self::absorb_report(&repository, entry, &report)?;
+        let inject = Self::absorb_report(&repository, &shared, entry, &report)?;
         self.sim.reports_since_refit += 1;
         if let Some(features) = inject {
             self.maybe_inject(handle, &features);
@@ -275,6 +316,7 @@ impl OnlineTuneController {
     /// caller in a deterministic sequential phase).
     pub(crate) fn absorb_report(
         repository: &DataRepository,
+        shared: &SharedMetaStore,
         entry: &mut TaskEntry,
         report: &FleetReport<'_>,
     ) -> Result<Option<Vec<f64>>, ControllerError> {
@@ -290,23 +332,48 @@ impl OnlineTuneController {
         let opts = entry.tuner.options();
         let constraint_violated = opts.t_max.is_some_and(|t| report.runtime_s > t)
             || opts.r_max.is_some_and(|r| report.resource > r);
+        let objective = entry
+            .tuner
+            .objective()
+            .eval(report.runtime_s, report.resource);
         entry.telemetry.emit(
             entry.tuner.history().len() as u64,
             EventKind::ObservationReported {
                 runtime: report.runtime_s,
                 resource: report.resource,
-                objective: entry
-                    .tuner
-                    .objective()
-                    .eval(report.runtime_s, report.resource),
+                objective,
                 constraint_violated,
             },
         );
+        let mut recorded = false;
         if let Some(obs) = entry.tuner.history().last() {
             // Mirror into the repository (post-stop runs are not recorded
             // by the tuner, so guard on matching config).
             if obs.config == report.config {
                 repository.record_observation(report.handle.as_str(), Observation::clone(obs));
+                recorded = true;
+            }
+        }
+        if recorded && shared.has_corpus() {
+            let features = report
+                .meta_features
+                .clone()
+                .or_else(|| repository.meta_features(report.handle.as_str()));
+            if let Some(meta_features) = features {
+                // Best-effort: an I/O failure loses one corpus record, it
+                // never fails the tuning step itself.
+                let _ = shared.record_outcome(
+                    CorpusRecord {
+                        task_id: report.handle.as_str().to_string(),
+                        meta_features,
+                        config: report.config.clone(),
+                        objective,
+                        runtime: report.runtime_s,
+                        resource: report.resource,
+                        failed: constraint_violated,
+                    },
+                    &entry.telemetry,
+                );
             }
         }
         if let Some(features) = &report.meta_features {
@@ -596,6 +663,76 @@ mod tests {
         ctl.report_result(&h2, c2, rt2, r2, &[], None).unwrap();
         assert_eq!(ctl.repository().task("a").unwrap().observations.len(), 1);
         assert_eq!(ctl.repository().task("b").unwrap().observations.len(), 1);
+    }
+
+    /// Drive `n` budget-4 iterations of a task, reporting `features` with
+    /// the first result, and return the suggestion trace.
+    fn drive(
+        ctl: &mut OnlineTuneController,
+        h: &TaskHandle,
+        n: usize,
+        features: Option<Vec<f64>>,
+    ) -> Vec<Configuration> {
+        let mut trace = Vec::new();
+        for i in 0..n {
+            let cfg = ctl.request_config(h, &[]).unwrap();
+            let (rt, r) = toy_eval(&cfg);
+            let f = if i == 0 { features.clone() } else { None };
+            ctl.report_result(h, cfg.clone(), rt, r, &[], f).unwrap();
+            trace.push(cfg);
+        }
+        trace
+    }
+
+    #[test]
+    fn corpus_records_reports_and_bootstraps_cold_tasks() {
+        let (tm, _sink) = otune_telemetry::Telemetry::ring(256);
+        let mut ctl = OnlineTuneController::new();
+        ctl.set_telemetry(tm);
+        ctl.set_corpus(otune_meta::TuningCorpus::in_memory());
+        let opts = TunerOptions {
+            budget: 4,
+            ..Default::default()
+        };
+        // Two source tasks feed the corpus: the first report carries the
+        // meta-features, later ones find them in the repository.
+        for (tid, f) in [("src-a", 0.0), ("src-b", 4.0)] {
+            let h = ctl.create_task(tid, toy_space(), opts.clone());
+            drive(&mut ctl, &h, 4, Some(vec![f, f + 1.0]));
+        }
+        assert_eq!(ctl.shared_meta().corpus_len(), 8);
+        // A cold task with pre-known features gets a retrieval bootstrap.
+        let h = ctl.create_task_with_features("cold", toy_space(), opts, vec![0.1, 1.1]);
+        let first = ctl.request_config(&h, &[]).unwrap();
+        let snap = ctl.telemetry().snapshot().unwrap();
+        assert_eq!(snap.counters[metric::RETRIEVAL_HITS], 1);
+        assert_eq!(snap.gauges[metric::CORPUS_RECORDS], 8.0);
+        let (rt, r) = toy_eval(&first);
+        ctl.report_result(&h, first, rt, r, &[], None).unwrap();
+        // Cold-task reports are appended too (features known up front).
+        assert_eq!(ctl.shared_meta().corpus_len(), 9);
+    }
+
+    #[test]
+    fn attached_corpus_alone_never_changes_suggestions() {
+        // With retrieval unused (plain create_task), a controller with a
+        // corpus attached must suggest exactly what a corpus-free
+        // controller does: recording outcomes is write-only.
+        let opts = TunerOptions {
+            budget: 6,
+            ..Default::default()
+        };
+        let mut plain = OnlineTuneController::new();
+        let hp = plain.create_task("t", toy_space(), opts.clone());
+        let reference = drive(&mut plain, &hp, 6, Some(vec![1.0, 2.0]));
+
+        let mut recording = OnlineTuneController::new();
+        recording.set_corpus(otune_meta::TuningCorpus::in_memory());
+        let hr = recording.create_task("t", toy_space(), opts);
+        let observed = drive(&mut recording, &hr, 6, Some(vec![1.0, 2.0]));
+        assert_eq!(observed, reference);
+        assert_eq!(recording.shared_meta().corpus_len(), 6);
+        assert_eq!(plain.shared_meta().corpus_len(), 0);
     }
 
     #[test]

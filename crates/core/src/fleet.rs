@@ -195,7 +195,9 @@ impl OnlineTuneController {
                         .telemetry
                         .trace_span_keyed("task", trace_key(rep.handle.as_str()));
                     let res = match shard.get_mut(rep.handle) {
-                        Some(entry) => Self::absorb_report(&this.repository, entry, rep),
+                        Some(entry) => {
+                            Self::absorb_report(&this.repository, &this.shared_meta, entry, rep)
+                        }
                         None => Err(ControllerError::UnknownTask),
                     };
                     (i, res)
@@ -329,6 +331,92 @@ mod tests {
             }
         }
         assert_eq!(traces, seq_traces);
+    }
+
+    /// Run a cold-start fleet: `n_seed` corpus-feeding source tasks driven
+    /// to completion, then `n_cold` tasks registered with pre-known
+    /// features and driven through batched waves. Returns the cold tasks'
+    /// suggestion traces.
+    fn cold_start_traces(shards: usize, threads: usize) -> Vec<Vec<Configuration>> {
+        let (n_seed, n_cold, budget) = (4, 6, 3);
+        let opts = TunerOptions {
+            budget,
+            ..Default::default()
+        };
+        let mut fleet = controller(shards, threads);
+        fleet.set_corpus(otune_meta::TuningCorpus::in_memory());
+        for s in 0..n_seed {
+            let h = fleet.create_task(&format!("seed-{s}"), toy_space(), opts.clone());
+            for i in 0..budget {
+                let cfg = fleet.request_config(&h, &[]).unwrap();
+                let (rt, r) = toy_eval(&cfg);
+                let f = if i == 0 {
+                    Some(vec![s as f64, 2.0 * s as f64])
+                } else {
+                    None
+                };
+                fleet.report_result(&h, cfg, rt, r, &[], f).unwrap();
+            }
+        }
+        let handles: Vec<TaskHandle> = (0..n_cold)
+            .map(|c| {
+                fleet.create_task_with_features(
+                    &format!("cold-{c}"),
+                    toy_space(),
+                    opts.clone(),
+                    vec![0.3 * c as f64, 0.6 * c as f64],
+                )
+            })
+            .collect();
+        let mut traces: Vec<Vec<Configuration>> = vec![Vec::new(); n_cold];
+        for _ in 0..budget {
+            let requests: Vec<FleetRequest> = handles
+                .iter()
+                .map(|h| FleetRequest {
+                    handle: h,
+                    context: &[],
+                })
+                .collect();
+            let configs = fleet.request_configs(&requests);
+            let reports: Vec<FleetReport> = configs
+                .iter()
+                .zip(&handles)
+                .map(|(cfg, h)| {
+                    let cfg = cfg.as_ref().unwrap().clone();
+                    let (rt, r) = toy_eval(&cfg);
+                    FleetReport {
+                        handle: h,
+                        config: cfg,
+                        runtime_s: rt,
+                        resource: r,
+                        context: &[],
+                        meta_features: None,
+                    }
+                })
+                .collect();
+            for (t, rep) in reports.iter().enumerate() {
+                traces[t].push(rep.config.clone());
+            }
+            for res in fleet.report_results(&reports) {
+                res.unwrap();
+            }
+        }
+        traces
+    }
+
+    #[test]
+    fn retrieval_bootstrap_is_identical_at_any_shard_and_thread_count() {
+        // k-NN retrieval reads a corpus built by interleaved shard workers;
+        // the bootstrap (and every downstream suggestion) must not depend
+        // on OTUNE_SHARDS / OTUNE_THREADS.
+        let reference = cold_start_traces(1, 1);
+        for (shards, threads) in [(2, 2), (4, 4), (8, 3)] {
+            assert_eq!(
+                cold_start_traces(shards, threads),
+                reference,
+                "trace diverged at shards={shards} threads={threads}"
+            );
+        }
     }
 
     #[test]

@@ -31,6 +31,9 @@ use std::sync::Arc;
 pub enum SuggestionSource {
     /// Transferred from a similar task (§5.2).
     WarmStart,
+    /// Zero-execution corpus retrieval: a distance-weighted blend of the
+    /// nearest corpus neighbors' best configurations.
+    Retrieval,
     /// Low-discrepancy initial design (§3.3).
     InitialDesign,
     /// Approximate gradient descent (§4.3).
@@ -93,6 +96,11 @@ pub struct GeneratorOptions {
     /// Worker pool for surrogate fitting and acquisition maximization.
     /// Suggestions are bitwise-identical for every pool width.
     pub pool: Pool,
+    /// Corpus-retrieved bootstrap configurations: when non-empty they
+    /// replace the low-discrepancy burn-in points `0..len`, serving as
+    /// the zero-execution initial design. Empty (the default) leaves
+    /// every suggestion bitwise-identical to the retrieval-free path.
+    pub retrieval: Vec<Configuration>,
 }
 
 impl GeneratorOptions {
@@ -113,6 +121,7 @@ impl GeneratorOptions {
             sparse: SparseGpConfig::from_env(),
             seed: 0,
             pool: Pool::from_env(),
+            retrieval: Vec::new(),
         }
     }
 }
@@ -185,6 +194,14 @@ impl ConfigGenerator {
         self.subspace_mgr.ranking()
     }
 
+    /// Whether the *next* `suggest` call will still serve the initial
+    /// design (warm-start, retrieval, or low-discrepancy probes) rather
+    /// than fit surrogates. Lets callers skip preparing expensive inputs
+    /// — e.g. the meta ensemble — that the burn-in phase ignores.
+    pub fn in_initial_design(&self, history_len: usize, n_warm: usize) -> bool {
+        self.iteration < self.opts.n_init.max(n_warm) || history_len < 2
+    }
+
     /// Suggest the next configuration (Algorithm 2).
     ///
     /// `history` is the full runhistory; `context` the current workload
@@ -215,6 +232,18 @@ impl ConfigGenerator {
         let init_total = self.opts.n_init.max(warm_configs.len());
         if i < init_total || history.len() < 2 {
             let probe_idx = i.saturating_sub(warm_configs.len());
+            // Corpus retrieval replaces burn-in points 0..k when the
+            // retrieval index was confident; later probes (and the whole
+            // design when retrieval is empty or fell back) keep their
+            // pre-retrieval low-discrepancy indices unchanged.
+            if let Some(config) = self.opts.retrieval.get(probe_idx) {
+                return Suggestion {
+                    config: config.clone(),
+                    source: SuggestionSource::Retrieval,
+                    eic: 0.0,
+                    from_safe_region: true,
+                };
+            }
             return Suggestion {
                 config: self
                     .space
@@ -553,6 +582,74 @@ mod tests {
             assert_eq!(s.source, SuggestionSource::WarmStart);
             assert_eq!(&s.config, w);
             history.push(evaluate(&space, &s.config, 0.5));
+        }
+    }
+
+    #[test]
+    fn retrieval_replaces_burn_in_prefix_only() {
+        let space = toy_space();
+        let retrieval = vec![
+            space
+                .configuration(vec![
+                    ParamValue::Int(7),
+                    ParamValue::Int(3),
+                    ParamValue::Float(0.2),
+                    ParamValue::Bool(true),
+                ])
+                .unwrap(),
+            space
+                .configuration(vec![
+                    ParamValue::Int(30),
+                    ParamValue::Int(20),
+                    ParamValue::Float(0.8),
+                    ParamValue::Bool(false),
+                ])
+                .unwrap(),
+        ];
+        let mut opts = GeneratorOptions::paper_defaults(4);
+        opts.n_init = 3;
+        opts.retrieval = retrieval.clone();
+        let mut g = generator(opts);
+        let mut plain = generator(GeneratorOptions::paper_defaults(4));
+        let mut history = Vec::new();
+        // Probes 0 and 1 serve the retrieved configs verbatim.
+        for r in &retrieval {
+            let s = g.suggest(&history, &[], &[], None);
+            assert_eq!(s.source, SuggestionSource::Retrieval);
+            assert_eq!(&s.config, r);
+            history.push(evaluate(&toy_space(), &s.config, 0.5));
+        }
+        // Probe 2 falls through to the *same* low-discrepancy point the
+        // retrieval-free generator serves at index 2.
+        let mut plain_history = Vec::new();
+        for _ in 0..2 {
+            let s = plain.suggest(&plain_history, &[], &[], None);
+            plain_history.push(evaluate(&toy_space(), &s.config, 0.5));
+        }
+        let s = g.suggest(&history, &[], &[], None);
+        let p = plain.suggest(&plain_history, &[], &[], None);
+        assert_eq!(s.source, SuggestionSource::InitialDesign);
+        assert_eq!(s.config, p.config, "unserved probe keeps its index");
+    }
+
+    #[test]
+    fn empty_retrieval_is_bitwise_identical() {
+        let space = toy_space();
+        let mut opts = GeneratorOptions::paper_defaults(4);
+        opts.retrieval = Vec::new();
+        let mut a = generator(opts);
+        let mut b = generator(GeneratorOptions::paper_defaults(4));
+        let mut ha = Vec::new();
+        let mut hb = Vec::new();
+        for _ in 0..10 {
+            let sa = a.suggest(&ha, &[], &[], None);
+            let sb = b.suggest(&hb, &[], &[], None);
+            let bits = |c: &Configuration| -> Vec<u64> {
+                space.encode(c).iter().map(|v| v.to_bits()).collect()
+            };
+            assert_eq!(bits(&sa.config), bits(&sb.config));
+            ha.push(evaluate(&space, &sa.config, 0.5));
+            hb.push(evaluate(&space, &sb.config, 0.5));
         }
     }
 

@@ -79,6 +79,18 @@ impl DataRepository {
         self.inner.read().tasks.get(task_id).cloned()
     }
 
+    /// A task's meta-features alone (`None` when unset or empty) —
+    /// cheaper than [`DataRepository::task`], which clones the full
+    /// observation history.
+    pub fn meta_features(&self, task_id: &str) -> Option<Vec<f64>> {
+        self.inner
+            .read()
+            .tasks
+            .get(task_id)
+            .filter(|t| !t.meta_features.is_empty())
+            .map(|t| t.meta_features.clone())
+    }
+
     /// All task records except `exclude` (the task being tuned), restricted
     /// to tasks that have both meta-features and history — the usable
     /// meta-learning sources.

@@ -17,6 +17,7 @@ impl SuggestionSource {
     pub fn kind(self) -> SuggestionKind {
         match self {
             SuggestionSource::WarmStart => SuggestionKind::WarmStart,
+            SuggestionSource::Retrieval => SuggestionKind::Retrieval,
             SuggestionSource::InitialDesign => SuggestionKind::InitialDesign,
             SuggestionSource::Agd => SuggestionKind::Agd,
             SuggestionSource::Bo => SuggestionKind::Bo,
@@ -52,6 +53,11 @@ pub struct TunerOptions {
     pub enable_meta: bool,
     /// Warm-start configurations (from §5.2's similarity ranking).
     pub warm_configs: Vec<Configuration>,
+    /// Corpus-retrieved zero-execution bootstrap configurations: when
+    /// non-empty they replace low-discrepancy burn-in points `0..len`.
+    /// Empty (the default) keeps every suggestion bitwise-identical to
+    /// the retrieval-free tuner.
+    pub retrieval_configs: Vec<Configuration>,
     /// Previous-task records feeding the ensemble surrogate.
     pub base_tasks: Vec<TaskRecord>,
     /// Stop when EIC falls below this fraction of the incumbent objective
@@ -106,6 +112,7 @@ impl Default for TunerOptions {
             enable_subspace: true,
             enable_meta: true,
             warm_configs: Vec::new(),
+            retrieval_configs: Vec::new(),
             base_tasks: Vec::new(),
             ei_stop_ratio: 0.0,
             restart_after: 3,
@@ -268,6 +275,7 @@ impl OnlineTuner {
             sparse: opts.sparse_gp,
             seed: opts.seed,
             pool: opts.pool.clone(),
+            retrieval: opts.retrieval_configs.clone(),
         };
         let ranking = if space.len() == 30 {
             otune_bo::subspace::spark_expert_ranking()
@@ -367,8 +375,21 @@ impl OnlineTuner {
         }
 
         let trace = self.telemetry.trace_span("suggest");
-        let ensemble = self.build_ensemble();
         let warm = self.opts.warm_configs.clone();
+        // With a retrieval bootstrap attached, burn-in iterations skip
+        // building the meta ensemble entirely — the initial design never
+        // consults it, and deferring the base-surrogate fits is where the
+        // cold-start speedup comes from. Without retrieval the build
+        // stays unconditional so the retrieval-off path is untouched.
+        let skip_ensemble = !self.opts.retrieval_configs.is_empty()
+            && self
+                .generator
+                .in_initial_design(self.history.len(), warm.len());
+        let ensemble = if skip_ensemble {
+            None
+        } else {
+            self.build_ensemble()
+        };
         let suggestion = {
             let _span = self.telemetry.span(metric::SUGGEST_LATENCY_S);
             self.generator.suggest(

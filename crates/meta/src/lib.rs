@@ -13,12 +13,17 @@
 //!   alone, so new tasks can be matched before any tuning history exists;
 //! * [`warmstart`] — initial design from the best configurations of the
 //!   top-3 most similar tasks (§5.2);
+//! * [`corpus`] — the persistent fleet-wide tuning corpus (append-only
+//!   JSONL of meta-features + configuration + outcome records) and its
+//!   z-score-standardized k-NN retrieval index, the zero-execution cold
+//!   start for brand-new tasks;
 //! * [`ensemble`] — the meta surrogate ensemble
 //!   `μ_meta = Σᵢ wᵢ μᵢ`, `σ²_meta = Σᵢ wᵢ² σᵢ²` (Eq. 12), with base
 //!   weights `1 − Dist(Mⁱ, Mᵗ)` and the target weight from a
 //!   cross-validation rank-agreement score.
 
 pub mod cache;
+pub mod corpus;
 pub mod distance;
 pub mod ensemble;
 pub mod features;
@@ -27,9 +32,13 @@ pub mod similarity;
 pub mod warmstart;
 
 pub use cache::MetaCache;
+pub use corpus::{
+    CorpusRecord, CorpusStats, RetrievalIndex, TuningCorpus, DEFAULT_MAX_DISTANCE,
+    DEFAULT_RETRIEVAL_K,
+};
 pub use distance::{kendall_tau, surrogate_distance};
 pub use ensemble::EnsembleSurrogate;
-pub use features::{extract_meta_features, META_FEATURE_COUNT};
+pub use features::{extract_meta_features, FeatureMemo, META_FEATURE_COUNT};
 pub use shared::SharedMetaStore;
 pub use similarity::{SimilarityLearner, TaskRecord};
 pub use warmstart::{warm_start_configs, warm_start_configs_with};

@@ -24,14 +24,16 @@
 //!
 //! [`MetaCache`]: crate::MetaCache
 
+use crate::corpus::{CorpusRecord, RetrievalIndex, TuningCorpus};
 use crate::distance::surrogate_distance;
 use crate::ensemble::{otune_linalg_mean, otune_linalg_std};
 use crate::similarity::TaskRecord;
 use otune_bo::{history_fingerprint, SurrogateInput};
 use otune_gp::GaussianProcess;
-use otune_space::ConfigSpace;
+use otune_space::{ConfigSpace, Configuration};
 use otune_telemetry::{metric, Telemetry};
 use std::collections::HashMap;
+use std::io;
 use std::sync::{Arc, Mutex};
 
 /// A shared base-task entry: frozen surrogate plus the task's objective
@@ -52,6 +54,15 @@ pub(crate) fn fit_base_entry(space: &ConfigSpace, task: &TaskRecord, seed: u64) 
     })
 }
 
+/// The persistent tuning corpus plus its memoized retrieval index. The
+/// memo is keyed by (record count, query width): the corpus is
+/// append-only, so a matching count means the index is current.
+#[derive(Debug, Default)]
+struct CorpusState {
+    corpus: TuningCorpus,
+    index: Option<(usize, usize, Arc<RetrievalIndex>)>,
+}
+
 /// Process-wide read-only meta-knowledge shared by every task in a fleet.
 #[derive(Debug, Default)]
 pub struct SharedMetaStore {
@@ -60,6 +71,8 @@ pub struct SharedMetaStore {
     /// Pairwise surrogate distances by
     /// `(fingerprint a, fingerprint b, n_sample, seed)`.
     distances: Mutex<HashMap<(u64, u64, usize, u64), f64>>,
+    /// Optional persistent tuning corpus for zero-execution retrieval.
+    corpus: Mutex<Option<CorpusState>>,
 }
 
 impl SharedMetaStore {
@@ -116,6 +129,80 @@ impl SharedMetaStore {
             .expect("shared meta store lock")
             .insert(key, entry.clone());
         entry
+    }
+
+    /// Attach a tuning corpus. Every completed fleet observation reported
+    /// through [`SharedMetaStore::record_outcome`] is appended to it, and
+    /// [`SharedMetaStore::retrieval_bootstrap`] answers zero-execution
+    /// cold-start queries from it.
+    pub fn set_corpus(&self, corpus: TuningCorpus) {
+        *self.corpus.lock().expect("shared meta store lock") = Some(CorpusState {
+            corpus,
+            index: None,
+        });
+    }
+
+    /// Whether a corpus is attached.
+    pub fn has_corpus(&self) -> bool {
+        self.corpus
+            .lock()
+            .expect("shared meta store lock")
+            .is_some()
+    }
+
+    /// Records held by the attached corpus (0 when none is attached).
+    pub fn corpus_len(&self) -> usize {
+        self.corpus
+            .lock()
+            .expect("shared meta store lock")
+            .as_ref()
+            .map_or(0, |s| s.corpus.len())
+    }
+
+    /// Append one completed observation to the attached corpus (durably
+    /// when the corpus is file-backed) and refresh the `corpus_records`
+    /// gauge. A missing corpus is a no-op.
+    pub fn record_outcome(&self, record: CorpusRecord, telemetry: &Telemetry) -> io::Result<()> {
+        let mut guard = self.corpus.lock().expect("shared meta store lock");
+        let Some(state) = guard.as_mut() else {
+            return Ok(());
+        };
+        state.corpus.append(record)?;
+        telemetry.gauge(metric::CORPUS_RECORDS, state.corpus.len() as f64);
+        Ok(())
+    }
+
+    /// The zero-execution bootstrap design for a task with meta-features
+    /// `query`: the distance-weighted blend of the `k` nearest corpus
+    /// neighbors plus those neighbors' configurations, or an empty design
+    /// on a retrieval miss (no usable corpus) or fallback (no neighbor
+    /// within `max_distance`). The retrieval index is memoized and
+    /// rebuilt only after the corpus has grown.
+    pub fn retrieval_bootstrap(
+        &self,
+        space: &ConfigSpace,
+        query: &[f64],
+        k: usize,
+        max_distance: f64,
+        telemetry: &Telemetry,
+    ) -> Vec<Configuration> {
+        let index = {
+            let mut guard = self.corpus.lock().expect("shared meta store lock");
+            let Some(state) = guard.as_mut() else {
+                telemetry.incr(metric::RETRIEVAL_MISSES);
+                return Vec::new();
+            };
+            let (len, dim) = (state.corpus.len(), query.len());
+            match &state.index {
+                Some((l, d, idx)) if *l == len && *d == dim => Arc::clone(idx),
+                _ => {
+                    let idx = Arc::new(state.corpus.index_for(dim));
+                    state.index = Some((len, dim, Arc::clone(&idx)));
+                    idx
+                }
+            }
+        };
+        index.bootstrap_with(space, query, k, max_distance, telemetry)
     }
 
     /// Memoized surrogate distance between two frozen tasks, keyed by their
@@ -249,5 +336,46 @@ mod tests {
         let snap = tm.snapshot().unwrap();
         assert_eq!(snap.counters[metric::SHARED_DIST_HITS], 1);
         assert_eq!(snap.counters[metric::SHARED_DIST_MISSES], 1);
+    }
+
+    #[test]
+    fn corpus_outcomes_feed_retrieval_bootstrap() {
+        let s = space();
+        let tm = telemetry();
+        let store = SharedMetaStore::new();
+        // No corpus attached: recording is a no-op, retrieval misses.
+        let mk = |task: &str, a: f64, obj: f64| CorpusRecord {
+            task_id: task.to_string(),
+            meta_features: vec![a, a],
+            config: s.decode(&[a]),
+            objective: obj,
+            runtime: obj,
+            resource: 1.0,
+            failed: false,
+        };
+        store.record_outcome(mk("x", 0.3, 2.0), &tm).unwrap();
+        assert_eq!(store.corpus_len(), 0);
+        assert!(store
+            .retrieval_bootstrap(&s, &[0.3, 0.3], 3, 2.0, &tm)
+            .is_empty());
+
+        store.set_corpus(TuningCorpus::in_memory());
+        assert!(store.has_corpus());
+        store.record_outcome(mk("a", 0.3, 2.0), &tm).unwrap();
+        store.record_outcome(mk("b", 0.6, 3.0), &tm).unwrap();
+        assert_eq!(store.corpus_len(), 2);
+        let boot = store.retrieval_bootstrap(&s, &[0.3, 0.3], 2, 2.0, &tm);
+        assert!(!boot.is_empty());
+        // The memoized index is reused while the corpus has not grown,
+        // and rebuilt (bitwise-identically) after an append.
+        let again = store.retrieval_bootstrap(&s, &[0.3, 0.3], 2, 2.0, &tm);
+        assert_eq!(boot, again);
+        store.record_outcome(mk("c", 0.31, 1.0), &tm).unwrap();
+        let after = store.retrieval_bootstrap(&s, &[0.3, 0.3], 2, 2.0, &tm);
+        assert_ne!(boot, after, "new neighbor changes the blend");
+        let snap = tm.snapshot().unwrap();
+        assert_eq!(snap.counters[metric::RETRIEVAL_MISSES], 1);
+        assert_eq!(snap.counters[metric::RETRIEVAL_HITS], 3);
+        assert_eq!(snap.gauges[metric::CORPUS_RECORDS], 3.0);
     }
 }

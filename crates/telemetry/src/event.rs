@@ -25,6 +25,8 @@ pub struct Event {
 pub enum SuggestionKind {
     /// Transferred from a similar task.
     WarmStart,
+    /// Blended from corpus neighbors by the k-NN retrieval index.
+    Retrieval,
     /// Low-discrepancy initial design.
     InitialDesign,
     /// Approximate gradient descent step.

@@ -93,6 +93,18 @@ pub mod metric {
     /// Gauge: cumulative 4-lane blocks executed by the SIMD-style
     /// linalg/kernel paths (0 when `OTUNE_SIMD=0` forces scalar).
     pub const SIMD_BLOCKS: &str = "simd_blocks";
+    /// Counter: zero-execution first suggestions served from the corpus
+    /// retrieval index (a neighbor cleared the similarity threshold).
+    pub const RETRIEVAL_HITS: &str = "retrieval_hits";
+    /// Counter: retrieval lookups against an empty or unusable corpus
+    /// (no record shares the query's feature width).
+    pub const RETRIEVAL_MISSES: &str = "retrieval_misses";
+    /// Counter: retrieval lookups where no neighbor cleared the
+    /// similarity threshold — the tuner fell back to low-discrepancy
+    /// initial design.
+    pub const RETRIEVAL_FALLBACKS: &str = "retrieval_fallbacks";
+    /// Gauge: records currently held by the attached tuning corpus.
+    pub const CORPUS_RECORDS: &str = "corpus_records";
     /// Counter: events lost by the sink (ring overwrites, I/O failures).
     /// Folded into every snapshot so losses are reported, never silent.
     pub const EVENTS_DROPPED: &str = "events_dropped";
