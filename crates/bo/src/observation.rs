@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 
 /// One evaluated configuration: the unit of runhistory the surrogates are
 /// trained on.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Observation {
     /// The evaluated configuration.
     pub config: Configuration,

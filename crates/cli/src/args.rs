@@ -70,6 +70,35 @@ pub enum Command {
         /// appended back.
         corpus: Option<String>,
     },
+    /// Run (or resume) a checkpointed tuning campaign under the job
+    /// engine, either to completion or as a stdin-driven server.
+    TuneServe {
+        /// Journal path (JSONL; created if absent, resumed if it already
+        /// holds a campaign).
+        journal: String,
+        /// Number of campaign tasks (first N HiBench workloads).
+        tasks: usize,
+        /// Waves (per-task tuning budget).
+        budget: usize,
+        /// Base RNG seed (task i derives seed + i).
+        seed: u64,
+        /// Objective exponent β.
+        beta: f64,
+        /// Consecutive failures before a task is dead-lettered.
+        max_retries: usize,
+        /// Journal a checkpoint every N completed waves (0 = only on
+        /// pause/completion).
+        checkpoint_every: u64,
+        /// Optional stochastic fault-injection spec applied to every task
+        /// (see [`otune_sparksim::FaultProfile::parse`]).
+        fault_profile: Option<String>,
+        /// Optional JSONL path for the telemetry event stream (a
+        /// `<path>.metrics.json` snapshot is written alongside).
+        events: Option<String>,
+        /// Run every remaining wave immediately and exit instead of
+        /// serving the stdin protocol.
+        auto: bool,
+    },
     /// Compare strategies on one task.
     Compare {
         /// Workload name.
@@ -195,6 +224,18 @@ USAGE:
   over past (meta-features, config, outcome) records instead of
   low-discrepancy burn-in, and every completed observation is
   appended back for future fleets.
+  otune tune-serve --journal FILE [--tasks N] [--budget N] [--seed S]
+                   [--beta B] [--max-retries K] [--checkpoint-every N]
+                   [--fault-profile SPEC] [--events FILE] [--auto]
+
+  tune-serve runs a crash-recoverable campaign: every state transition
+  is journaled (fsynced JSONL) and the campaign resumes from its last
+  checkpoint if FILE already holds one — kill -9 safe. With --auto it
+  runs all remaining waves and prints the fleet summary; without it,
+  it serves a line protocol on stdin (`suggest`, `report <json>`,
+  `wave`, `run`, `checkpoint`, `status`, `dlq`, `stop`; EOF pauses).
+  Tasks failing more than --max-retries consecutive runs move to the
+  dead-letter queue with their full failure history.
   otune corpus build --file FILE [--tasks N] [--budget N] [--seed S]
   otune corpus stats --file FILE
   otune corpus query --file FILE --task <name> [--k K]
@@ -238,6 +279,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
     let switch_names: &[&str] = match cmd.as_str() {
         "tune" => &["no-safety", "no-subspace", "no-agd", "sparse-gp"],
         "tune-fleet" => &["sparse-gp"],
+        "tune-serve" => &["auto"],
         "stats" => &["json", "prom"],
         _ => &[],
     };
@@ -297,6 +339,25 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                 trace: get("trace"),
                 prom: get("prom"),
                 corpus: get("corpus"),
+            })
+        }
+        "tune-serve" => {
+            let beta = num("beta", 0.5)?;
+            if !(0.0..=1.0).contains(&beta) {
+                return Err(ParseError(format!("--beta must lie in [0, 1], got {beta}")));
+            }
+            Ok(Command::TuneServe {
+                journal: get("journal")
+                    .ok_or_else(|| ParseError("missing required --journal FILE".into()))?,
+                tasks: num("tasks", 4.0)? as usize,
+                budget: num("budget", 8.0)? as usize,
+                seed: num("seed", 42.0)? as u64,
+                beta,
+                max_retries: num("max-retries", 3.0)? as usize,
+                checkpoint_every: num("checkpoint-every", 2.0)? as u64,
+                fault_profile: get("fault-profile"),
+                events: get("events"),
+                auto: switches.contains(&"auto".to_string()),
             })
         }
         "corpus" => {
@@ -659,6 +720,47 @@ mod tests {
         assert!(parse_args(&argv("corpus frobnicate --file c.jsonl")).is_err());
         assert!(parse_args(&argv("corpus build")).is_err());
         assert!(parse_args(&argv("corpus query --file c.jsonl")).is_err());
+    }
+
+    #[test]
+    fn parses_tune_serve() {
+        assert_eq!(
+            parse_args(&argv("tune-serve --journal j.jsonl")).unwrap(),
+            Command::TuneServe {
+                journal: "j.jsonl".into(),
+                tasks: 4,
+                budget: 8,
+                seed: 42,
+                beta: 0.5,
+                max_retries: 3,
+                checkpoint_every: 2,
+                fault_profile: None,
+                events: None,
+                auto: false,
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(
+                "tune-serve --journal j.jsonl --tasks 3 --budget 6 --seed 9 --beta 1 \
+                 --max-retries 2 --checkpoint-every 3 --fault-profile oom:0.1 \
+                 --events e.jsonl --auto"
+            ))
+            .unwrap(),
+            Command::TuneServe {
+                journal: "j.jsonl".into(),
+                tasks: 3,
+                budget: 6,
+                seed: 9,
+                beta: 1.0,
+                max_retries: 2,
+                checkpoint_every: 3,
+                fault_profile: Some("oom:0.1".into()),
+                events: Some("e.jsonl".into()),
+                auto: true,
+            }
+        );
+        assert!(parse_args(&argv("tune-serve")).is_err());
+        assert!(parse_args(&argv("tune-serve --journal j --beta 2")).is_err());
     }
 
     #[test]

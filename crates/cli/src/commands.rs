@@ -10,6 +10,7 @@ use otune_core::telemetry::{
 };
 use otune_core::{Objective, OnlineTuneController, OnlineTuner, TaskHandle, TunerOptions};
 use otune_forest::Fanova;
+use otune_jobs::{CampaignSpec, FleetSummary, ItemResult, JobEngine, JobError};
 use otune_meta::{
     extract_meta_features, CorpusRecord, TuningCorpus, DEFAULT_MAX_DISTANCE, DEFAULT_RETRIEVAL_K,
 };
@@ -103,6 +104,38 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> std::io::Result<i32> {
         } => tune_fleet(
             tasks, budget, shards, threads, seed, sparse_gp, events, trace, prom, corpus, out,
         ),
+        Command::TuneServe {
+            journal,
+            tasks,
+            budget,
+            seed,
+            beta,
+            max_retries,
+            checkpoint_every,
+            fault_profile,
+            events,
+            auto,
+        } => {
+            let spec = CampaignSpec {
+                job_id: "tune-serve".to_string(),
+                n_tasks: tasks,
+                budget,
+                seed,
+                beta,
+                max_retries,
+                checkpoint_every,
+                fault_spec: fault_profile,
+                ..CampaignSpec::default()
+            };
+            tune_serve(
+                spec,
+                &journal,
+                events,
+                auto,
+                &mut std::io::stdin().lock(),
+                out,
+            )
+        }
         Command::Corpus { action, file } => corpus_cmd(action, &file, out),
         Command::Events { file, task, kind } => {
             events_cmd(&file, task.as_deref(), kind.as_deref(), out)
@@ -538,6 +571,210 @@ fn tune_fleet(
 }
 
 /// `otune corpus build|stats|query`: manage a persistent tuning corpus.
+/// Run (or resume) a checkpointed campaign under the job engine.
+///
+/// With `auto` every remaining wave executes immediately and the fleet
+/// summary prints; otherwise a line protocol is served from `input`
+/// (normally stdin) so an external driver can execute suggested configs
+/// itself and report results back. The journal at `journal_path` makes
+/// the whole session `kill -9`-safe: rerunning the same command resumes
+/// from the last checkpoint and replays the tail of the journal.
+fn tune_serve(
+    spec: CampaignSpec,
+    journal_path: &str,
+    events: Option<String>,
+    auto: bool,
+    input: &mut dyn std::io::BufRead,
+    out: &mut dyn Write,
+) -> std::io::Result<i32> {
+    let telemetry = match &events {
+        Some(p) => Telemetry::new(Box::new(JsonlSink::create(p)?)),
+        None => Telemetry::ring(1).0,
+    };
+    let mut engine =
+        match JobEngine::open_or_start(spec, std::path::Path::new(journal_path), telemetry) {
+            Ok(engine) => engine,
+            Err(e) => {
+                writeln!(out, "cannot open campaign journal {journal_path}: {e}")?;
+                return Ok(2);
+            }
+        };
+    writeln!(
+        out,
+        "campaign {:?}: {} task(s), {} wave(s), at wave {}{}",
+        engine.spec().job_id,
+        engine.n_tasks(),
+        engine.spec().budget,
+        engine.wave_cursor(),
+        if engine.is_completed() {
+            " (completed)"
+        } else {
+            ""
+        },
+    )?;
+
+    let code = if auto {
+        match engine.run_to_completion() {
+            Ok(_) => {
+                let summary = engine.summary().expect("completed campaign").clone();
+                write_fleet_summary(&summary, out)?;
+                0
+            }
+            Err(e) => {
+                writeln!(out, "campaign failed: {e}")?;
+                1
+            }
+        }
+    } else {
+        serve_loop(&mut engine, input, out)?
+    };
+
+    engine.telemetry().flush();
+    if let Some(events_path) = &events {
+        if let Some(snapshot) = engine.telemetry().snapshot() {
+            let metrics_path = format!("{events_path}.metrics.json");
+            let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+            std::fs::write(&metrics_path, json)?;
+            writeln!(
+                out,
+                "events written to {events_path}, metrics to {metrics_path}"
+            )?;
+        }
+    }
+    Ok(code)
+}
+
+/// The `tune-serve` stdin protocol: one command per line.
+///
+/// `suggest` prints the pending wave as JSON; `report <json>` feeds a
+/// `[{task, runtime_s, resource, status}]` batch back; `wave` and `run`
+/// execute on the built-in simulator; `checkpoint` forces a checkpoint;
+/// `status` and `dlq` introspect; `stop` (or EOF) pauses with a final
+/// checkpoint so the next invocation resumes exactly here.
+fn serve_loop(
+    engine: &mut JobEngine,
+    input: &mut dyn std::io::BufRead,
+    out: &mut dyn Write,
+) -> std::io::Result<i32> {
+    // Protocol errors (bad JSON, reports against no pending wave) are
+    // printed and served past; only journal I/O failures abort the loop.
+    fn soft(out: &mut dyn Write, e: &JobError) -> std::io::Result<()> {
+        writeln!(out, "error: {e}")
+    }
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if input.read_line(&mut line)? == 0 {
+            // EOF: pause so the driver can resume later.
+            if !engine.is_completed() {
+                if let Err(e) = engine.pause() {
+                    soft(out, &e)?;
+                    return Ok(1);
+                }
+                writeln!(out, "paused at wave {}", engine.wave_cursor())?;
+            }
+            return Ok(0);
+        }
+        let cmd = line.trim();
+        let (verb, rest) = match cmd.split_once(' ') {
+            Some((v, r)) => (v, r.trim()),
+            None => (cmd, ""),
+        };
+        match verb {
+            "" => {}
+            "suggest" => match engine.suggest_wave() {
+                Ok(Some(wave)) => {
+                    let json = serde_json::to_string(wave).expect("wave serializes");
+                    writeln!(out, "{json}")?;
+                }
+                Ok(None) => writeln!(out, "completed")?,
+                Err(e) => soft(out, &e)?,
+            },
+            "report" => match serde_json::from_str::<Vec<ItemResult>>(rest) {
+                Err(e) => writeln!(out, "error: bad report JSON: {e}")?,
+                Ok(results) => match engine.report_wave(&results) {
+                    Ok(wave) => writeln!(out, "wave {wave} reported")?,
+                    Err(e) => soft(out, &e)?,
+                },
+            },
+            "wave" => match engine.run_wave() {
+                Ok(Some(wave)) => writeln!(out, "wave {wave} completed")?,
+                Ok(None) => writeln!(out, "completed")?,
+                Err(e) => soft(out, &e)?,
+            },
+            "run" => match engine.run_to_completion() {
+                Ok(summary) => {
+                    let summary = summary.clone();
+                    write_fleet_summary(&summary, out)?;
+                }
+                Err(e) => soft(out, &e)?,
+            },
+            "checkpoint" => match engine.checkpoint() {
+                Ok(()) => writeln!(out, "checkpoint at wave {}", engine.wave_cursor())?,
+                Err(e) => soft(out, &e)?,
+            },
+            "status" => writeln!(
+                out,
+                "{{\"job_id\":{:?},\"wave_cursor\":{},\"budget\":{},\"completed\":{},\"pending\":{},\"dead_lettered\":{}}}",
+                engine.spec().job_id,
+                engine.wave_cursor(),
+                engine.spec().budget,
+                engine.is_completed(),
+                engine.pending().is_some(),
+                engine.dlq().len(),
+            )?,
+            "dlq" => {
+                let json = serde_json::to_string(engine.dlq()).expect("dlq serializes");
+                writeln!(out, "{json}")?;
+            }
+            "stop" => {
+                if !engine.is_completed() {
+                    if let Err(e) = engine.pause() {
+                        soft(out, &e)?;
+                        return Ok(1);
+                    }
+                    writeln!(out, "paused at wave {}", engine.wave_cursor())?;
+                }
+                return Ok(0);
+            }
+            other => writeln!(
+                out,
+                "error: unknown command {other:?} (try suggest | report <json> | wave | run | checkpoint | status | dlq | stop)"
+            )?,
+        }
+        out.flush()?;
+    }
+}
+
+/// Print a completed campaign's reduce-phase summary.
+fn write_fleet_summary(summary: &FleetSummary, out: &mut dyn Write) -> std::io::Result<()> {
+    writeln!(
+        out,
+        "\ncampaign {:?} completed: {} wave(s), {} task(s), {} dead-lettered",
+        summary.job_id, summary.waves, summary.n_tasks, summary.dead_lettered,
+    )?;
+    writeln!(
+        out,
+        "  {:<16} {:>6} {:>6} {:>12} {:>8}",
+        "task", "obs", "fails", "best", "state"
+    )?;
+    for t in &summary.tasks {
+        writeln!(
+            out,
+            "  {:<16} {:>6} {:>6} {:>12} {:>8}",
+            t.task_id,
+            t.n_observations,
+            t.n_failures,
+            match t.best_runtime_s {
+                Some(r) => format!("{r:.1}s"),
+                None => "-".into(),
+            },
+            if t.dead_lettered { "dead" } else { "ok" },
+        )?;
+    }
+    Ok(())
+}
+
 fn corpus_cmd(action: CorpusAction, file: &str, out: &mut dyn Write) -> std::io::Result<i32> {
     match action {
         CorpusAction::Build {
@@ -953,6 +1190,31 @@ fn render_top(file: &str, out: &mut dyn Write) -> std::io::Result<i32> {
         "failures: {run_failures} run(s) failed, {fallbacks} fallback(s)"
     )?;
 
+    // Job-engine rollup, when the stream came from a campaign.
+    let (mut job_waves, mut retries, mut dead, mut checkpoints, mut resumes) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut job_state: Option<&str> = None;
+    for e in &events {
+        match &e.kind {
+            EventKind::JobStarted { .. } => job_state = Some("running"),
+            EventKind::JobPaused { .. } => job_state = Some("paused"),
+            EventKind::JobCompleted { .. } => job_state = Some("completed"),
+            EventKind::WaveCompleted { .. } => job_waves += 1,
+            EventKind::RetryScheduled { .. } => retries += 1,
+            EventKind::ItemDeadLettered { .. } => dead += 1,
+            EventKind::CheckpointCreated { .. } => checkpoints += 1,
+            EventKind::JobResumed { .. } => resumes += 1,
+            _ => {}
+        }
+    }
+    if let Some(state) = job_state {
+        writeln!(
+            out,
+            "job engine: {state}, {job_waves} wave(s), {checkpoints} checkpoint(s), \
+             {resumes} resume(s), {retries} retry(s), {dead} dead-letter(s)"
+        )?;
+    }
+
     // Cache hit rates from the metrics sidecar, when present.
     let sidecar = format!("{file}.metrics.json");
     if let Ok(text) = std::fs::read_to_string(&sidecar) {
@@ -1168,6 +1430,123 @@ fn importance(task: HibenchTask, samples: usize, out: &mut dyn Write) -> std::io
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn serve_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("otune-cli-serve-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn small_spec() -> CampaignSpec {
+        CampaignSpec {
+            job_id: "serve-test".to_string(),
+            n_tasks: 2,
+            budget: 2,
+            seed: 7,
+            checkpoint_every: 1,
+            ..CampaignSpec::default()
+        }
+    }
+
+    #[test]
+    fn tune_serve_auto_completes_then_reports_completed_on_rerun() {
+        let journal = serve_dir("auto").join("journal.jsonl");
+        let _ = std::fs::remove_file(&journal);
+        let path = journal.to_string_lossy().into_owned();
+
+        let mut buf = Vec::new();
+        let code = tune_serve(
+            small_spec(),
+            &path,
+            None,
+            true,
+            &mut std::io::Cursor::new(""),
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("campaign \"serve-test\""), "{text}");
+        assert!(text.contains("completed: 2 wave(s), 2 task(s)"), "{text}");
+
+        // Re-running against the same journal resumes a finished campaign.
+        let mut buf = Vec::new();
+        let code = tune_serve(
+            small_spec(),
+            &path,
+            None,
+            true,
+            &mut std::io::Cursor::new(""),
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("(completed)"), "{text}");
+    }
+
+    #[test]
+    fn serve_loop_protocol_drives_a_campaign() {
+        let journal = serve_dir("proto").join("journal.jsonl");
+        let _ = std::fs::remove_file(&journal);
+        let script = "status\nsuggest\nwave\nbogus\nrun\ndlq\nstop\n";
+        let mut buf = Vec::new();
+        let code = tune_serve(
+            small_spec(),
+            &journal.to_string_lossy(),
+            None,
+            false,
+            &mut std::io::Cursor::new(script),
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"wave_cursor\":0"), "{text}");
+        assert!(
+            text.contains("\"items\""),
+            "suggest prints the wave: {text}"
+        );
+        assert!(text.contains("wave 0 completed"), "{text}");
+        assert!(text.contains("unknown command \"bogus\""), "{text}");
+        assert!(text.contains("completed: 2 wave(s)"), "{text}");
+        assert!(text.contains("[]"), "empty dlq prints: {text}");
+    }
+
+    #[test]
+    fn serve_loop_external_report_path_and_eof_pause() {
+        // An external driver executes the suggested wave itself: fetch the
+        // pending wave out-of-band, report its results over the protocol,
+        // then hit EOF — the engine must pause with a checkpoint.
+        let journal = serve_dir("extern").join("journal.jsonl");
+        let _ = std::fs::remove_file(&journal);
+        let (t, _s) = otune_core::telemetry::Telemetry::ring(1024);
+        let mut engine = JobEngine::start(small_spec(), &journal, t).unwrap();
+        engine.suggest_wave().unwrap();
+        let results = engine.execute_pending().unwrap();
+        let report = serde_json::to_string(&results).unwrap();
+
+        let script = format!("suggest\nreport {report}\nstatus\n");
+        let mut buf = Vec::new();
+        let code = serve_loop(&mut engine, &mut std::io::Cursor::new(script), &mut buf).unwrap();
+        assert_eq!(code, 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("wave 0 reported"), "{text}");
+        assert!(text.contains("\"wave_cursor\":1"), "{text}");
+        assert!(text.contains("paused at wave 1"), "EOF pauses: {text}");
+
+        // A malformed report and a report with no pending wave are soft
+        // protocol errors: the loop keeps serving.
+        let script = "report {nope\nreport [{\"task\":0,\"runtime_s\":1.0,\"resource\":1.0,\"status\":\"success\"}]\nstop\n";
+        let mut buf = Vec::new();
+        let code = serve_loop(&mut engine, &mut std::io::Cursor::new(script), &mut buf).unwrap();
+        assert_eq!(code, 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("bad report JSON"), "{text}");
+        assert!(text.contains("no suggested wave"), "{text}");
+        assert!(text.contains("paused at wave 1"), "{text}");
+    }
 
     #[test]
     fn workloads_lists_all_sixteen() {

@@ -248,6 +248,64 @@ impl OnlineTuneController {
         self.create_task(task_id, space, options)
     }
 
+    /// Re-register a task from a [`crate::TunerSnapshot`]: the tuner is
+    /// rebuilt via [`OnlineTuner::resume`] (replaying its suggestion trace
+    /// and verifying bitwise identity), attached to the controller's
+    /// telemetry and shared meta store, and inserted under its shard. Used
+    /// by the job engine to restore campaign state from a checkpoint.
+    pub fn restore_task(
+        &mut self,
+        task_id: &str,
+        space: ConfigSpace,
+        options: TunerOptions,
+        snap: &crate::snapshot::TunerSnapshot,
+    ) -> Result<TaskHandle, crate::snapshot::ResumeError> {
+        let handle = TaskHandle(Arc::from(task_id));
+        let telemetry = self.telemetry.for_task(task_id);
+        let mut tuner = OnlineTuner::resume(space, options, snap, telemetry.clone())?;
+        tuner.set_shared_meta(Arc::clone(&self.shared_meta));
+        let idx = self.shard_of(&handle);
+        unpoison(self.shards[idx].get_mut()).insert(
+            handle.clone(),
+            TaskEntry {
+                tuner,
+                warm_injected: false,
+                telemetry,
+            },
+        );
+        self.telemetry
+            .gauge(metric::FLEET_TASKS, self.n_tasks() as f64);
+        Ok(handle)
+    }
+
+    /// Step 2 (Figure 1) for a **failed** execution (OOM / timeout kill):
+    /// the run is recorded as a censored observation via
+    /// [`OnlineTuner::observe_failed`] and mirrored into the repository, so
+    /// the safe-region model learns from the failure without treating the
+    /// partial runtime as a real measurement.
+    pub fn report_failed_result(
+        &mut self,
+        handle: &TaskHandle,
+        config: Configuration,
+        partial_runtime_s: f64,
+        resource: f64,
+        context: &[f64],
+    ) -> Result<(), ControllerError> {
+        let repository = Arc::clone(&self.repository);
+        let entry = self.entry_mut(handle).ok_or(ControllerError::UnknownTask)?;
+        entry
+            .tuner
+            .observe_failed(config.clone(), partial_runtime_s, resource, context)
+            .map_err(ControllerError::Tuner)?;
+        if let Some(obs) = entry.tuner.history().last() {
+            if obs.config == config {
+                repository.record_observation(handle.as_str(), Observation::clone(obs));
+            }
+        }
+        self.sim.reports_since_refit += 1;
+        Ok(())
+    }
+
     /// Number of registered tasks.
     pub fn n_tasks(&self) -> usize {
         self.shards.iter().map(|s| unpoison(s.lock()).len()).sum()

@@ -168,18 +168,92 @@ impl SnapshotLog {
 
     /// The newest snapshot that parses, skipping a torn or corrupt tail.
     /// A missing file is `Ok(None)` (nothing to resume); an unreadable
-    /// file is an error.
+    /// file is an error. Use [`SnapshotLog::load_last_recovered`] when the
+    /// caller needs to know whether (and how many) lines were skipped.
     pub fn load_last(&self) -> std::io::Result<Option<TunerSnapshot>> {
+        Ok(self.load_last_recovered()?.into_snapshot())
+    }
+
+    /// [`SnapshotLog::load_last`] with the loss surfaced: the result says
+    /// whether the newest snapshot was read cleanly or recovered past
+    /// torn/corrupt lines, and how many lines were skipped. A missing
+    /// file is a clean `None`.
+    pub fn load_last_recovered(&self) -> std::io::Result<SnapshotRecovery> {
         let text = match std::fs::read_to_string(&self.path) {
             Ok(t) => t,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(SnapshotRecovery::Clean(None))
+            }
             Err(e) => return Err(e),
         };
-        Ok(text
-            .lines()
-            .rev()
-            .filter(|l| !l.trim().is_empty())
-            .find_map(|l| serde_json::from_str::<TunerSnapshot>(l).ok()))
+        let mut snapshot = None;
+        let mut skipped = 0u64;
+        for line in text.lines().rev().filter(|l| !l.trim().is_empty()) {
+            match serde_json::from_str::<TunerSnapshot>(line) {
+                Ok(s) => {
+                    snapshot = Some(s);
+                    break;
+                }
+                Err(_) => skipped += 1,
+            }
+        }
+        Ok(if skipped == 0 {
+            SnapshotRecovery::Clean(snapshot)
+        } else {
+            SnapshotRecovery::RecoveredWithLoss {
+                snapshot,
+                skipped_lines: skipped,
+            }
+        })
+    }
+
+    /// [`SnapshotLog::load_last_recovered`] that also bumps the
+    /// `journal_torn_tails` counter on the given telemetry handle when
+    /// lines had to be skipped, so recovery-with-loss is never silent.
+    pub fn load_last_counted(
+        &self,
+        telemetry: &otune_telemetry::Telemetry,
+    ) -> std::io::Result<SnapshotRecovery> {
+        let recovery = self.load_last_recovered()?;
+        if let SnapshotRecovery::RecoveredWithLoss { skipped_lines, .. } = &recovery {
+            telemetry.add(otune_telemetry::metric::JOURNAL_TORN_TAILS, *skipped_lines);
+        }
+        Ok(recovery)
+    }
+}
+
+/// Outcome of a [`SnapshotLog`] load: either every trailing line parsed
+/// cleanly, or the newest parseable snapshot was recovered past torn or
+/// corrupt lines (whose count is reported, never swallowed).
+#[derive(Debug, Clone)]
+pub enum SnapshotRecovery {
+    /// The newest line parsed (or the log was missing/empty): no loss.
+    Clean(Option<TunerSnapshot>),
+    /// `skipped_lines` torn/corrupt trailing lines were skipped to reach
+    /// the newest parseable snapshot (`None` when no line parses at all).
+    RecoveredWithLoss {
+        /// The newest snapshot that still parses.
+        snapshot: Option<TunerSnapshot>,
+        /// Unparseable lines skipped on the way (≥ 1).
+        skipped_lines: u64,
+    },
+}
+
+impl SnapshotRecovery {
+    /// The recovered snapshot, discarding the loss information.
+    pub fn into_snapshot(self) -> Option<TunerSnapshot> {
+        match self {
+            SnapshotRecovery::Clean(s) => s,
+            SnapshotRecovery::RecoveredWithLoss { snapshot, .. } => snapshot,
+        }
+    }
+
+    /// Lines that had to be skipped (0 for a clean load).
+    pub fn skipped_lines(&self) -> u64 {
+        match self {
+            SnapshotRecovery::Clean(_) => 0,
+            SnapshotRecovery::RecoveredWithLoss { skipped_lines, .. } => *skipped_lines,
+        }
     }
 }
 

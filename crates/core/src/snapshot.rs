@@ -21,7 +21,7 @@ use serde::{Deserialize, Serialize};
 
 /// The pending (suggested, not yet observed) configuration at snapshot
 /// time, with the context it was generated under.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PendingSuggestion {
     /// The suggested configuration.
     pub config: Configuration,
@@ -38,7 +38,7 @@ pub struct PendingSuggestion {
 
 /// A complete, replayable record of one tuner's state, written to the
 /// repository (or a JSONL log) after every observation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TunerSnapshot {
     /// The tuning task this snapshot belongs to.
     pub task_id: String,

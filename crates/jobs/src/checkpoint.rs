@@ -1,0 +1,42 @@
+//! Checkpoints: the full campaign state, embedded in the journal.
+//!
+//! A checkpoint is not a separate file — it is a `CheckpointCreated`
+//! event carrying the complete state inline, so the journal stays the
+//! single source of truth and inherits its torn-write tolerance. Resume
+//! loads the **last parseable** checkpoint and re-drives only the waves
+//! journaled after it; a torn checkpoint line simply falls back to the
+//! previous one (more replay, same final state).
+
+use crate::event::{DlqEntry, FailureRecord};
+use otune_core::TunerSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// Per-task state captured in a checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskCheckpoint {
+    /// Campaign task index.
+    pub task: usize,
+    /// The task id.
+    pub task_id: String,
+    /// Full tuner state (history, pending, RNG-equivalent replay inputs).
+    pub snapshot: TunerSnapshot,
+    /// Consecutive-failure ledger at checkpoint time.
+    pub ledger: Vec<FailureRecord>,
+    /// Whether the task is dead-lettered (excluded from future waves).
+    pub dead: bool,
+}
+
+/// The full campaign state at a wave boundary.
+///
+/// Checkpoints are only taken at wave boundaries, so no task ever has an
+/// in-flight suggestion here: every `snapshot.pending` is `None` and the
+/// wave cursor alone positions the replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobCheckpoint {
+    /// Next wave index to run.
+    pub wave_cursor: u64,
+    /// Per-task state, in task order.
+    pub tasks: Vec<TaskCheckpoint>,
+    /// Dead-letter queue contents.
+    pub dlq: Vec<DlqEntry>,
+}

@@ -1,0 +1,50 @@
+//! # otune-jobs — event-sourced, resumable tuning campaigns
+//!
+//! The job engine promotes the library-style fleet controller into a
+//! crash-tolerant service: a tuning campaign is a **job** whose every
+//! state transition is a typed event appended to a torn-write-tolerant
+//! JSONL journal, with periodic checkpoints embedding the full campaign
+//! state (per-task [`otune_core::TunerSnapshot`]s, the wave cursor, the
+//! retry ledger, and the dead-letter queue).
+//!
+//! ## Journal format
+//!
+//! One [`JournalEntry`] per line: `{"seq": N, "event": {"<Kind>": {...}}}`,
+//! fsynced per append. Four events are **replay-authoritative** —
+//! `JobStarted` (embeds the [`CampaignSpec`]), `CheckpointCreated`
+//! (embeds the [`JobCheckpoint`]), `WaveCompleted` (embeds every
+//! [`ItemOutcome`]), `JobCompleted` (embeds the [`FleetSummary`]) — the
+//! rest are an audit trail. `kill -9` at any point loses at most one
+//! torn line, which load skips, counts, and `open` heals.
+//!
+//! ## Recovery model
+//!
+//! `resume = last parseable checkpoint + re-driving the journaled waves
+//! through the real suggest path`. Restored tuners replay their recorded
+//! suggestion traces bit for bit ([`otune_core::OnlineTuner::resume`]);
+//! the engine then regenerates each post-checkpoint wave's suggestions
+//! and errors with [`JobError::ReplayDivergence`] if anything differs
+//! from what the journal recorded — so a resumed campaign provably
+//! continues exactly where the crashed one left off.
+//!
+//! ## Failure policy
+//!
+//! A failed run is a censored observation plus a ledger entry; while the
+//! consecutive-failure count stays under `max_retries` the task retries
+//! next wave after a recorded exponential backoff, and at `max_retries`
+//! it is dead-lettered with its full failure history while the rest of
+//! the campaign proceeds.
+
+pub mod checkpoint;
+pub mod engine;
+pub mod event;
+pub mod journal;
+pub mod spec;
+
+pub use checkpoint::{JobCheckpoint, TaskCheckpoint};
+pub use engine::{ItemResult, JobEngine, JobError, PendingItem, PendingWave, CRASH_ENV};
+pub use event::{
+    DlqEntry, FailureRecord, FleetSummary, ItemOutcome, JobEvent, JournalEntry, TaskSummary,
+};
+pub use journal::{Journal, JournalLoad};
+pub use spec::{CampaignSpec, TaskFault};

@@ -135,6 +135,67 @@ pub enum EventKind {
         /// Observations replayed from the snapshot.
         observations: usize,
     },
+    /// A tuning campaign started under the job engine.
+    JobStarted {
+        /// Tasks registered in the campaign.
+        n_tasks: usize,
+        /// Waves the campaign will run.
+        budget: usize,
+    },
+    /// A tuning campaign was reconstructed from its journal.
+    JobResumed {
+        /// Wave the campaign resumed at.
+        wave_cursor: u64,
+        /// Completed waves re-driven from journal events.
+        replayed_waves: u64,
+        /// Torn or corrupt journal lines skipped during the load.
+        torn_lines: u64,
+    },
+    /// A tuning campaign paused cleanly (checkpoint written).
+    JobPaused {
+        /// Wave the campaign paused at.
+        wave_cursor: u64,
+    },
+    /// A tuning campaign finished its reduce phase.
+    JobCompleted {
+        /// Waves the campaign ran.
+        waves: u64,
+        /// Tasks that ended in the dead-letter queue.
+        dead_lettered: usize,
+    },
+    /// The job engine completed one map-phase wave.
+    WaveCompleted {
+        /// The wave index (0-based).
+        wave: u64,
+        /// Runs that completed cleanly.
+        n_success: usize,
+        /// Runs that failed (OOM, `T_max` kill).
+        n_failed: usize,
+    },
+    /// A failed task execution was scheduled for retry.
+    RetryScheduled {
+        /// Consecutive-failure attempt number (1-based).
+        attempt: usize,
+        /// Exponential-backoff delay recorded for the retry, seconds.
+        backoff_s: f64,
+    },
+    /// A task exhausted `max_retries` and moved to the dead-letter queue.
+    ItemDeadLettered {
+        /// The wave the final failure happened in.
+        wave: u64,
+        /// Consecutive failed attempts accumulated.
+        attempts: usize,
+    },
+    /// A campaign checkpoint was appended to the job journal.
+    CheckpointCreated {
+        /// Wave cursor captured by the checkpoint.
+        wave_cursor: u64,
+    },
+    /// Campaign state was restored from a journal checkpoint.
+    CheckpointLoaded {
+        /// Wave cursor the checkpoint restored.
+        wave_cursor: u64,
+    },
     /// A hierarchical trace span closed. Identity fields are
     /// deterministic (seeded, never wall-clock-derived); `worker`,
     /// `start_ns`, and `dur_ns` are measurements.
@@ -171,6 +232,15 @@ impl EventKind {
             EventKind::RunFailed { .. } => "RunFailed",
             EventKind::FallbackTriggered { .. } => "FallbackTriggered",
             EventKind::TunerResumed { .. } => "TunerResumed",
+            EventKind::JobStarted { .. } => "JobStarted",
+            EventKind::JobResumed { .. } => "JobResumed",
+            EventKind::JobPaused { .. } => "JobPaused",
+            EventKind::JobCompleted { .. } => "JobCompleted",
+            EventKind::WaveCompleted { .. } => "WaveCompleted",
+            EventKind::RetryScheduled { .. } => "RetryScheduled",
+            EventKind::ItemDeadLettered { .. } => "ItemDeadLettered",
+            EventKind::CheckpointCreated { .. } => "CheckpointCreated",
+            EventKind::CheckpointLoaded { .. } => "CheckpointLoaded",
             EventKind::SpanClosed { .. } => "SpanClosed",
         }
     }
@@ -273,8 +343,82 @@ mod tests {
                 kind: EventKind::TunerResumed { observations: 13 },
             },
             Event {
-                task: "t".into(),
+                task: "job".into(),
                 seq: 11,
+                iteration: 0,
+                kind: EventKind::JobStarted {
+                    n_tasks: 8,
+                    budget: 12,
+                },
+            },
+            Event {
+                task: "job".into(),
+                seq: 12,
+                iteration: 0,
+                kind: EventKind::JobResumed {
+                    wave_cursor: 4,
+                    replayed_waves: 2,
+                    torn_lines: 1,
+                },
+            },
+            Event {
+                task: "job".into(),
+                seq: 13,
+                iteration: 0,
+                kind: EventKind::JobPaused { wave_cursor: 6 },
+            },
+            Event {
+                task: "job".into(),
+                seq: 14,
+                iteration: 0,
+                kind: EventKind::JobCompleted {
+                    waves: 12,
+                    dead_lettered: 1,
+                },
+            },
+            Event {
+                task: "job".into(),
+                seq: 15,
+                iteration: 3,
+                kind: EventKind::WaveCompleted {
+                    wave: 3,
+                    n_success: 7,
+                    n_failed: 1,
+                },
+            },
+            Event {
+                task: "t".into(),
+                seq: 16,
+                iteration: 3,
+                kind: EventKind::RetryScheduled {
+                    attempt: 2,
+                    backoff_s: 2.0,
+                },
+            },
+            Event {
+                task: "t".into(),
+                seq: 17,
+                iteration: 5,
+                kind: EventKind::ItemDeadLettered {
+                    wave: 5,
+                    attempts: 3,
+                },
+            },
+            Event {
+                task: "job".into(),
+                seq: 18,
+                iteration: 4,
+                kind: EventKind::CheckpointCreated { wave_cursor: 4 },
+            },
+            Event {
+                task: "job".into(),
+                seq: 19,
+                iteration: 0,
+                kind: EventKind::CheckpointLoaded { wave_cursor: 4 },
+            },
+            Event {
+                task: "t".into(),
+                seq: 20,
                 iteration: 14,
                 kind: EventKind::SpanClosed {
                     trace_id: 0xdead_beef,
@@ -315,6 +459,15 @@ mod tests {
                 "RunFailed",
                 "FallbackTriggered",
                 "TunerResumed",
+                "JobStarted",
+                "JobResumed",
+                "JobPaused",
+                "JobCompleted",
+                "WaveCompleted",
+                "RetryScheduled",
+                "ItemDeadLettered",
+                "CheckpointCreated",
+                "CheckpointLoaded",
                 "SpanClosed",
             ]
         );

@@ -105,6 +105,20 @@ pub mod metric {
     pub const RETRIEVAL_FALLBACKS: &str = "retrieval_fallbacks";
     /// Gauge: records currently held by the attached tuning corpus.
     pub const CORPUS_RECORDS: &str = "corpus_records";
+    /// Counter: map-phase waves completed by the job engine.
+    pub const JOB_WAVES: &str = "job_waves";
+    /// Counter: retries scheduled by the job engine after failed runs.
+    pub const JOB_RETRIES: &str = "job_retries";
+    /// Counter: tasks moved to the dead-letter queue after exhausting
+    /// `max_retries` consecutive failures.
+    pub const JOB_DEAD_LETTERS: &str = "job_dead_letters";
+    /// Counter: campaign checkpoints appended to job journals.
+    pub const JOB_CHECKPOINTS: &str = "job_checkpoints";
+    /// Counter: campaign reconstructions from a job journal.
+    pub const JOB_RESUMES: &str = "job_resumes";
+    /// Counter: torn or corrupt JSONL journal lines skipped by lossy
+    /// loads (snapshot logs and job journals).
+    pub const JOURNAL_TORN_TAILS: &str = "journal_torn_tails";
     /// Counter: events lost by the sink (ring overwrites, I/O failures).
     /// Folded into every snapshot so losses are reported, never silent.
     pub const EVENTS_DROPPED: &str = "events_dropped";

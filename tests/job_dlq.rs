@@ -1,0 +1,184 @@
+//! DLQ scenario tests: scripted fault profiles force one task past
+//! `max_retries` and the engine must dead-letter it — with its full
+//! failure history and the deterministic backoff schedule — while the
+//! rest of the campaign proceeds unaffected.
+
+use otune_jobs::{CampaignSpec, FleetSummary, JobEngine, TaskFault};
+use otune_space::{spark_space, ClusterScale};
+use otune_sparksim::FaultKind;
+use otune_telemetry::{metric, Telemetry};
+use std::path::PathBuf;
+
+fn journal_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("otune-jobdlq-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal.jsonl");
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// Task 1 is scripted to OOM on waves 2, 3, and 4 — three consecutive
+/// failures against `max_retries: 3`, so it dead-letters at wave 4.
+/// `t_max_factor` is generous so no natural timeout kill interferes.
+fn doomed_spec() -> CampaignSpec {
+    CampaignSpec {
+        job_id: "dlq-campaign".to_string(),
+        n_tasks: 3,
+        budget: 8,
+        seed: 11,
+        t_max_factor: 10.0,
+        max_retries: 3,
+        backoff_base_s: 1.5,
+        backoff_factor: 2.0,
+        backoff_cap_s: 4.0,
+        checkpoint_every: 3,
+        scripted_faults: vec![
+            TaskFault {
+                task: 1,
+                wave: 2,
+                kind: FaultKind::ExecutorOom,
+            },
+            TaskFault {
+                task: 1,
+                wave: 3,
+                kind: FaultKind::ExecutorOom,
+            },
+            TaskFault {
+                task: 1,
+                wave: 4,
+                kind: FaultKind::ExecutorOom,
+            },
+        ],
+        ..CampaignSpec::default()
+    }
+}
+
+#[test]
+fn task_past_max_retries_lands_in_dlq_with_full_history() {
+    let (telemetry, _sink) = Telemetry::ring(4096);
+    let path = journal_path("history");
+    let mut engine = JobEngine::start(doomed_spec(), &path, telemetry).unwrap();
+    let summary = engine.run_to_completion().unwrap().clone();
+
+    // The campaign completed all 8 waves despite the dead task.
+    assert!(engine.is_completed());
+    assert_eq!(summary.waves, 8);
+    assert_eq!(summary.dead_lettered, 1);
+
+    // Exactly one DLQ entry: task 1, dead at wave 4 after 3 attempts.
+    assert_eq!(engine.dlq().len(), 1);
+    let entry = &engine.dlq()[0];
+    assert_eq!(entry.task, 1);
+    assert_eq!(entry.wave, 4);
+    assert_eq!(entry.attempts, 3);
+
+    // Full failure history, oldest first, with the deterministic backoff
+    // schedule min(cap, base × factor^(attempt−1)) = [1.5, 3.0, 4.0].
+    assert_eq!(entry.failures.len(), 3);
+    let waves: Vec<u64> = entry.failures.iter().map(|f| f.wave).collect();
+    let attempts: Vec<usize> = entry.failures.iter().map(|f| f.attempt).collect();
+    let backoffs: Vec<f64> = entry.failures.iter().map(|f| f.backoff_s).collect();
+    assert_eq!(waves, vec![2, 3, 4]);
+    assert_eq!(attempts, vec![1, 2, 3]);
+    assert_eq!(backoffs, vec![1.5, 3.0, 4.0]);
+    for f in &entry.failures {
+        assert_eq!(f.status, "oom_killed");
+        assert!(f.partial_runtime_s > 0.0);
+    }
+
+    // The dead task observed waves 0–4 (2 successes + 3 censored
+    // failures) and then left the wave rotation.
+    let dead = &summary.tasks[1];
+    assert!(dead.dead_lettered);
+    assert_eq!(dead.n_observations, 5);
+    assert_eq!(dead.n_failures, 3);
+
+    // Surviving tasks ran the full budget, failure-free.
+    for i in [0usize, 2] {
+        let t = &summary.tasks[i];
+        assert!(!t.dead_lettered, "task {i} must not be dead-lettered");
+        assert_eq!(t.n_observations, 8);
+        assert_eq!(t.n_failures, 0);
+        assert!(t.best_runtime_s.is_some());
+    }
+
+    // Telemetry: 2 retries scheduled, 1 dead letter, 8 waves.
+    let snap = engine.telemetry().snapshot().unwrap();
+    assert_eq!(snap.counters[metric::JOB_RETRIES], 2);
+    assert_eq!(snap.counters[metric::JOB_DEAD_LETTERS], 1);
+    assert_eq!(snap.counters[metric::JOB_WAVES], 8);
+    assert!(snap.counters[metric::JOB_CHECKPOINTS] >= 1);
+}
+
+#[test]
+fn dlq_leaves_surviving_tasks_bitwise_unaffected() {
+    let space = spark_space(ClusterScale::hibench());
+    // Campaign A: task 1 dead-letters. Campaign B: same seed, no faults.
+    let (ta, _sa) = Telemetry::ring(4096);
+    let mut a = JobEngine::start(doomed_spec(), &journal_path("faulty"), ta).unwrap();
+    a.run_to_completion().unwrap();
+
+    let clean_spec = CampaignSpec {
+        scripted_faults: Vec::new(),
+        ..doomed_spec()
+    };
+    let (tb, _sb) = Telemetry::ring(4096);
+    let mut b = JobEngine::start(clean_spec, &journal_path("clean"), tb).unwrap();
+    b.run_to_completion().unwrap();
+
+    // Tasks 0 and 2 never failed in either campaign: their suggestion
+    // traces — and thus their incumbents — must be bitwise identical.
+    for task in [0usize, 2] {
+        let trace_a = a.suggestion_trace(task).unwrap();
+        let trace_b = b.suggestion_trace(task).unwrap();
+        assert_eq!(trace_a.len(), trace_b.len());
+        for (wave, (ca, cb)) in trace_a.iter().zip(&trace_b).enumerate() {
+            let bits_a: Vec<u64> = space.encode(ca).iter().map(|v| v.to_bits()).collect();
+            let bits_b: Vec<u64> = space.encode(cb).iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                bits_a, bits_b,
+                "task {task} diverged at wave {wave} under a sibling's DLQ"
+            );
+        }
+    }
+    let sa = a.summary().unwrap();
+    let sb = b.summary().unwrap();
+    for task in [0usize, 2] {
+        assert_eq!(
+            sa.tasks[task].best_runtime_s.map(f64::to_bits),
+            sb.tasks[task].best_runtime_s.map(f64::to_bits),
+            "task {task} incumbent changed under a sibling's DLQ"
+        );
+    }
+}
+
+#[test]
+fn pause_resume_preserves_dlq_and_reproduces_uninterrupted_summary() {
+    // Uninterrupted golden run.
+    let (tg, _sg) = Telemetry::ring(4096);
+    let mut golden = JobEngine::start(doomed_spec(), &journal_path("golden"), tg).unwrap();
+    let golden_summary: FleetSummary = golden.run_to_completion().unwrap().clone();
+
+    // Interrupted run: drive through the DLQ event (waves 0–4), pause,
+    // reopen from the journal, finish.
+    let path = journal_path("paused");
+    let (t1, _s1) = Telemetry::ring(4096);
+    let mut first = JobEngine::start(doomed_spec(), &path, t1).unwrap();
+    for _ in 0..5 {
+        first.run_wave().unwrap().unwrap();
+    }
+    assert_eq!(first.dlq().len(), 1);
+    first.pause().unwrap();
+    drop(first);
+
+    let (t2, _s2) = Telemetry::ring(4096);
+    let mut resumed = JobEngine::open(&path, t2).unwrap();
+    assert_eq!(resumed.wave_cursor(), 5);
+    assert_eq!(resumed.dlq().len(), 1, "DLQ must survive the resume");
+    assert_eq!(resumed.dlq()[0].failures.len(), 3);
+    let resumed_summary = resumed.run_to_completion().unwrap().clone();
+
+    assert_eq!(resumed_summary, golden_summary);
+    let snap = resumed.telemetry().snapshot().unwrap();
+    assert_eq!(snap.counters[metric::JOB_RESUMES], 1);
+}

@@ -1,0 +1,219 @@
+//! Property tests for the job journal and checkpoints: arbitrary event
+//! sequences × arbitrary truncation points never panic the loader, torn
+//! tails heal, and resume-from-checkpoint is indistinguishable from
+//! replay-from-genesis.
+
+use otune_jobs::{
+    CampaignSpec, DlqEntry, FailureRecord, JobEngine, JobEvent, Journal, JournalEntry,
+};
+use otune_telemetry::Telemetry;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn case_path(name: &str) -> PathBuf {
+    let case = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "otune-jobprop-{name}-{}-{case}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal.jsonl");
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// Deterministically decode one generated tuple into a journal event.
+fn synth_event(code: u8, n: u64, x: f64) -> JobEvent {
+    let task = (n % 8) as usize;
+    let wave = n % 100;
+    match code % 5 {
+        0 => JobEvent::CheckpointLoaded { wave_cursor: wave },
+        1 => JobEvent::JobPaused { wave_cursor: wave },
+        2 => JobEvent::RetryScheduled {
+            task,
+            wave,
+            attempt: (n % 5) as usize + 1,
+            backoff_s: x,
+        },
+        3 => JobEvent::TaskFailed {
+            task,
+            wave,
+            attempt: (n % 5) as usize + 1,
+            status: "oom_killed".to_string(),
+        },
+        _ => JobEvent::ItemDeadLettered {
+            entry: DlqEntry {
+                task,
+                task_id: format!("t{task}"),
+                wave,
+                attempts: 3,
+                failures: vec![FailureRecord {
+                    wave,
+                    attempt: 1,
+                    partial_runtime_s: x,
+                    resource: x * 0.5,
+                    status: "timeout_killed".to_string(),
+                    backoff_s: x.min(60.0),
+                }],
+            },
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn truncated_journal_loads_without_panic_and_heals(
+        codes in proptest::collection::vec((0u8..5, 0u64..10_000, 0.0f64..1e6), 0..25),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let path = case_path("trunc");
+        let mut journal = Journal::open(&path).unwrap();
+        let entries: Vec<JournalEntry> = codes
+            .iter()
+            .enumerate()
+            .map(|(i, (c, n, x))| JournalEntry {
+                seq: i as u64 + 1,
+                event: synth_event(*c, *n, *x),
+            })
+            .collect();
+        for e in &entries {
+            journal.append(e).unwrap();
+        }
+        drop(journal);
+
+        // Truncate at an arbitrary byte offset — a crash can cut a line
+        // anywhere — and compute the exactly-expected surviving prefix.
+        let bytes = std::fs::read(&path).unwrap();
+        let cut = (bytes.len() as f64 * cut_frac) as usize;
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let mut expected = 0usize;
+        let mut expect_torn = 0u64;
+        let mut start = 0usize;
+        for e in &entries {
+            let line_len = serde_json::to_string(e).unwrap().len();
+            let end = start + line_len;
+            if cut >= end {
+                expected += 1;
+            } else if cut > start {
+                expect_torn = 1;
+            }
+            start = end + 1; // newline
+        }
+
+        let load = Journal::load(&path).unwrap();
+        prop_assert_eq!(load.entries.len(), expected);
+        prop_assert_eq!(&load.entries[..], &entries[..expected]);
+        prop_assert_eq!(load.torn_lines, expect_torn);
+
+        // Healing: re-open and append — the new entry must parse cleanly
+        // regardless of how the tail was torn.
+        let sentinel = JournalEntry {
+            seq: 999_999,
+            event: JobEvent::CheckpointLoaded { wave_cursor: 77 },
+        };
+        let mut journal = Journal::open(&path).unwrap();
+        journal.append(&sentinel).unwrap();
+        drop(journal);
+        let load = Journal::load(&path).unwrap();
+        prop_assert_eq!(load.entries.len(), expected + 1);
+        prop_assert_eq!(load.entries.last().unwrap(), &sentinel);
+        prop_assert_eq!(load.torn_lines, expect_torn);
+    }
+}
+
+/// Rewrite a journal without its `CheckpointCreated` events, forcing the
+/// next `open` to replay from genesis.
+fn strip_checkpoints(path: &PathBuf, out: &PathBuf) {
+    let text = std::fs::read_to_string(path).unwrap();
+    let kept: Vec<&str> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter(|l| {
+            let entry: JournalEntry = serde_json::from_str(l).unwrap();
+            !matches!(entry.event, JobEvent::CheckpointCreated { .. })
+        })
+        .collect();
+    std::fs::write(out, kept.join("\n") + "\n").unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn resume_from_checkpoint_equals_replay_from_genesis(
+        seed in 0u64..1000,
+        checkpoint_every in 1u64..4,
+        interrupted_at in 1usize..4,
+    ) {
+        let spec = CampaignSpec {
+            job_id: "prop-campaign".to_string(),
+            n_tasks: 2,
+            budget: 4,
+            seed,
+            checkpoint_every,
+            ..CampaignSpec::default()
+        };
+        let path = case_path("equiv");
+        let (t0, _s0) = Telemetry::ring(1024);
+        let mut engine = JobEngine::start(spec, &path, t0).unwrap();
+        for _ in 0..interrupted_at {
+            engine.run_wave().unwrap();
+        }
+        drop(engine); // abandon without pause: no final checkpoint
+
+        // Path A: resume normally (last checkpoint + journal replay).
+        let path_a = case_path("equiv-a");
+        std::fs::copy(&path, &path_a).unwrap();
+        let (ta, _sa) = Telemetry::ring(1024);
+        let mut a = JobEngine::open(&path_a, ta).unwrap();
+        let summary_a = a.run_to_completion().unwrap().clone();
+
+        // Path B: same journal with every checkpoint removed — the
+        // engine must replay from genesis to the identical state.
+        let path_b = case_path("equiv-b");
+        strip_checkpoints(&path, &path_b);
+        let (tb, _sb) = Telemetry::ring(1024);
+        let mut b = JobEngine::open(&path_b, tb).unwrap();
+        let summary_b = b.run_to_completion().unwrap().clone();
+
+        prop_assert_eq!(summary_a, summary_b);
+        for task in 0..2 {
+            prop_assert_eq!(
+                a.suggestion_trace(task).unwrap(),
+                b.suggestion_trace(task).unwrap()
+            );
+        }
+    }
+}
+
+#[test]
+fn checkpoint_event_round_trips_through_journal() {
+    // A full campaign journal — including embedded checkpoints with real
+    // tuner snapshots — must reload to byte-identical entries.
+    let path = case_path("roundtrip");
+    let (t, _s) = Telemetry::ring(1024);
+    let spec = CampaignSpec {
+        n_tasks: 2,
+        budget: 3,
+        checkpoint_every: 1,
+        ..CampaignSpec::default()
+    };
+    let mut engine = JobEngine::start(spec, &path, t).unwrap();
+    engine.run_to_completion().unwrap();
+    drop(engine);
+
+    let load = Journal::load(&path).unwrap();
+    assert_eq!(load.torn_lines, 0);
+    assert!(load
+        .entries
+        .iter()
+        .any(|e| matches!(e.event, JobEvent::CheckpointCreated { .. })));
+    for entry in &load.entries {
+        let line = serde_json::to_string(entry).unwrap();
+        let back: JournalEntry = serde_json::from_str(&line).unwrap();
+        assert_eq!(&back, entry);
+    }
+}
