@@ -1,0 +1,345 @@
+//! Journal throughput benchmark: durable waves/sec at the `Journal`
+//! layer for a synthetic 200-task campaign stream.
+//!
+//! Each wave journals one small per-item audit record per task (the
+//! failure/retry path's append granularity), one `WaveCompleted` entry
+//! embedding every outcome, and one checkpoint followed by the engine's
+//! sync barrier. Three arms replay the identical stream of events:
+//!
+//! * `every-full` — the legacy contract: one fsync per append, every
+//!   checkpoint full (all 200 task snapshots).
+//! * `batch8-delta` — group commit (`batch:8`) with delta checkpoints:
+//!   a full base every 8th checkpoint, deltas carrying only the ~8
+//!   changed tasks between.
+//! * `barrier-delta` — fsyncs only at the checkpoint barriers, delta
+//!   checkpoints.
+//!
+//! The acceptance bar (`OTUNE_BENCH_ASSERT=1`): `batch8-delta` must
+//! lift wave throughput ≥ 5× over `every-full` at 200 tasks (≥ 2× in
+//! `OTUNE_BENCH_QUICK=1` smoke runs, which shrink the wave count).
+//! Results land in `BENCH_journal_throughput.json` under the results
+//! directory; `OTUNE_RESULTS_DIR` moves the output.
+
+use otune_bench::{results_dir, Table};
+use otune_bo::Observation;
+use otune_core::telemetry::SyncPolicy;
+use otune_core::TunerSnapshot;
+use otune_jobs::{
+    CheckpointDelta, ItemOutcome, JobCheckpoint, JobEvent, Journal, JournalEntry, TaskCheckpoint,
+};
+use otune_space::{ConfigSpace, Parameter};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Campaign width (the acceptance bar is stated at 200 tasks).
+const N_TASKS: usize = 200;
+/// Runhistory length carried per task snapshot.
+const HISTORY: usize = 4;
+/// Tasks whose fingerprint "changed" per delta checkpoint.
+const CHANGED_PER_DELTA: usize = 8;
+/// Full-checkpoint cadence of the delta arms (mirrors `--full-every 8`).
+const FULL_EVERY: usize = 8;
+
+fn toy_space() -> ConfigSpace {
+    ConfigSpace::new(vec![
+        Parameter::float("alpha", 0.1, 8.0, 1.0),
+        Parameter::int("cores", 1, 64, 8),
+    ])
+}
+
+/// One task's snapshot at one wave — sized like a live tuner's state.
+fn synth_snapshot(space: &ConfigSpace, task: usize, wave: usize) -> TunerSnapshot {
+    let mut rng = StdRng::seed_from_u64((task * 1000 + wave) as u64);
+    let history = (0..HISTORY)
+        .map(|i| {
+            let config = space.sample(&mut rng);
+            Observation {
+                failed: false,
+                objective: 100.0 + (task + i) as f64,
+                runtime: 50.0 + wave as f64,
+                resource: 10.0,
+                context: vec![],
+                config,
+            }
+        })
+        .collect();
+    TunerSnapshot {
+        task_id: format!("task-{task}"),
+        seed: 4242,
+        budget: 32,
+        history,
+        seeded_idx: vec![],
+        pending: None,
+        stopped: false,
+        degraded_streak: 0,
+        failure_streak: 0,
+        restarts: 0,
+        round_iterations: wave,
+        own_records: vec![],
+    }
+}
+
+fn task_checkpoint(space: &ConfigSpace, task: usize, wave: usize) -> TaskCheckpoint {
+    TaskCheckpoint {
+        task,
+        task_id: format!("task-{task}"),
+        snapshot: synth_snapshot(space, task, wave),
+        ledger: vec![],
+        dead: false,
+    }
+}
+
+/// The per-wave event stream shared by every arm: per-item audit
+/// records plus the embedding `WaveCompleted`.
+fn wave_events(space: &ConfigSpace, wave: usize) -> Vec<JobEvent> {
+    let mut rng = StdRng::seed_from_u64(wave as u64);
+    let mut events: Vec<JobEvent> = (0..N_TASKS)
+        .map(|task| JobEvent::TaskFailed {
+            task,
+            wave: wave as u64,
+            attempt: 1,
+            status: "audit".to_string(),
+        })
+        .collect();
+    let outcomes = (0..N_TASKS)
+        .map(|task| ItemOutcome {
+            task,
+            config: space.sample(&mut rng),
+            runtime_s: 50.0 + task as f64,
+            resource: 10.0,
+            failed: false,
+            status: "success".to_string(),
+            attempt: 0,
+            dead_lettered: false,
+        })
+        .collect();
+    events.push(JobEvent::WaveCompleted {
+        wave: wave as u64,
+        outcomes,
+    });
+    events
+}
+
+/// The wave's checkpoint event: full (all tasks) or a delta carrying
+/// only the changed slice over the last full base.
+fn checkpoint_event(space: &ConfigSpace, wave: usize, delta_mode: bool, base_seq: u64) -> JobEvent {
+    if delta_mode && !wave.is_multiple_of(FULL_EVERY) {
+        let changed = (0..CHANGED_PER_DELTA)
+            .map(|i| task_checkpoint(space, (wave * CHANGED_PER_DELTA + i) % N_TASKS, wave))
+            .collect();
+        JobEvent::CheckpointDelta {
+            delta: CheckpointDelta {
+                wave_cursor: wave as u64 + 1,
+                base_seq,
+                changed,
+                dlq: vec![],
+            },
+        }
+    } else {
+        let tasks = (0..N_TASKS)
+            .map(|task| task_checkpoint(space, task, wave))
+            .collect();
+        JobEvent::CheckpointCreated {
+            checkpoint: JobCheckpoint {
+                wave_cursor: wave as u64 + 1,
+                tasks,
+                dlq: vec![],
+            },
+        }
+    }
+}
+
+struct ArmResult {
+    wall_s: f64,
+    fsyncs: u64,
+    bytes: u64,
+}
+
+/// Replay `waves` synthetic waves through a journal under `policy`,
+/// with the engine's barrier after every checkpoint. Returns wall time,
+/// fsyncs paid, and bytes written.
+fn run_arm(name: &str, policy: SyncPolicy, delta_mode: bool, waves: usize) -> ArmResult {
+    let dir = std::env::temp_dir().join(format!(
+        "otune-jthr-{}-{}",
+        name.replace(':', "-"),
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("journal.jsonl");
+    let _ = std::fs::remove_file(&path);
+
+    let space = toy_space();
+    // Build the event stream up front so the timed loop measures the
+    // journal (serialize + write + sync), not workload synthesis.
+    let mut stream: Vec<(JobEvent, bool)> = Vec::new();
+    let mut base_seq = 1u64; // the full checkpoint every delta overlays
+    let mut seq = 0u64;
+    for wave in 0..waves {
+        for event in wave_events(&space, wave) {
+            seq += 1;
+            stream.push((event, false));
+        }
+        seq += 1;
+        let event = checkpoint_event(&space, wave, delta_mode, base_seq);
+        if matches!(event, JobEvent::CheckpointCreated { .. }) {
+            base_seq = seq;
+        }
+        stream.push((event, true)); // checkpoint: barrier after
+    }
+
+    let mut journal = Journal::open_with(&path, policy).expect("journal opens");
+    let start = Instant::now();
+    for (i, (event, barrier)) in stream.into_iter().enumerate() {
+        journal
+            .append(&JournalEntry {
+                seq: i as u64 + 1,
+                event,
+            })
+            .expect("append");
+        if barrier {
+            journal.barrier().expect("barrier");
+        }
+    }
+    journal.barrier().expect("final barrier");
+    let wall_s = start.elapsed().as_secs_f64();
+    let fsyncs = journal.fsyncs();
+    drop(journal);
+
+    let bytes = Journal::segments(&path)
+        .expect("segments")
+        .iter()
+        .filter_map(|p| std::fs::metadata(p).ok())
+        .map(|m| m.len())
+        .sum();
+    let _ = std::fs::remove_dir_all(&dir);
+    ArmResult {
+        wall_s,
+        fsyncs,
+        bytes,
+    }
+}
+
+#[derive(Serialize)]
+struct Entry {
+    arm: &'static str,
+    policy: &'static str,
+    checkpoint_mode: &'static str,
+    waves_per_s: f64,
+    fsyncs: u64,
+    bytes_written: u64,
+    wall_s: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    n_tasks: usize,
+    waves: usize,
+    full_every: usize,
+    changed_per_delta: usize,
+    quick: bool,
+    note: &'static str,
+    speedup_batch_vs_every: f64,
+    speedup_barrier_vs_every: f64,
+    results: Vec<Entry>,
+}
+
+fn main() {
+    let quick = std::env::var("OTUNE_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let assert_targets = std::env::var("OTUNE_BENCH_ASSERT").is_ok_and(|v| v != "0");
+    let waves = if quick { 4 } else { 16 };
+
+    let arms: [(&'static str, &'static str, &'static str, ArmResult); 3] = [
+        (
+            "every-full",
+            "every",
+            "full",
+            run_arm("every-full", SyncPolicy::Every, false, waves),
+        ),
+        (
+            "batch8-delta",
+            "batch:8",
+            "delta",
+            run_arm("batch8-delta", SyncPolicy::Batch(8), true, waves),
+        ),
+        (
+            "barrier-delta",
+            "barrier",
+            "delta",
+            run_arm("barrier-delta", SyncPolicy::Barrier, true, waves),
+        ),
+    ];
+
+    let mut table = Table::new(
+        "Journal throughput — durable waves/sec at 200 tasks",
+        &["arm", "policy", "ckpt", "waves/s", "fsyncs", "MiB"],
+    );
+    let mut entries = Vec::new();
+    for (arm, policy, mode, res) in &arms {
+        table.row(vec![
+            arm.to_string(),
+            policy.to_string(),
+            mode.to_string(),
+            format!("{:.1}", waves as f64 / res.wall_s),
+            res.fsyncs.to_string(),
+            format!("{:.1}", res.bytes as f64 / (1024.0 * 1024.0)),
+        ]);
+        entries.push(Entry {
+            arm,
+            policy,
+            checkpoint_mode: mode,
+            waves_per_s: waves as f64 / res.wall_s,
+            fsyncs: res.fsyncs,
+            bytes_written: res.bytes,
+            wall_s: res.wall_s,
+        });
+    }
+    table.print();
+
+    let speedup_batch = arms[0].3.wall_s / arms[1].3.wall_s;
+    let speedup_barrier = arms[0].3.wall_s / arms[2].3.wall_s;
+    println!(
+        "group commit + delta checkpoints: batch:8 {speedup_batch:.2}x, \
+         barrier {speedup_barrier:.2}x over every+full"
+    );
+    assert!(
+        arms[1].3.fsyncs < arms[0].3.fsyncs && arms[2].3.fsyncs < arms[1].3.fsyncs,
+        "fsync counts must strictly shrink across arms: {} / {} / {}",
+        arms[0].3.fsyncs,
+        arms[1].3.fsyncs,
+        arms[2].3.fsyncs,
+    );
+    if assert_targets {
+        let floor = if quick { 2.0 } else { 5.0 };
+        assert!(
+            speedup_batch >= floor,
+            "batch:8 + delta speedup is only {speedup_batch:.2}x (floor {floor}x)"
+        );
+    }
+
+    let out = results_dir().join("BENCH_journal_throughput.json");
+    let doc = Report {
+        bench: "journal_throughput",
+        n_tasks: N_TASKS,
+        waves,
+        full_every: FULL_EVERY,
+        changed_per_delta: CHANGED_PER_DELTA,
+        quick,
+        note: "per wave: one audit append per task, one WaveCompleted with \
+               every outcome, one checkpoint + sync barrier. every-full pays \
+               one fsync per append and serializes all 200 snapshots per \
+               checkpoint; the delta arms group-commit appends and carry only \
+               the changed tasks between periodic full bases",
+        speedup_batch_vs_every: speedup_batch,
+        speedup_barrier_vs_every: speedup_barrier,
+        results: entries,
+    };
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&doc).expect("serializable"),
+    )
+    .expect("results dir is writable");
+    println!("json: {}", out.display());
+}

@@ -98,6 +98,13 @@ pub enum Command {
         /// Run every remaining wave immediately and exit instead of
         /// serving the stdin protocol.
         auto: bool,
+        /// Journal sync policy (`every` | `batch:N` | `barrier`);
+        /// defaults to the `OTUNE_JOURNAL_SYNC` environment variable,
+        /// then `every`.
+        sync: Option<String>,
+        /// Write a full checkpoint every N checkpoints and deltas (only
+        /// changed tasks) in between; 0 = every checkpoint is full.
+        full_every: u64,
     },
     /// Compare strategies on one task.
     Compare {
@@ -157,8 +164,31 @@ pub enum Command {
         /// Corpus JSONL path.
         file: String,
     },
+    /// Inspect and maintain job-engine journals in a directory.
+    Jobs {
+        /// What to do with the journals.
+        action: JobsAction,
+        /// Directory holding `*.jsonl` journals (segments included).
+        journal_dir: String,
+    },
     /// Print usage.
     Help,
+}
+
+/// Sub-action of `otune jobs`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobsAction {
+    /// One line per journal: job id, state, waves, last checkpoint seq,
+    /// torn tails, segment count.
+    List,
+    /// Remove completed journals, keeping the `keep` most recent.
+    Gc {
+        /// Completed journals to keep (most recently modified first).
+        keep: usize,
+    },
+    /// Rewrite every journal to `JobStarted` + last full checkpoint +
+    /// suffix, merging its segments.
+    Compact,
 }
 
 /// Sub-action of `otune corpus`.
@@ -227,6 +257,7 @@ USAGE:
   otune tune-serve --journal FILE [--tasks N] [--budget N] [--seed S]
                    [--beta B] [--max-retries K] [--checkpoint-every N]
                    [--fault-profile SPEC] [--events FILE] [--auto]
+                   [--sync every|batch:N|barrier] [--full-every N]
 
   tune-serve runs a crash-recoverable campaign: every state transition
   is journaled (fsynced JSONL) and the campaign resumes from its last
@@ -236,6 +267,21 @@ USAGE:
   `wave`, `run`, `checkpoint`, `status`, `dlq`, `stop`; EOF pauses).
   Tasks failing more than --max-retries consecutive runs move to the
   dead-letter queue with their full failure history.
+  --sync selects the group-commit fsync cadence (default `every`:
+  one sync_data per appended line; `batch:N` groups N lines per
+  sync; `barrier` syncs only at checkpoints/pause/stop — an acked
+  checkpoint survives kill -9 under every policy). --full-every N
+  journals delta checkpoints (only tasks whose state changed) with a
+  full checkpoint every N-th one; 0 keeps every checkpoint full.
+  otune jobs list    --journal-dir DIR
+  otune jobs gc      --journal-dir DIR [--keep N]
+  otune jobs compact --journal-dir DIR
+
+  jobs list prints one line per journal in DIR: job id, state, waves
+  completed, last checkpoint seq, torn tails, segment count. jobs gc
+  removes completed journals (and their segments), keeping the
+  --keep most recent (default 3). jobs compact rewrites each journal
+  to JobStarted + last full checkpoint + suffix, merging segments.
   otune corpus build --file FILE [--tasks N] [--budget N] [--seed S]
   otune corpus stats --file FILE
   otune corpus query --file FILE --task <name> [--k K]
@@ -260,13 +306,23 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
     let Some(cmd) = argv.first() else {
         return Ok(Command::Help);
     };
-    // `corpus` takes a positional sub-action before its flags.
+    // `corpus` and `jobs` take a positional sub-action before their flags.
     let (action, flag_args) = if cmd == "corpus" {
         match argv.get(1).map(String::as_str) {
             Some(a @ ("build" | "stats" | "query")) => (Some(a), &argv[2..]),
             other => {
                 return Err(ParseError(format!(
                     "corpus expects build|stats|query, got {:?}",
+                    other.unwrap_or("")
+                )))
+            }
+        }
+    } else if cmd == "jobs" {
+        match argv.get(1).map(String::as_str) {
+            Some(a @ ("list" | "gc" | "compact")) => (Some(a), &argv[2..]),
+            other => {
+                return Err(ParseError(format!(
+                    "jobs expects list|gc|compact, got {:?}",
                     other.unwrap_or("")
                 )))
             }
@@ -346,6 +402,14 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
             if !(0.0..=1.0).contains(&beta) {
                 return Err(ParseError(format!("--beta must lie in [0, 1], got {beta}")));
             }
+            let sync = get("sync");
+            if let Some(s) = &sync {
+                if otune_core::telemetry::SyncPolicy::parse(s).is_none() {
+                    return Err(ParseError(format!(
+                        "--sync expects every|batch:N|barrier, got {s:?}"
+                    )));
+                }
+            }
             Ok(Command::TuneServe {
                 journal: get("journal")
                     .ok_or_else(|| ParseError("missing required --journal FILE".into()))?,
@@ -358,6 +422,23 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                 fault_profile: get("fault-profile"),
                 events: get("events"),
                 auto: switches.contains(&"auto".to_string()),
+                sync,
+                full_every: num("full-every", 0.0)? as u64,
+            })
+        }
+        "jobs" => {
+            let journal_dir = get("journal-dir")
+                .ok_or_else(|| ParseError("missing required --journal-dir DIR".into()))?;
+            let action = match action.expect("jobs action parsed above") {
+                "list" => JobsAction::List,
+                "gc" => JobsAction::Gc {
+                    keep: num("keep", 3.0)? as usize,
+                },
+                _ => JobsAction::Compact,
+            };
+            Ok(Command::Jobs {
+                action,
+                journal_dir,
             })
         }
         "corpus" => {
@@ -737,6 +818,8 @@ mod tests {
                 fault_profile: None,
                 events: None,
                 auto: false,
+                sync: None,
+                full_every: 0,
             }
         );
         assert_eq!(
@@ -757,10 +840,75 @@ mod tests {
                 fault_profile: Some("oom:0.1".into()),
                 events: Some("e.jsonl".into()),
                 auto: true,
+                sync: None,
+                full_every: 0,
             }
         );
         assert!(parse_args(&argv("tune-serve")).is_err());
         assert!(parse_args(&argv("tune-serve --journal j --beta 2")).is_err());
+    }
+
+    #[test]
+    fn parses_tune_serve_durability_flags() {
+        match parse_args(&argv(
+            "tune-serve --journal j.jsonl --sync batch:8 --full-every 4",
+        ))
+        .unwrap()
+        {
+            Command::TuneServe {
+                sync, full_every, ..
+            } => {
+                assert_eq!(sync.as_deref(), Some("batch:8"));
+                assert_eq!(full_every, 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_args(&argv("tune-serve --journal j.jsonl")).unwrap() {
+            Command::TuneServe {
+                sync, full_every, ..
+            } => {
+                assert_eq!(sync, None, "defaults to the environment");
+                assert_eq!(full_every, 0, "full checkpoints by default");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(&argv("tune-serve --journal j --sync sometimes")).is_err());
+        assert!(parse_args(&argv("tune-serve --journal j --sync batch:0")).is_err());
+    }
+
+    #[test]
+    fn parses_jobs_subcommands() {
+        assert_eq!(
+            parse_args(&argv("jobs list --journal-dir /var/jobs")).unwrap(),
+            Command::Jobs {
+                action: JobsAction::List,
+                journal_dir: "/var/jobs".into(),
+            }
+        );
+        assert_eq!(
+            parse_args(&argv("jobs gc --journal-dir d --keep 5")).unwrap(),
+            Command::Jobs {
+                action: JobsAction::Gc { keep: 5 },
+                journal_dir: "d".into(),
+            }
+        );
+        assert_eq!(
+            parse_args(&argv("jobs gc --journal-dir d")).unwrap(),
+            Command::Jobs {
+                action: JobsAction::Gc { keep: 3 },
+                journal_dir: "d".into(),
+            }
+        );
+        assert_eq!(
+            parse_args(&argv("jobs compact --journal-dir d")).unwrap(),
+            Command::Jobs {
+                action: JobsAction::Compact,
+                journal_dir: "d".into(),
+            }
+        );
+        assert!(parse_args(&argv("jobs")).is_err());
+        assert!(parse_args(&argv("jobs frobnicate --journal-dir d")).is_err());
+        assert!(parse_args(&argv("jobs list")).is_err());
     }
 
     #[test]

@@ -1,16 +1,16 @@
 //! Command implementations for the `otune` binary.
 
-use crate::args::{Command, CorpusAction};
+use crate::args::{Command, CorpusAction, JobsAction};
 use otune_baselines::{CherryPick, Dac, Locat, RandomSearch, Rfhoc, Tuneful, Tuner};
 use otune_bo::Observation;
 use otune_core::fleet::{FleetOptions, FleetReport, FleetRequest};
 use otune_core::telemetry::{
     attribute, chrome_trace_json, prometheus_text, read_jsonl, read_jsonl_lossy, spans_from_events,
-    AttributionReport, EventKind, JsonlSink, MetricsSnapshot, Telemetry,
+    AttributionReport, EventKind, JsonlSink, MetricsSnapshot, SyncPolicy, Telemetry,
 };
 use otune_core::{Objective, OnlineTuneController, OnlineTuner, TaskHandle, TunerOptions};
 use otune_forest::Fanova;
-use otune_jobs::{CampaignSpec, FleetSummary, ItemResult, JobEngine, JobError};
+use otune_jobs::{CampaignSpec, FleetSummary, ItemResult, JobEngine, JobError, JobEvent, Journal};
 use otune_meta::{
     extract_meta_features, CorpusRecord, TuningCorpus, DEFAULT_MAX_DISTANCE, DEFAULT_RETRIEVAL_K,
 };
@@ -115,6 +115,8 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> std::io::Result<i32> {
             fault_profile,
             events,
             auto,
+            sync,
+            full_every,
         } => {
             let spec = CampaignSpec {
                 job_id: "tune-serve".to_string(),
@@ -124,19 +126,30 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> std::io::Result<i32> {
                 beta,
                 max_retries,
                 checkpoint_every,
+                checkpoint_full_every: full_every,
                 fault_spec: fault_profile,
                 ..CampaignSpec::default()
             };
+            // --sync wins over OTUNE_JOURNAL_SYNC; both default to `every`.
+            let policy = sync
+                .as_deref()
+                .and_then(SyncPolicy::parse)
+                .unwrap_or_else(SyncPolicy::from_env);
             tune_serve(
                 spec,
                 &journal,
                 events,
                 auto,
+                policy,
                 &mut std::io::stdin().lock(),
                 out,
             )
         }
         Command::Corpus { action, file } => corpus_cmd(action, &file, out),
+        Command::Jobs {
+            action,
+            journal_dir,
+        } => jobs_cmd(action, &journal_dir, out),
         Command::Events { file, task, kind } => {
             events_cmd(&file, task.as_deref(), kind.as_deref(), out)
         }
@@ -219,7 +232,14 @@ fn tune(
     // its meta-features query the corpus for a zero-execution bootstrap
     // before any tuned run happens.
     let mut corpus_store = match &corpus {
-        Some(p) => Some(TuningCorpus::open(p.as_str())?),
+        Some(p) => {
+            let mut c = TuningCorpus::open(p.as_str())?;
+            // Honor OTUNE_JOURNAL_SYNC on the corpus hot path too; the
+            // default stays one fsync per record.
+            c.set_sync_policy(SyncPolicy::from_env())?;
+            c.set_telemetry(telemetry.clone());
+            Some(c)
+        }
         None => None,
     };
     let query = extract_meta_features(&baseline.event_log);
@@ -342,7 +362,10 @@ fn tune(
         best.config[SparkParam::ExecutorMemory.index()],
         best.config[SparkParam::DefaultParallelism.index()],
     )?;
-    if let Some(c) = &corpus_store {
+    if let Some(c) = corpus_store.as_mut() {
+        // Durability barrier at end of run: a lazy sync policy must not
+        // leave staged records in memory past the campaign.
+        c.flush()?;
         writeln!(out, "corpus now holds {} record(s)", c.len())?;
     }
     if let Some(path) = path {
@@ -431,7 +454,12 @@ fn tune_fleet(
     // observation is appended back for future fleets.
     let retrieve = match &corpus {
         Some(p) => {
-            let c = TuningCorpus::open(p.as_str())?;
+            let mut c = TuningCorpus::open(p.as_str())?;
+            // The fleet hot path appends one record per completed run;
+            // under a lazy OTUNE_JOURNAL_SYNC policy those appends batch
+            // in memory and flush at end of run.
+            c.set_sync_policy(SyncPolicy::from_env())?;
+            c.set_telemetry(telemetry.clone());
             writeln!(
                 out,
                 "corpus: {} record(s) over {} task(s) from {p}",
@@ -533,6 +561,8 @@ fn tune_fleet(
         .count();
     writeln!(out, "{best}/{tasks} task(s) hold an incumbent")?;
     if corpus.is_some() {
+        // End-of-campaign durability barrier for lazily synced corpora.
+        ctl.shared_meta().flush_corpus()?;
         writeln!(
             out,
             "corpus now holds {} record(s)",
@@ -584,6 +614,7 @@ fn tune_serve(
     journal_path: &str,
     events: Option<String>,
     auto: bool,
+    policy: SyncPolicy,
     input: &mut dyn std::io::BufRead,
     out: &mut dyn Write,
 ) -> std::io::Result<i32> {
@@ -591,14 +622,18 @@ fn tune_serve(
         Some(p) => Telemetry::new(Box::new(JsonlSink::create(p)?)),
         None => Telemetry::ring(1).0,
     };
-    let mut engine =
-        match JobEngine::open_or_start(spec, std::path::Path::new(journal_path), telemetry) {
-            Ok(engine) => engine,
-            Err(e) => {
-                writeln!(out, "cannot open campaign journal {journal_path}: {e}")?;
-                return Ok(2);
-            }
-        };
+    let mut engine = match JobEngine::open_or_start_with(
+        spec,
+        std::path::Path::new(journal_path),
+        telemetry,
+        policy,
+    ) {
+        Ok(engine) => engine,
+        Err(e) => {
+            writeln!(out, "cannot open campaign journal {journal_path}: {e}")?;
+            return Ok(2);
+        }
+    };
     writeln!(
         out,
         "campaign {:?}: {} task(s), {} wave(s), at wave {}{}",
@@ -887,6 +922,171 @@ fn corpus_cmd(action: CorpusAction, file: &str, out: &mut dyn Write) -> std::io:
                     out,
                     "no neighbor within distance {DEFAULT_MAX_DISTANCE}; tuning would fall back to low-discrepancy burn-in"
                 )?,
+            }
+            Ok(0)
+        }
+    }
+}
+
+/// One base journal found in a `--journal-dir` scan, with everything
+/// `otune jobs list` prints derived from one [`Journal::load`].
+struct JournalRow {
+    path: std::path::PathBuf,
+    job_id: String,
+    state: &'static str,
+    waves: u64,
+    last_checkpoint: Option<(u64, &'static str)>,
+    torn_lines: u64,
+    segments: usize,
+}
+
+/// Scan `dir` for base journals: regular files that are neither rotated
+/// segments (`<base>.NNNN`) nor compaction scratch files (`<base>.compact`).
+fn scan_base_journals(dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+    let mut bases = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if !entry.file_type()?.is_file() {
+            continue;
+        }
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let is_segment = name
+            .rsplit_once('.')
+            .is_some_and(|(_, s)| s.len() == 4 && s.bytes().all(|b| b.is_ascii_digit()));
+        if is_segment || name.ends_with(".compact") {
+            continue;
+        }
+        bases.push(entry.path());
+    }
+    bases.sort();
+    Ok(bases)
+}
+
+/// Summarize one base journal for `otune jobs list` / `gc`.
+fn summarize_journal(path: &std::path::Path) -> std::io::Result<JournalRow> {
+    let load = Journal::load(path)?;
+    let mut job_id = "-".to_string();
+    let mut waves = 0u64;
+    let mut completed = false;
+    let mut last_checkpoint = None;
+    let mut last_lifecycle: Option<&'static str> = None;
+    for entry in &load.entries {
+        match &entry.event {
+            JobEvent::JobStarted { spec } => {
+                job_id = spec.job_id.clone();
+                last_lifecycle = Some("running");
+            }
+            JobEvent::JobResumed { .. } => last_lifecycle = Some("running"),
+            JobEvent::JobPaused { .. } => last_lifecycle = Some("paused"),
+            JobEvent::JobCompleted { summary } => {
+                completed = true;
+                waves = waves.max(summary.waves);
+            }
+            JobEvent::WaveCompleted { wave, .. } => waves = waves.max(wave + 1),
+            JobEvent::CheckpointCreated { .. } => last_checkpoint = Some((entry.seq, "full")),
+            JobEvent::CheckpointDelta { .. } => last_checkpoint = Some((entry.seq, "delta")),
+            _ => {}
+        }
+    }
+    let state = if completed {
+        "completed"
+    } else {
+        last_lifecycle.unwrap_or("no-job")
+    };
+    Ok(JournalRow {
+        path: path.to_path_buf(),
+        job_id,
+        state,
+        waves,
+        last_checkpoint,
+        torn_lines: load.torn_lines,
+        segments: Journal::segments(path)?.len(),
+    })
+}
+
+/// `otune jobs`: inspect, garbage-collect, and compact the journals of a
+/// campaign directory.
+fn jobs_cmd(action: JobsAction, journal_dir: &str, out: &mut dyn Write) -> std::io::Result<i32> {
+    let dir = std::path::Path::new(journal_dir);
+    if !dir.is_dir() {
+        writeln!(out, "{journal_dir} is not a directory")?;
+        return Ok(2);
+    }
+    let bases = scan_base_journals(dir)?;
+    if bases.is_empty() {
+        writeln!(out, "no journals in {journal_dir}")?;
+        return Ok(0);
+    }
+    match action {
+        JobsAction::List => {
+            writeln!(
+                out,
+                "{:<24} {:<12} {:>5} {:>14} {:>4} {:>8}  journal",
+                "job", "state", "waves", "last-ckpt", "torn", "segments",
+            )?;
+            for base in &bases {
+                let row = summarize_journal(base)?;
+                let ckpt = match row.last_checkpoint {
+                    Some((seq, kind)) => format!("{kind}@{seq}"),
+                    None => "-".to_string(),
+                };
+                writeln!(
+                    out,
+                    "{:<24} {:<12} {:>5} {:>14} {:>4} {:>8}  {}",
+                    row.job_id,
+                    row.state,
+                    row.waves,
+                    ckpt,
+                    row.torn_lines,
+                    row.segments,
+                    row.path.display(),
+                )?;
+            }
+            Ok(0)
+        }
+        JobsAction::Gc { keep } => {
+            // Completed journals only; in-progress or paused campaigns are
+            // never GC candidates. Keep the `keep` most recently modified.
+            let mut completed = Vec::new();
+            for base in &bases {
+                let row = summarize_journal(base)?;
+                if row.state == "completed" {
+                    let mtime = std::fs::metadata(base)?.modified()?;
+                    completed.push((mtime, row));
+                }
+            }
+            completed.sort_by_key(|(mtime, _)| std::cmp::Reverse(*mtime));
+            let mut removed = 0usize;
+            for (_, row) in completed.iter().skip(keep) {
+                for segment in Journal::segments(&row.path)? {
+                    std::fs::remove_file(&segment)?;
+                    removed += 1;
+                }
+                writeln!(out, "removed {} ({})", row.path.display(), row.job_id)?;
+            }
+            writeln!(
+                out,
+                "gc: {} completed journal(s), kept {}, removed {} file(s)",
+                completed.len(),
+                completed.len().min(keep),
+                removed,
+            )?;
+            Ok(0)
+        }
+        JobsAction::Compact => {
+            for base in &bases {
+                let report = Journal::compact(base)?;
+                writeln!(
+                    out,
+                    "compacted {}: {} -> {} entries, {} -> {} bytes, {} segment(s) removed",
+                    base.display(),
+                    report.entries_before,
+                    report.entries_kept,
+                    report.bytes_before,
+                    report.bytes_after,
+                    report.segments_removed,
+                )?;
             }
             Ok(0)
         }
@@ -1245,6 +1445,21 @@ fn render_top(file: &str, out: &mut dyn Write) -> std::io::Result<i32> {
             if !line.is_empty() {
                 writeln!(out, "cache hit rates: {line}")?;
             }
+            let (batches, fsyncs, jbytes) = (
+                counter("journal_batches"),
+                counter("journal_fsyncs"),
+                counter("journal_bytes"),
+            );
+            if batches + fsyncs + jbytes > 0 {
+                writeln!(
+                    out,
+                    "durability: {batches} batch(es), {fsyncs} fsync(s), {jbytes} journal byte(s), \
+                     checkpoints {} full / {} delta byte(s), {} corpus flush(es)",
+                    counter("checkpoint_full_bytes"),
+                    counter("checkpoint_delta_bytes"),
+                    counter("corpus_flushes"),
+                )?;
+            }
             let dropped = counter("events_dropped") + counter("spans_dropped");
             if dropped > 0 {
                 writeln!(
@@ -1461,6 +1676,7 @@ mod tests {
             &path,
             None,
             true,
+            SyncPolicy::Every,
             &mut std::io::Cursor::new(""),
             &mut buf,
         )
@@ -1477,6 +1693,7 @@ mod tests {
             &path,
             None,
             true,
+            SyncPolicy::Every,
             &mut std::io::Cursor::new(""),
             &mut buf,
         )
@@ -1497,6 +1714,7 @@ mod tests {
             &journal.to_string_lossy(),
             None,
             false,
+            SyncPolicy::Every,
             &mut std::io::Cursor::new(script),
             &mut buf,
         )
@@ -1546,6 +1764,81 @@ mod tests {
         assert!(text.contains("bad report JSON"), "{text}");
         assert!(text.contains("no suggested wave"), "{text}");
         assert!(text.contains("paused at wave 1"), "{text}");
+    }
+
+    #[test]
+    fn jobs_list_gc_and_compact_manage_a_journal_dir() {
+        let dir = serve_dir("jobs-cmd");
+        // Start from an empty directory each run.
+        for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+            let _ = std::fs::remove_file(entry.path());
+        }
+        let (t, _s) = otune_core::telemetry::Telemetry::ring(4096);
+
+        // Journal A: a completed campaign.
+        let done = dir.join("done.jsonl");
+        let mut spec = small_spec();
+        spec.job_id = "jobs-done".to_string();
+        let mut engine = JobEngine::start(spec, &done, t.clone()).unwrap();
+        engine.run_to_completion().unwrap();
+        drop(engine);
+
+        // Journal B: a campaign paused mid-flight.
+        let paused = dir.join("paused.jsonl");
+        let mut spec = small_spec();
+        spec.job_id = "jobs-paused".to_string();
+        let mut engine = JobEngine::start(spec, &paused, t).unwrap();
+        engine.suggest_wave().unwrap();
+        let results = engine.execute_pending().unwrap();
+        engine.report_wave(&results).unwrap();
+        engine.pause().unwrap();
+        drop(engine);
+
+        let dir_str = dir.to_string_lossy().into_owned();
+        let mut buf = Vec::new();
+        assert_eq!(jobs_cmd(JobsAction::List, &dir_str, &mut buf).unwrap(), 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("jobs-done"), "{text}");
+        assert!(text.contains("completed"), "{text}");
+        assert!(text.contains("jobs-paused"), "{text}");
+        assert!(text.contains("paused"), "{text}");
+        assert!(text.contains("full@"), "checkpoint seq shown: {text}");
+
+        // Compaction reports every journal and leaves them loadable.
+        let mut buf = Vec::new();
+        assert_eq!(
+            jobs_cmd(JobsAction::Compact, &dir_str, &mut buf).unwrap(),
+            0
+        );
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("compacted"), "{text}");
+        assert!(Journal::load(&paused).unwrap().torn_lines == 0);
+
+        // gc keep 1 retains the single completed journal…
+        let mut buf = Vec::new();
+        assert_eq!(
+            jobs_cmd(JobsAction::Gc { keep: 1 }, &dir_str, &mut buf).unwrap(),
+            0
+        );
+        assert!(done.exists(), "keep=1 retains the only completed journal");
+
+        // …and gc keep 0 removes it but never touches the paused one.
+        let mut buf = Vec::new();
+        assert_eq!(
+            jobs_cmd(JobsAction::Gc { keep: 0 }, &dir_str, &mut buf).unwrap(),
+            0
+        );
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("removed"), "{text}");
+        assert!(!done.exists(), "completed journal removed");
+        assert!(paused.exists(), "paused journal is never a gc candidate");
+
+        // A missing directory is a soft error.
+        let mut buf = Vec::new();
+        assert_eq!(
+            jobs_cmd(JobsAction::List, "/nonexistent-otune-dir", &mut buf).unwrap(),
+            2
+        );
     }
 
     #[test]

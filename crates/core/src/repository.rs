@@ -8,11 +8,12 @@
 use crate::snapshot::TunerSnapshot;
 use otune_bo::Observation;
 use otune_meta::TaskRecord;
-use parking_lot::RwLock;
+use otune_telemetry::{BatchedWriter, SyncPolicy};
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 #[derive(Debug, Default, Serialize, Deserialize)]
 struct Repo {
@@ -135,18 +136,39 @@ impl DataRepository {
 }
 
 /// Append-only JSONL log of tuner snapshots: one snapshot per line,
-/// appended after every observation, fsynced so a crash mid-run loses at
-/// most the in-flight line. [`SnapshotLog::load_last`] tolerates a torn
-/// trailing write — it returns the newest line that still parses.
+/// appended after every observation through the shared group-commit
+/// writer ([`otune_telemetry::BatchedWriter`]). Under the default
+/// [`SyncPolicy::Every`] each append is fsynced before returning — the
+/// legacy cadence — so a crash mid-run loses at most the in-flight line;
+/// lazier policies (`batch:N`, `barrier`) stage lines in memory and pay
+/// one `sync_data` per batch, with [`SnapshotLog::flush`] as the
+/// explicit durability barrier. [`SnapshotLog::load_last`] tolerates a
+/// torn trailing write — it returns the newest line that still parses —
+/// and a torn tail is *healed* (newline-terminated) by the next append
+/// instead of being glued onto.
 #[derive(Debug, Clone)]
 pub struct SnapshotLog {
     path: PathBuf,
+    policy: SyncPolicy,
+    /// Lazily opened on first append so constructing a log never touches
+    /// the filesystem; shared across clones so batching spans them.
+    writer: Arc<Mutex<Option<BatchedWriter>>>,
 }
 
 impl SnapshotLog {
-    /// A log at the given path (created on first append).
+    /// A log at the given path (created on first append), with the sync
+    /// cadence taken from `OTUNE_JOURNAL_SYNC` (default: every line).
     pub fn new(path: impl Into<PathBuf>) -> Self {
-        SnapshotLog { path: path.into() }
+        SnapshotLog::with_policy(path, SyncPolicy::from_env())
+    }
+
+    /// A log with an explicit sync policy.
+    pub fn with_policy(path: impl Into<PathBuf>, policy: SyncPolicy) -> Self {
+        SnapshotLog {
+            path: path.into(),
+            policy,
+            writer: Arc::new(Mutex::new(None)),
+        }
     }
 
     /// The log's path.
@@ -154,16 +176,40 @@ impl SnapshotLog {
         &self.path
     }
 
-    /// Append one snapshot as a JSON line and flush it to disk.
+    /// The sync policy appends are written under.
+    pub fn policy(&self) -> SyncPolicy {
+        self.policy
+    }
+
+    /// Append one snapshot as a JSON line. Under [`SyncPolicy::Every`]
+    /// the line is durable when this returns; under lazier policies it
+    /// may be staged until the batch fills or [`SnapshotLog::flush`].
     pub fn append(&self, snap: &TunerSnapshot) -> std::io::Result<()> {
         let line = serde_json::to_string(snap)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-        let mut file = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&self.path)?;
-        writeln!(file, "{line}")?;
-        file.sync_data()
+        let mut guard = self.writer.lock();
+        let writer = match guard.as_mut() {
+            Some(w) => w,
+            None => guard.insert(BatchedWriter::open(&self.path, self.policy)?),
+        };
+        writer.append_line(&line)?;
+        Ok(())
+    }
+
+    /// Sync barrier: every appended snapshot is durable when this
+    /// returns. Free when nothing is staged (so the default `every`
+    /// policy pays no extra fsyncs).
+    pub fn flush(&self) -> std::io::Result<()> {
+        if let Some(w) = self.writer.lock().as_mut() {
+            w.barrier()?;
+        }
+        Ok(())
+    }
+
+    /// Snapshots staged in memory but not yet flushed (0 under the
+    /// default `every` policy).
+    pub fn pending_lines(&self) -> usize {
+        self.writer.lock().as_ref().map_or(0, |w| w.pending_lines())
     }
 
     /// The newest snapshot that parses, skipping a torn or corrupt tail.
@@ -179,6 +225,9 @@ impl SnapshotLog {
     /// torn/corrupt lines, and how many lines were skipped. A missing
     /// file is a clean `None`.
     pub fn load_last_recovered(&self) -> std::io::Result<SnapshotRecovery> {
+        // Reads are recovery points: drain any staged batch first so the
+        // caller never resumes from behind its own appends.
+        self.flush()?;
         let text = match std::fs::read_to_string(&self.path) {
             Ok(t) => t,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
@@ -494,6 +543,7 @@ mod tests {
 
     #[test]
     fn snapshot_log_appends_and_loads_last() {
+        use std::io::Write;
         let path = std::env::temp_dir().join(format!("otune-snaplog-{}.jsonl", std::process::id()));
         let _ = std::fs::remove_file(&path);
         let log = SnapshotLog::new(&path);
@@ -509,6 +559,60 @@ mod tests {
         write!(file, "{{\"task_id\": \"t\", \"seed\"").unwrap();
         drop(file);
         assert_eq!(log.load_last().unwrap().unwrap().history.len(), 4);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn snapshot_log_batches_under_lazy_policy_and_flushes_on_load() {
+        let path =
+            std::env::temp_dir().join(format!("otune-snaplog-batch-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let log = SnapshotLog::with_policy(&path, SyncPolicy::Batch(3));
+        log.append(&snap("t", 1)).unwrap();
+        log.append(&snap("t", 2)).unwrap();
+        assert_eq!(log.pending_lines(), 2, "staged, not yet on disk");
+        assert!(!path.exists() || std::fs::read_to_string(&path).unwrap().is_empty());
+        // A load is a recovery point: it drains the staged batch first.
+        assert_eq!(log.load_last().unwrap().unwrap().history.len(), 2);
+        assert_eq!(log.pending_lines(), 0);
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap().lines().count(),
+            2,
+            "both staged lines flushed by the read barrier"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn snapshot_log_heals_a_torn_tail_instead_of_gluing() {
+        let path =
+            std::env::temp_dir().join(format!("otune-snaplog-heal-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(&path, "{\"torn").unwrap();
+        let log = SnapshotLog::new(&path);
+        log.append(&snap("t", 3)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2, "torn tail got its own line");
+        assert!(
+            text.starts_with("{\"torn\n"),
+            "tail healed, not glued: {text}"
+        );
+        assert_eq!(log.load_last().unwrap().unwrap().history.len(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn snapshot_log_clones_share_one_writer() {
+        let path =
+            std::env::temp_dir().join(format!("otune-snaplog-clone-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let log = SnapshotLog::with_policy(&path, SyncPolicy::Barrier);
+        let other = log.clone();
+        log.append(&snap("t", 1)).unwrap();
+        other.append(&snap("t", 2)).unwrap();
+        assert_eq!(log.pending_lines(), 2, "clones stage into the same batch");
+        other.flush().unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 2);
         std::fs::remove_file(&path).unwrap();
     }
 

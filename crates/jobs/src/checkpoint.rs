@@ -6,6 +6,14 @@
 //! loads the **last parseable** checkpoint and re-drives only the waves
 //! journaled after it; a torn checkpoint line simply falls back to the
 //! previous one (more replay, same final state).
+//!
+//! Checkpoints come in two forms. A **full** checkpoint
+//! (`CheckpointCreated`) embeds every task's state. A **delta**
+//! checkpoint (`CheckpointDelta`) embeds only the tasks whose
+//! [`task_fingerprint`] changed since the base full checkpoint it names
+//! by journal seq — resume overlays the latest matching delta on its
+//! base, and any torn or orphaned delta simply costs wave replay, never
+//! correctness.
 
 use crate::event::{DlqEntry, FailureRecord};
 use otune_core::TunerSnapshot;
@@ -39,4 +47,57 @@ pub struct JobCheckpoint {
     pub tasks: Vec<TaskCheckpoint>,
     /// Dead-letter queue contents.
     pub dlq: Vec<DlqEntry>,
+}
+
+/// An incremental checkpoint: only the tasks whose [`task_fingerprint`]
+/// changed since the base **full** checkpoint, which `base_seq` names by
+/// journal sequence number.
+///
+/// Every delta is relative to a *full* checkpoint, never to another
+/// delta — so the latest parseable delta matching the latest parseable
+/// full checkpoint reconstructs the state alone, and a torn intermediate
+/// delta costs nothing. Tasks absent from `changed` are byte-identical
+/// to their base entries (equal fingerprints are only ever produced from
+/// equal serialized bytes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointDelta {
+    /// Next wave index to run.
+    pub wave_cursor: u64,
+    /// Journal seq of the `CheckpointCreated` entry this delta overlays.
+    pub base_seq: u64,
+    /// Tasks whose state changed since the base, in task order.
+    pub changed: Vec<TaskCheckpoint>,
+    /// Dead-letter queue contents (small — always carried whole).
+    pub dlq: Vec<DlqEntry>,
+}
+
+impl CheckpointDelta {
+    /// Reconstruct the full state: overlay this delta's changed tasks on
+    /// its base checkpoint. The caller must have matched `base_seq` to
+    /// the base's journal seq.
+    pub fn apply_to(&self, base: &JobCheckpoint) -> JobCheckpoint {
+        let mut full = base.clone();
+        full.wave_cursor = self.wave_cursor;
+        full.dlq = self.dlq.clone();
+        for tc in &self.changed {
+            if let Some(slot) = full.tasks.iter_mut().find(|t| t.task == tc.task) {
+                *slot = tc.clone();
+            }
+        }
+        full
+    }
+}
+
+/// FNV-1a over the serialized bytes of one task's checkpoint state —
+/// the change detector deciding what a delta checkpoint carries.
+pub fn task_fingerprint(tc: &TaskCheckpoint) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let bytes = serde_json::to_vec(tc).expect("task checkpoint serializes");
+    let mut h = OFFSET;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
 }

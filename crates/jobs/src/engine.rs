@@ -15,7 +15,7 @@
 //! failures the task moves to the dead-letter queue with its full
 //! failure history and the rest of the campaign proceeds.
 
-use crate::checkpoint::{JobCheckpoint, TaskCheckpoint};
+use crate::checkpoint::{task_fingerprint, CheckpointDelta, JobCheckpoint, TaskCheckpoint};
 use crate::event::{
     DlqEntry, FailureRecord, FleetSummary, ItemOutcome, JobEvent, JournalEntry, TaskSummary,
 };
@@ -27,15 +27,19 @@ use otune_core::{
 };
 use otune_space::{spark_space, ClusterScale, ConfigSpace, Configuration};
 use otune_sparksim::{hibench_task, ClusterSpec, FaultProfile, HibenchTask, ScriptedFault, SimJob};
-use otune_telemetry::{metric, EventKind, Telemetry};
+use otune_telemetry::{metric, EventKind, SyncPolicy, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
 /// Environment variable for crash injection: `wave:N` aborts the process
 /// (kill -9 semantics, no destructors) right after the `WaveCompleted`
-/// append for wave `N` is fsynced; `checkpoint:N` after the
-/// `CheckpointCreated` append with wave cursor `N`; `append:N` after the
-/// `N`-th journal append of the process (1-based).
+/// append for wave `N` commits; `checkpoint:N` after the checkpoint
+/// append (full or delta) with wave cursor `N` is barriered durable;
+/// `append:N` after the `N`-th journal append of the process (1-based —
+/// under a lazy sync policy the append may still be unsynced, so the
+/// crash loses it); `fsync:N` right after the journal's `N`-th completed
+/// `sync_data`; `compact:1` / `compact:2` mid-compaction (before the
+/// rename / before segment cleanup).
 pub const CRASH_ENV: &str = "OTUNE_CRASH_AT";
 
 const NO_CONTEXT: &[f64] = &[];
@@ -46,6 +50,7 @@ enum CrashPoint {
     Wave(u64),
     Checkpoint(u64),
     Append(u64),
+    Fsync(u64),
 }
 
 fn crash_point_from_env() -> Option<CrashPoint> {
@@ -56,6 +61,7 @@ fn crash_point_from_env() -> Option<CrashPoint> {
         "wave" => Some(CrashPoint::Wave(n)),
         "checkpoint" => Some(CrashPoint::Checkpoint(n)),
         "append" => Some(CrashPoint::Append(n)),
+        "fsync" => Some(CrashPoint::Fsync(n)),
         _ => None,
     }
 }
@@ -221,6 +227,11 @@ pub struct JobEngine {
     pending: Option<PendingWave>,
     telemetry: Telemetry,
     crash: Option<CrashPoint>,
+    /// Seq and per-task fingerprints of the last full checkpoint — the
+    /// base the next delta checkpoint diffs against.
+    last_full: Option<(u64, Vec<u64>)>,
+    /// Delta checkpoints journaled since the last full one.
+    deltas_since_full: u64,
 }
 
 impl JobEngine {
@@ -232,7 +243,18 @@ impl JobEngine {
         journal_path: &Path,
         telemetry: Telemetry,
     ) -> Result<JobEngine, JobError> {
-        let journal = Journal::open(journal_path)?;
+        Self::start_with(spec, journal_path, telemetry, SyncPolicy::from_env())
+    }
+
+    /// [`JobEngine::start`] with an explicit journal sync policy instead
+    /// of the `OTUNE_JOURNAL_SYNC` environment default.
+    pub fn start_with(
+        spec: CampaignSpec,
+        journal_path: &Path,
+        telemetry: Telemetry,
+        policy: SyncPolicy,
+    ) -> Result<JobEngine, JobError> {
+        let journal = Journal::open_with(journal_path, policy)?;
         let mut engine = Self::build(spec, journal, telemetry)?;
         for setup in Self::plan_tasks(&engine.spec)? {
             let handle = engine
@@ -266,6 +288,16 @@ impl JobEngine {
     /// Torn journal lines are skipped, counted, and surfaced via the
     /// `journal_torn_tails` counter and the `JobResumed` event.
     pub fn open(journal_path: &Path, telemetry: Telemetry) -> Result<JobEngine, JobError> {
+        Self::open_with(journal_path, telemetry, SyncPolicy::from_env())
+    }
+
+    /// [`JobEngine::open`] with an explicit journal sync policy instead
+    /// of the `OTUNE_JOURNAL_SYNC` environment default.
+    pub fn open_with(
+        journal_path: &Path,
+        telemetry: Telemetry,
+        policy: SyncPolicy,
+    ) -> Result<JobEngine, JobError> {
         let load = Journal::load(journal_path)?;
         if load.torn_lines > 0 {
             telemetry.add(metric::JOURNAL_TORN_TAILS, load.torn_lines);
@@ -278,16 +310,34 @@ impl JobEngine {
                 _ => None,
             })
             .ok_or(JobError::NoJobStarted)?;
-        let checkpoint = load.entries.iter().rev().find_map(|e| match &e.event {
-            JobEvent::CheckpointCreated { checkpoint } => Some(checkpoint.clone()),
+        // The resume base: the last parseable full checkpoint, overlaid
+        // with the latest parseable delta that names it by seq. A delta
+        // whose base is torn (or that predates the chosen full) is
+        // ignored — its waves replay from `WaveCompleted` events, same
+        // final state.
+        let last_full = load.entries.iter().rev().find_map(|e| match &e.event {
+            JobEvent::CheckpointCreated { checkpoint } => Some((e.seq, checkpoint.clone())),
             _ => None,
+        });
+        let mut deltas_since_full = 0u64;
+        let checkpoint = last_full.as_ref().map(|(base_seq, full)| {
+            let mut state = full.clone();
+            for e in load.entries.iter().filter(|e| e.seq > *base_seq) {
+                if let JobEvent::CheckpointDelta { delta } = &e.event {
+                    if delta.base_seq == *base_seq {
+                        deltas_since_full += 1;
+                        state = delta.apply_to(full);
+                    }
+                }
+            }
+            state
         });
         let completed_summary = load.entries.iter().rev().find_map(|e| match &e.event {
             JobEvent::JobCompleted { summary } => Some(summary.clone()),
             _ => None,
         });
 
-        let journal = Journal::open(journal_path)?;
+        let journal = Journal::open_with(journal_path, policy)?;
         let mut engine = Self::build(spec, journal, telemetry)?;
         engine.seq = load.entries.iter().map(|e| e.seq).max().unwrap_or(0);
 
@@ -318,6 +368,13 @@ impl JobEngine {
                 }
                 engine.dlq = cp.dlq.clone();
                 engine.wave_cursor = cp.wave_cursor;
+                // Future checkpoints keep diffing against the journaled
+                // full base, so the delta chain stays consistent across
+                // resumes.
+                engine.last_full = last_full
+                    .as_ref()
+                    .map(|(seq, full)| (*seq, full.tasks.iter().map(task_fingerprint).collect()));
+                engine.deltas_since_full = deltas_since_full;
             }
             None => {
                 for setup in setups {
@@ -393,23 +450,43 @@ impl JobEngine {
         journal_path: &Path,
         telemetry: Telemetry,
     ) -> Result<JobEngine, JobError> {
+        Self::open_or_start_with(spec, journal_path, telemetry, SyncPolicy::from_env())
+    }
+
+    /// [`JobEngine::open_or_start`] with an explicit journal sync policy
+    /// instead of the `OTUNE_JOURNAL_SYNC` environment default.
+    pub fn open_or_start_with(
+        spec: CampaignSpec,
+        journal_path: &Path,
+        telemetry: Telemetry,
+        policy: SyncPolicy,
+    ) -> Result<JobEngine, JobError> {
         let has_job = Journal::load(journal_path)?
             .entries
             .iter()
             .any(|e| matches!(e.event, JobEvent::JobStarted { .. }));
         if has_job {
-            Self::open(journal_path, telemetry)
+            Self::open_with(journal_path, telemetry, policy)
         } else {
-            Self::start(spec, journal_path, telemetry)
+            Self::start_with(spec, journal_path, telemetry, policy)
         }
     }
 
-    fn build(spec: CampaignSpec, journal: Journal, telemetry: Telemetry) -> Result<Self, JobError> {
+    fn build(
+        spec: CampaignSpec,
+        mut journal: Journal,
+        telemetry: Telemetry,
+    ) -> Result<Self, JobError> {
         let mut ctl = OnlineTuneController::with_options(
             std::sync::Arc::new(otune_core::DataRepository::new()),
             FleetOptions::from_env(),
         );
         ctl.set_telemetry(telemetry.clone());
+        journal.set_telemetry(telemetry.clone());
+        let crash = crash_point_from_env();
+        if let Some(CrashPoint::Fsync(n)) = crash {
+            journal.arm_crash_at_fsync(n);
+        }
         Ok(JobEngine {
             spec,
             journal,
@@ -423,7 +500,9 @@ impl JobEngine {
             summary: None,
             pending: None,
             telemetry,
-            crash: crash_point_from_env(),
+            crash,
+            last_full: None,
+            deltas_since_full: 0,
         })
     }
 
@@ -487,22 +566,46 @@ impl JobEngine {
             seq: self.seq,
             event,
         };
-        self.journal.append(&entry)?;
+        let bytes = self.journal.append(&entry)? as u64;
         self.appends += 1;
+        // Durability-critical events get a sync barrier regardless of
+        // the group-commit policy: an acked checkpoint (and the spec, a
+        // pause, the final summary) must survive kill -9. Under the
+        // default `every` policy the append already fsynced, so the
+        // barrier is free and the fsync cadence is unchanged.
+        match &entry.event {
+            JobEvent::JobStarted { .. }
+            | JobEvent::JobPaused { .. }
+            | JobEvent::JobCompleted { .. } => self.journal.barrier()?,
+            JobEvent::CheckpointCreated { .. } => {
+                self.journal.barrier()?;
+                self.telemetry.add(metric::CHECKPOINT_FULL_BYTES, bytes);
+            }
+            JobEvent::CheckpointDelta { .. } => {
+                self.journal.barrier()?;
+                self.telemetry.add(metric::CHECKPOINT_DELTA_BYTES, bytes);
+            }
+            _ => {}
+        }
         if let Some(point) = self.crash {
             let fire = match point {
                 CrashPoint::Append(n) => self.appends == n,
                 CrashPoint::Wave(w) => {
                     matches!(&entry.event, JobEvent::WaveCompleted { wave, .. } if *wave == w)
                 }
-                CrashPoint::Checkpoint(c) => matches!(
-                    &entry.event,
-                    JobEvent::CheckpointCreated { checkpoint } if checkpoint.wave_cursor == c
-                ),
+                CrashPoint::Checkpoint(c) => match &entry.event {
+                    JobEvent::CheckpointCreated { checkpoint } => checkpoint.wave_cursor == c,
+                    JobEvent::CheckpointDelta { delta } => delta.wave_cursor == c,
+                    _ => false,
+                },
+                // Fired from inside the journal's sync path.
+                CrashPoint::Fsync(_) => false,
             };
             if fire {
                 // kill -9 semantics: no destructors, no unwinding — the
-                // fsynced entry above is the last durable byte.
+                // barriered entry above is the last durable byte, and a
+                // lazily-synced append may not have reached the disk at
+                // all (resume re-drives the lost wave).
                 std::process::abort();
             }
         }
@@ -809,8 +912,14 @@ impl JobEngine {
             .expect("completed campaign has summary"))
     }
 
-    /// Capture the full campaign state as a checkpoint event: per-task
-    /// tuner snapshots, failure ledgers, the DLQ, and the wave cursor.
+    /// Capture the campaign state as a checkpoint event: per-task tuner
+    /// snapshots, failure ledgers, the DLQ, and the wave cursor.
+    ///
+    /// With `spec.checkpoint_full_every == 0` (the default) every
+    /// checkpoint is **full**. Otherwise, after each full checkpoint up
+    /// to that many consecutive checkpoints are journaled as **deltas**
+    /// carrying only the tasks whose fingerprint changed since the full
+    /// base, before cadence forces the next full one.
     pub fn checkpoint(&mut self) -> Result<(), JobError> {
         let mut tasks = Vec::with_capacity(self.tasks.len());
         for i in 0..self.tasks.len() {
@@ -825,11 +934,6 @@ impl JobEngine {
                 dead: self.tasks[i].dead,
             });
         }
-        let checkpoint = JobCheckpoint {
-            wave_cursor: self.wave_cursor,
-            tasks,
-            dlq: self.dlq.clone(),
-        };
         self.telemetry.incr(metric::JOB_CHECKPOINTS);
         self.telemetry.emit(
             self.wave_cursor,
@@ -837,7 +941,35 @@ impl JobEngine {
                 wave_cursor: self.wave_cursor,
             },
         );
-        self.append_event(JobEvent::CheckpointCreated { checkpoint })
+        let full_every = self.spec.checkpoint_full_every;
+        let as_delta =
+            full_every > 0 && self.last_full.is_some() && self.deltas_since_full < full_every;
+        if as_delta {
+            let (base_seq, fingerprints) = self.last_full.clone().expect("delta has a base");
+            let changed: Vec<TaskCheckpoint> = tasks
+                .into_iter()
+                .filter(|tc| task_fingerprint(tc) != fingerprints[tc.task])
+                .collect();
+            let delta = CheckpointDelta {
+                wave_cursor: self.wave_cursor,
+                base_seq,
+                changed,
+                dlq: self.dlq.clone(),
+            };
+            self.deltas_since_full += 1;
+            self.append_event(JobEvent::CheckpointDelta { delta })
+        } else {
+            let fingerprints: Vec<u64> = tasks.iter().map(task_fingerprint).collect();
+            let checkpoint = JobCheckpoint {
+                wave_cursor: self.wave_cursor,
+                tasks,
+                dlq: self.dlq.clone(),
+            };
+            self.append_event(JobEvent::CheckpointCreated { checkpoint })?;
+            self.last_full = Some((self.seq, fingerprints));
+            self.deltas_since_full = 0;
+            Ok(())
+        }
     }
 
     /// Pause cleanly: checkpoint, then journal `JobPaused`. A later

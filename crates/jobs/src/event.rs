@@ -9,7 +9,7 @@
 //! `JobPaused`, `CheckpointLoaded`) are observability: they make the
 //! journal a readable audit trail but carry no state replay depends on.
 
-use crate::checkpoint::JobCheckpoint;
+use crate::checkpoint::{CheckpointDelta, JobCheckpoint};
 use crate::spec::CampaignSpec;
 use otune_space::Configuration;
 use serde::{Deserialize, Serialize};
@@ -190,6 +190,12 @@ pub enum JobEvent {
         /// Wave cursor of the loaded checkpoint.
         wave_cursor: u64,
     },
+    /// Incremental campaign state: only the tasks changed since the base
+    /// full checkpoint. **Replay-authoritative** together with its base.
+    CheckpointDelta {
+        /// The delta.
+        delta: CheckpointDelta,
+    },
 }
 
 impl JobEvent {
@@ -206,6 +212,7 @@ impl JobEvent {
             JobEvent::ItemDeadLettered { .. } => "ItemDeadLettered",
             JobEvent::CheckpointCreated { .. } => "CheckpointCreated",
             JobEvent::CheckpointLoaded { .. } => "CheckpointLoaded",
+            JobEvent::CheckpointDelta { .. } => "CheckpointDelta",
         }
     }
 }

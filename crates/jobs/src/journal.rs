@@ -1,97 +1,389 @@
-//! Torn-write-tolerant JSONL journal.
+//! Torn-write-tolerant, group-committed, segmented JSONL journal.
 //!
-//! One `JournalEntry` per line, fsynced per append (`sync_data`), so a
-//! `kill -9` can lose at most the line being written. The failure modes
-//! and their handling:
+//! One `JournalEntry` per line. Appends flow through the shared
+//! [`BatchedWriter`] (`otune-telemetry`), so the `sync_data` cadence is
+//! a [`SyncPolicy`]: `every` (the default — one fsync per append, the
+//! legacy behavior, byte- and fsync-identical to pre-batching journals),
+//! `batch:N` (group commit every N appends), or `barrier` (fsync only at
+//! semantic barriers: checkpoints, pause, completion). The engine places
+//! a [`Journal::barrier`] after every durability-critical append, so "an
+//! acked checkpoint survives `kill -9`" holds under every policy.
 //!
-//! * **Torn tail** (crash mid-append): the file ends in a partial line.
-//!   `open` heals it by appending a newline before the next entry, and
-//!   `load` skips any line that fails to parse, counting it.
-//! * **Interior corruption**: unparseable interior lines are skipped and
-//!   counted the same way — loss is surfaced, never silent.
+//! ## Segments
 //!
-//! Loss is reported as [`JournalLoad::torn_lines`]; the engine forwards
-//! it to the `journal_torn_tails` counter and the `JobResumed` event.
+//! A journal is the base file plus rotated siblings `<base>.0001`,
+//! `<base>.0002`, … — a new segment starts once the current one crosses
+//! [`SEGMENT_ENV`] bytes (default 8 MiB; large enough that short
+//! campaigns stay single-file and byte-identical to the unsegmented
+//! format). Loads read every segment, order entries by `seq`, and drop
+//! duplicate seqs (first occurrence wins) — which also makes a crash
+//! between compaction's rename and its segment cleanup harmless.
+//!
+//! ## Compaction
+//!
+//! [`Journal::compact`] rewrites history as: the `JobStarted` entry,
+//! the last **full** checkpoint, and every entry after it (original
+//! seqs preserved), into a temporary file that atomically replaces the
+//! base via `rename` before the stale segments are removed. A crash
+//! before the rename leaves the journal untouched; after the rename,
+//! leftover segments only re-supply entries the load de-duplicates or
+//! pre-checkpoint history the resume path ignores.
+//!
+//! ## Failure modes
+//!
+//! * **Torn tail** (crash mid-append): `open` heals it by appending a
+//!   newline, and `load` skips any unparseable line, counting it.
+//! * **Interior corruption**: skipped and counted the same way — loss
+//!   is surfaced via [`JournalLoad::torn_lines`], never silent.
+//! * **Lost unsynced suffix** (crash between group commits): bounded by
+//!   the sync policy; everything since the last fsync is gone, which
+//!   resume repairs by re-driving the lost waves deterministically.
 
-use crate::event::JournalEntry;
-use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Seek, SeekFrom, Write};
+use crate::event::{JobEvent, JournalEntry};
+use otune_telemetry::{metric, BatchedWriter, SyncPolicy, Telemetry, WriterMetrics};
+use std::io;
 use std::path::{Path, PathBuf};
 
-/// Append handle over a journal file.
-pub struct Journal {
-    path: PathBuf,
-    file: File,
+/// Environment variable overriding the segment rotation threshold in
+/// bytes (default 8 MiB).
+pub const SEGMENT_ENV: &str = "OTUNE_JOURNAL_SEGMENT_BYTES";
+
+const DEFAULT_SEGMENT_BYTES: u64 = 8 * 1024 * 1024;
+
+fn segment_bytes_from_env() -> u64 {
+    std::env::var(SEGMENT_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_SEGMENT_BYTES)
 }
 
-/// The result of loading a journal: every parseable entry in file order,
+/// Append handle over a (possibly segmented) journal.
+pub struct Journal {
+    base: PathBuf,
+    writer: BatchedWriter,
+    /// Index of the segment the writer appends to (0 = the base file).
+    segment: u32,
+    segment_bytes: u64,
+    telemetry: Telemetry,
+    /// Crash-at-fsync target across all writers this journal opens.
+    crash_at_fsync: Option<u64>,
+    /// Fsyncs paid by writers already rotated away.
+    fsyncs_closed: u64,
+}
+
+/// The result of loading a journal: every parseable entry in seq order,
 /// plus the count of torn/corrupt lines that had to be skipped.
 #[derive(Debug, Default)]
 pub struct JournalLoad {
-    /// Parseable entries, in file order.
+    /// Parseable entries, ordered by seq, duplicate seqs dropped.
     pub entries: Vec<JournalEntry>,
     /// Torn or corrupt lines skipped (0 for a clean journal).
     pub torn_lines: u64,
 }
 
+/// What [`Journal::compact`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Entries across all segments before compaction.
+    pub entries_before: usize,
+    /// Entries retained (JobStarted + last full checkpoint + suffix).
+    pub entries_kept: usize,
+    /// Journal bytes on disk before.
+    pub bytes_before: u64,
+    /// Journal bytes on disk after.
+    pub bytes_after: u64,
+    /// Rotated segment files removed.
+    pub segments_removed: usize,
+}
+
+/// Path of segment `n` of the journal at `base` (`n == 0` is the base).
+fn segment_path(base: &Path, n: u32) -> PathBuf {
+    if n == 0 {
+        base.to_path_buf()
+    } else {
+        PathBuf::from(format!("{}.{n:04}", base.display()))
+    }
+}
+
 impl Journal {
-    /// Open (or create) a journal for appending, healing a torn tail: if
-    /// the file does not end in a newline, a newline is appended so the
-    /// next entry starts on a fresh line instead of extending the torn
-    /// one.
+    /// Open (or create) a journal for appending under the environment's
+    /// sync policy (`OTUNE_JOURNAL_SYNC`, default `every`), healing a
+    /// torn tail eagerly: if the last segment does not end in a newline,
+    /// one is appended and fsynced so the next entry starts fresh.
     pub fn open(path: &Path) -> io::Result<Journal> {
-        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
-        let len = file.metadata()?.len();
-        if len > 0 {
-            let mut reader = File::open(path)?;
-            reader.seek(SeekFrom::End(-1))?;
-            let mut last = [0u8; 1];
-            reader.read_exact(&mut last)?;
-            if last[0] != b'\n' {
-                file.write_all(b"\n")?;
-                file.sync_data()?;
-            }
-        }
+        Self::open_with(path, SyncPolicy::from_env())
+    }
+
+    /// Open with an explicit sync policy.
+    pub fn open_with(path: &Path, policy: SyncPolicy) -> io::Result<Journal> {
+        let segment = Self::segments(path)?
+            .last()
+            .and_then(|p| segment_index(path, p))
+            .unwrap_or(0);
+        let mut writer = BatchedWriter::open(&segment_path(path, segment), policy)?;
+        writer.heal_now()?;
         Ok(Journal {
-            path: path.to_path_buf(),
-            file,
+            base: path.to_path_buf(),
+            writer,
+            segment,
+            segment_bytes: segment_bytes_from_env(),
+            telemetry: Telemetry::disabled(),
+            crash_at_fsync: None,
+            fsyncs_closed: 0,
         })
     }
 
-    /// The journal's path.
+    /// Attach the telemetry handle the writer's flush counters
+    /// (`journal_batches`, `journal_fsyncs`, `journal_bytes`) flow
+    /// through.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+        self.writer.set_metrics(self.writer_metrics());
+    }
+
+    fn writer_metrics(&self) -> WriterMetrics {
+        WriterMetrics {
+            telemetry: self.telemetry.clone(),
+            batches: Some(metric::JOURNAL_BATCHES),
+            fsyncs: Some(metric::JOURNAL_FSYNCS),
+            bytes: Some(metric::JOURNAL_BYTES),
+        }
+    }
+
+    /// The journal's base path.
     pub fn path(&self) -> &Path {
-        &self.path
+        &self.base
     }
 
-    /// Append one entry as a JSON line and fsync it. After this returns,
-    /// the entry survives `kill -9`.
-    pub fn append(&mut self, entry: &JournalEntry) -> io::Result<()> {
-        let mut line = serde_json::to_string(entry)
+    /// The active sync policy.
+    pub fn policy(&self) -> SyncPolicy {
+        self.writer.policy()
+    }
+
+    /// Total `sync_data` calls paid by this journal handle.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs_closed + self.writer.fsyncs()
+    }
+
+    /// Arm a crash (`abort`, kill -9 semantics) right after this
+    /// handle's N-th completed `sync_data` (1-based) — the fsync-boundary
+    /// analogue of the engine's `wave:`/`checkpoint:`/`append:` hooks.
+    pub fn arm_crash_at_fsync(&mut self, n: u64) {
+        self.crash_at_fsync = Some(n);
+        let done = self.fsyncs();
+        if n > done {
+            self.writer.arm_crash_at_fsync(n - self.fsyncs_closed);
+        }
+    }
+
+    /// Append one entry as a JSON line. Under the `every` policy the
+    /// line is fsynced before this returns (the legacy contract); under
+    /// `batch:N`/`barrier` it may sit in the group-commit buffer until
+    /// the next flush or [`Journal::barrier`]. Returns the serialized
+    /// line length in bytes.
+    pub fn append(&mut self, entry: &JournalEntry) -> io::Result<usize> {
+        if self.writer.logical_len() >= self.segment_bytes {
+            self.rotate()?;
+        }
+        let line = serde_json::to_string(entry)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        line.push('\n');
-        self.file.write_all(line.as_bytes())?;
-        self.file.sync_data()
+        self.writer.append_line(&line)?;
+        Ok(line.len() + 1)
     }
 
-    /// Load every parseable entry. A missing file is an empty load; torn
-    /// or corrupt lines (including invalid UTF-8 from a torn write) are
-    /// skipped and counted, never a panic.
-    pub fn load(path: &Path) -> io::Result<JournalLoad> {
-        let bytes = match std::fs::read(path) {
-            Ok(b) => b,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(JournalLoad::default()),
-            Err(e) => return Err(e),
-        };
-        let text = String::from_utf8_lossy(&bytes);
-        let mut load = JournalLoad::default();
-        for line in text.lines().filter(|l| !l.trim().is_empty()) {
-            match serde_json::from_str::<JournalEntry>(line) {
-                Ok(entry) => load.entries.push(entry),
-                Err(_) => load.torn_lines += 1,
+    /// Sync barrier: after this returns every appended entry is durable,
+    /// whatever the policy. Free when nothing is pending.
+    pub fn barrier(&mut self) -> io::Result<()> {
+        self.writer.barrier()
+    }
+
+    /// Override the segment rotation threshold (tests; production reads
+    /// [`SEGMENT_ENV`] at open).
+    pub fn set_segment_bytes(&mut self, bytes: u64) {
+        self.segment_bytes = bytes.max(1);
+    }
+
+    /// Start the next segment: flush and fsync the current one, then
+    /// switch appends to `<base>.NNNN`.
+    fn rotate(&mut self) -> io::Result<()> {
+        self.writer.barrier()?;
+        self.fsyncs_closed += self.writer.fsyncs();
+        self.segment += 1;
+        let mut writer =
+            BatchedWriter::open(&segment_path(&self.base, self.segment), self.policy())?;
+        writer.set_metrics(self.writer_metrics());
+        if let Some(n) = self.crash_at_fsync {
+            if n > self.fsyncs_closed {
+                writer.arm_crash_at_fsync(n - self.fsyncs_closed);
             }
         }
+        self.writer = writer;
+        Ok(())
+    }
+
+    /// Every existing segment file of the journal at `path`, base first,
+    /// then rotated segments in ascending index order.
+    pub fn segments(path: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut found = Vec::new();
+        if path.exists() {
+            found.push(path.to_path_buf());
+        }
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => PathBuf::from("."),
+        };
+        let base_name = match path.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n.to_string(),
+            None => return Ok(found),
+        };
+        let mut rotated: Vec<(u32, PathBuf)> = Vec::new();
+        match std::fs::read_dir(&parent) {
+            Ok(dir) => {
+                for entry in dir.flatten() {
+                    let name = entry.file_name();
+                    let Some(name) = name.to_str() else { continue };
+                    let Some(suffix) = name
+                        .strip_prefix(&base_name)
+                        .and_then(|rest| rest.strip_prefix('.'))
+                    else {
+                        continue;
+                    };
+                    if suffix.len() == 4 && suffix.bytes().all(|b| b.is_ascii_digit()) {
+                        if let Ok(idx) = suffix.parse::<u32>() {
+                            rotated.push((idx, entry.path()));
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        rotated.sort_by_key(|(idx, _)| *idx);
+        found.extend(rotated.into_iter().map(|(_, p)| p));
+        Ok(found)
+    }
+
+    /// Load every parseable entry across all segments, ordered by seq
+    /// with duplicate seqs dropped (first occurrence wins). A missing
+    /// journal is an empty load; torn or corrupt lines (including
+    /// invalid UTF-8 from a torn write) are skipped and counted, never a
+    /// panic.
+    pub fn load(path: &Path) -> io::Result<JournalLoad> {
+        let mut load = JournalLoad::default();
+        for segment in Self::segments(path)? {
+            let bytes = match std::fs::read(&segment) {
+                Ok(b) => b,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            };
+            let text = String::from_utf8_lossy(&bytes);
+            for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                match serde_json::from_str::<JournalEntry>(line) {
+                    Ok(entry) => load.entries.push(entry),
+                    Err(_) => load.torn_lines += 1,
+                }
+            }
+        }
+        load.entries.sort_by_key(|e| e.seq);
+        load.entries.dedup_by_key(|e| e.seq);
         Ok(load)
     }
+
+    /// Rewrite the journal as `JobStarted` + the last full checkpoint +
+    /// every entry after it, merging all segments into a fresh base file
+    /// swapped in atomically by `rename`. Entries keep their original
+    /// seqs. With no checkpoint the history is retained whole (the
+    /// rewrite still merges segments). Must not race a live appender —
+    /// compaction is an offline (`otune jobs compact`) operation.
+    ///
+    /// Crash injection (`OTUNE_CRASH_AT`): `compact:1` aborts after the
+    /// temporary file is written and fsynced but before the rename (the
+    /// old journal must stay intact); `compact:2` aborts after the
+    /// rename but before stale segments are removed (the deduplicating
+    /// loader must shrug them off).
+    pub fn compact(path: &Path) -> io::Result<CompactionReport> {
+        let crash = std::env::var(crate::engine::CRASH_ENV).ok();
+        let segments = Self::segments(path)?;
+        let bytes_before: u64 = segments
+            .iter()
+            .filter_map(|p| std::fs::metadata(p).ok())
+            .map(|m| m.len())
+            .sum();
+        let load = Self::load(path)?;
+        let entries_before = load.entries.len();
+
+        let cut = load
+            .entries
+            .iter()
+            .rposition(|e| matches!(e.event, JobEvent::CheckpointCreated { .. }))
+            .unwrap_or(0);
+        let kept: Vec<&JournalEntry> = load
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(i, e)| *i >= cut || matches!(e.event, JobEvent::JobStarted { .. }))
+            .map(|(_, e)| e)
+            .collect();
+
+        let tmp = PathBuf::from(format!("{}.compact", path.display()));
+        // A stale tmp from an interrupted compaction must not leak into
+        // the rewrite.
+        let _ = std::fs::remove_file(&tmp);
+        {
+            let mut writer = BatchedWriter::open(&tmp, SyncPolicy::Barrier)?;
+            for entry in &kept {
+                let line = serde_json::to_string(entry)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                writer.append_line(&line)?;
+            }
+            writer.barrier()?;
+        }
+        if crash.as_deref() == Some("compact:1") {
+            // The tmp file exists but the journal is untouched.
+            std::process::abort();
+        }
+
+        std::fs::rename(&tmp, path)?;
+        // Make the swap itself durable before touching the segments.
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Ok(dir) = std::fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+        if crash.as_deref() == Some("compact:2") {
+            // The base is compacted; stale segments still exist.
+            std::process::abort();
+        }
+
+        let mut segments_removed = 0usize;
+        for segment in &segments {
+            if segment != path {
+                std::fs::remove_file(segment)?;
+                segments_removed += 1;
+            }
+        }
+        let bytes_after = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        Ok(CompactionReport {
+            entries_before,
+            entries_kept: kept.len(),
+            bytes_before,
+            bytes_after,
+            segments_removed,
+        })
+    }
+}
+
+/// Inverse of [`segment_path`]: the segment index of `p` under `base`.
+fn segment_index(base: &Path, p: &Path) -> Option<u32> {
+    if p == base {
+        return Some(0);
+    }
+    p.to_str()?
+        .strip_prefix(base.to_str()?)?
+        .strip_prefix('.')?
+        .parse()
+        .ok()
 }
 
 #[cfg(test)]
@@ -108,15 +400,17 @@ mod tests {
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("otune-journal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir.join("journal.jsonl")
     }
 
     #[test]
     fn append_then_load_round_trips() {
+        // Pinned to `every`: this test reads back mid-handle, which the
+        // lazy policies only guarantee after a barrier.
         let path = tmp("roundtrip");
-        let _ = std::fs::remove_file(&path);
-        let mut j = Journal::open(&path).unwrap();
+        let mut j = Journal::open_with(&path, SyncPolicy::Every).unwrap();
         for seq in 1..=5 {
             j.append(&entry(seq)).unwrap();
         }
@@ -128,7 +422,6 @@ mod tests {
     #[test]
     fn missing_file_is_empty_load() {
         let path = tmp("missing");
-        let _ = std::fs::remove_file(&path);
         let load = Journal::load(&path).unwrap();
         assert!(load.entries.is_empty());
         assert_eq!(load.torn_lines, 0);
@@ -136,9 +429,10 @@ mod tests {
 
     #[test]
     fn torn_tail_is_skipped_counted_and_healed() {
+        // Pinned to `every`: the torn-byte arithmetic below assumes each
+        // append reached the disk on its own.
         let path = tmp("torn");
-        let _ = std::fs::remove_file(&path);
-        let mut j = Journal::open(&path).unwrap();
+        let mut j = Journal::open_with(&path, SyncPolicy::Every).unwrap();
         j.append(&entry(1)).unwrap();
         j.append(&entry(2)).unwrap();
         drop(j);
@@ -149,10 +443,143 @@ mod tests {
         assert_eq!(load.entries, vec![entry(1)]);
         assert_eq!(load.torn_lines, 1);
         // Re-open heals the tail: the next append lands on a fresh line.
-        let mut j = Journal::open(&path).unwrap();
+        let mut j = Journal::open_with(&path, SyncPolicy::Every).unwrap();
         j.append(&entry(3)).unwrap();
         let load = Journal::load(&path).unwrap();
         assert_eq!(load.entries, vec![entry(1), entry(3)]);
         assert_eq!(load.torn_lines, 1);
+    }
+
+    #[test]
+    fn batch_policy_defers_until_barrier() {
+        let path = tmp("batchpolicy");
+        let mut j = Journal::open_with(&path, SyncPolicy::Batch(3)).unwrap();
+        j.append(&entry(1)).unwrap();
+        j.append(&entry(2)).unwrap();
+        assert_eq!(Journal::load(&path).unwrap().entries.len(), 0);
+        j.barrier().unwrap();
+        assert_eq!(Journal::load(&path).unwrap().entries.len(), 2);
+        assert_eq!(j.fsyncs(), 1, "one group commit covered both appends");
+    }
+
+    fn tiny_segment_journal(name: &str, n: u64) -> (PathBuf, Journal) {
+        let path = tmp(name);
+        let mut j = Journal::open(&path).unwrap();
+        j.set_segment_bytes(256);
+        for seq in 1..=n {
+            j.append(&entry(seq)).unwrap();
+        }
+        (path, j)
+    }
+
+    #[test]
+    fn rotation_spreads_entries_across_segments_and_load_merges() {
+        let (path, j) = tiny_segment_journal("rotate", 40);
+        drop(j);
+        let segments = Journal::segments(&path).unwrap();
+        assert!(
+            segments.len() >= 2,
+            "40 entries at a 256-byte threshold must rotate, got {segments:?}"
+        );
+        let load = Journal::load(&path).unwrap();
+        assert_eq!(load.entries, (1..=40).map(entry).collect::<Vec<_>>());
+        assert_eq!(load.torn_lines, 0);
+    }
+
+    #[test]
+    fn reopen_appends_to_the_last_segment() {
+        let (path, j) = tiny_segment_journal("reopen", 40);
+        let last_segment = Journal::segments(&path).unwrap().len();
+        drop(j);
+        let mut j = Journal::open(&path).unwrap();
+        j.append(&entry(41)).unwrap();
+        drop(j);
+        assert_eq!(
+            Journal::segments(&path).unwrap().len(),
+            last_segment,
+            "a small append reuses the open segment"
+        );
+        let load = Journal::load(&path).unwrap();
+        assert_eq!(load.entries.len(), 41);
+    }
+
+    #[test]
+    fn duplicate_seqs_across_segments_keep_first_occurrence() {
+        let path = tmp("dedup");
+        let mut j = Journal::open(&path).unwrap();
+        j.append(&entry(1)).unwrap();
+        j.append(&entry(2)).unwrap();
+        drop(j);
+        // A stale rotated segment re-supplying seq 2 plus an old seq 3.
+        std::fs::write(
+            segment_path(&path, 1),
+            format!(
+                "{}\n{}\n",
+                serde_json::to_string(&entry(2)).unwrap(),
+                serde_json::to_string(&entry(3)).unwrap()
+            ),
+        )
+        .unwrap();
+        let load = Journal::load(&path).unwrap();
+        assert_eq!(load.entries, vec![entry(1), entry(2), entry(3)]);
+    }
+
+    fn checkpoint_entry(seq: u64, wave_cursor: u64) -> JournalEntry {
+        JournalEntry {
+            seq,
+            event: JobEvent::CheckpointCreated {
+                checkpoint: crate::checkpoint::JobCheckpoint {
+                    wave_cursor,
+                    tasks: vec![],
+                    dlq: vec![],
+                },
+            },
+        }
+    }
+
+    fn started_entry(seq: u64) -> JournalEntry {
+        JournalEntry {
+            seq,
+            event: JobEvent::JobStarted {
+                spec: crate::spec::CampaignSpec::default(),
+            },
+        }
+    }
+
+    #[test]
+    fn compact_keeps_started_last_checkpoint_and_suffix() {
+        let path = tmp("compact");
+        let mut j = Journal::open(&path).unwrap();
+        j.append(&started_entry(1)).unwrap();
+        j.append(&entry(2)).unwrap();
+        j.append(&checkpoint_entry(3, 1)).unwrap();
+        j.append(&entry(4)).unwrap();
+        j.append(&checkpoint_entry(5, 2)).unwrap();
+        j.append(&entry(6)).unwrap();
+        drop(j);
+        let report = Journal::compact(&path).unwrap();
+        assert_eq!(report.entries_before, 6);
+        assert_eq!(report.entries_kept, 3, "JobStarted + checkpoint 5 + seq 6");
+        assert!(report.bytes_after < report.bytes_before);
+        let load = Journal::load(&path).unwrap();
+        let seqs: Vec<u64> = load.entries.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 5, 6], "original seqs are preserved");
+        // The compacted journal still appends.
+        let mut j = Journal::open(&path).unwrap();
+        j.append(&entry(7)).unwrap();
+        drop(j);
+        assert_eq!(Journal::load(&path).unwrap().entries.len(), 4);
+    }
+
+    #[test]
+    fn compact_without_checkpoint_merges_segments_whole() {
+        let (path, j) = tiny_segment_journal("compactseg", 40);
+        drop(j);
+        assert!(Journal::segments(&path).unwrap().len() >= 2);
+        let report = Journal::compact(&path).unwrap();
+        assert_eq!(report.entries_kept, 40, "no checkpoint → keep everything");
+        assert!(report.segments_removed >= 1);
+        assert_eq!(Journal::segments(&path).unwrap().len(), 1);
+        assert_eq!(Journal::load(&path).unwrap().entries.len(), 40);
     }
 }

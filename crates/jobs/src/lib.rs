@@ -10,12 +10,20 @@
 //! ## Journal format
 //!
 //! One [`JournalEntry`] per line: `{"seq": N, "event": {"<Kind>": {...}}}`,
-//! fsynced per append. Four events are **replay-authoritative** —
-//! `JobStarted` (embeds the [`CampaignSpec`]), `CheckpointCreated`
-//! (embeds the [`JobCheckpoint`]), `WaveCompleted` (embeds every
-//! [`ItemOutcome`]), `JobCompleted` (embeds the [`FleetSummary`]) — the
-//! rest are an audit trail. `kill -9` at any point loses at most one
-//! torn line, which load skips, counts, and `open` heals.
+//! written through the shared group-commit writer — fsync cadence per
+//! `OTUNE_JOURNAL_SYNC` (`every` by default, `batch:N`, or `barrier`),
+//! with sync barriers at every checkpoint/pause/completion append so an
+//! acked checkpoint always survives `kill -9`. Journals rotate into
+//! `<base>.NNNN` segments past a size threshold and compact to
+//! `JobStarted` + last full checkpoint + suffix ([`Journal::compact`]).
+//! The replay-authoritative events — `JobStarted` (embeds the
+//! [`CampaignSpec`]), `CheckpointCreated` (embeds the [`JobCheckpoint`]),
+//! `CheckpointDelta` (embeds the [`CheckpointDelta`] overlay),
+//! `WaveCompleted` (embeds every [`ItemOutcome`]), `JobCompleted`
+//! (embeds the [`FleetSummary`]) — carry all resumable state; the rest
+//! are an audit trail. `kill -9` at any point loses at most the unacked
+//! journal suffix, which resume re-drives deterministically; a torn
+//! line is skipped, counted, and healed by `open`.
 //!
 //! ## Recovery model
 //!
@@ -41,10 +49,10 @@ pub mod event;
 pub mod journal;
 pub mod spec;
 
-pub use checkpoint::{JobCheckpoint, TaskCheckpoint};
+pub use checkpoint::{task_fingerprint, CheckpointDelta, JobCheckpoint, TaskCheckpoint};
 pub use engine::{ItemResult, JobEngine, JobError, PendingItem, PendingWave, CRASH_ENV};
 pub use event::{
     DlqEntry, FailureRecord, FleetSummary, ItemOutcome, JobEvent, JournalEntry, TaskSummary,
 };
-pub use journal::{Journal, JournalLoad};
+pub use journal::{CompactionReport, Journal, JournalLoad, SEGMENT_ENV};
 pub use spec::{CampaignSpec, TaskFault};

@@ -3,10 +3,11 @@
 //! Every completed observation in a fleet is one unit of meta-knowledge:
 //! a (meta-feature vector, configuration, outcome, task id) record. The
 //! [`TuningCorpus`] accumulates those records in an append-only JSONL
-//! file — one self-describing JSON object per line, flushed with
-//! `sync_data` like the tuner's `SnapshotLog` — so a crash mid-append
-//! tears at most the final line, and loading simply skips lines that do
-//! not parse.
+//! file — one self-describing JSON object per line, written through the
+//! shared group-commit writer (one `sync_data` per line by default, one
+//! per batch under a lazy [`SyncPolicy`]) — so a crash mid-append tears
+//! at most the final line (or loses a staged-but-unflushed batch under
+//! a lazy policy), and loading simply skips lines that do not parse.
 //!
 //! On top of the corpus sits the [`RetrievalIndex`]: z-score-standardized
 //! k-nearest-neighbor search over the 75 meta-features. Standardization
@@ -28,11 +29,10 @@
 //! given the same corpus file.
 
 use otune_space::{ConfigSpace, Configuration};
-use otune_telemetry::{metric, Telemetry};
+use otune_telemetry::{metric, BatchedWriter, SyncPolicy, Telemetry, WriterMetrics};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::fs::OpenOptions;
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 
 /// Default number of neighbors blended into the bootstrap design.
@@ -95,15 +95,28 @@ enum CorpusLine {
 }
 
 /// Append-only, torn-write-tolerant store of tuning outcomes.
+///
+/// Appends go through the shared group-commit writer
+/// ([`otune_telemetry::BatchedWriter`]): under the default
+/// [`SyncPolicy::Every`] each record is fsynced before `append` returns
+/// (the legacy cadence); a fleet can switch to `batch:N`/`barrier` via
+/// [`TuningCorpus::set_sync_policy`] so the per-observation hot path
+/// stages records in memory and a single `sync_data` at
+/// [`TuningCorpus::flush`] (called at checkpoints and when stats are
+/// persisted) covers the whole batch.
 #[derive(Debug, Default)]
 pub struct TuningCorpus {
     path: Option<PathBuf>,
     records: Vec<CorpusRecord>,
     stats: Option<CorpusStats>,
     torn: usize,
-    /// The loaded file ended mid-line (torn tail): the next append must
-    /// start on a fresh line or it would merge into the torn one.
-    needs_newline: bool,
+    /// Sync cadence for appends (writer is rebuilt when it changes).
+    policy: SyncPolicy,
+    /// Flush counters attached to the writer ([`metric::CORPUS_FLUSHES`]).
+    metrics: WriterMetrics,
+    /// Lazily opened on first file-backed append; heals a torn tail
+    /// before the first line it writes.
+    writer: Option<BatchedWriter>,
 }
 
 impl TuningCorpus {
@@ -124,7 +137,6 @@ impl TuningCorpus {
         };
         let mut corpus = TuningCorpus {
             path: Some(path),
-            needs_newline: !text.is_empty() && !text.ends_with('\n'),
             ..TuningCorpus::default()
         };
         for line in text.lines() {
@@ -176,28 +188,76 @@ impl TuningCorpus {
             .count()
     }
 
-    /// Append one record, durably when file-backed: the JSONL line is
-    /// written and `sync_data`d before returning, so at most the final
-    /// line can tear on a crash.
+    /// Switch the sync cadence for future appends. Any staged batch is
+    /// flushed first so no record silently changes durability class.
+    pub fn set_sync_policy(&mut self, policy: SyncPolicy) -> io::Result<()> {
+        if policy != self.policy {
+            self.flush()?;
+            self.writer = None;
+            self.policy = policy;
+        }
+        Ok(())
+    }
+
+    /// The sync cadence appends are written under.
+    pub fn sync_policy(&self) -> SyncPolicy {
+        self.policy
+    }
+
+    /// Attach telemetry: each non-empty flushed batch bumps
+    /// [`metric::CORPUS_FLUSHES`].
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.metrics = WriterMetrics {
+            telemetry,
+            batches: Some(metric::CORPUS_FLUSHES),
+            fsyncs: None,
+            bytes: None,
+        };
+        if let Some(w) = &mut self.writer {
+            w.set_metrics(self.metrics.clone());
+        }
+    }
+
+    /// Append one record. Under the default [`SyncPolicy::Every`] the
+    /// JSONL line is written and `sync_data`d before returning, so at
+    /// most the final line can tear on a crash; lazier policies stage
+    /// the line until the batch fills or [`TuningCorpus::flush`].
     pub fn append(&mut self, record: CorpusRecord) -> io::Result<()> {
         self.write(&CorpusLine::Record(record.clone()))?;
         self.records.push(record);
         Ok(())
     }
 
-    /// Append one line durably, healing a torn tail first.
+    /// Sync barrier: every appended record is durable when this returns.
+    /// Free when nothing is staged (so the default `every` policy pays
+    /// no extra fsyncs).
+    pub fn flush(&mut self) -> io::Result<()> {
+        if let Some(w) = &mut self.writer {
+            w.barrier()?;
+        }
+        Ok(())
+    }
+
+    /// Records staged in memory but not yet flushed (0 under `every`).
+    pub fn pending_lines(&self) -> usize {
+        self.writer.as_ref().map_or(0, |w| w.pending_lines())
+    }
+
+    /// Append one line through the group-commit writer (healing a torn
+    /// tail first). In-memory corpora skip the file entirely.
     fn write(&mut self, line: &CorpusLine) -> io::Result<()> {
         let Some(path) = &self.path else {
             return Ok(());
         };
         let text = serde_json::to_string(line).map_err(io::Error::other)?;
-        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
-        if self.needs_newline {
-            writeln!(file)?;
-        }
-        writeln!(file, "{text}")?;
-        file.sync_data()?;
-        self.needs_newline = false;
+        let writer = match &mut self.writer {
+            Some(w) => w,
+            None => {
+                let w = BatchedWriter::open(path, self.policy)?.with_metrics(self.metrics.clone());
+                self.writer.insert(w)
+            }
+        };
+        writer.append_line(&text)?;
         Ok(())
     }
 
@@ -261,6 +321,9 @@ impl TuningCorpus {
         };
         let stats = self.compute_stats(dim).expect("width has records");
         self.write(&CorpusLine::Stats(stats.clone()))?;
+        // Persisting stats is a durability barrier: the stats line and
+        // every record staged before it land together.
+        self.flush()?;
         self.stats = Some(stats.clone());
         Ok(Some(stats))
     }
@@ -719,6 +782,64 @@ mod tests {
         assert_eq!(boot.len(), 1);
         assert_eq!(boot[0][1].as_int().unwrap(), 2);
         assert!((boot[0][0].as_float().unwrap() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_policy_stages_appends_until_flush() {
+        let path = tmp("batchpolicy");
+        let mut c = TuningCorpus::open(&path).unwrap();
+        c.set_sync_policy(SyncPolicy::Batch(8)).unwrap();
+        c.append(record("a", vec![0.0], 0.2, 2, 10.0)).unwrap();
+        c.append(record("b", vec![1.0], 0.8, 8, 5.0)).unwrap();
+        assert_eq!(c.pending_lines(), 2, "hot path stays in memory");
+        assert!(TuningCorpus::open(&path).unwrap().is_empty());
+        c.flush().unwrap();
+        assert_eq!(c.pending_lines(), 0);
+        assert_eq!(TuningCorpus::open(&path).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn persist_stats_is_a_flush_barrier() {
+        let path = tmp("statsbarrier");
+        let mut c = TuningCorpus::open(&path).unwrap();
+        c.set_sync_policy(SyncPolicy::Barrier).unwrap();
+        c.append(record("a", vec![0.0, 0.0], 0.2, 2, 10.0)).unwrap();
+        c.append(record("b", vec![2.0, 4.0], 0.8, 8, 5.0)).unwrap();
+        assert!(TuningCorpus::open(&path).unwrap().is_empty());
+        c.persist_stats().unwrap().unwrap();
+        let back = TuningCorpus::open(&path).unwrap();
+        assert_eq!(back.len(), 2, "staged records landed with the stats line");
+        assert_eq!(back.stats_for(2).unwrap().mean, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn corpus_flushes_counter_tracks_batches() {
+        let path = tmp("flushcounter");
+        let (tm, _sink) = Telemetry::ring(16);
+        let mut c = TuningCorpus::open(&path).unwrap();
+        c.set_sync_policy(SyncPolicy::Batch(2)).unwrap();
+        c.set_telemetry(tm.clone());
+        for i in 0..4 {
+            c.append(record(&format!("t{i}"), vec![i as f64], 0.5, 4, 1.0))
+                .unwrap();
+        }
+        c.flush().unwrap(); // empty: free
+        let snap = tm.snapshot().unwrap();
+        assert_eq!(snap.counters[metric::CORPUS_FLUSHES], 2, "two full batches");
+    }
+
+    #[test]
+    fn changing_policy_flushes_the_staged_batch_first() {
+        let path = tmp("policyswap");
+        let mut c = TuningCorpus::open(&path).unwrap();
+        c.set_sync_policy(SyncPolicy::Barrier).unwrap();
+        c.append(record("a", vec![0.0], 0.2, 2, 10.0)).unwrap();
+        c.set_sync_policy(SyncPolicy::Every).unwrap();
+        assert_eq!(
+            TuningCorpus::open(&path).unwrap().len(),
+            1,
+            "no record silently changes durability class"
+        );
     }
 
     proptest! {

@@ -18,6 +18,7 @@
 //!   [`Telemetry::for_task`], which relabels events without duplicating
 //!   state.
 
+mod durable;
 mod event;
 mod export;
 mod metrics;
@@ -25,6 +26,7 @@ mod sink;
 mod span;
 mod trace;
 
+pub use durable::{BatchedWriter, SyncPolicy, WriterMetrics, CRASH_FSYNC_PREFIX, SYNC_ENV};
 pub use event::{Event, EventKind, ResizeDirection, StopReason, SuggestionKind};
 pub use export::{chrome_trace_json, prometheus_text};
 pub use metrics::{metric, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};

@@ -119,6 +119,22 @@ pub mod metric {
     /// Counter: torn or corrupt JSONL journal lines skipped by lossy
     /// loads (snapshot logs and job journals).
     pub const JOURNAL_TORN_TAILS: &str = "journal_torn_tails";
+    /// Counter: group-commit batches flushed by batched journal writers
+    /// (one batch may cover many appended lines).
+    pub const JOURNAL_BATCHES: &str = "journal_batches";
+    /// Counter: `sync_data` calls paid by batched journal writers.
+    pub const JOURNAL_FSYNCS: &str = "journal_fsyncs";
+    /// Counter: payload bytes written through batched journal writers.
+    pub const JOURNAL_BYTES: &str = "journal_bytes";
+    /// Counter: serialized bytes of delta checkpoint events appended to
+    /// job journals.
+    pub const CHECKPOINT_DELTA_BYTES: &str = "checkpoint_delta_bytes";
+    /// Counter: serialized bytes of full checkpoint events appended to
+    /// job journals.
+    pub const CHECKPOINT_FULL_BYTES: &str = "checkpoint_full_bytes";
+    /// Counter: buffered tuning-corpus flushes (each one `sync_data`
+    /// covering a batch of appended records).
+    pub const CORPUS_FLUSHES: &str = "corpus_flushes";
     /// Counter: events lost by the sink (ring overwrites, I/O failures).
     /// Folded into every snapshot so losses are reported, never silent.
     pub const EVENTS_DROPPED: &str = "events_dropped";

@@ -6,7 +6,7 @@
 use otune_jobs::{
     CampaignSpec, DlqEntry, FailureRecord, JobEngine, JobEvent, Journal, JournalEntry,
 };
-use otune_telemetry::Telemetry;
+use otune_telemetry::{SyncPolicy, Telemetry};
 use proptest::prelude::*;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -125,8 +125,8 @@ proptest! {
     }
 }
 
-/// Rewrite a journal without its `CheckpointCreated` events, forcing the
-/// next `open` to replay from genesis.
+/// Rewrite a journal without its `CheckpointCreated` / `CheckpointDelta`
+/// events, forcing the next `open` to replay from genesis.
 fn strip_checkpoints(path: &PathBuf, out: &PathBuf) {
     let text = std::fs::read_to_string(path).unwrap();
     let kept: Vec<&str> = text
@@ -134,10 +134,134 @@ fn strip_checkpoints(path: &PathBuf, out: &PathBuf) {
         .filter(|l| !l.trim().is_empty())
         .filter(|l| {
             let entry: JournalEntry = serde_json::from_str(l).unwrap();
-            !matches!(entry.event, JobEvent::CheckpointCreated { .. })
+            !matches!(
+                entry.event,
+                JobEvent::CheckpointCreated { .. } | JobEvent::CheckpointDelta { .. }
+            )
         })
         .collect();
     std::fs::write(out, kept.join("\n") + "\n").unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    /// Group commit loses exactly the unsynced suffix on a crash: every
+    /// entry acked by the policy (batch boundary or explicit barrier —
+    /// the engine barriers after every checkpoint) survives, no entry
+    /// past the last sync point does, and the tail is never torn (a
+    /// whole batch is one write).
+    #[test]
+    fn group_commit_crash_loses_only_unsynced_suffix(
+        codes in proptest::collection::vec((0u8..5, 0u64..10_000, 0.0f64..1e6), 1..30),
+        batch in 1usize..6,
+        barrier_every in proptest::option::of(1usize..7),
+        barrier_policy in 0u8..2,
+    ) {
+        let path = case_path("groupcommit");
+        let policy = if barrier_policy == 1 {
+            SyncPolicy::Barrier
+        } else {
+            SyncPolicy::Batch(batch)
+        };
+        let mut journal = Journal::open_with(&path, policy).unwrap();
+        let entries: Vec<JournalEntry> = codes
+            .iter()
+            .enumerate()
+            .map(|(i, (c, n, x))| JournalEntry {
+                seq: i as u64 + 1,
+                event: synth_event(*c, *n, *x),
+            })
+            .collect();
+        // Mirror the writer's group-commit model: `acked` is the prefix
+        // the disk must hold after a crash.
+        let mut acked = 0usize;
+        let mut pending = 0usize;
+        for (i, e) in entries.iter().enumerate() {
+            journal.append(e).unwrap();
+            pending += 1;
+            if let SyncPolicy::Batch(n) = policy {
+                if pending >= n {
+                    acked = i + 1;
+                    pending = 0;
+                }
+            }
+            if barrier_every.is_some_and(|k| (i + 1) % k == 0) {
+                journal.barrier().unwrap();
+                acked = i + 1;
+                pending = 0;
+            }
+        }
+        // Crash: no Drop flush, the staged suffix dies with the process.
+        std::mem::forget(journal);
+
+        let load = Journal::load(&path).unwrap();
+        prop_assert_eq!(load.torn_lines, 0, "group commit never tears a tail");
+        prop_assert_eq!(load.entries.len(), acked);
+        prop_assert_eq!(&load.entries[..], &entries[..acked]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    /// Delta-checkpoint reconstruction (full base + deltas) resumes to a
+    /// state `to_bits`-indistinguishable from replaying the journal from
+    /// genesis with every checkpoint stripped.
+    #[test]
+    fn delta_resume_equals_replay_from_genesis(
+        seed in 0u64..1000,
+        full_every in 1u64..4,
+        interrupted_at in 2usize..4,
+    ) {
+        let spec = CampaignSpec {
+            job_id: "prop-delta".to_string(),
+            n_tasks: 2,
+            budget: 4,
+            seed,
+            checkpoint_every: 1,
+            checkpoint_full_every: full_every,
+            ..CampaignSpec::default()
+        };
+        let path = case_path("delta");
+        let (t0, _s0) = Telemetry::ring(1024);
+        let mut engine = JobEngine::start(spec, &path, t0).unwrap();
+        for _ in 0..interrupted_at {
+            engine.run_wave().unwrap();
+        }
+        drop(engine); // abandon without pause: no final checkpoint
+
+        // The cadence must actually have produced a delta to reconstruct.
+        let load = Journal::load(&path).unwrap();
+        prop_assert!(
+            load.entries
+                .iter()
+                .any(|e| matches!(e.event, JobEvent::CheckpointDelta { .. })),
+            "checkpoint_full_every={} over {} waves must journal a delta",
+            full_every,
+            interrupted_at,
+        );
+
+        // Path A: resume from full base + deltas.
+        let path_a = case_path("delta-a");
+        std::fs::copy(&path, &path_a).unwrap();
+        let (ta, _sa) = Telemetry::ring(1024);
+        let mut a = JobEngine::open(&path_a, ta).unwrap();
+        let summary_a = a.run_to_completion().unwrap().clone();
+
+        // Path B: genesis replay with every checkpoint stripped.
+        let path_b = case_path("delta-b");
+        strip_checkpoints(&path, &path_b);
+        let (tb, _sb) = Telemetry::ring(1024);
+        let mut b = JobEngine::open(&path_b, tb).unwrap();
+        let summary_b = b.run_to_completion().unwrap().clone();
+
+        prop_assert_eq!(summary_a, summary_b);
+        for task in 0..2 {
+            prop_assert_eq!(
+                a.suggestion_trace(task).unwrap(),
+                b.suggestion_trace(task).unwrap()
+            );
+        }
+    }
 }
 
 proptest! {

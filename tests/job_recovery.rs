@@ -26,8 +26,13 @@ fn job_dir(name: &str) -> PathBuf {
 }
 
 /// Run `otune tune-serve --auto` against `journal`, optionally arming the
-/// crash hook.
-fn run_cli(journal: &Path, crash: Option<&str>) -> std::process::Output {
+/// crash hook and overriding the journal sync policy / checkpoint mode.
+fn run_cli_opts(
+    journal: &Path,
+    crash: Option<&str>,
+    sync: Option<&str>,
+    full_every: Option<&str>,
+) -> std::process::Output {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_otune"));
     cmd.args([
         "tune-serve",
@@ -43,11 +48,21 @@ fn run_cli(journal: &Path, crash: Option<&str>) -> std::process::Output {
         "1",
         "--auto",
     ]);
+    if let Some(policy) = sync {
+        cmd.args(["--sync", policy]);
+    }
+    if let Some(n) = full_every {
+        cmd.args(["--full-every", n]);
+    }
     cmd.env_remove(CRASH_ENV);
     if let Some(point) = crash {
         cmd.env(CRASH_ENV, point);
     }
     cmd.output().expect("spawn otune")
+}
+
+fn run_cli(journal: &Path, crash: Option<&str>) -> std::process::Output {
+    run_cli_opts(journal, crash, None, None)
 }
 
 /// The uninterrupted run's summary, per-task encoded suggestion traces,
@@ -184,6 +199,141 @@ fn mid_append_byte_truncation_heals_and_resumes_bitwise() {
     // Tear a checkpoint line: resume falls back to the previous
     // checkpoint (or genesis) and replays forward.
     crash_resume_and_verify("tear-checkpoint", "checkpoint:2", Some(9));
+}
+
+#[test]
+fn kill_at_every_fsync_boundary_resumes_bitwise_under_each_policy() {
+    // Enumerate every fsync boundary under each group-commit policy:
+    // arm `fsync:n` for n = 1, 2, … until a run has fewer than n fsyncs
+    // and survives — that exhausts the boundary space for the policy.
+    let gold = golden();
+    for policy in ["every", "batch:3", "barrier"] {
+        let slug = policy.replace(':', "-");
+        let mut boundaries = 0u64;
+        for n in 1..=200u64 {
+            let journal = job_dir(&format!("fsync-{slug}-{n}")).join("journal.jsonl");
+            let _ = std::fs::remove_file(&journal);
+            let out = run_cli_opts(&journal, Some(&format!("fsync:{n}")), Some(policy), None);
+            if out.status.success() {
+                break; // the whole campaign pays fewer than n fsyncs
+            }
+            boundaries = n;
+            let out = run_cli_opts(&journal, None, Some(policy), None);
+            assert!(
+                out.status.success(),
+                "fsync:{n} under {policy}: resume failed: {out:?}"
+            );
+            let (summary, traces) = inspect(&journal);
+            assert_eq!(
+                summary, gold.summary,
+                "fsync:{n} under {policy}: summary diverged"
+            );
+            assert_eq!(
+                traces, gold.traces,
+                "fsync:{n} under {policy}: traces diverged"
+            );
+        }
+        assert!(
+            (1..200).contains(&boundaries),
+            "{policy}: expected a bounded, non-empty fsync enumeration, got {boundaries}"
+        );
+    }
+}
+
+#[test]
+fn completed_journal_bytes_identical_across_sync_policies() {
+    // Group commit changes fsync cadence, never journal content: an
+    // uninterrupted campaign must write byte-identical journals under
+    // every policy. (A fresh `every` run is the reference — the shared
+    // golden journal accrues `JobResumed` lines from `inspect` calls.)
+    let reference = job_dir("bytes-every").join("journal.jsonl");
+    let _ = std::fs::remove_file(&reference);
+    let out = run_cli_opts(&reference, None, Some("every"), None);
+    assert!(out.status.success(), "every: run failed: {out:?}");
+    let gold_bytes = std::fs::read(&reference).unwrap();
+    for policy in ["batch:8", "barrier"] {
+        let slug = policy.replace(':', "-");
+        let journal = job_dir(&format!("bytes-{slug}")).join("journal.jsonl");
+        let _ = std::fs::remove_file(&journal);
+        let out = run_cli_opts(&journal, None, Some(policy), None);
+        assert!(out.status.success(), "{policy}: run failed: {out:?}");
+        assert_eq!(
+            std::fs::read(&journal).unwrap(),
+            gold_bytes,
+            "{policy}: journal bytes diverged from the default policy"
+        );
+    }
+}
+
+#[test]
+fn delta_checkpoint_crash_resume_matches_golden() {
+    // Delta-checkpoint mode: kill at each checkpoint boundary (cursor 1
+    // has the full base, cursor 2 a delta over it) and at a mid-run wave;
+    // the resumed campaign must still match the golden (all-full) run.
+    let gold = golden();
+    for crash in ["checkpoint:1", "checkpoint:2", "wave:1"] {
+        let slug = crash.replace(':', "-");
+        let journal = job_dir(&format!("delta-{slug}")).join("journal.jsonl");
+        let _ = std::fs::remove_file(&journal);
+        let out = run_cli_opts(&journal, Some(crash), None, Some("2"));
+        assert!(
+            !out.status.success(),
+            "delta mode: the armed run must die at {crash}, got {out:?}"
+        );
+        let out = run_cli_opts(&journal, None, None, Some("2"));
+        assert!(
+            out.status.success(),
+            "delta {crash}: resume failed: {out:?}"
+        );
+        let (summary, traces) = inspect(&journal);
+        assert_eq!(summary, gold.summary, "delta {crash}: summary diverged");
+        assert_eq!(traces, gold.traces, "delta {crash}: traces diverged");
+    }
+}
+
+#[test]
+fn mid_compaction_kill_never_loses_the_journal() {
+    // `otune jobs compact` killed at both of its crash points —
+    // `compact:1` (tmp written, rename not yet done) and `compact:2`
+    // (renamed, stale segments not yet removed) — must leave a journal
+    // that still loads to the golden state; a clean re-compaction then
+    // succeeds.
+    let gold = golden();
+    for crash in ["compact:1", "compact:2"] {
+        let slug = crash.replace(':', "-");
+        let dir = job_dir(&format!("compactkill-{slug}"));
+        let journal = dir.join("journal.jsonl");
+        let _ = std::fs::remove_file(&journal);
+        let out = run_cli(&journal, None);
+        assert!(out.status.success(), "{crash}: campaign failed: {out:?}");
+
+        let jobs_compact = |crash: Option<&str>| {
+            let mut cmd = Command::new(env!("CARGO_BIN_EXE_otune"));
+            cmd.args(["jobs", "compact", "--journal-dir", dir.to_str().unwrap()]);
+            cmd.env_remove(CRASH_ENV);
+            if let Some(point) = crash {
+                cmd.env(CRASH_ENV, point);
+            }
+            cmd.output().expect("spawn otune jobs compact")
+        };
+        let out = jobs_compact(Some(crash));
+        assert!(
+            !out.status.success(),
+            "{crash}: the armed compaction must die, got {out:?}"
+        );
+        let (summary, traces) = inspect(&journal);
+        assert_eq!(summary, gold.summary, "{crash}: state lost mid-compaction");
+        assert_eq!(traces, gold.traces, "{crash}: traces lost mid-compaction");
+
+        let out = jobs_compact(None);
+        assert!(
+            out.status.success(),
+            "{crash}: re-compaction failed: {out:?}"
+        );
+        let (summary, traces) = inspect(&journal);
+        assert_eq!(summary, gold.summary, "{crash}: state lost re-compacting");
+        assert_eq!(traces, gold.traces, "{crash}: traces lost re-compacting");
+    }
 }
 
 #[test]

@@ -5,8 +5,8 @@
 //! directly from the `proc_macro` token stream. Supported shapes cover
 //! everything the workspace derives on:
 //!
-//! * structs with named fields (honoring `#[serde(skip)]` and
-//!   `#[serde(default)]`),
+//! * structs with named fields (honoring `#[serde(skip)]`,
+//!   `#[serde(default)]`, and `#[serde(skip_serializing_if = "path")]`),
 //! * tuple structs,
 //! * enums with unit, tuple, and struct variants (externally tagged,
 //!   matching upstream serde's JSON layout).
@@ -60,10 +60,16 @@ fn serialize_struct(item: &Item, fields: &Fields) -> String {
             let mut out =
                 String::from("let mut m: Vec<(String, ::serde::Content)> = Vec::new();\n");
             for f in named.iter().filter(|f| !f.skip) {
-                out.push_str(&format!(
+                let push = format!(
                     "m.push((String::from(\"{n}\"), ::serde::Serialize::to_content(&self.{n})));\n",
                     n = f.name
-                ));
+                );
+                match &f.skip_serializing_if {
+                    Some(path) => {
+                        out.push_str(&format!("if !{path}(&self.{n}) {{\n{push}}}\n", n = f.name))
+                    }
+                    None => out.push_str(&push),
+                }
             }
             out.push_str("::serde::Content::Map(m)");
             out
@@ -165,10 +171,16 @@ fn serialize_enum(item: &Item, variants: &[Variant]) -> String {
                 let mut inner =
                     String::from("let mut m: Vec<(String, ::serde::Content)> = Vec::new();\n");
                 for f in named.iter().filter(|f| !f.skip) {
-                    inner.push_str(&format!(
+                    let push = format!(
                         "m.push((String::from(\"{n}\"), ::serde::Serialize::to_content({n})));\n",
                         n = f.name
-                    ));
+                    );
+                    match &f.skip_serializing_if {
+                        Some(path) => {
+                            inner.push_str(&format!("if !{path}({n}) {{\n{push}}}\n", n = f.name))
+                        }
+                        None => inner.push_str(&push),
+                    }
                 }
                 inner.push_str("::serde::Content::Map(m)");
                 arms.push_str(&format!(

@@ -3,18 +3,21 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// A named field with its `#[serde(skip)]` / `#[serde(default)]` flags.
+/// A named field with its `#[serde(skip)]` / `#[serde(default)]` /
+/// `#[serde(skip_serializing_if = "path")]` flags.
 pub(crate) struct Field {
     pub(crate) name: String,
     pub(crate) skip: bool,
     pub(crate) default: bool,
+    pub(crate) skip_serializing_if: Option<String>,
 }
 
 /// Recognized `#[serde(...)]` flags on a field/variant/item.
-#[derive(Default, Clone, Copy)]
+#[derive(Default)]
 pub(crate) struct Attrs {
     pub(crate) skip: bool,
     pub(crate) default: bool,
+    pub(crate) skip_serializing_if: Option<String>,
 }
 
 /// The fields of a struct or enum variant.
@@ -62,14 +65,17 @@ fn take_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, Attrs) {
         if g.delimiter() != Delimiter::Bracket {
             break;
         }
-        // Inspect `#[serde(...)]` contents for `skip` / `default`.
+        // Inspect `#[serde(...)]` contents for `skip` / `default` /
+        // `skip_serializing_if = "path"`.
         let inner: Vec<TokenTree> = g.stream().into_iter().collect();
         if let Some(TokenTree::Ident(id)) = inner.first() {
             if id.to_string() == "serde" {
                 if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    let arg_tokens: Vec<TokenTree> = args.stream().into_iter().collect();
                     let mut recognized = false;
-                    for t in args.stream() {
-                        if let TokenTree::Ident(a) = &t {
+                    let mut k = 0;
+                    while k < arg_tokens.len() {
+                        if let TokenTree::Ident(a) = &arg_tokens[k] {
                             match a.to_string().as_str() {
                                 "skip" => {
                                     attrs.skip = true;
@@ -79,14 +85,45 @@ fn take_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, Attrs) {
                                     attrs.default = true;
                                     recognized = true;
                                 }
+                                "skip_serializing_if" => {
+                                    // `skip_serializing_if = "path"` — the
+                                    // path literal follows `=`.
+                                    let eq = matches!(
+                                        arg_tokens.get(k + 1),
+                                        Some(TokenTree::Punct(p)) if p.as_char() == '='
+                                    );
+                                    let lit = arg_tokens.get(k + 2).and_then(|t| match t {
+                                        TokenTree::Literal(l) => {
+                                            let s = l.to_string();
+                                            s.strip_prefix('"')
+                                                .and_then(|s| s.strip_suffix('"'))
+                                                .map(str::to_string)
+                                        }
+                                        _ => None,
+                                    });
+                                    match (eq, lit) {
+                                        (true, Some(path)) => {
+                                            attrs.skip_serializing_if = Some(path);
+                                            recognized = true;
+                                            k += 2;
+                                        }
+                                        _ => panic!(
+                                            "skip_serializing_if expects `= \"path\"`, got \
+                                             #[serde({})]",
+                                            args.stream()
+                                        ),
+                                    }
+                                }
                                 _ => {}
                             }
                         }
+                        k += 1;
                     }
                     if !recognized {
                         panic!(
-                            "vendored serde_derive supports only #[serde(skip)] and \
-                             #[serde(default)], got #[serde({})]",
+                            "vendored serde_derive supports only #[serde(skip)], \
+                             #[serde(default)], and #[serde(skip_serializing_if = \"path\")], \
+                             got #[serde({})]",
                             args.stream()
                         );
                     }
@@ -159,6 +196,7 @@ fn parse_named_fields(group: TokenStream) -> Vec<Field> {
             name,
             skip: attrs.skip,
             default: attrs.default,
+            skip_serializing_if: attrs.skip_serializing_if,
         });
         i = skip_past_comma(&tokens, j + 2);
     }
